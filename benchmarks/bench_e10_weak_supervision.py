@@ -1,0 +1,130 @@
+"""E10 — weak supervision and crowd truth inference (§6.2.4, §6.2.6).
+
+Claims: (a) "mostly correct" labeling functions can replace hand labels;
+a label model denoises their votes well enough to train a matcher;
+(b) crowd vote aggregation needs "sophisticated algorithms for inferring
+true labels from noisy labels, learning the skill of workers" — Dawid-
+Skene EM beats majority vote when worker skill varies.
+
+Expected shape: EM label quality >= majority vote, with the gap widest for
+mixed-skill crowds; matcher trained on weak labels lands close to the
+fully-supervised matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import benchmark_with_embeddings, format_table
+from repro.er import FeatureBasedER, classification_prf, jaccard_tokens, trigram_jaccard
+from repro.weak import ABSTAIN, EMLabelModel, LabelingFunction, MajorityVote, SimulatedCrowd, apply_lfs
+
+
+def _er_lfs() -> list[LabelingFunction]:
+    def title(pair):
+        a, b = pair
+        if not a.get("title") or not b.get("title"):
+            return ABSTAIN
+        return 1 if trigram_jaccard(str(a["title"]), str(b["title"])) > 0.55 else 0
+
+    def authors(pair):
+        a, b = pair
+        if not a.get("authors") or not b.get("authors"):
+            return ABSTAIN
+        return 1 if jaccard_tokens(str(a["authors"]), str(b["authors"])) > 0.5 else 0
+
+    def venue(pair):
+        a, b = pair
+        if not a.get("venue") or not b.get("venue"):
+            return ABSTAIN
+        return ABSTAIN if str(a["venue"]).lower() == str(b["venue"]).lower() else 0
+
+    return [
+        LabelingFunction("title_trigram", title),
+        LabelingFunction("authors_jaccard", authors),
+        LabelingFunction("venue_mismatch", venue),
+    ]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    bench, _, _ = benchmark_with_embeddings("citations", n_entities=200)
+    labeled = bench.labeled_pairs(negative_ratio=4, rng=3)
+    triples = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+    split = int(0.6 * len(triples))
+    train, test = triples[:split], triples[split:]
+    gold_train = np.array([y for _, _, y in train])
+    test_pairs = [(a, b) for a, b, _ in test]
+    test_labels = np.array([y for _, _, y in test])
+
+    # (a) LF route — hand-written LFs and fully automatic ones (§6.2.4:
+    # "weakly labeled data can even be generated in an automated manner").
+    train_pairs = [(a, b) for a, b, _ in train]
+    votes = apply_lfs(_er_lfs(), train_pairs)
+    for name, model in [("majority vote", MajorityVote()), ("Dawid-Skene EM", EMLabelModel())]:
+        weak = model.fit(votes).predict(votes)
+        label_accuracy = float((weak == gold_train).mean())
+        matcher = FeatureBasedER(bench.compare_columns, bench.numeric_columns)
+        matcher.fit([(a, b, int(w)) for (a, b, _), w in zip(train, weak)])
+        f1 = classification_prf(test_labels, matcher.predict(test_pairs)).f1
+        rows.append({"supervision": f"LFs + {name}", "label_accuracy": label_accuracy,
+                     "downstream_f1": f1})
+
+    from repro.weak import auto_labeling_functions
+
+    auto_lfs = auto_labeling_functions(train_pairs, bench.compare_columns)
+    auto_votes = apply_lfs(auto_lfs, train_pairs)
+    weak = EMLabelModel().fit(auto_votes).predict(auto_votes)
+    matcher = FeatureBasedER(bench.compare_columns, bench.numeric_columns)
+    matcher.fit([(a, b, int(w)) for (a, b, _), w in zip(train, weak)])
+    rows.append({
+        "supervision": f"auto-LFs ({len(auto_lfs)}) + EM",
+        "label_accuracy": float((weak == gold_train).mean()),
+        "downstream_f1": classification_prf(
+            test_labels, matcher.predict(test_pairs)
+        ).f1,
+    })
+
+    supervised = FeatureBasedER(bench.compare_columns, bench.numeric_columns).fit(train)
+    f1 = classification_prf(test_labels, supervised.predict(test_pairs)).f1
+    rows.append({"supervision": "gold labels (upper bound)",
+                 "label_accuracy": 1.0, "downstream_f1": f1})
+
+    # (b) Crowd route with mixed skill.
+    rng = np.random.default_rng(0)
+    truth = (rng.random(600) < 0.35).astype(int)
+    crowd_votes = np.zeros((600, 6), dtype=np.int64)
+    accuracies = [0.95, 0.60, 0.58, 0.62, 0.57, 0.59]  # one expert, five weak
+    for i, y in enumerate(truth):
+        for j, acc in enumerate(accuracies):
+            crowd_votes[i, j] = y if rng.random() < acc else 1 - y
+    mv = float((MajorityVote().predict(crowd_votes) == truth).mean())
+    em = float((EMLabelModel().fit(crowd_votes).predict(crowd_votes) == truth).mean())
+    rows.append({"supervision": "crowd: majority vote", "label_accuracy": mv,
+                 "downstream_f1": float("nan")})
+    rows.append({"supervision": "crowd: Dawid-Skene EM", "label_accuracy": em,
+                 "downstream_f1": float("nan")})
+    return rows
+
+
+def test_e10_weak_supervision(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E10: weak supervision"))
+    by_name = {r["supervision"]: r for r in rows}
+    em = by_name["LFs + Dawid-Skene EM"]
+    gold = by_name["gold labels (upper bound)"]
+    assert em["label_accuracy"] > 0.8  # "mostly correct"
+    assert em["downstream_f1"] > gold["downstream_f1"] - 0.15
+    auto = next(r for r in rows if r["supervision"].startswith("auto-LFs"))
+    assert auto["label_accuracy"] > 0.85  # zero-supervision labels work too
+    assert auto["downstream_f1"] > gold["downstream_f1"] - 0.15
+    # Mixed-skill crowd: EM must beat majority vote.
+    assert (
+        by_name["crowd: Dawid-Skene EM"]["label_accuracy"]
+        > by_name["crowd: majority vote"]["label_accuracy"]
+    )
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E10: weak supervision"))

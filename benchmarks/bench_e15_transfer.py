@@ -1,0 +1,106 @@
+"""E15 — transfer learning via pre-trained embeddings (§3.3, §6.2.5).
+
+Claim: "Train a DL model for one task and tune the model for the new task
+by using the limited labeled data instead of starting from scratch";
+pre-trained models encode global information reusable across datasets.
+
+Setup: embeddings are pre-trained on the *products* corpus + world text
+(source domain), then reused — optionally fine-tuned on unlabeled target
+text — to match *citations* records with only a few labels.  "From
+scratch" trains embeddings only on the tiny labelled target sample.
+
+Expected shape: pretrained ≥ scratch at small budgets; fine-tuning on
+unlabeled target text closes any remaining gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import format_table
+from repro.data import World, citations_benchmark, products_benchmark
+from repro.embeddings import fine_tune, tuple_documents
+from repro.er import DeepER, classification_prf
+from repro.text import SkipGram, SubwordEmbeddings
+
+BUDGETS = (8, 16, 32)
+
+
+def _word_docs(tables) -> list[list[str]]:
+    documents = tuple_documents(tables)
+    return [[t for v in doc for t in str(v).split()] for doc in documents]
+
+
+def run_experiment() -> list[dict]:
+    source = products_benchmark(n_entities=250, rng=11)
+    target = citations_benchmark(n_entities=200, rng=0)
+    world = World(5)
+
+    # Source-domain pre-training (products + generic corpus; no target data).
+    pretrained = SkipGram(dim=40, window=8, epochs=12, rng=0).fit(
+        _word_docs([source.table_a, source.table_b]) + world.corpus(800)
+    )
+    # Fine-tuned variant: continue on unlabeled target-table text.
+    tuned = fine_tune(
+        pretrained, _word_docs([target.table_a, target.table_b]),
+        epochs=25, learning_rate=0.05, rng=0,
+    )
+
+    eval_pairs = target.labeled_pairs(negative_ratio=4, rng=99)
+    eval_triples = [
+        (target.record_a(a), target.record_b(b), y) for a, b, y in eval_pairs
+    ]
+    test_pairs = [(a, b) for a, b, _ in eval_triples]
+    test_labels = np.array([y for _, _, y in eval_triples])
+
+    rows = []
+    for budget in BUDGETS:
+        labeled = target.labeled_pairs(n_positives=budget, negative_ratio=3, rng=1)
+        train = [
+            (target.record_a(a), target.record_b(b), y) for a, b, y in labeled
+        ]
+        # From scratch: embeddings only from the labelled sample's text.
+        scratch_docs = [
+            [t for record in (a, b) for v in record.values() if v is not None
+             for t in str(v).split()]
+            for a, b, _ in train
+        ]
+        scratch_model = SkipGram(dim=40, window=8, epochs=12, rng=0).fit(scratch_docs)
+
+        scores = {}
+        for label, model in [
+            ("scratch", scratch_model),
+            ("pretrained", pretrained),
+            ("pretrained+finetune", tuned),
+        ]:
+            subword = SubwordEmbeddings(model)
+            matcher = DeepER(
+                model, target.compare_columns, composition="sif",
+                vector_fn=subword.vector, rng=0,
+            ).fit(train, epochs=40)
+            scores[label] = classification_prf(
+                test_labels, matcher.predict(test_pairs)
+            ).f1
+        rows.append({"positive_labels": budget, **{f"f1_{k}": v for k, v in scores.items()}})
+    return rows
+
+
+def test_e15_transfer(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E15: transfer learning (F1 vs budget)"))
+    # The classic transfer curve: the win is largest in the low-label
+    # regime and the curves converge as labels grow.
+    smallest = rows[0]
+    assert smallest["f1_pretrained"] > smallest["f1_scratch"] + 0.2
+    assert smallest["f1_pretrained+finetune"] > smallest["f1_scratch"] + 0.2
+    # Fine-tuning on unlabeled target text must not hurt raw pre-training.
+    mean_pre = np.mean([r["f1_pretrained"] for r in rows])
+    mean_tuned = np.mean([r["f1_pretrained+finetune"] for r in rows])
+    assert mean_tuned >= mean_pre - 0.02
+    # With ample labels, all arms reach strong quality.
+    assert max(rows[-1]["f1_pretrained+finetune"], rows[-1]["f1_scratch"]) > 0.8
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E15: transfer"))

@@ -1,0 +1,81 @@
+"""E1 — DeepER accuracy vs traditional ER (paper §5.2).
+
+Claim: DeepER "achieves competitive results with minimal interaction with
+experts" against feature-engineered ML and threshold matchers.
+
+Expected shape: DeepER (sif + subword OOV back-off) within a few F1 points
+of the feature-engineered baseline on all three domains, and above the
+unsupervised threshold matcher on at least some; no feature engineering
+was needed for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import benchmark_split, benchmark_with_embeddings, format_table
+from repro.er import DeepER, FeatureBasedER, ThresholdMatcher, classification_prf
+
+DOMAINS = ("citations", "products", "restaurants")
+
+
+def run_domain(domain: str) -> list[dict]:
+    bench, model, subword = benchmark_with_embeddings(domain, n_entities=200)
+    train, test_pairs, test_labels = benchmark_split(bench)
+    rows = []
+
+    deeper = DeepER(
+        model, bench.compare_columns, composition="sif",
+        vector_fn=subword.vector, rng=0,
+    ).fit(train, epochs=50)
+    prf = classification_prf(test_labels, deeper.predict(test_pairs))
+    rows.append({"domain": domain, "matcher": "DeepER (sif+subword)",
+                 "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
+
+    deeper_mean = DeepER(model, bench.compare_columns, composition="mean", rng=0)
+    deeper_mean.fit(train, epochs=50)
+    prf = classification_prf(test_labels, deeper_mean.predict(test_pairs))
+    rows.append({"domain": domain, "matcher": "DeepER (mean)",
+                 "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
+
+    feature = FeatureBasedER(bench.compare_columns, bench.numeric_columns).fit(train)
+    prf = classification_prf(test_labels, feature.predict(test_pairs))
+    rows.append({"domain": domain, "matcher": "feature-engineered LR",
+                 "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
+
+    threshold = ThresholdMatcher(bench.compare_columns)
+    threshold.best_threshold(train)
+    prf = classification_prf(test_labels, threshold.predict(test_pairs))
+    rows.append({"domain": domain, "matcher": f"threshold (θ={threshold.threshold:.2f})",
+                 "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
+    return rows
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for domain in DOMAINS:
+        rows.extend(run_domain(domain))
+    return rows
+
+
+def test_e1_deeper_accuracy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E1: DeepER vs traditional ER (F1 per domain)"))
+    by_key = {(r["domain"], r["matcher"].split(" ")[0]): r["f1"] for r in rows}
+    for domain in DOMAINS:
+        deeper_f1 = max(
+            r["f1"] for r in rows
+            if r["domain"] == domain and r["matcher"].startswith("DeepER")
+        )
+        feature_f1 = next(
+            r["f1"] for r in rows
+            if r["domain"] == domain and r["matcher"].startswith("feature")
+        )
+        # "Competitive": within 0.12 F1 of the hand-engineered baseline.
+        assert deeper_f1 > 0.75, f"{domain}: DeepER f1 {deeper_f1}"
+        assert deeper_f1 >= feature_f1 - 0.12, f"{domain}: not competitive"
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E1: DeepER vs traditional ER"))

@@ -1,0 +1,70 @@
+"""E3 — label efficiency with pre-trained embeddings (§5.2, §6.2.5).
+
+Claim: DeepER "requires much less human labeled data ... compared with
+traditional machine learning based approaches" because it leverages
+pre-trained embeddings.
+
+Expected shape: at small label budgets (tens of pairs) DeepER-with-
+pretrained-embeddings beats the feature-engineered baseline or reaches its
+own large-budget quality much earlier; curves converge as labels grow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import benchmark_with_embeddings, format_table
+from repro.er import DeepER, FeatureBasedER, classification_prf
+
+BUDGETS = (8, 16, 32, 64, 110)
+
+
+def run_experiment() -> list[dict]:
+    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+    eval_pairs = bench.labeled_pairs(negative_ratio=4, rng=99)
+    eval_triples = [
+        (bench.record_a(a), bench.record_b(b), y) for a, b, y in eval_pairs
+    ]
+    test_pairs = [(a, b) for a, b, _ in eval_triples]
+    test_labels = np.array([y for _, _, y in eval_triples])
+
+    rows = []
+    for budget in BUDGETS:
+        labeled = bench.labeled_pairs(
+            n_positives=budget, negative_ratio=3, rng=1
+        )
+        train = [
+            (bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled
+        ]
+        deeper = DeepER(
+            model, bench.compare_columns, composition="sif",
+            vector_fn=subword.vector, rng=0,
+        ).fit(train, epochs=50)
+        deeper_f1 = classification_prf(test_labels, deeper.predict(test_pairs)).f1
+
+        feature = FeatureBasedER(bench.compare_columns, bench.numeric_columns)
+        feature.fit(train)
+        feature_f1 = classification_prf(test_labels, feature.predict(test_pairs)).f1
+        rows.append({
+            "positive_labels": budget,
+            "total_labels": len(train),
+            "deeper_pretrained_f1": deeper_f1,
+            "feature_lr_f1": feature_f1,
+        })
+    return rows
+
+
+def test_e3_label_efficiency(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E3: F1 vs labelling budget"))
+    # DeepER must already work at the smallest budgets...
+    assert rows[0]["deeper_pretrained_f1"] > 0.6
+    # ...and improve (or hold) as labels grow.
+    assert rows[-1]["deeper_pretrained_f1"] >= rows[0]["deeper_pretrained_f1"] - 0.05
+    # Both approaches converge to strong quality at the full budget.
+    assert rows[-1]["deeper_pretrained_f1"] > 0.8
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E3: label efficiency"))

@@ -1,0 +1,71 @@
+"""E4 — CPU training time (§6.1).
+
+Claim: "DeepER leveraged word embeddings from GloVe (whose training can be
+time consuming) and built a light-weight DL model that can be trained in a
+matter of minutes even on a CPU."
+
+Expected shape: given pre-trained embeddings, DeepER's classifier trains
+in seconds on a CPU; one-off embedding pre-training dominates total time;
+prediction throughput is high.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.common import benchmark_split, benchmark_with_embeddings, format_table
+from repro.data import World, citations_benchmark
+from repro.embeddings import tuple_documents
+from repro.er import DeepER
+from repro.text import SkipGram
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for n_entities in (100, 200, 400):
+        bench = citations_benchmark(n_entities=n_entities, rng=0)
+        documents = tuple_documents([bench.table_a, bench.table_b])
+        word_documents = [
+            [t for v in doc for t in str(v).split()] for doc in documents
+        ]
+        start = time.perf_counter()
+        model = SkipGram(dim=40, window=8, epochs=10, rng=0).fit(word_documents)
+        pretrain_seconds = time.perf_counter() - start
+
+        train, test_pairs, _ = benchmark_split(bench)
+        start = time.perf_counter()
+        deeper = DeepER(model, bench.compare_columns, composition="mean", rng=0)
+        deeper.fit(train, epochs=40)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        deeper.predict_proba(test_pairs)
+        predict_seconds = time.perf_counter() - start
+        rows.append({
+            "entities": n_entities,
+            "train_pairs": len(train),
+            "pretrain_s": pretrain_seconds,
+            "deeper_train_s": train_seconds,
+            "predict_s": predict_seconds,
+            "pairs_per_s": len(test_pairs) / max(predict_seconds, 1e-9),
+        })
+    return rows
+
+
+def test_e4_training_time(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E4: CPU wall-clock (seconds)"))
+    for row in rows:
+        # "Minutes on a CPU": the matcher itself trains well under one
+        # minute at these scales, and prediction is fast.
+        assert row["deeper_train_s"] < 60
+        assert row["pairs_per_s"] > 50
+    # Embedding pre-training dominates matcher training (the one-off cost).
+    assert rows[-1]["pretrain_s"] > rows[-1]["deeper_train_s"] * 0.5
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E4: training time"))

@@ -1,0 +1,88 @@
+"""E7 — the window-size pathology of tuple-as-document embeddings (§3.1).
+
+Claim (limitation 2): "if |i - j| > k ... then even a window size W = 10
+will miss them" — attributes further apart than the skip-gram window never
+co-occur as training pairs, so their cell embeddings never associate.
+
+Reproduced two ways: (a) the analytic/Monte-Carlo co-occurrence hit rate
+P(span >= distance) for dynamic windows, and (b) actually training cell
+embeddings on a wide relation and measuring the learned association of a
+planted Country→Capital pair at varying column distance.
+
+Expected shape: hit rate falls linearly to 0 once distance exceeds the
+window; learned first-order association collapses accordingly, while the
+Figure-4 graph embedder (E8) is immune by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import format_table
+from repro.data import COUNTRIES, Table
+from repro.embeddings import CellEmbedder, cooccurrence_hit_rate
+
+
+def _wide_table(distance: int, n_rows: int = 300, seed: int = 0) -> Table:
+    """Country in column 0, capital ``distance`` columns away, noise between."""
+    rng = np.random.default_rng(seed)
+    countries = list(COUNTRIES)
+    columns = ["country"] + [f"noise_{i}" for i in range(distance - 1)] + ["capital"]
+    table = Table("wide", columns)
+    for _ in range(n_rows):
+        country = countries[int(rng.integers(len(countries)))]
+        noise = [f"n{int(rng.integers(50))}" for _ in range(distance - 1)]
+        table.append([country] + noise + [COUNTRIES[country]])
+    return table
+
+
+def run_experiment() -> list[dict]:
+    window = 4
+    rows = []
+    for distance in (1, 2, 4, 6, 8, 10):
+        table = _wide_table(distance)
+        hit_rate = cooccurrence_hit_rate(
+            table, "country", "capital", window=window, trials=20000, rng=0
+        )
+        embedder = CellEmbedder(dim=24, window=window, epochs=30, rng=0)
+        embedder.model.learning_rate = 0.1
+        embedder.fit([table])
+        # Learned association between planted pairs vs mismatched pairs.
+        matched, mismatched = [], []
+        countries = list(COUNTRIES)[:8]
+        for country in countries:
+            matched.append(
+                embedder.model.first_order_similarity(country, COUNTRIES[country])
+            )
+            for other in countries:
+                if COUNTRIES[other] != COUNTRIES[country]:
+                    mismatched.append(
+                        embedder.model.first_order_similarity(country, COUNTRIES[other])
+                    )
+        rows.append({
+            "column_distance": distance,
+            "window": window,
+            "cooccurrence_hit_rate": hit_rate,
+            "matched_association": float(np.mean(matched)),
+            "mismatched_association": float(np.mean(mismatched)),
+            "association_gap": float(np.mean(matched) - np.mean(mismatched)),
+        })
+    return rows
+
+
+def test_e7_window(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "E7: window-size pathology (window=4)"))
+    by_distance = {r["column_distance"]: r for r in rows}
+    # Hit rate: 1.0 within the window, exactly 0 beyond it.
+    assert by_distance[1]["cooccurrence_hit_rate"] == 1.0
+    assert by_distance[8]["cooccurrence_hit_rate"] == 0.0
+    assert by_distance[10]["cooccurrence_hit_rate"] == 0.0
+    # Learned association collapses once the window no longer covers.
+    assert by_distance[1]["association_gap"] > 0.3
+    assert by_distance[10]["association_gap"] < by_distance[1]["association_gap"] * 0.4
+
+
+if __name__ == "__main__":
+    print(format_table(run_experiment(), "E7: window pathology"))

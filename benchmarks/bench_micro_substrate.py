@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the deep-learning substrate's hot kernels.
+
+Unlike the experiment benches (single pedantic rounds around whole
+experiments), these let pytest-benchmark do proper multi-round timing of
+the primitives everything else is built on: autograd forward+backward,
+LSTM steps, SGNS epochs, LSH signatures, and pair featurisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import LSHBlocker, pair_features
+from repro.nn import Adam, LSTM, Tensor, bce_with_logits, mlp
+from repro.text import SkipGram
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_micro_mlp_train_step(benchmark, rng):
+    """One forward+backward+update step of a 64→64→1 MLP on 256 rows."""
+    net = mlp([64, 64, 1], rng=0)
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    x = Tensor(rng.normal(size=(256, 64)))
+    y = (rng.random((256, 1)) < 0.5).astype(float)
+
+    def step():
+        loss = bce_with_logits(net(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_micro_lstm_forward_backward(benchmark, rng):
+    """Forward+backward through a 32-step LSTM, batch 32, width 32."""
+    lstm = LSTM(32, 32, rng=0)
+    x = Tensor(rng.normal(size=(32, 32, 32)))
+
+    def step():
+        _, last = lstm(x)
+        loss = (last * last).mean()
+        lstm.zero_grad()
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_micro_sgns_epoch(benchmark, rng):
+    """One SGNS epoch over ~2k tokens (vocab ~100)."""
+    vocab = [f"w{i}" for i in range(100)]
+    documents = [
+        [vocab[int(rng.integers(100))] for _ in range(20)] for _ in range(100)
+    ]
+    model = SkipGram(dim=32, window=4, epochs=1, rng=0)
+
+    def run():
+        return model.fit(documents)
+
+    benchmark(run)
+    assert len(model.vocabulary) == 100
+
+
+def test_micro_lsh_candidates(benchmark, rng):
+    """Whitened LSH candidate generation over 500×500 embeddings."""
+    emb_a = rng.normal(size=(500, 40))
+    emb_b = emb_a + rng.normal(0, 0.1, size=emb_a.shape)
+    ids_a = [f"a{i}" for i in range(500)]
+    ids_b = [f"b{i}" for i in range(500)]
+
+    def run():
+        blocker = LSHBlocker(n_bits=64, n_bands=16, rng=0)
+        return blocker.candidate_pairs(emb_a, ids_a, emb_b, ids_b)
+
+    candidates = benchmark(run)
+    assert len(candidates) > 0
+
+
+def test_micro_pair_featurisation(benchmark):
+    """Hand-crafted feature extraction for 200 record pairs."""
+    record_a = {"title": "holistic query optimization 77", "authors": "david johnson"}
+    record_b = {"title": "holistic optimization query 77", "authors": "d. johnson"}
+
+    def run():
+        return [
+            pair_features(record_a, record_b, ["title", "authors"])
+            for _ in range(200)
+        ]
+
+    features = benchmark(run)
+    assert len(features) == 200

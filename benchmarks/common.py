@@ -1,0 +1,89 @@
+"""Shared helpers for the experiment benches (E1-E16).
+
+Each bench module exposes ``run_experiment() -> list[dict]`` producing the
+rows of its results table, plus a pytest-benchmark test that times the
+core computation once and asserts the expected *shape* (who wins, where
+the crossover falls).  ``python -m benchmarks.run_all`` prints every table.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.data import EMBenchmark, World, citations_benchmark, products_benchmark, restaurants_benchmark
+from repro.embeddings import tuple_documents
+from repro.text import SkipGram, SubwordEmbeddings
+
+
+def format_table(rows: list[dict], title: str) -> str:
+    """Render result rows as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), max(len(_fmt(row.get(c))) for row in rows))
+        for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    divider = "-" * len(header)
+    lines = [f"== {title} ==", header, divider]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@lru_cache(maxsize=4)
+def benchmark_with_embeddings(
+    name: str = "citations", n_entities: int = 200, seed: int = 0
+) -> tuple[EMBenchmark, SkipGram, SubwordEmbeddings]:
+    """An EM benchmark plus word embeddings pre-trained on its tables and
+    the world corpus (the transfer setup DeepER assumes)."""
+    makers = {
+        "citations": citations_benchmark,
+        "products": products_benchmark,
+        "restaurants": restaurants_benchmark,
+    }
+    bench = makers[name](n_entities=n_entities, rng=seed)
+    documents = tuple_documents([bench.table_a, bench.table_b])
+    word_documents = [
+        [token for value in doc for token in str(value).split()] for doc in documents
+    ]
+    corpus = World(5).corpus(800)
+    model = SkipGram(dim=40, window=8, epochs=15, rng=0).fit(word_documents + corpus)
+    subword = SubwordEmbeddings(model)
+    return bench, model, subword
+
+
+def benchmark_split(
+    bench: EMBenchmark,
+    negative_ratio: float = 5.0,
+    train_fraction: float = 0.7,
+    seed: int = 1,
+):
+    """Labelled train/test triples for an EM benchmark."""
+    labeled = bench.labeled_pairs(negative_ratio=negative_ratio, rng=seed)
+    triples = [
+        (bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled
+    ]
+    split = int(train_fraction * len(triples))
+    train, test = triples[:split], triples[split:]
+    test_pairs = [(a, b) for a, b, _ in test]
+    test_labels = np.array([y for _, _, y in test])
+    return train, test_pairs, test_labels
+
+
+def records_and_ids(bench: EMBenchmark):
+    """Row dicts + id lists for both tables of a benchmark."""
+    records_a = [bench.table_a.row_dict(i) for i in range(len(bench.table_a))]
+    records_b = [bench.table_b.row_dict(i) for i in range(len(bench.table_b))]
+    ids_a = [str(v) for v in bench.table_a.column(bench.id_column)]
+    ids_b = [str(v) for v in bench.table_b.column(bench.id_column)]
+    return records_a, ids_a, records_b, ids_b

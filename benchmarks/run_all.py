@@ -1,0 +1,61 @@
+"""Print every experiment's results table: ``python -m benchmarks.run_all``.
+
+Optionally pass experiment ids (``python -m benchmarks.run_all e1 e7``) to
+run a subset.  This is the EXPERIMENTS.md regeneration path; the pytest
+entry points in each bench module additionally assert the expected shapes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+from benchmarks.common import format_table
+
+EXPERIMENTS = {
+    "e1": ("bench_e1_deeper_accuracy", "E1: DeepER vs traditional ER"),
+    "e2": ("bench_e2_blocking", "E2: LSH vs traditional blocking"),
+    "e3": ("bench_e3_label_efficiency", "E3: label efficiency"),
+    "e4": ("bench_e4_training_time", "E4: CPU training time"),
+    "e5": ("bench_e5_imputation", "E5: DAE imputation"),
+    "e6": ("bench_e6_discovery", "E6: semantic discovery"),
+    "e7": ("bench_e7_window", "E7: window-size pathology"),
+    "e8": ("bench_e8_graph_embed", "E8: graph cell embeddings"),
+    "e9": ("bench_e9_augmentation", "E9: data augmentation"),
+    "e10": ("bench_e10_weak_supervision", "E10: weak supervision"),
+    "e11": ("bench_e11_imbalance", "E11: label skew"),
+    "e12": ("bench_e12_synthesis", "E12: program synthesis"),
+    "e13": ("bench_e13_synthetic_data", "E13: VAE vs GAN synthesis"),
+    "e14": ("bench_e14_outliers", "E14: outlier detection"),
+    "e15": ("bench_e15_transfer", "E15: transfer learning"),
+    "e16": ("bench_e16_pipeline", "E16: self-driving pipeline"),
+    "a1": ("bench_a1_ablations", "A1: design-choice ablations"),
+    "a2": ("bench_a2_active_learning", "A2: active labelling"),
+    "a3": ("bench_a3_holistic_repair", "A3: holistic vs minimal repair"),
+}
+
+
+def main(argv: list[str]) -> int:
+    selected = [a.lower() for a in argv] or list(EXPERIMENTS)
+    unknown = [s for s in selected if s not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}")
+        return 1
+    for exp_id in selected:
+        module_name, title = EXPERIMENTS[exp_id]
+        module = importlib.import_module(f"benchmarks.{module_name}")
+        start = time.perf_counter()
+        rows = module.run_experiment()
+        elapsed = time.perf_counter() - start
+        printable = [
+            {k: v for k, v in row.items() if not str(k).startswith("_")}
+            for row in rows
+        ]
+        print(format_table(printable, f"{title}  ({elapsed:.1f}s)"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,89 @@
+"""Data discovery over an enterprise lake (paper Section 5.1).
+
+    python examples/data_discovery.py
+
+Builds an enterprise knowledge graph, discovers semantic column links with
+the coherent-groups matcher (including links with *no shared strings*),
+and answers Google-style dataset-search queries that lexical engines
+cannot.
+"""
+
+from __future__ import annotations
+
+from repro.data import Table, World
+from repro.discovery import (
+    BM25SearchEngine,
+    EmbeddingSearchEngine,
+    EnterpriseKnowledgeGraph,
+    SemanticMatcher,
+    centered_vector_fn,
+    column_node,
+    one_to_one,
+)
+from repro.text import SkipGram, SubwordEmbeddings
+
+
+def main() -> None:
+    world = World(0)
+    people = world.people(80)
+    staff = Table.from_records("staff_records", [
+        {"sid": p.person_id, "full_name": p.name, "work_city": p.city,
+         "dept": p.department_name} for p in people[:40]
+    ])
+    directory = Table.from_records("person_directory", [
+        {"pid": p.person_id, "person": p.name, "location_town": p.city,
+         "division": p.department_name} for p in people[40:]
+    ])
+    restaurants = Table.from_records("restaurant_guide", world.restaurants(40))
+
+    # Embeddings from the enterprise corpus + schema glossaries.
+    corpus = world.corpus(2500)
+    glossary = [
+        ["full", "name", "person", "people", "employee", "staff"],
+        ["work", "city", "location", "town", "place"],
+        ["dept", "division", "department", "unit"],
+        ["sid", "pid", "id", "identifier"],
+    ] * 40
+    model = SkipGram(dim=40, window=6, epochs=12, rng=0).fit(corpus + glossary)
+    vector_fn = centered_vector_fn(model, SubwordEmbeddings(model).vector)
+
+    # 1. Semantic column matching (coherent groups handle multi-word and
+    #    OOV column names; 'work_city' links to 'location_town' with zero
+    #    shared strings).
+    matcher = SemanticMatcher(vector_fn, model.dim, name_weight=0.5)
+    links = one_to_one(matcher.match_tables(staff, directory, threshold=0.35))
+    print("discovered semantic links:")
+    for link in links:
+        print(f"  {link.table_a}.{link.column_a} <-> {link.table_b}.{link.column_b}"
+              f"  (score {link.score:.2f}, name {link.name_score:.2f},"
+              f" values {link.value_score:.2f})")
+
+    # 2. Materialise the links in the enterprise knowledge graph and walk it.
+    ekg = EnterpriseKnowledgeGraph()
+    for table in (staff, directory, restaurants):
+        ekg.add_table(table)
+    for link in links:
+        ekg.add_semantic_link(
+            column_node(link.table_a, link.column_a),
+            column_node(link.table_b, link.column_b),
+            score=link.score,
+        )
+    print("\ntables related to staff_records via the EKG:",
+          ekg.related_tables("staff_records"))
+
+    # 3. Google-style dataset search with a paraphrased query: none of the
+    #    query words appear in the winning table.
+    lake = [staff, directory, restaurants]
+    semantic_engine = EmbeddingSearchEngine(vector_fn, model.dim)
+    semantic_engine.add_tables(lake)
+    lexical_engine = BM25SearchEngine()
+    lexical_engine.add_tables(lake)
+
+    query = "served downtown popular"
+    print(f"\nquery: {query!r}")
+    print("  semantic:", semantic_engine.search(query, topn=3))
+    print("  bm25    :", lexical_engine.search(query, topn=3))
+
+
+if __name__ == "__main__":
+    main()

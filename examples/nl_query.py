@@ -1,0 +1,55 @@
+"""Natural-language querying with a personalized vocabulary (paper §5.3).
+
+    python examples/nl_query.py
+
+"Alexa/Siri/Cortana for Data Curation": EchoQuery-style plain-language
+questions over a relation, where the engine *learns the user's own words*
+for schema elements — the paper's personalized-vocabulary idea.
+"""
+
+from __future__ import annotations
+
+from repro.data import Table, World
+from repro.nlq import QueryEngine, ResolutionError
+
+
+def main() -> None:
+    world = World(0)
+    people = world.people(60)
+    table = Table.from_records("staff", [
+        {"name": p.name, "work_city": p.city, "dept": p.department_name,
+         "compensation": 40 + 10 * int(p.department_id)}
+        for p in people
+    ])
+    engine = QueryEngine(table)
+
+    questions = [
+        "how many rows where dept is marketing",
+        "show name where work_city is paris",
+        "average compensation by dept",
+        "max compensation where dept is finance",
+    ]
+    for question in questions:
+        answer = engine.ask(question)
+        value = answer.value
+        if isinstance(value, Table):
+            value = value.column(value.columns[0])[:5]
+        print(f"Q: {question}")
+        print(f"A: {value}   [{answer.explanation()}]\n")
+
+    # The personalized-vocabulary moment: the analyst says "salary", the
+    # schema says "compensation".
+    question = "average salary where city is paris"
+    print(f"Q: {question}")
+    try:
+        engine.ask(question)
+    except ResolutionError as error:
+        print(f"A: {error}")
+    print("   (user: 'by salary I mean the compensation column')")
+    engine.teach("salary", "compensation")
+    answer = engine.ask(question)
+    print(f"A: {answer.value}   [{answer.explanation()}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Data augmentation for DC training data (paper Section 6.2.2)."""
+
+from repro.augment.transforms import (
+    AugmentationPipeline,
+    augment_er_pairs,
+    default_er_transforms,
+)
+
+__all__ = [
+    "AugmentationPipeline",
+    "default_er_transforms",
+    "augment_er_pairs",
+]

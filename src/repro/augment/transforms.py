@@ -1,0 +1,126 @@
+"""Label-preserving transformations for ER training pairs (Section 6.2.2).
+
+Image augmentation rotates and crops; ER augmentation perturbs *one side*
+of a labelled tuple pair in ways that cannot flip the label:
+
+* typo injection / re-casing / token swap (a matching pair still matches,
+  a non-matching pair still doesn't);
+* attribute null-out (removes evidence, never fabricates it);
+* pair symmetry (swap the two records — matching is symmetric).
+
+All transforms are record-level functions composed by
+:class:`AugmentationPipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data import perturb
+from repro.data.types import is_missing
+from repro.utils.rng import ensure_rng
+
+Record = dict
+RecordTransform = Callable[[dict, np.random.Generator], dict]
+
+
+def _transform_text_cells(
+    record: dict, rng: np.random.Generator, fn: Callable[[str, np.random.Generator], str],
+    probability: float,
+) -> dict:
+    out = dict(record)
+    for key, value in record.items():
+        if is_missing(value) or not isinstance(value, str):
+            continue
+        if rng.random() < probability:
+            out[key] = fn(value, rng)
+    return out
+
+
+def typo_transform(record: dict, rng: np.random.Generator) -> dict:
+    """Inject a typo into ~one text attribute."""
+    return _transform_text_cells(record, rng, perturb.typo, probability=0.4)
+
+
+def case_transform(record: dict, rng: np.random.Generator) -> dict:
+    """Re-case text attributes."""
+    return _transform_text_cells(record, rng, perturb.change_case, probability=0.4)
+
+
+def token_swap_transform(record: dict, rng: np.random.Generator) -> dict:
+    """Swap adjacent tokens in multi-token attributes."""
+    return _transform_text_cells(record, rng, perturb.swap_tokens, probability=0.4)
+
+
+def null_out_transform(record: dict, rng: np.random.Generator) -> dict:
+    """Drop one attribute value (evidence removal is label-preserving)."""
+    out = dict(record)
+    present = [k for k, v in record.items() if not is_missing(v)]
+    if len(present) > 2:  # keep at least two attributes of signal
+        key = present[int(rng.integers(len(present)))]
+        out[key] = None
+    return out
+
+
+def default_er_transforms() -> list[RecordTransform]:
+    """The standard label-preserving transform set for ER pairs."""
+    return [typo_transform, case_transform, token_swap_transform, null_out_transform]
+
+
+class AugmentationPipeline:
+    """Expand a labelled ER pair set with label-preserving variants.
+
+    Parameters
+    ----------
+    transforms:
+        Record-level transforms to sample from.
+    multiplier:
+        Augmented examples generated per original example.
+    swap_pairs:
+        Also add the mirrored (b, a) pair (matching is symmetric).
+    """
+
+    def __init__(
+        self,
+        transforms: list[RecordTransform] | None = None,
+        multiplier: int = 1,
+        swap_pairs: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if multiplier < 0:
+            raise ValueError(f"multiplier must be >= 0, got {multiplier}")
+        self.transforms = transforms if transforms is not None else default_er_transforms()
+        self.multiplier = multiplier
+        self.swap_pairs = swap_pairs
+        self._rng = ensure_rng(rng)
+
+    def augment(
+        self, labeled_pairs: list[tuple[dict, dict, int]]
+    ) -> list[tuple[dict, dict, int]]:
+        """Return originals + augmented variants (shuffled)."""
+        out = list(labeled_pairs)
+        for record_a, record_b, label in labeled_pairs:
+            for _ in range(self.multiplier):
+                a, b = dict(record_a), dict(record_b)
+                if self.transforms:
+                    transform = self.transforms[int(self._rng.integers(len(self.transforms)))]
+                    if self._rng.random() < 0.5:
+                        a = transform(a, self._rng)
+                    else:
+                        b = transform(b, self._rng)
+                if self.swap_pairs and self._rng.random() < 0.5:
+                    a, b = b, a
+                out.append((a, b, label))
+        order = self._rng.permutation(len(out))
+        return [out[i] for i in order]
+
+
+def augment_er_pairs(
+    labeled_pairs: list[tuple[dict, dict, int]],
+    multiplier: int = 1,
+    rng: np.random.Generator | int | None = 0,
+) -> list[tuple[dict, dict, int]]:
+    """One-call convenience around :class:`AugmentationPipeline`."""
+    return AugmentationPipeline(multiplier=multiplier, rng=rng).augment(labeled_pairs)

@@ -1,0 +1,53 @@
+"""Data cleaning (paper Section 5.3): DAE multiple imputation and baselines,
+autoencoder/statistical outlier detection, minimal FD repair, golden-record
+consolidation and conflict fusion."""
+
+from repro.cleaning.consolidation import (
+    PreferenceLearner,
+    consolidate_longest,
+    consolidate_majority,
+    value_features,
+)
+from repro.cleaning.encoding import TableEncoder
+from repro.cleaning.fusion import blank_conflicts, fuse_with_imputer
+from repro.cleaning.holistic import HolisticRepairer
+from repro.cleaning.imputation import (
+    DAEImputer,
+    HotDeckImputer,
+    KNNImputer,
+    MeanModeImputer,
+    MedianImputer,
+    evaluate_imputation,
+)
+from repro.cleaning.outliers import (
+    AutoencoderOutlierDetector,
+    IQRDetector,
+    ZScoreDetector,
+    evaluate_outlier_detection,
+)
+from repro.cleaning.repair import FDRepairer, Repair, RepairReport, repair_quality
+
+__all__ = [
+    "TableEncoder",
+    "MeanModeImputer",
+    "MedianImputer",
+    "HotDeckImputer",
+    "KNNImputer",
+    "DAEImputer",
+    "evaluate_imputation",
+    "AutoencoderOutlierDetector",
+    "ZScoreDetector",
+    "IQRDetector",
+    "evaluate_outlier_detection",
+    "FDRepairer",
+    "HolisticRepairer",
+    "Repair",
+    "RepairReport",
+    "repair_quality",
+    "consolidate_majority",
+    "consolidate_longest",
+    "PreferenceLearner",
+    "value_features",
+    "blank_conflicts",
+    "fuse_with_imputer",
+]

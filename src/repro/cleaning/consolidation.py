@@ -1,0 +1,127 @@
+"""Entity consolidation — the "golden record" problem (paper Sections 4, 5.3).
+
+Given clusters of records that refer to the same entity (ER output), pick
+one value per attribute.  Two mechanisms:
+
+* rule-based strategies (majority / longest / least-missing source), and
+* :class:`PreferenceLearner` — learns the *domain expert's intrinsic
+  preferences* from example choices ("John Smith" over "J Smith"), the
+  interactive, preference-driven direction Section 4 sketches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.data.types import is_missing
+from repro.er.baselines import LogisticRegressionClassifier
+from repro.utils.validation import check_fitted
+
+Record = "dict[str, object]"
+
+
+def consolidate_majority(cluster: list[dict[str, object]], columns: list[str]) -> dict[str, object]:
+    """Golden record by per-attribute majority vote (ties → longest)."""
+    golden: dict[str, object] = {}
+    for column in columns:
+        values = [r.get(column) for r in cluster if not is_missing(r.get(column))]
+        if not values:
+            golden[column] = None
+            continue
+        counts = Counter(str(v) for v in values)
+        best = max(counts.items(), key=lambda kv: (kv[1], len(kv[0])))[0]
+        golden[column] = best
+    return golden
+
+
+def consolidate_longest(cluster: list[dict[str, object]], columns: list[str]) -> dict[str, object]:
+    """Golden record preferring the longest (most informative) string."""
+    golden: dict[str, object] = {}
+    for column in columns:
+        values = [
+            str(r.get(column)) for r in cluster if not is_missing(r.get(column))
+        ]
+        golden[column] = max(values, key=len) if values else None
+    return golden
+
+
+def value_features(value: str, alternatives: list[str]) -> list[float]:
+    """Features describing a candidate value relative to its alternatives.
+
+    Captures the signals experts implicitly use: completeness (length),
+    formality (capitalisation, no abbreviation dots), frequency among the
+    candidates, and token count.
+    """
+    length = len(value)
+    max_len = max((len(v) for v in alternatives), default=1) or 1
+    tokens = value.split()
+    counts = Counter(alternatives)
+    return [
+        length / max_len,
+        1.0 if value.istitle() or value[:1].isupper() else 0.0,
+        1.0 if "." in value else 0.0,
+        len(tokens),
+        counts[value] / len(alternatives) if alternatives else 0.0,
+        1.0 if any(len(t) == 1 for t in tokens) else 0.0,  # initials present
+    ]
+
+
+class PreferenceLearner:
+    """Learn which conflicting value an expert would keep.
+
+    Trained on example decisions: each example is (chosen_value,
+    rejected_values).  Internally a pairwise preference model — logistic
+    regression on feature differences — so it generalises to unseen value
+    sets.
+    """
+
+    def __init__(self) -> None:
+        self.model = LogisticRegressionClassifier(epochs=400)
+        self.trained_: bool | None = None
+
+    def fit(self, decisions: list[tuple[str, list[str]]]) -> "PreferenceLearner":
+        """``decisions``: (winning value, losing values) tuples."""
+        rows, labels = [], []
+        for winner, losers in decisions:
+            pool = [winner] + list(losers)
+            winner_feats = np.array(value_features(winner, pool))
+            for loser in losers:
+                loser_feats = np.array(value_features(loser, pool))
+                rows.append(winner_feats - loser_feats)
+                labels.append(1)
+                rows.append(loser_feats - winner_feats)
+                labels.append(0)
+        if not rows:
+            raise ValueError("need at least one preference decision")
+        self.model.fit(np.array(rows), np.array(labels))
+        self.trained_ = True
+        return self
+
+    def choose(self, candidates: list[str]) -> str:
+        """Pick the preferred value among ``candidates``."""
+        check_fitted(self, "trained_")
+        if not candidates:
+            raise ValueError("no candidates to choose from")
+        if len(candidates) == 1:
+            return candidates[0]
+        features = np.array([value_features(v, candidates) for v in candidates])
+        # Score each candidate by its mean pairwise win probability.
+        scores = np.zeros(len(candidates))
+        for i in range(len(candidates)):
+            diffs = features[i] - np.delete(features, i, axis=0)
+            scores[i] = self.model.predict_proba(diffs).mean()
+        return candidates[int(np.argmax(scores))]
+
+    def consolidate(
+        self, cluster: list[dict[str, object]], columns: list[str]
+    ) -> dict[str, object]:
+        """Golden record using the learned preference per attribute."""
+        golden: dict[str, object] = {}
+        for column in columns:
+            values = [
+                str(r.get(column)) for r in cluster if not is_missing(r.get(column))
+            ]
+            golden[column] = self.choose(values) if values else None
+        return golden

@@ -1,0 +1,135 @@
+"""Mixed-type table ↔ matrix encoding for the neural cleaning models.
+
+Numeric columns are z-standardised; categorical columns are one-hot
+encoded.  Missing cells become zero vectors plus an entry in the returned
+observation mask, so models can train on observed entries only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import ColumnType, coerce_numeric, is_missing
+
+
+@dataclass
+class _ColumnCodec:
+    name: str
+    kind: ColumnType
+    start: int
+    width: int
+    # numeric
+    mean: float = 0.0
+    std: float = 1.0
+    # categorical
+    categories: tuple[str, ...] = ()
+
+
+class TableEncoder:
+    """Fit-once encoder between a Table and a dense float matrix."""
+
+    def __init__(self, numeric_columns: list[str] | None = None) -> None:
+        self._forced_numeric = set(numeric_columns or [])
+        self.codecs_: list[_ColumnCodec] | None = None
+        self.width_: int = 0
+
+    def fit(self, table: Table) -> "TableEncoder":
+        """Learn per-column statistics / category sets."""
+        codecs: list[_ColumnCodec] = []
+        offset = 0
+        for column in table.columns:
+            kind = (
+                ColumnType.NUMERIC
+                if column in self._forced_numeric
+                else table.column_type(column)
+            )
+            if kind == ColumnType.NUMERIC:
+                values = [
+                    coerce_numeric(v)
+                    for v in table.column(column)
+                    if not is_missing(v)
+                ]
+                values = [v for v in values if v is not None]
+                mean = float(np.mean(values)) if values else 0.0
+                std = float(np.std(values)) if values else 1.0
+                codecs.append(
+                    _ColumnCodec(column, ColumnType.NUMERIC, offset, 1, mean, std or 1.0)
+                )
+                offset += 1
+            else:
+                categories = tuple(
+                    sorted({str(v) for v in table.column(column) if not is_missing(v)})
+                )
+                width = max(1, len(categories))
+                codecs.append(
+                    _ColumnCodec(
+                        column, ColumnType.CATEGORICAL, offset, width,
+                        categories=categories,
+                    )
+                )
+                offset += width
+        self.codecs_ = codecs
+        self.width_ = offset
+        return self
+
+    def encode(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(matrix, observed_mask)`` both of shape ``(rows, width)``."""
+        if self.codecs_ is None:
+            raise RuntimeError("TableEncoder is not fitted; call fit() first")
+        n = table.num_rows
+        matrix = np.zeros((n, self.width_))
+        mask = np.zeros((n, self.width_), dtype=bool)
+        for codec in self.codecs_:
+            column = table.column(codec.name)
+            for i, value in enumerate(column):
+                if is_missing(value):
+                    continue
+                sl = slice(codec.start, codec.start + codec.width)
+                if codec.kind == ColumnType.NUMERIC:
+                    numeric = coerce_numeric(value)
+                    if numeric is None:
+                        continue
+                    matrix[i, codec.start] = (numeric - codec.mean) / codec.std
+                    mask[i, sl] = True
+                else:
+                    try:
+                        index = codec.categories.index(str(value))
+                    except ValueError:
+                        continue  # unseen category: leave unobserved
+                    matrix[i, codec.start + index] = 1.0
+                    mask[i, sl] = True
+        return matrix, mask
+
+    def decode_cell(self, row_vector: np.ndarray, column: str) -> object:
+        """Decode one column's value from an encoded row vector."""
+        codec = self._codec(column)
+        sl = slice(codec.start, codec.start + codec.width)
+        if codec.kind == ColumnType.NUMERIC:
+            return float(row_vector[codec.start] * codec.std + codec.mean)
+        if not codec.categories:
+            return None
+        return codec.categories[int(np.argmax(row_vector[sl]))]
+
+    def column_slice(self, column: str) -> slice:
+        codec = self._codec(column)
+        return slice(codec.start, codec.start + codec.width)
+
+    def column_kind(self, column: str) -> ColumnType:
+        return self._codec(column).kind
+
+    def _codec(self, column: str) -> _ColumnCodec:
+        if self.codecs_ is None:
+            raise RuntimeError("TableEncoder is not fitted; call fit() first")
+        for codec in self.codecs_:
+            if codec.name == column:
+                return codec
+        raise KeyError(f"column {column!r} was not fitted")
+
+    @property
+    def columns(self) -> list[str]:
+        if self.codecs_ is None:
+            raise RuntimeError("TableEncoder is not fitted; call fit() first")
+        return [c.name for c in self.codecs_]

@@ -1,0 +1,178 @@
+"""Holistic repair — combining signals probabilistically (HoloClean-lite).
+
+The paper cites HoloClean [49] ("holistic data repairs with probabilistic
+inference") as the state of the art in constraint-based cleaning.  This is
+a lightweight reproduction of its core idea: instead of repairing each
+signal in isolation, treat suspect cells as random variables and score
+candidate values by *combining* independent evidence sources:
+
+* **FD evidence** — how strongly the cell's LHS group supports each
+  candidate (the majority signal minimal repair uses alone);
+* **co-occurrence evidence** — a naive-Bayes score of the candidate given
+  the row's other attribute values, estimated from the relation itself;
+* **prior evidence** — the candidate's global frequency.
+
+Suspect cells are those involved in FD violations; each is reassigned the
+maximum-posterior candidate.  Compared to :class:`FDRepairer`, the extra
+context lets holistic repair recover the *true* value in groups where the
+corruption happens to be the majority.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.cleaning.repair import Repair, RepairReport
+from repro.data.dependencies import FunctionalDependency
+from repro.data.table import Table
+from repro.data.types import is_missing
+
+
+@dataclass
+class _ColumnStatistics:
+    """Frequencies needed for the naive-Bayes candidate scoring."""
+
+    priors: Counter = field(default_factory=Counter)
+    # (other_column, other_value, candidate) -> count
+    cooccurrence: dict = field(default_factory=lambda: defaultdict(Counter))
+    total: int = 0
+
+
+class HolisticRepairer:
+    """Probabilistic multi-signal repair of FD-violating cells.
+
+    Parameters
+    ----------
+    fds:
+        The integrity constraints whose violations define suspect cells.
+    fd_weight / context_weight / prior_weight:
+        Log-linear weights of the three evidence sources.
+    smoothing:
+        Laplace smoothing for all frequency estimates.
+    """
+
+    def __init__(
+        self,
+        fds: list[FunctionalDependency],
+        fd_weight: float = 2.0,
+        context_weight: float = 1.0,
+        prior_weight: float = 0.3,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not fds:
+            raise ValueError("HolisticRepairer needs at least one FD")
+        self.fds = list(fds)
+        self.fd_weight = fd_weight
+        self.context_weight = context_weight
+        self.prior_weight = prior_weight
+        self.smoothing = smoothing
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def repair(self, table: Table) -> tuple[Table, RepairReport]:
+        """Return ``(repaired_copy, report)``; the input is untouched."""
+        repaired = table.copy(f"{table.name}_holistic")
+        report = RepairReport()
+        suspects = self._suspect_cells(repaired)
+        if not suspects:
+            return repaired, report
+        statistics = self._column_statistics(repaired, {c for _, c in suspects})
+        for row, column in sorted(suspects):
+            current = repaired.cell(row, column)
+            candidates = list(statistics[column].priors)
+            if len(candidates) < 2:
+                continue
+            best = max(
+                candidates,
+                key=lambda value: self._score(repaired, row, column, value, statistics),
+            )
+            if best != current:
+                repaired.set_cell(row, column, best)
+                report.repairs.append(
+                    Repair(row, column, current, best, "holistic")
+                )
+        return repaired, report
+
+    # ------------------------------------------------------------------ #
+    # evidence
+    # ------------------------------------------------------------------ #
+
+    def _suspect_cells(self, table: Table) -> set[tuple[int, str]]:
+        suspects: set[tuple[int, str]] = set()
+        for fd in self.fds:
+            for row in fd.violating_rows(table):
+                suspects.add((row, fd.rhs))
+        return suspects
+
+    def _column_statistics(
+        self, table: Table, columns: set[str]
+    ) -> dict[str, _ColumnStatistics]:
+        statistics = {c: _ColumnStatistics() for c in columns}
+        for i in range(table.num_rows):
+            record = table.row_dict(i)
+            for column in columns:
+                value = record.get(column)
+                if is_missing(value):
+                    continue
+                stats = statistics[column]
+                stats.priors[value] += 1
+                stats.total += 1
+                for other_column, other_value in record.items():
+                    if other_column == column or is_missing(other_value):
+                        continue
+                    stats.cooccurrence[(other_column, other_value)][value] += 1
+        return statistics
+
+    def _score(
+        self,
+        table: Table,
+        row: int,
+        column: str,
+        candidate: object,
+        statistics: dict[str, _ColumnStatistics],
+    ) -> float:
+        stats = statistics[column]
+        s = self.smoothing
+        domain = max(1, len(stats.priors))
+        score = self.prior_weight * math.log(
+            (stats.priors[candidate] + s) / (stats.total + s * domain)
+        )
+        # FD evidence: support of candidate within this row's LHS groups.
+        for fd in self.fds:
+            if fd.rhs != column:
+                continue
+            key = tuple(table.cell(row, c) for c in fd.lhs)
+            if any(is_missing(v) for v in key):
+                continue
+            group_counts = Counter()
+            for i in range(table.num_rows):
+                if i == row:
+                    continue
+                if tuple(table.cell(i, c) for c in fd.lhs) == key:
+                    value = table.cell(i, fd.rhs)
+                    if not is_missing(value):
+                        group_counts[value] += 1
+            total = sum(group_counts.values())
+            score += self.fd_weight * math.log(
+                (group_counts[candidate] + s) / (total + s * domain)
+            )
+        # Context evidence: naive-Bayes over the row's other attributes.
+        record = table.row_dict(row)
+        fd_columns = {c for fd in self.fds for c in fd.lhs if fd.rhs == column}
+        for other_column, other_value in record.items():
+            if other_column == column or other_column in fd_columns:
+                continue
+            if is_missing(other_value):
+                continue
+            counts = stats.cooccurrence.get((other_column, other_value))
+            if counts is None:
+                continue
+            total = sum(counts.values())
+            score += self.context_weight * math.log(
+                (counts[candidate] + s) / (total + s * domain)
+            )
+        return score

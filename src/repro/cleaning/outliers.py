@@ -1,0 +1,173 @@
+"""Outlier detection: autoencoder reconstruction error vs statistical
+baselines (paper Section 3.1 — "detect anomalous data that does not match
+a group of values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning.encoding import TableEncoder
+from repro.data.table import Table
+from repro.data.types import coerce_numeric, is_missing
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.nn.training import iterate_minibatches
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class AutoencoderOutlierDetector:
+    """Rows with high reconstruction error are flagged as outliers.
+
+    The bottleneck forces the model to learn the relation's dominant
+    structure; rows off that manifold reconstruct poorly.  The decision
+    threshold is the ``contamination`` quantile of training errors.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: list[int] | None = None,
+        contamination: float = 0.05,
+        epochs: int = 80,
+        batch_size: int = 32,
+        lr: float = 5e-3,
+        numeric_columns: list[str] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not 0.0 < contamination < 0.5:
+            raise ValueError(f"contamination must be in (0, 0.5), got {contamination}")
+        self.hidden_sizes = hidden_sizes
+        self.contamination = contamination
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self._rng = ensure_rng(rng)
+        self.encoder = TableEncoder(numeric_columns)
+        self.model_: Autoencoder | None = None
+        self.threshold_: float | None = None
+
+    def fit(self, table: Table) -> "AutoencoderOutlierDetector":
+        self.encoder.fit(table)
+        matrix, _ = self.encoder.encode(table)
+        hidden = self.hidden_sizes or [
+            max(4, int(self.encoder.width_ * 0.5)),
+            max(2, int(self.encoder.width_ * 0.25)),
+        ]
+        self.model_ = Autoencoder(self.encoder.width_, hidden, rng=self._rng)
+        optimizer = Adam(self.model_.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            for batch in iterate_minibatches(matrix.shape[0], self.batch_size, rng=self._rng):
+                x = Tensor(matrix[batch])
+                loss = mse_loss(self.model_(x), x.detach())
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        errors = self.scores(table)
+        self.threshold_ = float(np.quantile(errors, 1.0 - self.contamination))
+        return self
+
+    def scores(self, table: Table) -> np.ndarray:
+        """Per-row reconstruction error (higher = more anomalous)."""
+        check_fitted(self, "model_")
+        matrix, _ = self.encoder.encode(table)
+        return self.model_.reconstruction_error(matrix)
+
+    def predict(self, table: Table) -> np.ndarray:
+        """Boolean per-row outlier flags."""
+        check_fitted(self, "threshold_")
+        return self.scores(table) > self.threshold_
+
+
+class ZScoreDetector:
+    """Flag rows whose any numeric cell is > ``z`` standard deviations out."""
+
+    def __init__(self, z: float = 3.0, numeric_columns: list[str] | None = None) -> None:
+        self.z = z
+        self._numeric = numeric_columns
+        self.stats_: dict[str, tuple[float, float]] | None = None
+
+    def _numeric_columns(self, table: Table) -> list[str]:
+        if self._numeric is not None:
+            return self._numeric
+        from repro.data.types import ColumnType
+
+        return [
+            c for c in table.columns if table.column_type(c) == ColumnType.NUMERIC
+        ]
+
+    def fit(self, table: Table) -> "ZScoreDetector":
+        stats = {}
+        for column in self._numeric_columns(table):
+            values = [coerce_numeric(v) for v in table.column(column) if not is_missing(v)]
+            values = [v for v in values if v is not None]
+            if values:
+                stats[column] = (float(np.mean(values)), float(np.std(values)) or 1.0)
+        self.stats_ = stats
+        return self
+
+    def scores(self, table: Table) -> np.ndarray:
+        """Per-row max |z| over numeric columns."""
+        check_fitted(self, "stats_")
+        scores = np.zeros(table.num_rows)
+        for column, (mean, std) in self.stats_.items():
+            for i, value in enumerate(table.column(column)):
+                numeric = coerce_numeric(value)
+                if numeric is None:
+                    continue
+                scores[i] = max(scores[i], abs(numeric - mean) / std)
+        return scores
+
+    def predict(self, table: Table) -> np.ndarray:
+        return self.scores(table) > self.z
+
+
+class IQRDetector:
+    """Tukey's fences: numeric cell outside [Q1 − k·IQR, Q3 + k·IQR]."""
+
+    def __init__(self, k: float = 1.5, numeric_columns: list[str] | None = None) -> None:
+        self.k = k
+        self._numeric = numeric_columns
+        self.fences_: dict[str, tuple[float, float]] | None = None
+
+    def fit(self, table: Table) -> "IQRDetector":
+        from repro.data.types import ColumnType
+
+        numeric = self._numeric or [
+            c for c in table.columns if table.column_type(c) == ColumnType.NUMERIC
+        ]
+        fences = {}
+        for column in numeric:
+            values = [coerce_numeric(v) for v in table.column(column) if not is_missing(v)]
+            values = [v for v in values if v is not None]
+            if not values:
+                continue
+            q1, q3 = np.quantile(values, [0.25, 0.75])
+            spread = q3 - q1
+            fences[column] = (q1 - self.k * spread, q3 + self.k * spread)
+        self.fences_ = fences
+        return self
+
+    def predict(self, table: Table) -> np.ndarray:
+        check_fitted(self, "fences_")
+        flags = np.zeros(table.num_rows, dtype=bool)
+        for column, (lo, hi) in self.fences_.items():
+            for i, value in enumerate(table.column(column)):
+                numeric = coerce_numeric(value)
+                if numeric is not None and not lo <= numeric <= hi:
+                    flags[i] = True
+        return flags
+
+
+def evaluate_outlier_detection(
+    predicted: np.ndarray, true_outlier_rows: set[int]
+) -> dict[str, float]:
+    """Row-level precision/recall/F1 for outlier flags."""
+    predicted_rows = {int(i) for i in np.flatnonzero(predicted)}
+    tp = len(predicted_rows & true_outlier_rows)
+    precision = tp / len(predicted_rows) if predicted_rows else 0.0
+    recall = tp / len(true_outlier_rows) if true_outlier_rows else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,78 @@
+"""Relational substrate: tables, types, IO, dependencies, the Figure-4
+heterogeneous graph, the synthetic world, EM benchmarks and BART-style
+error generation."""
+
+from repro.data.benchmarks import (
+    ALL_BENCHMARKS,
+    EMBenchmark,
+    citations_benchmark,
+    products_benchmark,
+    restaurants_benchmark,
+)
+from repro.data.cfd import (
+    ConditionalFunctionalDependency,
+    MatchingDependency,
+    Pattern,
+    SimilarityClause,
+    WILDCARD,
+    cfd,
+)
+from repro.data.dependencies import (
+    FunctionalDependency,
+    discover_approximate_fds,
+    discover_fds,
+    fd_error,
+    violation_rate,
+)
+from repro.data.errorgen import ErrorGenerator, ErrorReport, InjectedError
+from repro.data.graph import cell_node, graph_statistics, table_to_graph
+from repro.data.profile import (
+    ColumnProfile,
+    TableProfile,
+    find_candidate_keys,
+    profile_column,
+    profile_table,
+)
+from repro.data.io import read_csv, write_csv
+from repro.data.table import Table
+from repro.data.types import ColumnType, coerce_numeric, infer_column_type, is_missing
+from repro.data.world import COUNTRIES, World
+
+__all__ = [
+    "Table",
+    "ColumnType",
+    "infer_column_type",
+    "is_missing",
+    "coerce_numeric",
+    "read_csv",
+    "write_csv",
+    "FunctionalDependency",
+    "ConditionalFunctionalDependency",
+    "cfd",
+    "Pattern",
+    "WILDCARD",
+    "MatchingDependency",
+    "SimilarityClause",
+    "discover_fds",
+    "discover_approximate_fds",
+    "fd_error",
+    "violation_rate",
+    "table_to_graph",
+    "cell_node",
+    "graph_statistics",
+    "profile_table",
+    "profile_column",
+    "find_candidate_keys",
+    "TableProfile",
+    "ColumnProfile",
+    "World",
+    "COUNTRIES",
+    "EMBenchmark",
+    "citations_benchmark",
+    "products_benchmark",
+    "restaurants_benchmark",
+    "ALL_BENCHMARKS",
+    "ErrorGenerator",
+    "ErrorReport",
+    "InjectedError",
+]

@@ -1,0 +1,242 @@
+"""Conditional functional dependencies and matching dependencies.
+
+Paper §3.1 (limitation 3) names the dependency classes beyond plain FDs
+that cell representations should be cognizant of: "functional
+dependencies, and conditional functional dependencies [19]" within tables
+and "matching dependencies [20]" across them.
+
+* :class:`ConditionalFunctionalDependency` — an FD that only applies to
+  tuples matching a pattern tableau (constants or wildcards per column),
+  and may constrain the RHS to a constant.  ``([country='uk'], zip) →
+  city`` is the classic example: the FD zip→city holds only for UK rows.
+* :class:`MatchingDependency` — "if two tuples are *similar* on these
+  attributes (per similarity predicates/thresholds), their identifier
+  attributes should be identified": the declarative bridge between
+  integrity constraints and entity resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.table import Table
+from repro.data.types import is_missing
+
+WILDCARD = "_"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One pattern-tableau cell: a constant or the wildcard ``_``."""
+
+    column: str
+    value: str = WILDCARD
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.value == WILDCARD
+
+    def matches(self, cell: object) -> bool:
+        if is_missing(cell):
+            return False
+        return self.is_wildcard or str(cell).lower() == self.value.lower()
+
+    def __str__(self) -> str:
+        return f"{self.column}={self.value}"
+
+
+@dataclass(frozen=True)
+class ConditionalFunctionalDependency:
+    """``(lhs_patterns → rhs_column[=rhs_value])``.
+
+    Semantics: over the tuples matched by every LHS pattern,
+
+    * wildcard LHS columns group tuples as an ordinary FD;
+    * if ``rhs_value`` is a constant, every matched tuple's RHS cell must
+      equal it; if it is the wildcard, matched tuples agreeing on the
+      (wildcard) LHS columns must agree on the RHS.
+    """
+
+    lhs: tuple[Pattern, ...]
+    rhs_column: str
+    rhs_value: str = WILDCARD
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise ValueError("CFD left-hand side must be non-empty")
+        if self.rhs_column in {p.column for p in self.lhs}:
+            raise ValueError(
+                f"trivial CFD: {self.rhs_column} appears on both sides"
+            )
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(p) for p in self.lhs)
+        return f"[{lhs}] -> {self.rhs_column}={self.rhs_value}"
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def matched_rows(self, table: Table) -> list[int]:
+        """Rows the pattern tableau applies to."""
+        rows = []
+        for i in range(table.num_rows):
+            if all(p.matches(table.cell(i, p.column)) for p in self.lhs):
+                if not is_missing(table.cell(i, self.rhs_column)):
+                    rows.append(i)
+        return rows
+
+    def violations(self, table: Table) -> list[tuple[int, ...]]:
+        """Violation witnesses.
+
+        With a constant RHS each witness is a 1-tuple ``(row,)`` whose RHS
+        differs from the constant; with a wildcard RHS witnesses are row
+        pairs agreeing on the wildcard LHS columns but not on the RHS.
+        """
+        matched = self.matched_rows(table)
+        if self.rhs_value != WILDCARD:
+            return [
+                (i,) for i in matched
+                if str(table.cell(i, self.rhs_column)).lower() != self.rhs_value.lower()
+            ]
+        variable_columns = [p.column for p in self.lhs if p.is_wildcard]
+        groups: dict[tuple, list[int]] = {}
+        for i in matched:
+            key = tuple(table.cell(i, c) for c in variable_columns)
+            if any(is_missing(v) for v in key):
+                continue
+            groups.setdefault(key, []).append(i)
+        witnesses: list[tuple[int, ...]] = []
+        for rows in groups.values():
+            by_rhs: dict[object, list[int]] = {}
+            for row in rows:
+                by_rhs.setdefault(table.cell(row, self.rhs_column), []).append(row)
+            if len(by_rhs) <= 1:
+                continue
+            buckets = list(by_rhs.values())
+            for b1 in range(len(buckets)):
+                for b2 in range(b1 + 1, len(buckets)):
+                    for a in buckets[b1]:
+                        for b in buckets[b2]:
+                            witnesses.append((min(a, b), max(a, b)))
+        return sorted(set(witnesses))
+
+    def holds(self, table: Table) -> bool:
+        return not self.violations(table)
+
+
+def cfd(
+    conditions: dict[str, str], rhs_column: str, rhs_value: str = WILDCARD
+) -> ConditionalFunctionalDependency:
+    """Convenience constructor: ``cfd({"country": "uk", "zip": "_"}, "city")``."""
+    patterns = tuple(Pattern(column, value) for column, value in conditions.items())
+    return ConditionalFunctionalDependency(patterns, rhs_column, rhs_value)
+
+
+@dataclass(frozen=True)
+class SimilarityClause:
+    """One MD antecedent: column values must be at least ``threshold``
+    similar under ``measure`` (a ``(str, str) -> float`` function)."""
+
+    column: str
+    measure: Callable[[str, str], float]
+    threshold: float
+
+    def satisfied(self, value_a: object, value_b: object) -> bool:
+        if is_missing(value_a) or is_missing(value_b):
+            return False
+        return self.measure(str(value_a).lower(), str(value_b).lower()) >= self.threshold
+
+
+@dataclass(frozen=True)
+class MatchingDependency:
+    """``⋀ similar(A_i) ⇒ identify(rhs)`` across two relations.
+
+    Tuples (one from each table) that satisfy every similarity clause are
+    asserted to refer to the same entity; their ``rhs_column`` values must
+    therefore be identified (made equal).
+    """
+
+    clauses: tuple[SimilarityClause, ...]
+    rhs_column: str
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("MD needs at least one similarity clause")
+
+    def matches(self, record_a: dict, record_b: dict) -> bool:
+        return all(
+            clause.satisfied(record_a.get(clause.column), record_b.get(clause.column))
+            for clause in self.clauses
+        )
+
+    def implied_matches(
+        self,
+        table_a: Table,
+        table_b: Table,
+        candidate_pairs: "list[tuple[int, int]] | None" = None,
+    ) -> list[tuple[int, int]]:
+        """Row-index pairs the MD asserts to be the same entity."""
+        if candidate_pairs is None:
+            candidate_pairs = [
+                (i, j)
+                for i in range(table_a.num_rows)
+                for j in range(table_b.num_rows)
+            ]
+        out = []
+        for i, j in candidate_pairs:
+            if self.matches(table_a.row_dict(i), table_b.row_dict(j)):
+                out.append((i, j))
+        return out
+
+    def violations(
+        self,
+        table_a: Table,
+        table_b: Table,
+        candidate_pairs: "list[tuple[int, int]] | None" = None,
+    ) -> list[tuple[int, int]]:
+        """Implied matches whose RHS values are *not* identified yet."""
+        out = []
+        for i, j in self.implied_matches(table_a, table_b, candidate_pairs):
+            value_a = table_a.cell(i, self.rhs_column)
+            value_b = table_b.cell(j, self.rhs_column)
+            if is_missing(value_a) or is_missing(value_b):
+                out.append((i, j))
+            elif str(value_a).lower() != str(value_b).lower():
+                out.append((i, j))
+        return out
+
+    def enforce(
+        self,
+        table_a: Table,
+        table_b: Table,
+        choose: Callable[[object, object], object] | None = None,
+        candidate_pairs: "list[tuple[int, int]] | None" = None,
+    ) -> tuple[Table, Table, int]:
+        """Identify RHS values on violating pairs; returns new tables.
+
+        ``choose(value_a, value_b)`` picks the identified value (default:
+        the longer string — the more informative witness).
+        """
+        choose = choose or _prefer_longer
+        out_a = table_a.copy()
+        out_b = table_b.copy()
+        changed = 0
+        for i, j in self.violations(table_a, table_b, candidate_pairs):
+            value = choose(table_a.cell(i, self.rhs_column), table_b.cell(j, self.rhs_column))
+            if out_a.cell(i, self.rhs_column) != value:
+                out_a.set_cell(i, self.rhs_column, value)
+                changed += 1
+            if out_b.cell(j, self.rhs_column) != value:
+                out_b.set_cell(j, self.rhs_column, value)
+                changed += 1
+        return out_a, out_b, changed
+
+
+def _prefer_longer(value_a: object, value_b: object) -> object:
+    if is_missing(value_a):
+        return value_b
+    if is_missing(value_b):
+        return value_a
+    return value_a if len(str(value_a)) >= len(str(value_b)) else value_b

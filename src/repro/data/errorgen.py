@@ -1,0 +1,200 @@
+"""BART-style error generation for evaluating cleaning algorithms.
+
+Section 6.2.3 points to BART [4] — "error generation for evaluating
+data-cleaning algorithms" — as the model for benchmark construction.  The
+:class:`ErrorGenerator` injects controlled, *logged* errors into a clean
+table: typos, missing values, value swaps, FD violations and numeric
+outliers.  The log is the cell-level ground truth every cleaning experiment
+(imputation E5, outliers E14, repair, pipeline E16) scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import perturb
+from repro.data.dependencies import FunctionalDependency
+from repro.data.table import Table
+from repro.data.types import ColumnType, coerce_numeric
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One corrupted cell: where, what it was, what it became, and how."""
+
+    row: int
+    column: str
+    original: object
+    corrupted: object
+    kind: str
+
+
+@dataclass
+class ErrorReport:
+    """All injected errors plus convenience lookups."""
+
+    errors: list[InjectedError] = field(default_factory=list)
+
+    def add(self, error: InjectedError) -> None:
+        self.errors.append(error)
+
+    def cells(self) -> set[tuple[int, str]]:
+        return {(e.row, e.column) for e in self.errors}
+
+    def by_kind(self, kind: str) -> list[InjectedError]:
+        return [e for e in self.errors if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+
+class ErrorGenerator:
+    """Inject controlled errors into a copy of a clean table.
+
+    All ``rate`` parameters are per-cell (or per-row for swaps) Bernoulli
+    probabilities.  Each injection records an :class:`InjectedError`, so the
+    corrupted table always ships with exact ground truth.
+    """
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._rng = ensure_rng(rng)
+
+    def corrupt(
+        self,
+        table: Table,
+        typo_rate: float = 0.0,
+        null_rate: float = 0.0,
+        swap_rate: float = 0.0,
+        outlier_rate: float = 0.0,
+        fd_violation_rate: float = 0.0,
+        fds: list[FunctionalDependency] | None = None,
+        protected_columns: set[str] | None = None,
+        outlier_scale: float = 10.0,
+    ) -> tuple[Table, ErrorReport]:
+        """Return ``(corrupted_copy, report)``; the input is untouched."""
+        for name, rate in [
+            ("typo_rate", typo_rate), ("null_rate", null_rate),
+            ("swap_rate", swap_rate), ("outlier_rate", outlier_rate),
+            ("fd_violation_rate", fd_violation_rate),
+        ]:
+            check_probability(name, rate)
+        corrupted = table.copy(f"{table.name}_dirty")
+        report = ErrorReport()
+        protected = protected_columns or set()
+        workable = [c for c in table.columns if c not in protected]
+        if typo_rate:
+            self._inject_typos(corrupted, workable, typo_rate, report)
+        if outlier_rate:
+            self._inject_outliers(corrupted, workable, outlier_rate, outlier_scale, report)
+        if fd_violation_rate and fds:
+            self._inject_fd_violations(corrupted, fds, fd_violation_rate, report)
+        if swap_rate:
+            self._inject_swaps(corrupted, workable, swap_rate, report)
+        if null_rate:
+            self._inject_nulls(corrupted, workable, null_rate, report)
+        return corrupted, report
+
+    # ------------------------------------------------------------------ #
+    # individual error families
+    # ------------------------------------------------------------------ #
+
+    def _inject_typos(
+        self, table: Table, columns: list[str], rate: float, report: ErrorReport
+    ) -> None:
+        taken = report.cells()
+        for column in columns:
+            if table.column_type(column) == ColumnType.NUMERIC:
+                continue
+            for row in range(table.num_rows):
+                value = table.cell(row, column)
+                if value is None or (row, column) in taken or self._rng.random() >= rate:
+                    continue
+                new_value = perturb.typo(str(value), self._rng)
+                if new_value != value:
+                    table.set_cell(row, column, new_value)
+                    report.add(InjectedError(row, column, value, new_value, "typo"))
+
+    def _inject_nulls(
+        self, table: Table, columns: list[str], rate: float, report: ErrorReport
+    ) -> None:
+        taken = report.cells()
+        for column in columns:
+            for row in range(table.num_rows):
+                value = table.cell(row, column)
+                if value is None or (row, column) in taken or self._rng.random() >= rate:
+                    continue
+                table.set_cell(row, column, None)
+                report.add(InjectedError(row, column, value, None, "null"))
+
+    def _inject_swaps(
+        self, table: Table, columns: list[str], rate: float, report: ErrorReport
+    ) -> None:
+        """Swap a cell's value with the same column of another row."""
+        taken = report.cells()
+        for column in columns:
+            for row in range(table.num_rows):
+                if (row, column) in taken or self._rng.random() >= rate:
+                    continue
+                other = int(self._rng.integers(table.num_rows))
+                if other == row or (other, column) in taken:
+                    continue
+                value, other_value = table.cell(row, column), table.cell(other, column)
+                if value == other_value:
+                    continue
+                table.set_cell(row, column, other_value)
+                table.set_cell(other, column, value)
+                report.add(InjectedError(row, column, value, other_value, "swap"))
+                report.add(InjectedError(other, column, other_value, value, "swap"))
+
+    def _inject_outliers(
+        self,
+        table: Table,
+        columns: list[str],
+        rate: float,
+        scale: float,
+        report: ErrorReport,
+    ) -> None:
+        for column in columns:
+            if table.column_type(column) != ColumnType.NUMERIC:
+                continue
+            values = [coerce_numeric(v) for v in table.column(column)]
+            present = [v for v in values if v is not None]
+            if not present:
+                continue
+            spread = float(np.std(present)) or 1.0
+            taken = report.cells()
+            for row, value in enumerate(values):
+                if value is None or (row, column) in taken or self._rng.random() >= rate:
+                    continue
+                direction = 1.0 if self._rng.random() < 0.5 else -1.0
+                new_value = round(value + direction * scale * spread, 2)
+                table.set_cell(row, column, new_value)
+                report.add(InjectedError(row, column, value, new_value, "outlier"))
+
+    def _inject_fd_violations(
+        self,
+        table: Table,
+        fds: list[FunctionalDependency],
+        rate: float,
+        report: ErrorReport,
+    ) -> None:
+        """Break ``lhs → rhs`` by rewriting rhs cells to a conflicting value."""
+        taken = report.cells()
+        for fd in fds:
+            domain = table.distinct_values(fd.rhs)
+            if len(domain) < 2:
+                continue
+            for row in range(table.num_rows):
+                if (row, fd.rhs) in taken or self._rng.random() >= rate:
+                    continue
+                value = table.cell(row, fd.rhs)
+                alternatives = [v for v in domain if v != value]
+                if not alternatives:
+                    continue
+                new_value = alternatives[int(self._rng.integers(len(alternatives)))]
+                table.set_cell(row, fd.rhs, new_value)
+                report.add(InjectedError(row, fd.rhs, value, new_value, "fd_violation"))

@@ -1,0 +1,38 @@
+"""CSV import/export for :class:`~repro.data.table.Table`."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.table import Table
+
+
+def read_csv(path: "str | Path", name: str | None = None) -> Table:
+    """Load a CSV with a header row into a Table.
+
+    Empty strings become ``None`` (the library's missing marker); all other
+    values stay strings — call sites coerce numerics with the type helpers.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        table = Table(name or path.stem, header)
+        for row in reader:
+            padded = row + [""] * (len(header) - len(row))
+            table.append([value if value != "" else None for value in padded])
+    return table
+
+
+def write_csv(table: Table, path: "str | Path") -> None:
+    """Write a Table as CSV; ``None`` cells become empty strings."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.iter_rows():
+            writer.writerow(["" if value is None else value for value in row])

@@ -1,0 +1,92 @@
+"""String perturbation primitives shared by the benchmark generators, the
+BART-style error generator and the data-augmentation transforms.
+
+Each function takes an ``rng`` so callers control determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KEYBOARD_NEIGHBOURS = {
+    "a": "qwsz", "b": "vghn", "c": "xdfv", "d": "erfcxs", "e": "wsdr",
+    "f": "rtgvcd", "g": "tyhbvf", "h": "yujnbg", "i": "ujko", "j": "uikmnh",
+    "k": "iolmj", "l": "opk", "m": "njk", "n": "bhjm", "o": "iklp",
+    "p": "ol", "q": "wa", "r": "edft", "s": "awedxz", "t": "rfgy",
+    "u": "yhji", "v": "cfgb", "w": "qase", "x": "zsdc", "y": "tghu",
+    "z": "asx",
+}
+
+
+def typo(value: str, rng: np.random.Generator) -> str:
+    """Introduce one realistic typo: swap, drop, double or neighbour-key."""
+    if len(value) < 2:
+        return value
+    kind = rng.integers(4)
+    pos = int(rng.integers(len(value) - 1))
+    if kind == 0:  # transpose adjacent characters
+        return value[:pos] + value[pos + 1] + value[pos] + value[pos + 2 :]
+    if kind == 1:  # drop a character
+        return value[:pos] + value[pos + 1 :]
+    if kind == 2:  # double a character
+        return value[:pos] + value[pos] + value[pos:]
+    # neighbour-key substitution
+    ch = value[pos].lower()
+    if ch in _KEYBOARD_NEIGHBOURS:
+        neighbours = _KEYBOARD_NEIGHBOURS[ch]
+        replacement = neighbours[int(rng.integers(len(neighbours)))]
+        if value[pos].isupper():
+            replacement = replacement.upper()
+        return value[:pos] + replacement + value[pos + 1 :]
+    return value
+
+
+def abbreviate_name(full_name: str, rng: np.random.Generator) -> str:
+    """``"John Smith"`` → ``"J. Smith"`` / ``"J Smith"`` (ER classic)."""
+    parts = full_name.split()
+    if len(parts) < 2:
+        return full_name
+    dot = "." if rng.random() < 0.5 else ""
+    return f"{parts[0][0]}{dot} {' '.join(parts[1:])}"
+
+
+def drop_token(value: str, rng: np.random.Generator) -> str:
+    """Remove one whitespace-delimited token from a multi-token value."""
+    parts = value.split()
+    if len(parts) < 2:
+        return value
+    drop = int(rng.integers(len(parts)))
+    return " ".join(p for i, p in enumerate(parts) if i != drop)
+
+def swap_tokens(value: str, rng: np.random.Generator) -> str:
+    """Swap two adjacent tokens (e.g. ``"Smith John"``)."""
+    parts = value.split()
+    if len(parts) < 2:
+        return value
+    pos = int(rng.integers(len(parts) - 1))
+    parts[pos], parts[pos + 1] = parts[pos + 1], parts[pos]
+    return " ".join(parts)
+
+
+def change_case(value: str, rng: np.random.Generator) -> str:
+    """Re-case a value (upper / lower / title)."""
+    return [str.upper, str.lower, str.title][int(rng.integers(3))](value)
+
+
+def jitter_number(value: float, rng: np.random.Generator, relative: float = 0.05) -> float:
+    """Multiply a numeric value by ``1 ± U(0, relative)``."""
+    factor = 1.0 + rng.uniform(-relative, relative)
+    return round(value * factor, 2)
+
+
+def reformat_phone(phone: str, rng: np.random.Generator) -> str:
+    """Shuffle the separator style of a phone-like string."""
+    digits = "".join(ch for ch in phone if ch.isdigit())
+    if len(digits) < 7:
+        return phone
+    style = rng.integers(3)
+    if style == 0:
+        return f"{digits[:3]}-{digits[3:6]}-{digits[6:]}"
+    if style == 1:
+        return f"({digits[:3]}) {digits[3:6]} {digits[6:]}"
+    return digits

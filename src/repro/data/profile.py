@@ -1,0 +1,166 @@
+"""Table profiling: the statistics a curator looks at first.
+
+Data discovery and cleaning both start from a profile — per-column types,
+missingness, distinctness, value sketches, candidate keys.  These are the
+"data (or representation) understanding" chores the paper's introduction
+says experts burn time on; automating them is step zero of AutoDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import ColumnType, coerce_numeric, is_missing
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary statistics of one column."""
+
+    name: str
+    inferred_type: ColumnType
+    missing_rate: float
+    distinct_count: int
+    distinct_ratio: float   # distinct / present
+    top_values: tuple[tuple[str, int], ...]
+    # Numeric columns only (None otherwise).
+    minimum: float | None = None
+    maximum: float | None = None
+    mean: float | None = None
+    std: float | None = None
+
+    @property
+    def is_constant(self) -> bool:
+        """True when every present value is identical."""
+        return self.distinct_count <= 1
+
+    @property
+    def is_key_like(self) -> bool:
+        """True when values are (nearly) all distinct."""
+        return self.distinct_ratio >= 0.99 and self.distinct_count > 1
+
+
+@dataclass
+class TableProfile:
+    """Full profile of a relation."""
+
+    table_name: str
+    num_rows: int
+    columns: list[ColumnProfile] = field(default_factory=list)
+    candidate_keys: list[tuple[str, ...]] = field(default_factory=list)
+
+    def column(self, name: str) -> ColumnProfile:
+        """Profile of one column by name."""
+        for profile in self.columns:
+            if profile.name == name:
+                return profile
+        raise KeyError(f"no column {name!r} in profile of {self.table_name!r}")
+
+    @property
+    def overall_missing_rate(self) -> float:
+        """Mean per-column missing rate."""
+        if not self.columns:
+            return 0.0
+        return float(np.mean([c.missing_rate for c in self.columns]))
+
+    def summary(self) -> str:
+        """Human-readable multi-line profile report."""
+        lines = [
+            f"table {self.table_name!r}: {self.num_rows} rows, "
+            f"{len(self.columns)} columns, "
+            f"missing {self.overall_missing_rate:.1%}"
+        ]
+        for profile in self.columns:
+            tags = []
+            if profile.is_key_like:
+                tags.append("key-like")
+            if profile.is_constant:
+                tags.append("constant")
+            tag_text = f" [{', '.join(tags)}]" if tags else ""
+            lines.append(
+                f"  {profile.name}: {profile.inferred_type} "
+                f"distinct={profile.distinct_count} "
+                f"missing={profile.missing_rate:.1%}{tag_text}"
+            )
+        if self.candidate_keys:
+            keys = ", ".join("(" + ", ".join(k) + ")" for k in self.candidate_keys)
+            lines.append(f"  candidate keys: {keys}")
+        return "\n".join(lines)
+
+
+def profile_column(table: Table, column: str, top_k: int = 5) -> ColumnProfile:
+    """Profile one column."""
+    values = table.column(column)
+    present = [v for v in values if not is_missing(v)]
+    missing_rate = 1.0 - len(present) / len(values) if values else 0.0
+    counts: dict[str, int] = {}
+    for value in present:
+        key = str(value)
+        counts[key] = counts.get(key, 0) + 1
+    top = tuple(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k])
+    inferred = table.column_type(column)
+    numeric_stats: dict[str, float | None] = {
+        "minimum": None, "maximum": None, "mean": None, "std": None
+    }
+    if inferred == ColumnType.NUMERIC and present:
+        numbers = [coerce_numeric(v) for v in present]
+        numbers = [n for n in numbers if n is not None]
+        if numbers:
+            numeric_stats = {
+                "minimum": float(np.min(numbers)),
+                "maximum": float(np.max(numbers)),
+                "mean": float(np.mean(numbers)),
+                "std": float(np.std(numbers)),
+            }
+    return ColumnProfile(
+        name=column,
+        inferred_type=inferred,
+        missing_rate=missing_rate,
+        distinct_count=len(counts),
+        distinct_ratio=len(counts) / len(present) if present else 0.0,
+        top_values=top,
+        **numeric_stats,
+    )
+
+
+def find_candidate_keys(table: Table, max_columns: int = 2) -> list[tuple[str, ...]]:
+    """Minimal column combinations whose present values are unique per row.
+
+    Rows with a missing value in a candidate column are skipped (they can
+    neither prove nor disprove uniqueness).  Only minimal keys are
+    returned: if ``(a,)`` is a key, ``(a, b)`` is not reported.
+    """
+    keys: list[tuple[str, ...]] = []
+    for size in range(1, max_columns + 1):
+        for combo in combinations(table.columns, size):
+            if any(set(key) <= set(combo) for key in keys):
+                continue
+            seen: set[tuple] = set()
+            unique = True
+            witnessed = 0
+            for i in range(table.num_rows):
+                row_key = tuple(table.cell(i, c) for c in combo)
+                if any(is_missing(v) for v in row_key):
+                    continue
+                witnessed += 1
+                if row_key in seen:
+                    unique = False
+                    break
+                seen.add(row_key)
+            if unique and witnessed >= 2:
+                keys.append(combo)
+    return keys
+
+
+def profile_table(table: Table, max_key_columns: int = 2) -> TableProfile:
+    """Profile every column and detect candidate keys."""
+    return TableProfile(
+        table_name=table.name,
+        num_rows=table.num_rows,
+        columns=[profile_column(table, c) for c in table.columns],
+        candidate_keys=find_candidate_keys(table, max_columns=max_key_columns),
+    )

@@ -1,0 +1,228 @@
+"""The :class:`Table` relation abstraction used throughout the library.
+
+Columnar storage over plain python lists: small, dependency-free, and
+friendly to the cell-level operations data curation needs (per-cell
+corruption, repair, imputation, provenance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.data.types import ColumnType, infer_column_type, is_missing
+
+
+class Table:
+    """An in-memory relation with named, typed columns.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used by discovery/EKG and reports).
+    columns:
+        Ordered column names.
+    rows:
+        Iterable of row tuples/lists aligned with ``columns``.
+    column_types:
+        Optional explicit mapping; missing entries are inferred lazily.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[str],
+        rows: Iterable[Iterable[object]] = (),
+        column_types: dict[str, ColumnType] | None = None,
+    ) -> None:
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        self.name = name
+        self.columns = list(columns)
+        self._data: dict[str, list[object]] = {c: [] for c in self.columns}
+        self._types: dict[str, ColumnType] = dict(column_types or {})
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_records(
+        cls,
+        name: str,
+        records: list[dict[str, object]],
+        columns: list[str] | None = None,
+    ) -> "Table":
+        """Build a table from a list of dicts (missing keys become None)."""
+        if columns is None:
+            seen: dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        table = cls(name, columns)
+        for record in records:
+            table.append([record.get(c) for c in columns])
+        return table
+
+    def append(self, row: Iterable[object]) -> None:
+        """Add one row (must match the column count)."""
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values but table {self.name!r} has "
+                f"{len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, row):
+            self._data[column].append(value)
+
+    def set_cell(self, row: int, column: str, value: object) -> None:
+        """Overwrite a single cell."""
+        self._data[column][row] = value
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return len(self._data[self.columns[0]]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.num_rows} rows x {self.num_columns} cols)"
+
+    def column(self, name: str) -> list[object]:
+        """The values of one column (shared list; copy before mutating)."""
+        return self._data[name]
+
+    def cell(self, row: int, column: str) -> object:
+        """Value at (row, column)."""
+        return self._data[column][row]
+
+    def row(self, index: int) -> tuple[object, ...]:
+        """Row values as a tuple, in column order."""
+        return tuple(self._data[c][index] for c in self.columns)
+
+    def row_dict(self, index: int) -> dict[str, object]:
+        """Row as a column -> value dict."""
+        return {c: self._data[c][index] for c in self.columns}
+
+    def iter_rows(self) -> Iterator[tuple[object, ...]]:
+        """Yield every row as a tuple."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def column_type(self, name: str) -> ColumnType:
+        """Declared or (cached) inferred type of a column."""
+        if name not in self._types:
+            self._types[name] = infer_column_type(self._data[name])
+        return self._types[name]
+
+    def set_column_type(self, name: str, column_type: ColumnType) -> None:
+        """Override the declared type of a column."""
+        if name not in self._data:
+            raise KeyError(f"no column {name!r} in table {self.name!r}")
+        self._types[name] = column_type
+
+    # ------------------------------------------------------------------ #
+    # relational operations
+    # ------------------------------------------------------------------ #
+
+    def project(self, columns: list[str], name: str | None = None) -> "Table":
+        """New table with only the given columns."""
+        missing = [c for c in columns if c not in self._data]
+        if missing:
+            raise KeyError(f"columns {missing} not in table {self.name!r}")
+        out = Table(name or self.name, columns)
+        for c in columns:
+            out._data[c] = list(self._data[c])
+        return out
+
+    def select(self, predicate: Callable[[dict[str, object]], bool], name: str | None = None) -> "Table":
+        """New table with only the rows matching ``predicate``."""
+        out = Table(name or self.name, self.columns, column_types=self._types)
+        for i in range(self.num_rows):
+            record = self.row_dict(i)
+            if predicate(record):
+                out.append([record[c] for c in self.columns])
+        return out
+
+    def take(self, indices: list[int], name: str | None = None) -> "Table":
+        """New table containing the rows at ``indices`` (in that order)."""
+        out = Table(name or self.name, self.columns, column_types=self._types)
+        for i in indices:
+            out.append(self.row(i))
+        return out
+
+    def copy(self, name: str | None = None) -> "Table":
+        """Deep-enough copy (new per-column lists, shared immutable values)."""
+        out = Table(name or self.name, self.columns, column_types=dict(self._types))
+        for c in self.columns:
+            out._data[c] = list(self._data[c])
+        return out
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Table":
+        """New table with columns renamed per ``mapping``."""
+        new_columns = [mapping.get(c, c) for c in self.columns]
+        out = Table(name or self.name, new_columns)
+        for old, new in zip(self.columns, new_columns):
+            out._data[new] = list(self._data[old])
+            if old in self._types:
+                out._types[new] = self._types[old]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # quality statistics
+    # ------------------------------------------------------------------ #
+
+    def missing_mask(self) -> list[list[bool]]:
+        """Row-major mask of missing cells."""
+        return [
+            [is_missing(self._data[c][i]) for c in self.columns]
+            for i in range(self.num_rows)
+        ]
+
+    def missing_rate(self) -> float:
+        """Fraction of missing cells in the whole table."""
+        total = self.num_rows * self.num_columns
+        if total == 0:
+            return 0.0
+        missing = sum(
+            1
+            for c in self.columns
+            for v in self._data[c]
+            if is_missing(v)
+        )
+        return missing / total
+
+    def distinct_values(self, column: str) -> list[object]:
+        """Distinct non-missing values of a column, in first-seen order."""
+        seen: dict[object, None] = {}
+        for value in self._data[column]:
+            if not is_missing(value):
+                seen.setdefault(value, None)
+        return list(seen)
+
+    def value_counts(self, column: str) -> dict[object, int]:
+        """Histogram of non-missing values."""
+        counts: dict[object, int] = {}
+        for value in self._data[column]:
+            if not is_missing(value):
+                counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def equals(self, other: "Table") -> bool:
+        """Structural + content equality (ignores name and types)."""
+        if self.columns != other.columns or self.num_rows != other.num_rows:
+            return False
+        return all(self._data[c] == other._data[c] for c in self.columns)

@@ -1,0 +1,80 @@
+"""Column types and type inference for relations.
+
+A relation can contain "a wide variety of data, such as categorical,
+ordinal, numerical, textual" (paper Section 3.2); downstream models need to
+know which is which to encode cells correctly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+Value = "str | float | int | None"
+
+
+class ColumnType(Enum):
+    """Semantic type of a column."""
+
+    ID = "id"                  # key-like: unique or near-unique values
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    TEXT = "text"              # free text (multi-token strings)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def is_missing(value: object) -> bool:
+    """True for the library's missing-value encodings (None, '', NaN)."""
+    if value is None:
+        return True
+    if isinstance(value, float):
+        return value != value  # NaN
+    if isinstance(value, str):
+        return value == ""
+    return False
+
+
+def infer_column_type(values: list[object], unique_ratio_id: float = 0.95) -> ColumnType:
+    """Heuristic type inference over a column's values.
+
+    Numeric if every non-missing value parses as a number; ID if nearly all
+    values are distinct; TEXT if values average more than two tokens;
+    CATEGORICAL otherwise.
+    """
+    present = [v for v in values if not is_missing(v)]
+    if not present:
+        return ColumnType.CATEGORICAL
+    if all(_is_number(v) for v in present):
+        return ColumnType.NUMERIC
+    distinct = len(set(map(str, present)))
+    if distinct / len(present) >= unique_ratio_id and len(present) > 5:
+        return ColumnType.ID
+    mean_tokens = sum(len(str(v).split()) for v in present) / len(present)
+    if mean_tokens > 2.0:
+        return ColumnType.TEXT
+    return ColumnType.CATEGORICAL
+
+
+def _is_number(value: object) -> bool:
+    if isinstance(value, (int, float)):
+        return True
+    if isinstance(value, str):
+        try:
+            float(value)
+            return True
+        except ValueError:
+            return False
+    return False
+
+
+def coerce_numeric(value: object) -> float | None:
+    """Parse a value as float, returning None for missing/unparseable."""
+    if is_missing(value):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except ValueError:
+        return None

@@ -1,0 +1,299 @@
+"""A deterministic synthetic world model.
+
+The paper's experiments assume access to enterprise corpora, public EM
+benchmarks and knowledge resources we do not have offline.  This module is
+the substitute documented in DESIGN.md: a world of countries, cities,
+people, departments, products and restaurants, from which we can derive
+
+* text corpora for pre-training word embeddings (Section 6.2.5),
+* relations (tables) with known functional dependencies (Figure 4),
+* entity-matching benchmarks with ground truth (built in
+  ``repro.data.benchmarks`` on top of the entities generated here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dependencies import FunctionalDependency
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+COUNTRIES: dict[str, str] = {
+    "france": "paris", "germany": "berlin", "italy": "rome", "spain": "madrid",
+    "portugal": "lisbon", "japan": "tokyo", "china": "beijing", "india": "delhi",
+    "brazil": "brasilia", "canada": "ottawa", "egypt": "cairo", "kenya": "nairobi",
+    "norway": "oslo", "sweden": "stockholm", "poland": "warsaw", "greece": "athens",
+    "turkey": "ankara", "qatar": "doha", "jordan": "amman", "peru": "lima",
+    "chile": "santiago", "cuba": "havana", "ireland": "dublin", "austria": "vienna",
+}
+
+CITIES: list[str] = sorted(set(COUNTRIES.values()) | {
+    "boston", "chicago", "seattle", "austin", "denver", "portland",
+    "marseille", "munich", "milan", "kyoto", "shanghai", "mumbai",
+})
+
+FIRST_NAMES: list[str] = [
+    "john", "jane", "alice", "robert", "maria", "david", "linda", "james",
+    "sarah", "michael", "emma", "daniel", "laura", "peter", "nancy", "carlos",
+    "sofia", "ahmed", "fatima", "wei", "yuki", "omar", "nina", "ivan",
+    "priya", "arjun", "lucia", "marco", "elena", "hans",
+]
+
+LAST_NAMES: list[str] = [
+    "smith", "doe", "johnson", "brown", "garcia", "miller", "davis", "wilson",
+    "moore", "taylor", "thomas", "jackson", "white", "harris", "martin", "clark",
+    "lewis", "walker", "hall", "allen", "young", "king", "wright", "lopez",
+    "hill", "scott", "green", "adams", "baker", "nelson",
+]
+
+DEPARTMENTS: list[tuple[str, str]] = [
+    ("1", "human resources"), ("2", "marketing"), ("3", "finance"),
+    ("4", "engineering"), ("5", "sales"), ("6", "research"),
+]
+
+BRANDS: list[str] = [
+    "acme", "globex", "initech", "umbrella", "stark", "wayne", "hooli",
+    "vandelay", "wonka", "tyrell",
+]
+
+PRODUCT_CATEGORIES: dict[str, list[str]] = {
+    "laptop": ["pro", "air", "ultra", "max", "slim"],
+    "phone": ["mini", "plus", "note", "edge", "lite"],
+    "camera": ["zoom", "shot", "pix", "lens", "view"],
+    "monitor": ["view", "sync", "wide", "curve", "hd"],
+    "printer": ["jet", "laser", "ink", "page", "dot"],
+}
+
+CUISINES: list[str] = [
+    "italian", "french", "japanese", "mexican", "indian", "thai",
+    "american", "chinese", "greek", "lebanese",
+]
+
+STREETS: list[str] = [
+    "main st", "oak ave", "park blvd", "river rd", "hill st", "lake dr",
+    "maple ave", "pine st", "cedar ln", "elm st",
+]
+
+VENUES: list[str] = [
+    "vldb", "sigmod", "icde", "edbt", "kdd", "www", "nips", "icml", "acl", "cikm",
+]
+
+TOPICS: list[str] = [
+    "entity resolution", "data cleaning", "schema matching", "data discovery",
+    "query optimization", "deep learning", "data integration", "crowdsourcing",
+    "stream processing", "knowledge graphs",
+]
+
+
+@dataclass
+class Person:
+    """One synthetic person with location and department facts."""
+
+    person_id: str
+    name: str
+    city: str
+    country: str
+    department_id: str
+    department_name: str
+
+
+class World:
+    """Deterministic fact generator shared by corpora and relations."""
+
+    def __init__(self, rng: np.random.Generator | int | None = 0) -> None:
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # entities
+    # ------------------------------------------------------------------ #
+
+    def people(self, n: int) -> list[Person]:
+        """Generate ``n`` people with ids, names, locations and departments."""
+        people = []
+        countries = list(COUNTRIES)
+        for i in range(n):
+            first = FIRST_NAMES[int(self._rng.integers(len(FIRST_NAMES)))]
+            last = LAST_NAMES[int(self._rng.integers(len(LAST_NAMES)))]
+            country = countries[int(self._rng.integers(len(countries)))]
+            city = (
+                COUNTRIES[country]
+                if self._rng.random() < 0.5
+                else CITIES[int(self._rng.integers(len(CITIES)))]
+            )
+            dept_id, dept_name = DEPARTMENTS[int(self._rng.integers(len(DEPARTMENTS)))]
+            people.append(
+                Person(
+                    person_id=f"{i + 1:04d}",
+                    name=f"{first} {last}",
+                    city=city,
+                    country=country,
+                    department_id=dept_id,
+                    department_name=dept_name,
+                )
+            )
+        return people
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+
+    def employees_table(self, n: int = 50) -> tuple[Table, list[FunctionalDependency]]:
+        """The paper's Figure-4 employee relation, with its two FDs."""
+        table = Table(
+            "employees",
+            ["employee_id", "employee_name", "department_id", "department_name"],
+        )
+        for person in self.people(n):
+            table.append(
+                [person.person_id, person.name, person.department_id, person.department_name]
+            )
+        fds = [
+            FunctionalDependency(("employee_id",), "department_id"),
+            FunctionalDependency(("department_id",), "department_name"),
+        ]
+        return table, fds
+
+    def locations_table(self, n: int = 100) -> tuple[Table, list[FunctionalDependency]]:
+        """People with country/capital columns; FD country → capital."""
+        table = Table("locations", ["person", "country", "capital", "city"])
+        for person in self.people(n):
+            table.append(
+                [person.name, person.country, COUNTRIES[person.country], person.city]
+            )
+        return table, [FunctionalDependency(("country",), "capital")]
+
+    def products(self, n: int) -> list[dict[str, object]]:
+        """Clean product entities (brand, model, category, price, year)."""
+        items = []
+        categories = list(PRODUCT_CATEGORIES)
+        for i in range(n):
+            category = categories[int(self._rng.integers(len(categories)))]
+            brand = BRANDS[int(self._rng.integers(len(BRANDS)))]
+            series = PRODUCT_CATEGORIES[category][
+                int(self._rng.integers(len(PRODUCT_CATEGORIES[category])))
+            ]
+            number = int(self._rng.integers(100, 999))
+            items.append(
+                {
+                    "product_id": f"p{i + 1:04d}",
+                    "title": f"{brand} {series} {number} {category}",
+                    "brand": brand,
+                    "category": category,
+                    "price": float(np.round(self._rng.uniform(99, 2499), 2)),
+                    "year": int(self._rng.integers(2010, 2020)),
+                }
+            )
+        return items
+
+    def restaurants(self, n: int) -> list[dict[str, object]]:
+        """Clean restaurant entities (name, address, city, cuisine, phone)."""
+        items = []
+        for i in range(n):
+            owner = LAST_NAMES[int(self._rng.integers(len(LAST_NAMES)))]
+            style = ["cafe", "bistro", "grill", "kitchen", "house"][
+                int(self._rng.integers(5))
+            ]
+            city = CITIES[int(self._rng.integers(len(CITIES)))]
+            digits = "".join(str(d) for d in self._rng.integers(0, 10, size=10))
+            items.append(
+                {
+                    "restaurant_id": f"r{i + 1:04d}",
+                    "name": f"{owner} {style}",
+                    "address": f"{int(self._rng.integers(1, 999))} "
+                    f"{STREETS[int(self._rng.integers(len(STREETS)))]}",
+                    "city": city,
+                    "cuisine": CUISINES[int(self._rng.integers(len(CUISINES)))],
+                    "phone": f"{digits[:3]}-{digits[3:6]}-{digits[6:]}",
+                }
+            )
+        return items
+
+    def citations(self, n: int) -> list[dict[str, object]]:
+        """Clean bibliography entities (title, authors, venue, year)."""
+        items = []
+        for i in range(n):
+            topic = TOPICS[int(self._rng.integers(len(TOPICS)))]
+            flavor = ["scalable", "robust", "efficient", "adaptive", "holistic",
+                      "neural", "distributed", "interactive"][int(self._rng.integers(8))]
+            n_authors = int(self._rng.integers(1, 4))
+            authors = ", ".join(
+                f"{FIRST_NAMES[int(self._rng.integers(len(FIRST_NAMES)))]} "
+                f"{LAST_NAMES[int(self._rng.integers(len(LAST_NAMES)))]}"
+                for _ in range(n_authors)
+            )
+            items.append(
+                {
+                    "paper_id": f"c{i + 1:04d}",
+                    "title": f"{flavor} {topic} {int(self._rng.integers(1, 99))}",
+                    "authors": authors,
+                    "venue": VENUES[int(self._rng.integers(len(VENUES)))],
+                    "year": int(self._rng.integers(2000, 2019)),
+                }
+            )
+        return items
+
+    # ------------------------------------------------------------------ #
+    # corpora (for embedding pre-training)
+    # ------------------------------------------------------------------ #
+
+    def corpus(self, n_sentences: int = 3000) -> list[list[str]]:
+        """A templated text corpus grounded in the world's facts.
+
+        Varies sentence templates per fact type so skip-gram sees distinct
+        contexts for countries vs capitals vs cuisines etc., which is what
+        makes the learned geometry useful for discovery and ER.
+        """
+        sentences: list[list[str]] = []
+        countries = list(COUNTRIES)
+        for _ in range(n_sentences):
+            kind = self._rng.integers(6)
+            if kind == 0:
+                country = countries[int(self._rng.integers(len(countries)))]
+                capital = COUNTRIES[country]
+                template = [
+                    f"the capital of {country} is {capital}",
+                    f"{capital} is the capital city of {country}",
+                    f"people travel from {country} to visit {capital}",
+                ][int(self._rng.integers(3))]
+            elif kind == 1:
+                first = FIRST_NAMES[int(self._rng.integers(len(FIRST_NAMES)))]
+                last = LAST_NAMES[int(self._rng.integers(len(LAST_NAMES)))]
+                city = CITIES[int(self._rng.integers(len(CITIES)))]
+                template = [
+                    f"{first} {last} lives in {city}",
+                    f"{first} {last} works in the city of {city}",
+                ][int(self._rng.integers(2))]
+            elif kind == 2:
+                brand = BRANDS[int(self._rng.integers(len(BRANDS)))]
+                category = list(PRODUCT_CATEGORIES)[
+                    int(self._rng.integers(len(PRODUCT_CATEGORIES)))
+                ]
+                template = [
+                    f"{brand} released a new {category} model this year",
+                    f"the {brand} {category} has a great price",
+                ][int(self._rng.integers(2))]
+            elif kind == 3:
+                cuisine = CUISINES[int(self._rng.integers(len(CUISINES)))]
+                city = CITIES[int(self._rng.integers(len(CITIES)))]
+                template = [
+                    f"a popular {cuisine} restaurant opened in {city}",
+                    f"the best {cuisine} food is served downtown in {city}",
+                ][int(self._rng.integers(2))]
+            elif kind == 4:
+                topic = TOPICS[int(self._rng.integers(len(TOPICS)))]
+                venue = VENUES[int(self._rng.integers(len(VENUES)))]
+                template = [
+                    f"a paper on {topic} appeared at {venue}",
+                    f"researchers presented {topic} results at the {venue} conference",
+                ][int(self._rng.integers(2))]
+            else:
+                dept_id, dept = DEPARTMENTS[int(self._rng.integers(len(DEPARTMENTS)))]
+                template = [
+                    f"the {dept} department hired new staff",
+                    f"department {dept_id} is known as {dept}",
+                ][int(self._rng.integers(2))]
+            sentences.append(template.split())
+        return sentences

@@ -1,0 +1,56 @@
+"""Data discovery (paper Section 5.1): enterprise knowledge graph,
+semantic/syntactic schema matchers, and dataset search engines."""
+
+from repro.discovery.ekg import (
+    EnterpriseKnowledgeGraph,
+    column_node,
+    external_node,
+    table_node,
+)
+from repro.discovery.matcher import (
+    ColumnLink,
+    SemanticMatcher,
+    SyntacticMatcher,
+    centered_vector_fn,
+    evaluate_links,
+    name_word_group,
+    one_to_one,
+)
+from repro.discovery.joinable import (
+    InclusionDependency,
+    enrich,
+    find_inclusion_dependencies,
+    find_joinable_columns,
+    joinability,
+)
+from repro.discovery.search import (
+    BM25SearchEngine,
+    EmbeddingSearchEngine,
+    TfIdfSearchEngine,
+    mean_reciprocal_rank,
+    table_document,
+)
+
+__all__ = [
+    "EnterpriseKnowledgeGraph",
+    "table_node",
+    "column_node",
+    "external_node",
+    "SemanticMatcher",
+    "SyntacticMatcher",
+    "ColumnLink",
+    "name_word_group",
+    "evaluate_links",
+    "one_to_one",
+    "centered_vector_fn",
+    "InclusionDependency",
+    "find_inclusion_dependencies",
+    "find_joinable_columns",
+    "joinability",
+    "enrich",
+    "EmbeddingSearchEngine",
+    "TfIdfSearchEngine",
+    "BM25SearchEngine",
+    "table_document",
+    "mean_reciprocal_rank",
+]

@@ -1,0 +1,153 @@
+"""Join discovery: which columns can enrich a relation? (paper §3.1)
+
+Among the research opportunities under distributed representations the
+paper lists **data enrichment**: "There are multiple ways to enrich a
+relation, e.g., by joining with other tables".  The prerequisite is
+finding *joinable* column pairs across the lake.  This module detects
+
+* **inclusion dependencies** — A ⊆ B up to a containment threshold, the
+  classic signal for foreign keys, and
+* **joinability** — bidirectional value overlap scored by containment.
+
+plus :func:`enrich` — actually perform the left join the discovery
+suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.table import Table
+from repro.data.types import is_missing
+
+
+def _value_set(table: Table, column: str) -> set[str]:
+    return {
+        str(v).lower() for v in table.column(column) if not is_missing(v)
+    }
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``table_a.column_a ⊆ table_b.column_b`` at the given containment."""
+
+    table_a: str
+    column_a: str
+    table_b: str
+    column_b: str
+    containment: float  # |A ∩ B| / |A|
+    distinct_a: int
+    distinct_b: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.table_a}.{self.column_a} ⊆ {self.table_b}.{self.column_b} "
+            f"({self.containment:.0%})"
+        )
+
+
+def find_inclusion_dependencies(
+    source: Table,
+    targets: list[Table],
+    min_containment: float = 0.95,
+    min_distinct: int = 2,
+) -> list[InclusionDependency]:
+    """All near-inclusion dependencies from ``source`` columns into targets.
+
+    ``min_containment < 1.0`` tolerates dirty data (a few dangling
+    values); ``min_distinct`` skips constant-ish columns that are trivially
+    contained everywhere.
+    """
+    found: list[InclusionDependency] = []
+    source_sets = {
+        c: _value_set(source, c) for c in source.columns
+    }
+    for target in targets:
+        if target.name == source.name:
+            continue
+        for target_column in target.columns:
+            target_set = _value_set(target, target_column)
+            if len(target_set) < min_distinct:
+                continue
+            for source_column, source_set in source_sets.items():
+                if len(source_set) < min_distinct:
+                    continue
+                containment = len(source_set & target_set) / len(source_set)
+                if containment >= min_containment:
+                    found.append(InclusionDependency(
+                        source.name, source_column, target.name, target_column,
+                        containment, len(source_set), len(target_set),
+                    ))
+    return sorted(found, key=lambda d: -d.containment)
+
+
+def joinability(
+    table_a: Table, column_a: str, table_b: Table, column_b: str
+) -> float:
+    """Max-containment joinability score in [0, 1].
+
+    ``max(|A∩B|/|A|, |A∩B|/|B|)`` — high when either side is (nearly)
+    contained in the other, the standard joinable-table-search measure.
+    """
+    set_a = _value_set(table_a, column_a)
+    set_b = _value_set(table_b, column_b)
+    if not set_a or not set_b:
+        return 0.0
+    overlap = len(set_a & set_b)
+    return max(overlap / len(set_a), overlap / len(set_b))
+
+
+def find_joinable_columns(
+    source: Table,
+    targets: list[Table],
+    min_score: float = 0.5,
+) -> list[tuple[str, str, str, float]]:
+    """Ranked ``(source_column, target_table, target_column, score)``."""
+    results = []
+    for target in targets:
+        if target.name == source.name:
+            continue
+        for source_column in source.columns:
+            for target_column in target.columns:
+                score = joinability(source, source_column, target, target_column)
+                if score >= min_score:
+                    results.append(
+                        (source_column, target.name, target_column, score)
+                    )
+    return sorted(results, key=lambda r: -r[3])
+
+
+def enrich(
+    source: Table,
+    target: Table,
+    source_column: str,
+    target_column: str,
+    add_columns: list[str] | None = None,
+    name: str | None = None,
+) -> Table:
+    """Left-join ``target`` onto ``source`` via the discovered column pair.
+
+    Adds ``add_columns`` (default: every non-join target column) to each
+    source row; unmatched rows get None.  On duplicate target keys the
+    first occurrence wins (deterministic).
+    """
+    add_columns = add_columns or [c for c in target.columns if c != target_column]
+    clash = [c for c in add_columns if c in source.columns]
+    if clash:
+        raise ValueError(f"enrichment columns {clash} already exist in {source.name!r}")
+    index: dict[str, int] = {}
+    for i in range(target.num_rows):
+        key = target.cell(i, target_column)
+        if not is_missing(key):
+            index.setdefault(str(key).lower(), i)
+    out = Table(name or f"{source.name}_enriched", source.columns + add_columns)
+    for i in range(source.num_rows):
+        row = list(source.row(i))
+        key = source.cell(i, source_column)
+        target_row = index.get(str(key).lower()) if not is_missing(key) else None
+        if target_row is None:
+            row.extend([None] * len(add_columns))
+        else:
+            row.extend(target.cell(target_row, c) for c in add_columns)
+        out.append(row)
+    return out

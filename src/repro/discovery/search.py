@@ -1,0 +1,237 @@
+"""Google-style dataset search over an enterprise of tables (Section 5.1).
+
+"We can envision a Google-style search engine where the analyst can enter
+certain textual description of the data that she is looking for."  Three
+retrieval models over table documents (schema words + sampled values):
+
+* :class:`EmbeddingSearchEngine` — query and tables embedded with word
+  vectors, ranked by cosine (the neural-IR route);
+* :class:`TfIdfSearchEngine` — classic TF-IDF cosine;
+* :class:`BM25SearchEngine` — Okapi BM25.
+
+All engines share the same indexing of tables so comparisons are fair.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import is_missing
+from repro.discovery.matcher import name_word_group
+from repro.text.similarity import cosine
+from repro.text.tokenize import word_tokenize
+
+VectorFn = Callable[[str], np.ndarray]
+
+
+def table_document(table: Table, value_sample: int = 30) -> list[str]:
+    """Tokenised document for a table: name + column names + sampled values."""
+    tokens: list[str] = []
+    tokens.extend(name_word_group(table.name))
+    for column in table.columns:
+        tokens.extend(name_word_group(column))
+    for column in table.columns:
+        count = 0
+        for value in table.column(column):
+            if is_missing(value):
+                continue
+            tokens.extend(word_tokenize(str(value)))
+            count += 1
+            if count >= value_sample:
+                break
+    return tokens
+
+
+class _IndexedEngine:
+    """Shared indexing: table name → token document."""
+
+    def __init__(self, value_sample: int = 30) -> None:
+        self.value_sample = value_sample
+        self.documents: dict[str, list[str]] = {}
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self.documents:
+            raise ValueError(f"table {table.name!r} already indexed")
+        self.documents[table.name] = table_document(table, self.value_sample)
+        self._reindex()
+
+    def add_tables(self, tables: list[Table]) -> None:
+        for table in tables:
+            self.add_table(table)
+
+    def _reindex(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+    def search(self, query: str, topn: int = 5) -> list[tuple[str, float]]:
+        raise NotImplementedError
+
+
+class EmbeddingSearchEngine(_IndexedEngine):
+    """Rank tables by token-level semantic matching (MaxSim).
+
+    Scoring follows the coherent-groups idea: each query token is matched
+    to its most similar document token, and the per-token maxima are
+    averaged — far more robust than comparing single mean vectors, which
+    the majority token class (e.g. person names) dominates.
+
+    ``alpha_only`` (default) drops tokens containing digits before
+    embedding: ids, phone numbers and prices carry no distributional
+    semantics, and with subword back-off their digit-n-gram vectors are
+    correlated noise that drowns the real signal.
+    """
+
+    def __init__(
+        self,
+        vector_fn: VectorFn,
+        dim: int,
+        value_sample: int = 30,
+        alpha_only: bool = True,
+        scoring: str = "maxsim",
+    ) -> None:
+        if scoring not in {"maxsim", "mean"}:
+            raise ValueError(f"scoring must be 'maxsim' or 'mean', got {scoring!r}")
+        super().__init__(value_sample)
+        self.vector_fn = vector_fn
+        self.dim = dim
+        self.alpha_only = alpha_only
+        self.scoring = scoring
+        self._table_matrices: dict[str, np.ndarray] = {}
+
+    def _reindex(self) -> None:
+        for name, tokens in self.documents.items():
+            if name not in self._table_matrices:
+                self._table_matrices[name] = self._embed(tokens)
+
+    def _embed(self, tokens: list[str]) -> np.ndarray:
+        """Matrix of usable token vectors, shape ``(n_usable, dim)``."""
+        if self.alpha_only:
+            tokens = [t for t in tokens if t.isalpha()]
+        tokens = sorted(set(tokens))
+        if not tokens:
+            return np.zeros((0, self.dim))
+        vectors = np.array([self.vector_fn(t) for t in tokens])
+        return vectors[np.linalg.norm(vectors, axis=1) > 1e-12]
+
+    def _score(self, query_matrix: np.ndarray, doc_matrix: np.ndarray) -> float:
+        if query_matrix.size == 0 or doc_matrix.size == 0:
+            return 0.0
+        if self.scoring == "mean":
+            return cosine(query_matrix.mean(axis=0), doc_matrix.mean(axis=0))
+        from repro.text.similarity import cosine_matrix
+
+        return float(cosine_matrix(query_matrix, doc_matrix).max(axis=1).mean())
+
+    def search(self, query: str, topn: int = 5) -> list[tuple[str, float]]:
+        query_matrix = self._embed(word_tokenize(query))
+        scored = [
+            (name, self._score(query_matrix, matrix))
+            for name, matrix in self._table_matrices.items()
+        ]
+        scored.sort(key=lambda item: -item[1])
+        return scored[:topn]
+
+
+class TfIdfSearchEngine(_IndexedEngine):
+    """Classic TF-IDF retrieval with cosine scoring."""
+
+    def __init__(self, value_sample: int = 30) -> None:
+        super().__init__(value_sample)
+        self._idf: dict[str, float] = {}
+        self._doc_vectors: dict[str, dict[str, float]] = {}
+
+    def _reindex(self) -> None:
+        n_docs = len(self.documents)
+        document_frequency: Counter[str] = Counter()
+        for tokens in self.documents.values():
+            document_frequency.update(set(tokens))
+        self._idf = {
+            token: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        self._doc_vectors = {}
+        for name, tokens in self.documents.items():
+            counts = Counter(tokens)
+            vec = {t: counts[t] * self._idf[t] for t in counts}
+            norm = math.sqrt(sum(w * w for w in vec.values())) or 1.0
+            self._doc_vectors[name] = {t: w / norm for t, w in vec.items()}
+
+    def search(self, query: str, topn: int = 5) -> list[tuple[str, float]]:
+        tokens = word_tokenize(query)
+        counts = Counter(tokens)
+        query_vec = {
+            t: counts[t] * self._idf.get(t, 0.0) for t in counts if t in self._idf
+        }
+        norm = math.sqrt(sum(w * w for w in query_vec.values())) or 1.0
+        scored = []
+        for name, doc_vec in self._doc_vectors.items():
+            score = sum(w / norm * doc_vec.get(t, 0.0) for t, w in query_vec.items())
+            scored.append((name, score))
+        scored.sort(key=lambda item: -item[1])
+        return scored[:topn]
+
+
+class BM25SearchEngine(_IndexedEngine):
+    """Okapi BM25 ranking (k1/b defaults per the literature)."""
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75, value_sample: int = 30) -> None:
+        super().__init__(value_sample)
+        self.k1 = k1
+        self.b = b
+        self._idf: dict[str, float] = {}
+        self._lengths: dict[str, int] = {}
+        self._counts: dict[str, Counter[str]] = {}
+        self._avg_len: float = 0.0
+
+    def _reindex(self) -> None:
+        n_docs = len(self.documents)
+        document_frequency: Counter[str] = Counter()
+        self._counts = {}
+        self._lengths = {}
+        for name, tokens in self.documents.items():
+            self._counts[name] = Counter(tokens)
+            self._lengths[name] = len(tokens)
+            document_frequency.update(set(tokens))
+        self._avg_len = (
+            sum(self._lengths.values()) / n_docs if n_docs else 0.0
+        )
+        self._idf = {
+            token: math.log(1 + (n_docs - df + 0.5) / (df + 0.5))
+            for token, df in document_frequency.items()
+        }
+
+    def search(self, query: str, topn: int = 5) -> list[tuple[str, float]]:
+        tokens = word_tokenize(query)
+        scored = []
+        for name, counts in self._counts.items():
+            length = self._lengths[name]
+            score = 0.0
+            for token in tokens:
+                tf = counts.get(token, 0)
+                if tf == 0 or token not in self._idf:
+                    continue
+                denom = tf + self.k1 * (1 - self.b + self.b * length / self._avg_len)
+                score += self._idf[token] * tf * (self.k1 + 1) / denom
+            scored.append((name, score))
+        scored.sort(key=lambda item: -item[1])
+        return scored[:topn]
+
+
+def mean_reciprocal_rank(
+    engine: _IndexedEngine, queries: list[tuple[str, str]], topn: int = 10
+) -> float:
+    """MRR over (query, expected_table) pairs."""
+    if not queries:
+        return 0.0
+    total = 0.0
+    for query, expected in queries:
+        results = engine.search(query, topn=topn)
+        for rank, (name, _) in enumerate(results, start=1):
+            if name == expected:
+                total += 1.0 / rank
+                break
+    return total / len(queries)

@@ -1,0 +1,159 @@
+"""Distributed representations of cells (paper Section 3.1).
+
+Implements the "adapted approach from word embeddings": treat each tuple as
+a document whose words are attribute values, and run skip-gram over it.
+The module deliberately exposes the knobs the paper criticises — most
+importantly the context ``window`` — so experiment E7 can demonstrate
+limitation 2 (related attributes further apart than the window never
+co-occur as training pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import is_missing
+from repro.text.similarity import cosine
+from repro.text.word2vec import SkipGram
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+def tuple_documents(
+    tables: list[Table],
+    qualify: bool = False,
+    lowercase: bool = True,
+) -> list[list[str]]:
+    """Convert relations to "tuple documents" for embedding training.
+
+    Each row becomes one document; each cell becomes one token (whole-value
+    tokens, so ``"human resources"`` is a single unit).  With
+    ``qualify=True`` tokens are prefixed by their column (``dept=finance``),
+    which separates homonyms across columns at the cost of cross-column
+    generalisation.
+    """
+    documents: list[list[str]] = []
+    for table in tables:
+        for i in range(table.num_rows):
+            doc: list[str] = []
+            for column in table.columns:
+                value = table.cell(i, column)
+                if is_missing(value):
+                    continue
+                token = str(value)
+                if lowercase:
+                    token = token.lower()
+                doc.append(f"{column}={token}" if qualify else token)
+            if doc:
+                documents.append(doc)
+    return documents
+
+
+class CellEmbedder:
+    """Tuple-as-document skip-gram cell embeddings.
+
+    Parameters mirror :class:`~repro.text.word2vec.SkipGram`; ``window``
+    defaults to a large value so that, by default, all attributes of a
+    tuple co-occur (the "safe" configuration; E7 sweeps it downward).
+    """
+
+    def __init__(
+        self,
+        dim: int = 32,
+        window: int = 16,
+        epochs: int = 10,
+        negatives: int = 5,
+        qualify: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.qualify = qualify
+        self._rng = ensure_rng(rng)
+        self.model = SkipGram(
+            dim=dim, window=window, epochs=epochs, negatives=negatives, rng=self._rng
+        )
+        self.fitted_: bool | None = None
+
+    def fit(self, tables: list[Table]) -> "CellEmbedder":
+        """Learn cell embeddings from one or more relations."""
+        documents = tuple_documents(tables, qualify=self.qualify)
+        if not documents:
+            raise ValueError("no non-empty tuples to train on")
+        self.model.fit(documents)
+        self.fitted_ = True
+        return self
+
+    def _key(self, value: object, column: str | None = None) -> str:
+        token = str(value).lower()
+        if self.qualify:
+            if column is None:
+                raise ValueError("qualified embedder needs the column name")
+            return f"{column}={token}"
+        return token
+
+    def vector(self, value: object, column: str | None = None) -> np.ndarray:
+        """Embedding of a cell value (zero vector when unseen)."""
+        check_fitted(self, "fitted_")
+        key = self._key(value, column)
+        if key in self.model:
+            return self.model.vector(key)
+        return np.zeros(self.model.dim)
+
+    def similarity(
+        self,
+        value_a: object,
+        value_b: object,
+        column_a: str | None = None,
+        column_b: str | None = None,
+    ) -> float:
+        """Cosine similarity between two cell values."""
+        return cosine(self.vector(value_a, column_a), self.vector(value_b, column_b))
+
+    def association(
+        self,
+        value_a: object,
+        value_b: object,
+        column_a: str | None = None,
+        column_b: str | None = None,
+    ) -> float:
+        """First-order co-occurrence association between two cell values
+        (the trained SGNS objective itself; see
+        :meth:`SkipGram.first_order_similarity`)."""
+        check_fitted(self, "fitted_")
+        return self.model.first_order_similarity(
+            self._key(value_a, column_a), self._key(value_b, column_b)
+        )
+
+    def most_similar(self, value: object, column: str | None = None, topn: int = 5):
+        """Nearest cells to ``value`` in embedding space."""
+        check_fitted(self, "fitted_")
+        key = self._key(value, column)
+        return self.model.most_similar(key, topn=topn)
+
+
+def cooccurrence_hit_rate(
+    table: Table,
+    column_a: str,
+    column_b: str,
+    window: int,
+    rng: np.random.Generator | int | None = 0,
+    trials: int = 2000,
+) -> float:
+    """Probability that ``column_a`` and ``column_b`` values land in the same
+    dynamic skip-gram window when the tuple is read as a document.
+
+    This is the analytical core of E7: with column distance ``d = |i - j|``
+    and dynamic window size drawn uniformly from {1..window}, the hit rate
+    is ``P(span >= d)``; the Monte-Carlo estimate here follows the exact
+    pair-generation procedure of the trainer.
+    """
+    rng = ensure_rng(rng)
+    idx_a = table.columns.index(column_a)
+    idx_b = table.columns.index(column_b)
+    distance = abs(idx_a - idx_b)
+    hits = 0
+    for _ in range(trials):
+        span = int(rng.integers(1, window + 1))
+        if span >= distance:
+            hits += 1
+    return hits / trials

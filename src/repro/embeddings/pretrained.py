@@ -1,0 +1,110 @@
+"""Pre-trained embedding store and fine-tuning (paper Sections 3.3, 6.2.5).
+
+The transfer-learning recipe the paper prescribes: pre-train embeddings
+once on a large generic corpus (cheap, unlabeled), persist them, and reuse
+them for downstream DC tasks — optionally fine-tuning on in-domain text.
+:class:`EmbeddingStore` is the persistence layer; :func:`fine_tune`
+continues SGNS training on new documents, extending the vocabulary with
+in-domain terms while keeping the pre-trained geometry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+from repro.text.word2vec import SkipGram
+from repro.utils.rng import ensure_rng
+
+
+class EmbeddingStore:
+    """Directory-backed registry of named pre-trained SkipGram models."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or "\\" in name:
+            raise ValueError(f"model name must be a bare identifier, got {name!r}")
+        return self.directory / f"{name}.npz"
+
+    def save(self, name: str, model: SkipGram) -> Path:
+        """Persist a fitted model under ``name`` (overwrites)."""
+        path = self._path(name)
+        model.save(str(path))
+        return path
+
+    def load(self, name: str) -> SkipGram:
+        """Load a model previously saved under ``name``."""
+        path = self._path(name)
+        if not path.exists():
+            raise FileNotFoundError(f"no pre-trained model named {name!r} in {self.directory}")
+        return SkipGram.load(str(path))
+
+    def names(self) -> list[str]:
+        """All stored model names."""
+        return sorted(p.stem for p in self.directory.glob("*.npz"))
+
+    def __contains__(self, name: str) -> bool:
+        return self._path(name).exists()
+
+
+def fine_tune(
+    model: SkipGram,
+    documents: list[list[str]],
+    epochs: int = 3,
+    learning_rate: float | None = None,
+    min_count: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> SkipGram:
+    """Continue training a pre-trained model on in-domain ``documents``.
+
+    Returns a **new** model: the vocabulary is the union of old and new
+    tokens; vectors of known tokens start from the pre-trained values, new
+    tokens start near zero.  A reduced learning rate (default: 40% of the
+    original) keeps pre-trained structure from being washed out.
+    """
+    rng = ensure_rng(rng)
+    merged = Vocabulary(min_count=1)
+    merged.counts.update(model.vocabulary.counts)
+    for doc in documents:
+        merged.counts.update(token for token in doc)
+    # Enforce min_count only for genuinely new tokens; pre-trained tokens stay.
+    for token in list(merged.counts):
+        new_count = merged.counts[token] - model.vocabulary.count_of(token)
+        if token not in model.vocabulary and new_count < min_count:
+            del merged.counts[token]
+    merged._rebuild()
+
+    tuned = SkipGram(
+        dim=model.dim,
+        window=model.window,
+        negatives=model.negatives,
+        epochs=epochs,
+        learning_rate=learning_rate or model.learning_rate * 0.4,
+        rng=rng,
+    )
+    tuned.vocabulary = merged
+    size = len(merged)
+    tuned.vectors_ = (rng.random((size, model.dim)) - 0.5) / model.dim
+    tuned.context_vectors_ = np.zeros((size, model.dim))
+    for token in merged.tokens:
+        if token in model.vocabulary:
+            old_id = model.vocabulary.id_of(token)
+            new_id = merged.id_of(token)
+            tuned.vectors_[new_id] = model.vectors_[old_id]
+            tuned.context_vectors_[new_id] = model.context_vectors_[old_id]
+
+    # Continue SGNS training on the new documents only.
+    encoded = [tuned.vocabulary.encode(doc) for doc in documents]
+    neg_table = tuned._negative_table()
+    for epoch in range(epochs):
+        lr = tuned.learning_rate * (1.0 - epoch / max(1, epochs))
+        lr = max(lr, tuned.learning_rate * 0.05)
+        centers, contexts = tuned._generate_pairs(encoded, None)
+        if centers.size:
+            tuned._sgd_epoch(centers, contexts, neg_table, lr, batch_size=tuned.batch_size)
+    return tuned

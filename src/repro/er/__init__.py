@@ -1,0 +1,79 @@
+"""Entity resolution: DeepER (Figure 5), LSH/attribute/token blocking,
+traditional baselines, metrics and active labelling."""
+
+from repro.er.active import (
+    ActiveLearningResult,
+    random_sampling,
+    uncertainty_sampling,
+)
+from repro.er.baselines import (
+    FeatureBasedER,
+    LogisticRegressionClassifier,
+    ThresholdMatcher,
+)
+from repro.er.blocking import AttributeBlocker, LSHBlocker, TokenBlocker
+from repro.er.clustering import (
+    cluster_metrics,
+    connected_components,
+    correlation_cluster,
+    dedupe_table,
+)
+from repro.er.deeper import DeepER, MatcherHead
+from repro.er.features import (
+    TEXT_FEATURES,
+    exact_match,
+    jaccard_tokens,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    pair_features,
+    trigram_jaccard,
+)
+from repro.er.metrics import (
+    PRF,
+    accuracy,
+    classification_prf,
+    pair_completeness,
+    precision_recall_f1,
+    reduction_ratio,
+    select_threshold,
+)
+
+__all__ = [
+    "DeepER",
+    "MatcherHead",
+    "LSHBlocker",
+    "AttributeBlocker",
+    "TokenBlocker",
+    "connected_components",
+    "correlation_cluster",
+    "dedupe_table",
+    "cluster_metrics",
+    "FeatureBasedER",
+    "LogisticRegressionClassifier",
+    "ThresholdMatcher",
+    "uncertainty_sampling",
+    "random_sampling",
+    "ActiveLearningResult",
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "jaccard_tokens",
+    "overlap_coefficient",
+    "trigram_jaccard",
+    "exact_match",
+    "numeric_similarity",
+    "pair_features",
+    "TEXT_FEATURES",
+    "PRF",
+    "precision_recall_f1",
+    "classification_prf",
+    "accuracy",
+    "reduction_ratio",
+    "pair_completeness",
+    "select_threshold",
+]

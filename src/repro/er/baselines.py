@@ -1,0 +1,168 @@
+"""Traditional (non-DL) entity-resolution baselines for experiment E1.
+
+* :class:`LogisticRegressionClassifier` — from-scratch L2-regularised
+  logistic regression (the classic ML comparator).
+* :class:`FeatureBasedER` — Magellan-style ER: hand-crafted per-attribute
+  similarity features + logistic regression.
+* :class:`ThresholdMatcher` — the "similarity function with a tuned
+  threshold" approach the paper describes as requiring expert effort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.er.features import jaccard_tokens, pair_features, trigram_jaccard
+from repro.data.types import is_missing
+from repro.utils.validation import check_fitted
+
+
+class LogisticRegressionClassifier:
+    """Binary logistic regression trained with full-batch gradient descent."""
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-3,
+        class_weight: str | None = None,
+    ) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.class_weight = class_weight
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegressionClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"features {features.shape} incompatible with labels {labels.shape}"
+            )
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        x = (features - self._mean) / self._std
+        n, d = x.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        sample_weight = np.ones(n)
+        if self.class_weight == "balanced":
+            pos = labels.sum()
+            neg = n - pos
+            if pos > 0 and neg > 0:
+                sample_weight = np.where(labels == 1, n / (2 * pos), n / (2 * neg))
+        for _ in range(self.epochs):
+            logits = x @ weights + bias
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+            error = (probs - labels) * sample_weight
+            grad_w = x.T @ error / n + self.l2 * weights
+            grad_b = error.mean()
+            weights -= self.lr * grad_w
+            bias -= self.lr * grad_b
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "weights_")
+        x = (np.asarray(features, dtype=np.float64) - self._mean) / self._std
+        logits = x @ self.weights_ + self.bias_
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+
+class FeatureBasedER:
+    """Classic learned ER over hand-crafted similarity features.
+
+    The feature vector is built by :func:`repro.er.features.pair_features`
+    — six string measures per text column plus numeric similarities — the
+    feature-engineering burden DeepER's ease-of-use claim is measured
+    against.
+    """
+
+    def __init__(
+        self,
+        text_columns: list[str],
+        numeric_columns: list[str] | None = None,
+        class_weight: str | None = "balanced",
+    ) -> None:
+        self.text_columns = list(text_columns)
+        self.numeric_columns = list(numeric_columns or [])
+        self.model = LogisticRegressionClassifier(class_weight=class_weight)
+        self.trained_: bool | None = None
+
+    def featurize(self, pairs: list[tuple[dict, dict]]) -> np.ndarray:
+        return np.array(
+            [
+                pair_features(a, b, self.text_columns, self.numeric_columns)
+                for a, b in pairs
+            ]
+        )
+
+    def fit(self, labeled_pairs: list[tuple[dict, dict, int]]) -> "FeatureBasedER":
+        pairs = [(a, b) for a, b, _ in labeled_pairs]
+        labels = np.array([label for _, _, label in labeled_pairs])
+        self.model.fit(self.featurize(pairs), labels)
+        self.trained_ = True
+        return self
+
+    def predict_proba(self, pairs: list[tuple[dict, dict]]) -> np.ndarray:
+        check_fitted(self, "trained_")
+        if not pairs:
+            return np.zeros(0)
+        return self.model.predict_proba(self.featurize(pairs))
+
+    def predict(self, pairs: list[tuple[dict, dict]], threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(pairs) >= threshold).astype(int)
+
+
+class ThresholdMatcher:
+    """Unsupervised matcher: mean token/char similarity over columns ≥ θ.
+
+    No training, but θ and the similarity mix are exactly the "associated
+    thresholds" a domain expert would have to tune by hand.
+    """
+
+    def __init__(self, columns: list[str], threshold: float = 0.5) -> None:
+        self.columns = list(columns)
+        self.threshold = threshold
+
+    def score(self, record_a: dict[str, object], record_b: dict[str, object]) -> float:
+        scores = []
+        for column in self.columns:
+            value_a, value_b = record_a.get(column), record_b.get(column)
+            if is_missing(value_a) or is_missing(value_b):
+                continue
+            a, b = str(value_a).lower(), str(value_b).lower()
+            scores.append(0.5 * jaccard_tokens(a, b) + 0.5 * trigram_jaccard(a, b))
+        return float(np.mean(scores)) if scores else 0.0
+
+    def predict_proba(self, pairs: list[tuple[dict, dict]]) -> np.ndarray:
+        return np.array([self.score(a, b) for a, b in pairs])
+
+    def predict(self, pairs: list[tuple[dict, dict]], threshold: float | None = None) -> np.ndarray:
+        threshold = self.threshold if threshold is None else threshold
+        return (self.predict_proba(pairs) >= threshold).astype(int)
+
+    def best_threshold(
+        self, labeled_pairs: list[tuple[dict, dict, int]], grid: int = 19
+    ) -> float:
+        """Tune θ on labelled pairs (the expert's manual job, automated)."""
+        from repro.er.metrics import classification_prf
+
+        labels = np.array([label for _, _, label in labeled_pairs])
+        scores = self.predict_proba([(a, b) for a, b, _ in labeled_pairs])
+        best_theta, best_f1 = self.threshold, -1.0
+        for theta in np.linspace(0.05, 0.95, grid):
+            f1 = classification_prf(labels, (scores >= theta).astype(int)).f1
+            if f1 > best_f1:
+                best_theta, best_f1 = float(theta), f1
+        self.threshold = best_theta
+        return best_theta

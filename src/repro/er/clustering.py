@@ -1,0 +1,156 @@
+"""Entity clustering: from pairwise match decisions to entity groups.
+
+ER emits pairwise scores; consolidation (the golden-record step) needs
+*clusters*.  Two standard constructions:
+
+* :func:`connected_components` — transitive closure of accepted pairs.
+  Simple, but one wrong edge glues two entities together.
+* :func:`correlation_cluster` — greedy center-based clustering that only
+  admits a record to a cluster when its *average* similarity to the
+  cluster beats the threshold, which resists single spurious edges.
+
+Also :func:`dedupe_table` — self-join ER within one table (the paper's
+duplicate-detection framing [16]) built from any pairwise matcher.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.data.table import Table
+
+Pair = tuple[str, str]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self.parent[root_b] = root_a
+
+
+def connected_components(
+    items: list[str], matched_pairs: "set[Pair] | list[Pair]"
+) -> list[list[str]]:
+    """Cluster by transitive closure over accepted match pairs.
+
+    Every item appears in exactly one cluster; unmatched items are
+    singletons.  Clusters and their members are deterministically ordered.
+    """
+    uf = _UnionFind()
+    for item in items:
+        uf.find(item)
+    for a, b in matched_pairs:
+        uf.union(a, b)
+    groups: dict[str, list[str]] = defaultdict(list)
+    for item in items:
+        groups[uf.find(item)].append(item)
+    clusters = [sorted(members) for members in groups.values()]
+    return sorted(clusters, key=lambda c: c[0])
+
+
+def correlation_cluster(
+    items: list[str],
+    score_fn: Callable[[str, str], float],
+    threshold: float = 0.5,
+) -> list[list[str]]:
+    """Greedy center-based clustering on pairwise scores.
+
+    Items are processed in order; each either joins the existing cluster
+    whose members it matches best *on average* (if that average clears
+    ``threshold``) or founds a new cluster.  One spurious high score to a
+    single member is averaged down by the rest of the cluster — the
+    robustness transitive closure lacks.
+    """
+    clusters: list[list[str]] = []
+    for item in items:
+        best_index, best_score = -1, threshold
+        for index, members in enumerate(clusters):
+            average = float(np.mean([score_fn(item, m) for m in members]))
+            if average >= best_score:
+                best_index, best_score = index, average
+        if best_index >= 0:
+            clusters[best_index].append(item)
+        else:
+            clusters.append([item])
+    return [sorted(c) for c in clusters]
+
+
+def dedupe_table(
+    table: Table,
+    id_column: str,
+    score_fn: Callable[[dict, dict], float],
+    candidate_pairs: "set[Pair] | None" = None,
+    threshold: float = 0.5,
+    method: str = "components",
+) -> list[list[str]]:
+    """Duplicate detection within one table → id clusters.
+
+    ``score_fn(record_a, record_b) -> [0, 1]`` is any pairwise matcher
+    (e.g. ``lambda a, b: matcher.predict_proba([(a, b)])[0]``).  Without
+    ``candidate_pairs`` all O(n²) pairs are scored — pass blocking output
+    for anything beyond toy sizes.
+    """
+    if method not in {"components", "correlation"}:
+        raise ValueError(f"method must be 'components' or 'correlation', got {method!r}")
+    ids = [str(v) for v in table.column(id_column)]
+    records = {i: table.row_dict(n) for n, i in enumerate(ids)}
+    if candidate_pairs is None:
+        candidate_pairs = {
+            (ids[i], ids[j]) for i in range(len(ids)) for j in range(i + 1, len(ids))
+        }
+    if method == "components":
+        matched = {
+            (a, b)
+            for a, b in candidate_pairs
+            if score_fn(records[a], records[b]) >= threshold
+        }
+        return connected_components(ids, matched)
+    score_cache: dict[frozenset, float] = {}
+    allowed = {frozenset(p) for p in candidate_pairs}
+
+    def pair_score(a: str, b: str) -> float:
+        key = frozenset((a, b))
+        if key not in allowed:
+            return 0.0
+        if key not in score_cache:
+            score_cache[key] = score_fn(records[a], records[b])
+        return score_cache[key]
+
+    return correlation_cluster(ids, pair_score, threshold=threshold)
+
+
+def cluster_metrics(
+    predicted: list[list[str]], gold: list[list[str]]
+) -> dict[str, float]:
+    """Pairwise precision/recall/F1 of a clustering vs gold clusters."""
+    def pairs(clusters: list[list[str]]) -> set[frozenset]:
+        out = set()
+        for cluster in clusters:
+            for i in range(len(cluster)):
+                for j in range(i + 1, len(cluster)):
+                    out.add(frozenset((cluster[i], cluster[j])))
+        return out
+
+    predicted_pairs = pairs(predicted)
+    gold_pairs = pairs(gold)
+    tp = len(predicted_pairs & gold_pairs)
+    precision = tp / len(predicted_pairs) if predicted_pairs else 1.0
+    recall = tp / len(gold_pairs) if gold_pairs else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

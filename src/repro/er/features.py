@@ -1,0 +1,176 @@
+"""Hand-crafted string-similarity features — the "traditional ML" toolkit.
+
+DeepER's ease-of-use claim is *relative to* classic feature engineering:
+per-attribute similarity functions with tuned thresholds.  This module
+implements those classic measures from scratch so the baseline of
+experiment E1 is a faithful comparator, and so blocking/consolidation have
+syntactic measures to work with.
+"""
+
+from __future__ import annotations
+
+from repro.data.types import is_missing
+from repro.text.tokenize import char_ngrams, word_tokenize
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance with two-row dynamic programming."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 − normalised edit distance; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    match_a = [False] * len_a
+    match_b = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not match_b[j] and b[j] == ch:
+                match_a[i] = True
+                match_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len_a):
+        if match_a[i]:
+            while not match_b[k]:
+                k += 1
+            if a[i] != b[k]:
+                transpositions += 1
+            k += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro with a bonus for common prefixes (≤ 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Jaccard similarity over word tokens."""
+    set_a = set(word_tokenize(a))
+    set_b = set(word_tokenize(b))
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """|A ∩ B| / min(|A|, |B|) over word tokens."""
+    set_a = set(word_tokenize(a))
+    set_b = set(word_tokenize(b))
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def trigram_jaccard(a: str, b: str) -> float:
+    """Jaccard over character trigrams (robust to typos)."""
+    grams_a = set(char_ngrams(a.lower(), 3, 3))
+    grams_b = set(char_ngrams(b.lower(), 3, 3))
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    return len(grams_a & grams_b) / len(grams_a | grams_b)
+
+
+def exact_match(a: str, b: str) -> float:
+    """1.0 iff the lowercased strings are identical."""
+    return 1.0 if a.lower() == b.lower() else 0.0
+
+
+def numeric_similarity(a: object, b: object) -> float:
+    """1 − relative difference, clipped at 0; 0 when unparseable."""
+    try:
+        fa, fb = float(str(a)), float(str(b))
+    except (TypeError, ValueError):
+        return 0.0
+    denom = max(abs(fa), abs(fb))
+    if denom < 1e-12:
+        return 1.0
+    return max(0.0, 1.0 - abs(fa - fb) / denom)
+
+
+TEXT_FEATURES = {
+    "levenshtein": levenshtein_similarity,
+    "jaro_winkler": jaro_winkler,
+    "jaccard": jaccard_tokens,
+    "overlap": overlap_coefficient,
+    "trigram": trigram_jaccard,
+    "exact": exact_match,
+}
+
+
+def pair_features(
+    record_a: dict[str, object],
+    record_b: dict[str, object],
+    text_columns: list[str],
+    numeric_columns: list[str] | None = None,
+) -> list[float]:
+    """Classic ER feature vector: every text feature per text column, one
+    numeric-similarity feature per numeric column, plus per-column
+    missingness indicators.  Missing values yield 0 similarity and set the
+    indicator, mirroring Magellan-style featurisation."""
+    features: list[float] = []
+    for column in text_columns:
+        value_a, value_b = record_a.get(column), record_b.get(column)
+        if is_missing(value_a) or is_missing(value_b):
+            features.extend([0.0] * len(TEXT_FEATURES) + [1.0])
+            continue
+        a, b = str(value_a).lower(), str(value_b).lower()
+        features.extend(fn(a, b) for fn in TEXT_FEATURES.values())
+        features.append(0.0)
+    for column in numeric_columns or []:
+        value_a, value_b = record_a.get(column), record_b.get(column)
+        if is_missing(value_a) or is_missing(value_b):
+            features.extend([0.0, 1.0])
+        else:
+            features.extend([numeric_similarity(value_a, value_b), 0.0])
+    return features

@@ -1,0 +1,100 @@
+"""Evaluation metrics for entity resolution and blocking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def __str__(self) -> str:
+        return f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+
+
+def precision_recall_f1(predicted: "set | list", gold: "set | list") -> PRF:
+    """PRF of a predicted match set against the gold match set."""
+    predicted = set(predicted)
+    gold = set(gold)
+    true_positives = len(predicted & gold)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(gold) if gold else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return PRF(precision, recall, f1)
+
+
+def classification_prf(y_true: np.ndarray, y_pred: np.ndarray) -> PRF:
+    """PRF for binary label arrays (positive class = 1)."""
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return PRF(precision, recall, f1)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def select_threshold(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    metric: str = "f1",
+    grid: int = 37,
+) -> tuple[float, float]:
+    """Pick the decision threshold maximising F1 (or precision/recall) on a
+    validation set.
+
+    Deployment skew rarely matches training skew (see §6.1 and E11), so a
+    fixed 0.5 threshold is usually wrong; calibrate on held-out pairs
+    instead.  Returns ``(threshold, score_at_threshold)``.
+    """
+    if metric not in {"f1", "precision", "recall"}:
+        raise ValueError(f"metric must be f1/precision/recall, got {metric!r}")
+    probabilities = np.asarray(probabilities)
+    labels = np.asarray(labels).astype(int)
+    if probabilities.shape != labels.shape:
+        raise ValueError(
+            f"probabilities {probabilities.shape} and labels {labels.shape} differ"
+        )
+    best_threshold, best_score = 0.5, -1.0
+    for threshold in np.linspace(0.025, 0.975, grid):
+        prf = classification_prf(labels, (probabilities >= threshold).astype(int))
+        score = getattr(prf, metric)
+        if score > best_score:
+            best_threshold, best_score = float(threshold), float(score)
+    return best_threshold, best_score
+
+
+def reduction_ratio(n_candidates: int, n_total_pairs: int) -> float:
+    """Fraction of the cross product that blocking eliminated."""
+    if n_total_pairs == 0:
+        return 0.0
+    return 1.0 - n_candidates / n_total_pairs
+
+
+def pair_completeness(candidates: "set | list", gold_matches: "set | list") -> float:
+    """Fraction of gold matches surviving blocking (blocking recall)."""
+    gold_matches = set(gold_matches)
+    if not gold_matches:
+        return 1.0
+    return len(set(candidates) & gold_matches) / len(gold_matches)

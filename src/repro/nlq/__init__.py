@@ -1,0 +1,19 @@
+"""Natural-language querying of relations — EchoQuery-style, with a
+personalized vocabulary (paper §5.3, "Alexa/Siri/Cortana for Data
+Curation")."""
+
+from repro.nlq.engine import Answer, QueryEngine, ResolutionError
+from repro.nlq.parser import Filter, ParsedQuery, ParseError, parse
+from repro.nlq.vocabulary import PersonalVocabulary, Resolution
+
+__all__ = [
+    "parse",
+    "ParsedQuery",
+    "Filter",
+    "ParseError",
+    "PersonalVocabulary",
+    "Resolution",
+    "QueryEngine",
+    "Answer",
+    "ResolutionError",
+]

@@ -1,0 +1,160 @@
+"""Natural-language query execution over a :class:`Table` (paper §5.3).
+
+"Recent work such as EchoQuery provided a hands-free, dialogue based
+querying of databases with a personalized vocabulary."  The engine glues
+the rule parser to the personalized vocabulary and executes against the
+relation, answering with both the result and an explanation of how each
+user term was resolved — the dialogue hook ("by salary I assumed you
+meant the compensation column").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import coerce_numeric, is_missing
+from repro.nlq.parser import Filter, ParsedQuery, parse
+from repro.nlq.vocabulary import PersonalVocabulary, Resolution
+
+
+class ResolutionError(ValueError):
+    """A user term could not be mapped to a column."""
+
+    def __init__(self, term: str, suggestions: tuple[str, ...]) -> None:
+        hint = f"; did you mean one of {list(suggestions)}?" if suggestions else ""
+        super().__init__(f"I don't know what {term!r} refers to{hint}")
+        self.term = term
+        self.suggestions = suggestions
+
+
+@dataclass
+class Answer:
+    """Query result + provenance."""
+
+    query: ParsedQuery
+    value: object  # Table for selects, number for aggregates, dict for group-by
+    resolutions: list[Resolution] = field(default_factory=list)
+
+    def explanation(self) -> str:
+        parts = []
+        for res in self.resolutions:
+            if res.source not in ("exact",):
+                parts.append(f"{res.term!r} -> column {res.column!r} ({res.source})")
+        return "; ".join(parts) if parts else "all terms matched schema directly"
+
+
+class QueryEngine:
+    """Ask questions of one table in plain language."""
+
+    def __init__(self, table: Table, vocabulary: PersonalVocabulary | None = None) -> None:
+        self.table = table
+        self.vocabulary = vocabulary or PersonalVocabulary(table)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def ask(self, question: str) -> Answer:
+        """Parse, resolve and execute ``question``."""
+        query = parse(question)
+        resolutions: list[Resolution] = []
+
+        target_column = None
+        if query.target_term is not None:
+            target_column = self._resolve(query.target_term, resolutions)
+        group_column = None
+        if query.group_term is not None:
+            group_column = self._resolve(query.group_term, resolutions)
+        predicates = [
+            (self._resolve(f.column_term, resolutions), f) for f in query.filters
+        ]
+
+        rows = self._matching_rows(predicates)
+        if query.action == "select":
+            value: object = self._select(rows, target_column)
+        elif query.action == "count":
+            value = self._grouped(rows, group_column, lambda idx: len(idx)) \
+                if group_column else len(rows)
+        else:
+            if target_column is None:
+                raise ResolutionError("<aggregate target>", tuple(self.table.columns))
+            if group_column:
+                value = self._grouped(
+                    rows, group_column,
+                    lambda idx: self._aggregate(idx, target_column, query.action),
+                )
+            else:
+                value = self._aggregate(rows, target_column, query.action)
+        return Answer(query, value, resolutions)
+
+    def teach(self, term: str, column: str) -> None:
+        """Dialogue hook: 'when I say X I mean column Y'."""
+        self.vocabulary.learn(term, column)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, term: str, log: list[Resolution]) -> str:
+        resolution = self.vocabulary.resolve(term)
+        log.append(resolution)
+        if resolution.column is None:
+            raise ResolutionError(term, resolution.suggestions)
+        return resolution.column
+
+    def _matching_rows(self, predicates: list[tuple[str, Filter]]) -> list[int]:
+        rows = []
+        for i in range(self.table.num_rows):
+            if all(self._test(i, column, f) for column, f in predicates):
+                rows.append(i)
+        return rows
+
+    def _test(self, row: int, column: str, f: Filter) -> bool:
+        cell = self.table.cell(row, column)
+        if is_missing(cell):
+            return False
+        if f.op == "eq":
+            return str(cell).lower() == f.value.lower()
+        if f.op == "contains":
+            return f.value.lower() in str(cell).lower()
+        cell_number = coerce_numeric(cell)
+        value_number = coerce_numeric(f.value)
+        if cell_number is None or value_number is None:
+            return False
+        return cell_number > value_number if f.op == "gt" else cell_number < value_number
+
+    def _select(self, rows: list[int], column: str | None) -> Table:
+        subset = self.table.take(rows, name=f"{self.table.name}_answer")
+        if column is not None:
+            subset = subset.project([column], name=subset.name)
+        return subset
+
+    def _aggregate(self, rows: list[int], column: str, action: str) -> float | None:
+        values = [
+            coerce_numeric(self.table.cell(i, column))
+            for i in rows
+            if not is_missing(self.table.cell(i, column))
+        ]
+        values = [v for v in values if v is not None]
+        if not values:
+            return None
+        if action == "avg":
+            return float(np.mean(values))
+        if action == "sum":
+            return float(np.sum(values))
+        if action == "max":
+            return float(np.max(values))
+        if action == "min":
+            return float(np.min(values))
+        raise ValueError(f"unknown aggregate {action!r}")
+
+    def _grouped(self, rows: list[int], group_column: str, fn) -> dict[object, object]:
+        groups: dict[object, list[int]] = {}
+        for i in rows:
+            key = self.table.cell(i, group_column)
+            if not is_missing(key):
+                groups.setdefault(key, []).append(i)
+        return {key: fn(idx) for key, idx in sorted(groups.items(), key=lambda kv: str(kv[0]))}

@@ -1,0 +1,144 @@
+"""Rule-based parser for natural-language table queries (paper §5.3).
+
+Supported question shapes (case-insensitive)::
+
+    show <column> [where <column> is <value>]
+    list <column> of <anything> with <column> <op> <value>
+    how many <rows|things> [where ...]
+    count [rows] where <column> is <value>
+    average|mean|total|sum|max|min <column> [by <column>] [where ...]
+    what is the <agg> <column> ...
+
+Filters support ``is/equals/of``, ``over/above/greater than``,
+``under/below/less than`` and ``contains``.  Terms are *not* resolved to
+columns here — the parser produces raw user words; the engine resolves
+them through the personalized vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_AGGREGATES = {
+    "average": "avg", "mean": "avg", "avg": "avg",
+    "total": "sum", "sum": "sum",
+    "max": "max", "maximum": "max", "highest": "max", "largest": "max",
+    "min": "min", "minimum": "min", "lowest": "min", "smallest": "min",
+    "count": "count", "many": "count", "number": "count",
+}
+
+_OPS = [
+    (r"(?:is|equals?|=|of)", "eq"),
+    (r"(?:over|above|greater than|more than|>)", "gt"),
+    (r"(?:under|below|less than|fewer than|<)", "lt"),
+    (r"contains?", "contains"),
+]
+
+_FILTER_RE = re.compile(
+    r"(?:where|with|whose|for)\s+(?P<column>[\w\s]+?)\s+"
+    + "(?P<op>" + "|".join(pattern for pattern, _ in _OPS) + r")\s+"
+    + r"(?P<value>[\w\.\-]+(?:\s+[\w\.\-]+)*?)(?=$|\s+(?:and|where|with|whose|for)\b)",
+    re.IGNORECASE,
+)
+
+_OP_LOOKUP = [(re.compile(f"^{pattern}$", re.IGNORECASE), name) for pattern, name in _OPS]
+
+
+class ParseError(ValueError):
+    """The utterance does not match any supported query shape."""
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One predicate: raw user column term, operator, raw value text."""
+
+    column_term: str
+    op: str  # eq | gt | lt | contains
+    value: str
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Structured form of an utterance, pre-vocabulary-resolution."""
+
+    action: str  # "select" | "count" | "avg" | "sum" | "max" | "min"
+    target_term: str | None  # raw user words for the target column
+    filters: tuple[Filter, ...] = ()
+    group_term: str | None = None
+
+
+def _normalise(text: str) -> str:
+    text = text.strip().rstrip("?.!").lower()
+    return re.sub(r"\s+", " ", text)
+
+
+def _extract_filters(text: str) -> tuple[str, tuple[Filter, ...]]:
+    filters = []
+    for match in _FILTER_RE.finditer(text):
+        op_text = match.group("op")
+        op = next(name for rx, name in _OP_LOOKUP if rx.match(op_text))
+        filters.append(
+            Filter(match.group("column").strip(), op, match.group("value").strip())
+        )
+    head = _FILTER_RE.sub("", text).strip()
+    head = re.sub(r"\s+(?:and|where|with|whose|for)\s*$", "", head).strip()
+    return head, tuple(filters)
+
+
+def parse(text: str) -> ParsedQuery:
+    """Parse an utterance into a :class:`ParsedQuery`.
+
+    Raises :class:`ParseError` with a helpful message when nothing matches.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty question")
+    normalised = _normalise(text)
+    head, filters = _extract_filters(normalised)
+
+    # Count questions.
+    count_match = re.match(
+        r"^(?:how many|count(?: the)?(?: number of)?)\s*(?P<rest>.*)$", head
+    )
+    if count_match:
+        rest = count_match.group("rest").strip()
+        group = _group_term(rest)
+        return ParsedQuery("count", None, filters, group)
+
+    # Aggregate questions.
+    agg_match = re.match(
+        r"^(?:what(?: is|'s)? the\s+)?(?P<agg>\w+)\s+(?P<rest>.+)$", head
+    )
+    if agg_match and agg_match.group("agg") in _AGGREGATES:
+        action = _AGGREGATES[agg_match.group("agg")]
+        rest = agg_match.group("rest").strip()
+        group = _group_term(rest)
+        if group:
+            rest = re.sub(r"\s+(?:by|per|for each)\s+[\w\s]+$", "", rest).strip()
+        target = re.sub(r"^(?:of\s+)?(?:the\s+)?", "", rest).strip() or None
+        return ParsedQuery(action, target, filters, group)
+
+    # Selection questions.
+    select_match = re.match(
+        r"^(?:show|list|get|give me|display|what are)\s+(?:the\s+|all\s+)?(?P<rest>.+)$",
+        head,
+    )
+    if select_match:
+        rest = select_match.group("rest").strip()
+        # "names of restaurants" -> target "names".
+        rest = re.split(r"\s+of\s+|\s+in\s+the\s+table", rest)[0].strip()
+        return ParsedQuery("select", rest or None, filters)
+
+    if filters and not head:
+        return ParsedQuery("select", None, filters)
+    raise ParseError(
+        f"could not understand {text!r}; try 'show <column> where <column> is "
+        f"<value>', 'how many ... where ...' or 'average <column> by <column>'"
+    )
+
+
+def _group_term(text: str) -> str | None:
+    match = re.search(r"\s(?:by|per|for each)\s+(?P<group>[\w\s]+)$", f" {text}")
+    if match:
+        return match.group("group").strip()
+    return None

@@ -1,0 +1,102 @@
+"""Personalized vocabulary for natural-language querying (paper §5.3).
+
+EchoQuery's key feature, per the paper: "it can automatically learn the
+terms used by domain experts to refer to certain concepts that might be
+different from schema elements".  :class:`PersonalVocabulary` resolves a
+user's word to a column via (in priority order) learned personal synonyms,
+exact/partial name matches, and embedding similarity over the column-name
+word groups — and it *learns*: a confirmed resolution is remembered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.discovery.matcher import name_word_group
+from repro.text.similarity import coherent_group_similarity
+
+VectorFn = Callable[[str], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one user term."""
+
+    term: str
+    column: str | None
+    confidence: float
+    source: str  # "personal" | "exact" | "partial" | "semantic" | "none"
+    suggestions: tuple[str, ...] = ()
+
+
+class PersonalVocabulary:
+    """Term → column resolver with per-user learned synonyms."""
+
+    def __init__(
+        self,
+        table: Table,
+        vector_fn: VectorFn | None = None,
+        semantic_threshold: float = 0.35,
+    ) -> None:
+        self.table = table
+        self.vector_fn = vector_fn
+        self.semantic_threshold = semantic_threshold
+        self._synonyms: dict[str, str] = {}
+        self._groups = {c: name_word_group(c) for c in table.columns}
+
+    # ------------------------------------------------------------------ #
+    # learning
+    # ------------------------------------------------------------------ #
+
+    def learn(self, term: str, column: str) -> None:
+        """Record that this user's ``term`` means ``column``."""
+        if column not in self.table.columns:
+            raise KeyError(f"no column {column!r} in table {self.table.name!r}")
+        self._synonyms[term.lower()] = column
+
+    def forget(self, term: str) -> None:
+        self._synonyms.pop(term.lower(), None)
+
+    @property
+    def learned_terms(self) -> dict[str, str]:
+        return dict(self._synonyms)
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, term: str) -> Resolution:
+        """Resolve a user term to a column, best effort with provenance."""
+        lowered = term.lower()
+        if lowered in self._synonyms:
+            return Resolution(term, self._synonyms[lowered], 1.0, "personal")
+        # Exact column name or exact word-group match.
+        for column, group in self._groups.items():
+            if lowered == column.lower() or [lowered] == group:
+                return Resolution(term, column, 1.0, "exact")
+        # Partial: the term is one of the column's name words.
+        partial = [c for c, group in self._groups.items() if lowered in group]
+        if len(partial) == 1:
+            return Resolution(term, partial[0], 0.8, "partial")
+        if len(partial) > 1:
+            return Resolution(
+                term, None, 0.0, "none", suggestions=tuple(sorted(partial))
+            )
+        # Semantic: embedding similarity between term and name groups.
+        if self.vector_fn is not None:
+            scored = [
+                (coherent_group_similarity([lowered], group, self.vector_fn), column)
+                for column, group in self._groups.items()
+            ]
+            scored.sort(reverse=True)
+            best_score, best_column = scored[0]
+            if best_score >= self.semantic_threshold:
+                runner_up = scored[1][0] if len(scored) > 1 else -1.0
+                if best_score > runner_up + 1e-9:
+                    return Resolution(term, best_column, float(best_score), "semantic")
+        suggestions = tuple(sorted(self.table.columns)[:3])
+        return Resolution(term, None, 0.0, "none", suggestions=suggestions)

@@ -1,0 +1,104 @@
+"""From-scratch deep-learning substrate (the paper's Section 2, executable).
+
+Provides reverse-mode autograd tensors, the layer/architecture zoo of
+Figure 2 (fully-connected nets, RNN/LSTM/GRU, autoencoder variants, GAN),
+losses with cost-sensitive options, optimizers and a generic trainer.
+"""
+
+from repro.nn.conv import CharCNN, Conv1d, GlobalMaxPool1d, MaxPool1d
+from repro.nn.autoencoder import (
+    Autoencoder,
+    DenoisingAutoencoder,
+    SparseAutoencoder,
+    VAE,
+)
+from repro.nn.gan import GAN
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    mlp,
+)
+from repro.nn.losses import (
+    bce_with_logits,
+    cross_entropy,
+    kl_divergence_gaussian,
+    mae_loss,
+    mse_loss,
+    sparsity_penalty,
+)
+from repro.nn.optim import (
+    Adam,
+    AdaGrad,
+    ExponentialDecay,
+    Optimizer,
+    RMSProp,
+    SGD,
+    StepDecay,
+    clip_grad_norm,
+)
+from repro.nn.rnn import BiLSTM, GRUCell, LSTM, LSTMCell, RNNCell, SequenceEncoder
+from repro.nn.tensor import Tensor, concat, log_softmax, softmax, stack, where
+from repro.nn.training import EarlyStopping, Trainer, TrainingHistory, iterate_minibatches
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "softmax",
+    "log_softmax",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Sequential",
+    "mlp",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "LSTM",
+    "BiLSTM",
+    "SequenceEncoder",
+    "Conv1d",
+    "MaxPool1d",
+    "GlobalMaxPool1d",
+    "CharCNN",
+    "Autoencoder",
+    "SparseAutoencoder",
+    "DenoisingAutoencoder",
+    "VAE",
+    "GAN",
+    "mse_loss",
+    "mae_loss",
+    "bce_with_logits",
+    "cross_entropy",
+    "kl_divergence_gaussian",
+    "sparsity_penalty",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdaGrad",
+    "RMSProp",
+    "StepDecay",
+    "ExponentialDecay",
+    "clip_grad_norm",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "iterate_minibatches",
+]

@@ -1,0 +1,204 @@
+"""Autoencoder family from the paper's architecture zoo (Figure 2(e)-(h)).
+
+* :class:`Autoencoder` — plain bottleneck AE for representation learning.
+* :class:`SparseAutoencoder` — k-sparse / KL-penalised hidden code (Fig. 2(f)).
+* :class:`DenoisingAutoencoder` — reconstructs clean input from a corrupted
+  version (Fig. 2(g)); the engine behind MIDA-style multiple imputation
+  (Section 5.3) and robust representations.
+* :class:`VAE` — variational autoencoder with reparameterised Gaussian latent
+  (Fig. 2(h)); used for synthetic tabular data generation (Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module, Sequential, Sigmoid, Tanh, mlp
+from repro.nn.losses import kl_divergence_gaussian, mse_loss, sparsity_penalty
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+
+class Autoencoder(Module):
+    """Bottleneck autoencoder ``x → encode → z → decode → x̂``.
+
+    ``hidden_sizes`` describes the encoder stack; the decoder mirrors it.
+    The last entry is the latent dimension ``d' < d``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: list[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not hidden_sizes:
+            raise ValueError("hidden_sizes must list at least the latent dim")
+        rng = ensure_rng(rng)
+        self.input_dim = input_dim
+        self.latent_dim = hidden_sizes[-1]
+        self.encoder = mlp([input_dim] + hidden_sizes, activation=Tanh, rng=rng)
+        self.decoder = mlp(list(reversed(hidden_sizes)) + [input_dim], activation=Tanh, rng=rng)
+
+    def encode(self, x: Tensor) -> Tensor:
+        return self.encoder(x)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.decoder(z)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decode(self.encode(x))
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Per-row squared reconstruction error (outlier score)."""
+        self.eval()
+        recon = self(Tensor(x)).data
+        self.train()
+        return ((recon - x) ** 2).mean(axis=1)
+
+    def loss(self, x: Tensor) -> Tensor:
+        return mse_loss(self(x), x.detach())
+
+
+class SparseAutoencoder(Autoencoder):
+    """Autoencoder with a sparsity-regularised hidden code.
+
+    Supports both the KL-penalty formulation (``sparsity_weight`` and
+    ``target_rho``) and hard k-sparsity (``k`` largest components kept, the
+    rest zeroed) described in Section 2.1.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: list[int],
+        sparsity_weight: float = 0.1,
+        target_rho: float = 0.05,
+        k: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        super().__init__(input_dim, hidden_sizes, rng=rng)
+        # Sigmoid latent so activations live in (0, 1) for the KL penalty.
+        self.encoder = mlp(
+            [input_dim] + hidden_sizes, activation=Tanh, output_activation=Sigmoid, rng=rng
+        )
+        self.sparsity_weight = sparsity_weight
+        self.target_rho = target_rho
+        self.k = k
+
+    def encode(self, x: Tensor) -> Tensor:
+        code = self.encoder(x)
+        if self.k is not None:
+            code = self._k_sparse(code)
+        return code
+
+    def _k_sparse(self, code: Tensor) -> Tensor:
+        """Zero all but the k largest components per row (straight-through)."""
+        k = min(self.k, code.shape[-1])
+        thresholds = np.partition(code.data, -k, axis=-1)[:, -k][:, None]
+        mask = code.data >= thresholds
+        return code * Tensor(mask.astype(np.float64))
+
+    def loss(self, x: Tensor) -> Tensor:
+        code = self.encode(x)
+        recon = self.decode(code)
+        loss = mse_loss(recon, x.detach())
+        if self.k is None and self.sparsity_weight > 0:
+            loss = loss + self.sparsity_weight * sparsity_penalty(code, self.target_rho)
+        return loss
+
+
+class DenoisingAutoencoder(Autoencoder):
+    """Denoising autoencoder: corrupt the input, reconstruct the original.
+
+    ``corruption`` is the probability that each input component is zeroed
+    (masking noise); ``gaussian_noise`` optionally adds N(0, sigma) jitter.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: list[int],
+        corruption: float = 0.3,
+        gaussian_noise: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not 0.0 <= corruption < 1.0:
+            raise ValueError(f"corruption must be in [0, 1), got {corruption}")
+        rng = ensure_rng(rng)
+        super().__init__(input_dim, hidden_sizes, rng=rng)
+        self.corruption = corruption
+        self.gaussian_noise = gaussian_noise
+        self._rng = rng
+
+    def corrupt(self, x: np.ndarray) -> np.ndarray:
+        """Stochastically corrupt a batch (masking + optional Gaussian)."""
+        corrupted = np.array(x, dtype=np.float64, copy=True)
+        if self.corruption > 0:
+            mask = self._rng.random(corrupted.shape) < self.corruption
+            corrupted[mask] = 0.0
+        if self.gaussian_noise > 0:
+            corrupted += self._rng.normal(0.0, self.gaussian_noise, size=corrupted.shape)
+        return corrupted
+
+    def loss(self, x: Tensor) -> Tensor:
+        noisy = Tensor(self.corrupt(x.data))
+        recon = self.decode(self.encode(noisy))
+        return mse_loss(recon, x.detach())
+
+
+class VAE(Module):
+    """Variational autoencoder with a diagonal-Gaussian latent space.
+
+    The encoder outputs ``(mu, log_var)``; sampling uses the
+    reparameterisation trick so gradients flow through the noise.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        latent_dim: int,
+        beta: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.beta = beta
+        self._rng = rng
+        self.encoder_body = Sequential(Linear(input_dim, hidden_dim, rng=rng), Tanh())
+        self.mu_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.log_var_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.decoder = Sequential(
+            Linear(latent_dim, hidden_dim, rng=rng), Tanh(), Linear(hidden_dim, input_dim, rng=rng)
+        )
+
+    def encode(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        body = self.encoder_body(x)
+        return self.mu_head(body), self.log_var_head(body).clip(-10.0, 10.0)
+
+    def reparameterize(self, mu: Tensor, log_var: Tensor) -> Tensor:
+        eps = Tensor(self._rng.normal(size=mu.shape))
+        return mu + (log_var * 0.5).exp() * eps
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.decoder(z)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+        mu, log_var = self.encode(x)
+        z = self.reparameterize(mu, log_var)
+        return self.decode(z), mu, log_var
+
+    def loss(self, x: Tensor) -> Tensor:
+        recon, mu, log_var = self(x)
+        return mse_loss(recon, x.detach()) + self.beta * kl_divergence_gaussian(mu, log_var)
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` synthetic rows by decoding latent-prior samples."""
+        self.eval()
+        z = Tensor(self._rng.normal(size=(n, self.latent_dim)))
+        out = self.decode(z).data
+        self.train()
+        return out

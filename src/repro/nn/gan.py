@@ -1,0 +1,119 @@
+"""Generative adversarial network (Figure 2(i)) for tabular vectors.
+
+A generator maps latent noise to data-space vectors; a discriminator scores
+real vs generated rows.  Training alternates discriminator and generator
+updates with the non-saturating generator loss.  Used by
+``repro.synth.gan_tabular`` for synthetic data generation (Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import LeakyReLU, Module, Sequential, Tanh, mlp
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+
+class GAN(Module):
+    """Vanilla GAN over fixed-width real-valued rows.
+
+    Parameters
+    ----------
+    data_dim:
+        Width of each data row.
+    latent_dim:
+        Width of the generator's noise input.
+    hidden_dim:
+        Hidden width of both networks.
+    """
+
+    def __init__(
+        self,
+        data_dim: int,
+        latent_dim: int = 16,
+        hidden_dim: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.data_dim = data_dim
+        self.latent_dim = latent_dim
+        self._rng = rng
+        self.generator: Sequential = mlp(
+            [latent_dim, hidden_dim, hidden_dim, data_dim], activation=Tanh, rng=rng
+        )
+        self.discriminator: Sequential = mlp(
+            [data_dim, hidden_dim, hidden_dim, 1], activation=LeakyReLU, rng=rng
+        )
+
+    def sample_latent(self, n: int) -> Tensor:
+        return Tensor(self._rng.normal(size=(n, self.latent_dim)))
+
+    def generate(self, n: int) -> np.ndarray:
+        """Produce ``n`` synthetic rows (inference mode, no graph)."""
+        self.eval()
+        out = self.generator(self.sample_latent(n)).data
+        self.train()
+        return out
+
+    def fit(
+        self,
+        data: np.ndarray,
+        epochs: int = 100,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        d_steps: int = 1,
+        verbose: bool = False,
+    ) -> dict[str, list[float]]:
+        """Adversarial training loop; returns per-epoch loss history.
+
+        History also tracks the discriminator's accuracy on real+fake rows —
+        convergence towards 0.5 is the "forger fools the dealer" signal the
+        paper describes, and its failure to converge is GAN instability
+        (Section 6.2.3's noted GAN con).
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != self.data_dim:
+            raise ValueError(f"data must be (n, {self.data_dim}), got {data.shape}")
+        g_opt = Adam(self.generator.parameters(), lr=lr)
+        d_opt = Adam(self.discriminator.parameters(), lr=lr)
+        history: dict[str, list[float]] = {"d_loss": [], "g_loss": [], "d_accuracy": []}
+        n = data.shape[0]
+        for epoch in range(epochs):
+            order = self._rng.permutation(n)
+            d_losses, g_losses, accs = [], [], []
+            for start in range(0, n, batch_size):
+                batch = data[order[start : start + batch_size]]
+                m = batch.shape[0]
+                for _ in range(d_steps):
+                    fake = self.generator(self.sample_latent(m)).detach()
+                    real_logits = self.discriminator(Tensor(batch))
+                    fake_logits = self.discriminator(fake)
+                    d_loss = bce_with_logits(
+                        real_logits, np.ones((m, 1))
+                    ) + bce_with_logits(fake_logits, np.zeros((m, 1)))
+                    d_opt.zero_grad()
+                    d_loss.backward()
+                    d_opt.step()
+                    correct = (real_logits.data > 0).sum() + (fake_logits.data <= 0).sum()
+                    accs.append(correct / (2.0 * m))
+                    d_losses.append(d_loss.item())
+                # Non-saturating generator objective: maximise D(G(z)).
+                gen_logits = self.discriminator(self.generator(self.sample_latent(m)))
+                g_loss = bce_with_logits(gen_logits, np.ones((m, 1)))
+                g_opt.zero_grad()
+                g_loss.backward()
+                g_opt.step()
+                g_losses.append(g_loss.item())
+            history["d_loss"].append(float(np.mean(d_losses)))
+            history["g_loss"].append(float(np.mean(g_losses)))
+            history["d_accuracy"].append(float(np.mean(accs)))
+            if verbose and (epoch + 1) % 10 == 0:
+                print(
+                    f"epoch {epoch + 1}: d_loss={history['d_loss'][-1]:.4f} "
+                    f"g_loss={history['g_loss'][-1]:.4f} "
+                    f"d_acc={history['d_accuracy'][-1]:.3f}"
+                )
+        return history

@@ -1,0 +1,59 @@
+"""Numeric gradient checking used by the test suite.
+
+Compares reverse-mode gradients against central finite differences for any
+scalar-valued function of a set of tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor.data``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    tensors: list[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd and numeric gradients agree for every tensor.
+
+    ``fn`` must rebuild the graph on every call (it is invoked repeatedly
+    with perturbed inputs).  Raises ``AssertionError`` with the offending
+    tensor index and max deviation on mismatch.
+    """
+    out = fn()
+    for tensor in tensors:
+        tensor.zero_grad()
+    out.backward()
+    analytic = [t.grad.copy() if t.grad is not None else np.zeros_like(t.data) for t in tensors]
+    for idx, tensor in enumerate(tensors):
+        numeric = numeric_gradient(fn, tensor, eps=eps)
+        if not np.allclose(analytic[idx], numeric, atol=atol, rtol=rtol):
+            deviation = np.abs(analytic[idx] - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for tensor {idx}: max deviation {deviation:.3e}\n"
+                f"analytic:\n{analytic[idx]}\nnumeric:\n{numeric}"
+            )

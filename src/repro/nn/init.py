@@ -1,0 +1,65 @@
+"""Weight initialisers for the neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, suited to tanh/sigmoid layers."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """He/Kaiming normal initialisation, suited to ReLU layers."""
+    rng = ensure_rng(rng)
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def uniform(
+    shape: tuple[int, ...],
+    scale: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Uniform initialisation in ``[-scale, scale]`` (embedding tables)."""
+    rng = ensure_rng(rng)
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(
+    shape: tuple[int, int], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Orthogonal initialisation, recommended for recurrent weight matrices."""
+    rng = ensure_rng(rng)
+    rows, cols = shape
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

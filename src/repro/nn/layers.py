@@ -1,0 +1,282 @@
+"""Neural-network layers built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+Implements the building blocks of the paper's architecture zoo (Figure 2):
+fully-connected layers, embeddings, dropout, layer normalisation and
+activation modules, plus the :class:`Module`/:class:`Sequential` composition
+machinery used throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data: np.ndarray, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` discovers them recursively so optimizers
+    can update a whole model without manual bookkeeping.
+    """
+
+    training: bool = True
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect_parameters(params, seen)
+        return params
+
+    def _collect_parameters(self, params: list[Parameter], seen: set[int]) -> None:
+        for value in self.__dict__.values():
+            self._collect_from(value, params, seen)
+
+    def _collect_from(self, value: object, params: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, Module):
+            value._collect_parameters(params, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_from(item, params, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_from(item, params, seen)
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module, depth first."""
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Put the module (and children) in training mode (dropout active)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and children) in inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (the paper's model *capacity*)."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping from parameter index to a copy of its value."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict` (same architecture)."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} entries but model has "
+                f"{len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            value = state[f"param_{i}"]
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for param_{i}: saved {value.shape}, "
+                    f"model {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b`` (Figure 2(b))."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors (Section 2.2)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.uniform((num_embeddings, embedding_dim), 0.5 / embedding_dim, rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding indices must be in [0, {self.num_embeddings}), "
+                f"got range [{indices.min()}, {indices.max()}]"
+            )
+        return self.weight.take_rows(indices)
+
+    @classmethod
+    def from_pretrained(cls, matrix: np.ndarray, trainable: bool = True) -> "Embedding":
+        """Build an embedding layer from an existing ``(vocab, dim)`` matrix."""
+        layer = cls(matrix.shape[0], matrix.shape[1], rng=0)
+        layer.weight.data = np.asarray(matrix, dtype=np.float64).copy()
+        layer.weight.requires_grad = trainable
+        return layer
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_shape))
+        self.beta = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class ReLU(Module):
+    """Elementwise max(x, 0) activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Elementwise tanh activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation with configurable negative slope."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.alpha)
+
+
+class Sequential(Module):
+    """Composes modules in order; the workhorse for MLPs (Figure 2(b))."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+def mlp(
+    sizes: list[int],
+    activation: type[Module] = ReLU,
+    output_activation: type[Module] | None = None,
+    dropout: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> Sequential:
+    """Build a fully-connected network from a list of layer sizes.
+
+    ``mlp([10, 32, 1])`` builds Linear(10→32) → activation → Linear(32→1).
+    """
+    if len(sizes) < 2:
+        raise ValueError("mlp needs at least an input and an output size")
+    rng = ensure_rng(rng)
+    layers: list[Module] = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        is_last = i == len(sizes) - 2
+        if not is_last:
+            layers.append(activation())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rng))
+        elif output_activation is not None:
+            layers.append(output_activation())
+    return Sequential(*layers)

@@ -1,0 +1,116 @@
+"""Loss functions, including the cost-sensitive variants Section 6.1 calls for.
+
+All losses take and return :class:`~repro.nn.tensor.Tensor` values so they
+can sit at the end of any differentiable model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, log_softmax
+
+
+def mse_loss(pred: Tensor, target: "Tensor | np.ndarray") -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: "Tensor | np.ndarray") -> Tensor:
+    """Mean absolute error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (pred - target).abs().mean()
+
+
+def bce_with_logits(
+    logits: Tensor,
+    target: "Tensor | np.ndarray",
+    pos_weight: float = 1.0,
+    sample_weight: np.ndarray | None = None,
+) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+
+    Parameters
+    ----------
+    pos_weight:
+        Multiplier on the positive-class term.  Setting this to the
+        negative/positive class ratio implements the *cost-sensitive model*
+        of Section 6.1 for skewed ER labels.
+    sample_weight:
+        Optional per-example weights (e.g. from a weak-supervision label
+        model's confidence).
+    """
+    target_data = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
+    x = logits.data
+    # Stable elementwise BCE: max(x, 0) - x*y + log(1 + exp(-|x|)).
+    per_element = np.maximum(x, 0.0) - x * target_data + np.log1p(np.exp(-np.abs(x)))
+    weight = 1.0 + (pos_weight - 1.0) * target_data
+    per_element = per_element * weight
+    if sample_weight is not None:
+        sw = np.asarray(sample_weight, dtype=np.float64)
+        per_element = per_element * sw
+        weight = weight * sw
+    # BCE is smooth even though the stable decomposition has kinks at x=0,
+    # so the gradient is defined as a primitive: d/dx = (sigmoid(x) - y) * w.
+    clipped = np.clip(x, -500, 500)
+    sigmoid = np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    )
+    count = per_element.size
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad * (sigmoid - target_data) * weight / count)
+
+    return logits._make(np.asarray(per_element.mean()), (logits,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, class_weight: np.ndarray | None = None) -> Tensor:
+    """Multiclass cross-entropy on raw logits with integer ``labels``.
+
+    ``logits`` has shape ``(batch, classes)``; ``labels`` is a 1-D array of
+    class indices.  ``class_weight`` optionally reweights each class (the
+    other route to cost-sensitive training in Section 6.1).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels must be 1-D of length {logits.shape[0]}, got shape {labels.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    if class_weight is not None:
+        weights = np.asarray(class_weight, dtype=np.float64)[labels]
+        picked = picked * Tensor(weights)
+        return -(picked.sum() / float(weights.sum()))
+    return -picked.mean()
+
+
+def kl_divergence_gaussian(mu: Tensor, log_var: Tensor) -> Tensor:
+    """KL(q(z|x) || N(0, I)) for a diagonal Gaussian — the VAE regulariser."""
+    per_dim = 1.0 + log_var - mu * mu - log_var.exp()
+    return -0.5 * per_dim.sum(axis=-1).mean()
+
+
+def sparsity_penalty(activations: Tensor, target_rho: float = 0.05, eps: float = 1e-8) -> Tensor:
+    """KL-based sparsity penalty used by sparse autoencoders (Figure 2(f)).
+
+    Penalises the mean activation of each hidden unit for deviating from a
+    small target ``target_rho``.  Activations are expected in (0, 1) (e.g.
+    post-sigmoid); they are clipped away from {0, 1} for stability.
+    """
+    rho_hat = activations.mean(axis=0).clip(eps, 1.0 - eps)
+    rho = target_rho
+    kl = (
+        rho * (Tensor(rho) / rho_hat).log()
+        + (1.0 - rho) * (Tensor(1.0 - rho) / (1.0 - rho_hat)).log()
+    )
+    return kl.sum()

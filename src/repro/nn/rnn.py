@@ -1,0 +1,200 @@
+"""Recurrent architectures (Figure 2(d)): RNN, LSTM and GRU cells plus
+uni-/bi-directional sequence encoders.
+
+These power DeepER's tuple-composition path (Section 5.2): a tuple's
+attribute-value embeddings are fed through an (optionally bidirectional)
+LSTM, and the final state becomes the tuple's distributed representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Module, Parameter
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.rng import ensure_rng
+
+
+class RNNCell(Module):
+    """Vanilla (Elman) recurrent cell: ``h' = tanh(x Wx + h Wh + b)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_h = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.bias = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return (x @ self.w_x + h @ self.w_h + self.bias).tanh()
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (update/reset gates)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gates stacked: [update | reset | candidate] along the output axis.
+        self.w_x = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.w_h = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
+        self.bias = Parameter(init.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gates_x = x @ self.w_x + self.bias
+        gates_h = h @ self.w_h
+        z = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        r = (gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs]).sigmoid()
+        candidate = (gates_x[:, 2 * hs :] + r * gates_h[:, 2 * hs :]).tanh()
+        return z * h + (1.0 - z) * candidate
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell with input/forget/output gates.
+
+    The forget-gate bias is initialised to 1.0 (standard trick) so the cell
+    "remembers past information across multiple time steps" out of the box,
+    as the paper describes in Section 2.1.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gates stacked: [input | forget | cell | output].
+        self.w_x = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.w_h = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        bias = init.zeros((4 * hidden_size,))
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        hs = self.hidden_size
+        gates = x @ self.w_x + h @ self.w_h + self.bias
+        i = gates[:, 0:hs].sigmoid()
+        f = gates[:, hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs :].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a ``(batch, time, features)`` tensor."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, reverse: bool = False) -> tuple[Tensor, Tensor]:
+        """Run the sequence; returns ``(outputs, last_hidden)``.
+
+        ``outputs`` has shape ``(batch, time, hidden)`` in the original time
+        order even when ``reverse=True``.
+        """
+        batch, steps, _ = x.shape
+        h, c = self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        for t in order:
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        if reverse:
+            outputs.reverse()
+        return stack(outputs, axis=1), h
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; hidden states of both directions are concatenated.
+
+    This is DeepER's "uni- and bi-directional recurrent neural networks with
+    LSTM hidden units" composition component (Figure 5).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.forward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Returns ``(outputs, last_hidden)`` with feature size ``2*hidden``."""
+        fwd_out, fwd_last = self.forward_lstm(x)
+        bwd_out, bwd_last = self.backward_lstm(x, reverse=True)
+        outputs = concat([fwd_out, bwd_out], axis=2)
+        last = concat([fwd_last, bwd_last], axis=1)
+        return outputs, last
+
+
+class SequenceEncoder(Module):
+    """Encode a variable-meaning sequence of vectors into one vector.
+
+    ``pooling`` chooses how outputs collapse to a single representation:
+    ``"last"`` (final hidden state) or ``"mean"`` (average over time).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        bidirectional: bool = False,
+        pooling: str = "last",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if pooling not in {"last", "mean"}:
+            raise ValueError(f"pooling must be 'last' or 'mean', got {pooling!r}")
+        self.pooling = pooling
+        self.bidirectional = bidirectional
+        if bidirectional:
+            self.rnn: Module = BiLSTM(input_size, hidden_size, rng=rng)
+            self.output_size = 2 * hidden_size
+        else:
+            self.rnn = LSTM(input_size, hidden_size, rng=rng)
+            self.output_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        outputs, last = self.rnn(x)
+        if self.pooling == "last":
+            return last
+        return outputs.mean(axis=1)

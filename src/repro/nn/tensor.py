@@ -1,0 +1,520 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the deep-learning substrate described in
+Section 2 of the paper.  A :class:`Tensor` wraps a ``numpy.ndarray`` and
+records the operations applied to it; calling :meth:`Tensor.backward` on a
+scalar output propagates gradients back to every tensor created with
+``requires_grad=True``.
+
+The operation set is deliberately scoped to what the data-curation models
+need: dense algebra (matmul, broadcasting arithmetic), pointwise
+nonlinearities, reductions, indexing/gather (for embedding lookups), and
+shape manipulation (reshape/transpose/concat) for the recurrent encoders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+ArrayLike = "np.ndarray | float | int | list | tuple"
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting.
+
+    When a forward op broadcast an operand of ``shape`` up to ``grad.shape``,
+    the gradient w.r.t. that operand is the sum of ``grad`` over the
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array contents; converted to ``float64`` ndarray.
+    requires_grad:
+        If True, gradients accumulate into :attr:`grad` during backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | list | tuple",
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = tuple(_parents)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _lift(value: "Tensor | np.ndarray | float | int") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents)
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: "Tensor | float") -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float") -> "Tensor":
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: "Tensor | float") -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        base = self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * base ** (exponent - 1))
+
+        return self._make(base**exponent, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.data.ndim == 1 and other.data.ndim == 1:
+                self._accumulate(grad * other.data)
+                other._accumulate(grad * self.data)
+            elif self.data.ndim == 1:
+                self._accumulate(grad @ other.data.T)
+                other._accumulate(np.outer(self.data, grad))
+            elif other.data.ndim == 1:
+                self._accumulate(np.outer(grad, other.data))
+                other._accumulate(self.data.T @ grad)
+            else:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # pointwise nonlinearities
+    # ------------------------------------------------------------------ #
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic function (numerically stable)."""
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+            np.exp(np.clip(self.data, -500, 500))
+            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0)."""
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, alpha: float = 0.01) -> "Tensor":
+        """Elementwise leaky ReLU with negative slope ``alpha``."""
+        slope = np.where(self.data > 0, 1.0, alpha)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * slope)
+
+        return self._make(self.data * slope, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (sign subgradient at 0 is 0)."""
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed through only inside the range."""
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(ax % self.data.ndim for ax in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (all elements when None)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties share gradient equally."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            expanded = self.data.max(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            mask = self.data == expanded
+            # Split gradient evenly across ties, matching numeric grad checks.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.broadcast_to(g, self.data.shape) * mask / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation and indexing
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """View with a new shape (same number of elements)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (reversed when none given)."""
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.transpose(grad, inverse))
+
+        return self._make(np.transpose(self.data, axes), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        """Transposed view (all axes reversed)."""
+        return self.transpose()
+
+    def __getitem__(self, index: object) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(self.data[index], (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows by integer index (embedding lookup).
+
+        ``indices`` may be any integer array; the result has shape
+        ``indices.shape + self.shape[1:]``.  Backward scatters gradients with
+        accumulation for repeated indices.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, self.data.shape[-1]))
+            self._accumulate(full)
+
+        return self._make(self.data[indices], (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to 1.0 and is only optional for scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+# ---------------------------------------------------------------------- #
+# free functions
+# ---------------------------------------------------------------------- #
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient splitting."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    if requires:
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack requires at least one tensor")
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(piece)
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    if requires:
+        out._backward = backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select: ``a`` where ``condition`` else ``b``."""
+    condition = np.asarray(condition, dtype=bool)
+    a = Tensor._lift(a)
+    b = Tensor._lift(b)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * condition)
+        b._accumulate(grad * ~condition)
+
+    data = np.where(condition, a.data, b.data)
+    requires = a.requires_grad or b.requires_grad
+    out = Tensor(data, requires_grad=requires, _parents=(a, b))
+    if requires:
+        out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``, differentiable."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``, differentiable."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()

@@ -1,0 +1,142 @@
+"""Generic training loop with minibatching, early stopping and history.
+
+Keeps model code free of epoch plumbing: a model exposes parameters and a
+loss callable, the :class:`Trainer` handles the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.optim import Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+
+def iterate_minibatches(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    shuffle: bool = True,
+):
+    """Yield index arrays covering ``range(n)`` in batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = ensure_rng(rng).permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by :class:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+class EarlyStopping:
+    """Stop training when validation loss fails to improve.
+
+    ``patience`` epochs of non-improvement (beyond ``min_delta``) triggers a
+    stop; the best parameter snapshot is restored.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 1e-5) -> None:
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = np.inf
+        self.best_state: dict[str, np.ndarray] | None = None
+        self.counter = 0
+
+    def update(self, loss: float, model: Module) -> bool:
+        """Record ``loss``; return True when training should stop."""
+        if loss < self.best_loss - self.min_delta:
+            self.best_loss = loss
+            self.best_state = model.state_dict()
+            self.counter = 0
+            return False
+        self.counter += 1
+        return self.counter >= self.patience
+
+    def restore(self, model: Module) -> None:
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)
+
+
+class Trainer:
+    """Minibatch trainer around an arbitrary loss function.
+
+    Parameters
+    ----------
+    model:
+        The module being trained (for grad clearing / early-stop snapshots).
+    optimizer:
+        Any :class:`~repro.nn.optim.Optimizer` over the model's parameters.
+    loss_fn:
+        Called as ``loss_fn(batch_indices)`` and must return a scalar Tensor;
+        closing over the training arrays keeps this class data-agnostic.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable[[np.ndarray], Tensor],
+        max_grad_norm: float | None = 5.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.max_grad_norm = max_grad_norm
+        self._rng = ensure_rng(rng)
+
+    def fit(
+        self,
+        n_examples: int,
+        epochs: int = 50,
+        batch_size: int = 32,
+        val_loss_fn: Callable[[], float] | None = None,
+        early_stopping: EarlyStopping | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Run up to ``epochs`` passes over ``n_examples`` training items."""
+        history = TrainingHistory()
+        self.model.train()
+        for epoch in range(epochs):
+            losses = []
+            for batch in iterate_minibatches(n_examples, batch_size, rng=self._rng):
+                loss = self.loss_fn(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.max_grad_norm is not None:
+                    clip_grad_norm(self.optimizer.params, self.max_grad_norm)
+                self.optimizer.step()
+                losses.append(loss.item())
+            history.train_loss.append(float(np.mean(losses)))
+            if val_loss_fn is not None:
+                self.model.eval()
+                val = float(val_loss_fn())
+                self.model.train()
+                history.val_loss.append(val)
+                if early_stopping is not None and early_stopping.update(val, self.model):
+                    early_stopping.restore(self.model)
+                    history.stopped_epoch = epoch + 1
+                    break
+            if verbose and (epoch + 1) % 10 == 0:
+                msg = f"epoch {epoch + 1}: train_loss={history.train_loss[-1]:.4f}"
+                if history.val_loss:
+                    msg += f" val_loss={history.val_loss[-1]:.4f}"
+                print(msg)
+        self.model.eval()
+        return history

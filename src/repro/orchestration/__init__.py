@@ -1,0 +1,38 @@
+"""Pipeline orchestration (paper Section 3.4, Figure 1): typed curation
+steps composed into an auditable end-to-end pipeline."""
+
+from repro.orchestration.pipeline import (
+    CurationPipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineStep,
+    StepReport,
+)
+from repro.orchestration.steps import (
+    ConsolidateStep,
+    DedupStep,
+    DiscoverStep,
+    EnrichStep,
+    ImputeStep,
+    RepairStep,
+    ResolveEntitiesStep,
+    SchemaMatchStep,
+    TransformStep,
+)
+
+__all__ = [
+    "CurationPipeline",
+    "PipelineContext",
+    "PipelineStep",
+    "PipelineError",
+    "StepReport",
+    "DiscoverStep",
+    "SchemaMatchStep",
+    "ResolveEntitiesStep",
+    "ConsolidateStep",
+    "DedupStep",
+    "EnrichStep",
+    "RepairStep",
+    "ImputeStep",
+    "TransformStep",
+]

@@ -1,0 +1,96 @@
+"""Data-curation pipeline orchestration (paper Section 3.4, Figure 1).
+
+"THE PROMISED LAND: ... the entire data curation pipeline can be
+automatically orchestrated, and the discovered datasets can be nicely
+integrated and cleaned, ready for the analytics task at hand."
+
+A :class:`CurationPipeline` chains typed steps over a shared
+:class:`PipelineContext` (a keyed store of tables and artifacts).  Every
+step execution is timed and logged with a detail dict, so the run produces
+an auditable report — provenance for the self-driving pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data.table import Table
+
+
+class PipelineError(RuntimeError):
+    """Raised when a step cannot run (missing inputs, bad config)."""
+
+
+@dataclass
+class PipelineContext:
+    """Shared state flowing through the pipeline."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+    def table(self, key: str) -> Table:
+        if key not in self.tables:
+            raise PipelineError(
+                f"no table {key!r} in context; available: {sorted(self.tables)}"
+            )
+        return self.tables[key]
+
+    def put_table(self, key: str, table: Table) -> None:
+        self.tables[key] = table
+
+    def artifact(self, key: str) -> object:
+        if key not in self.artifacts:
+            raise PipelineError(
+                f"no artifact {key!r} in context; available: {sorted(self.artifacts)}"
+            )
+        return self.artifacts[key]
+
+
+@dataclass
+class StepReport:
+    """Provenance record of one executed step."""
+
+    name: str
+    seconds: float
+    details: dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.name}] {self.seconds:.2f}s {detail}"
+
+
+class PipelineStep:
+    """Base class: subclasses set ``name`` and implement :meth:`run`."""
+
+    name: str = "step"
+
+    def run(self, context: PipelineContext) -> dict[str, object]:
+        """Mutate ``context``; return a detail dict for the report."""
+        raise NotImplementedError
+
+
+class CurationPipeline:
+    """An ordered sequence of curation steps with run reports."""
+
+    def __init__(self, steps: list[PipelineStep]) -> None:
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        self.steps = list(steps)
+
+    def run(self, context: PipelineContext | None = None) -> tuple[PipelineContext, list[StepReport]]:
+        """Execute all steps in order; returns final context + reports."""
+        context = context or PipelineContext()
+        reports: list[StepReport] = []
+        for step in self.steps:
+            start = time.perf_counter()
+            details = step.run(context)
+            elapsed = time.perf_counter() - start
+            reports.append(StepReport(step.name, elapsed, details or {}))
+        return context, reports
+
+    def describe(self) -> str:
+        """One-line-per-step plan summary."""
+        return "\n".join(
+            f"{i + 1}. {step.name}" for i, step in enumerate(self.steps)
+        )

@@ -1,0 +1,19 @@
+"""Synthetic data generation for DC benchmarks (paper Section 6.2.3):
+VAE and GAN tabular generators plus fidelity metrics."""
+
+from repro.synth.fidelity import (
+    categorical_tv_distance,
+    correlation_preservation,
+    fidelity_report,
+    numeric_ks_statistic,
+)
+from repro.synth.tabular import TabularGAN, TabularVAE
+
+__all__ = [
+    "TabularVAE",
+    "TabularGAN",
+    "categorical_tv_distance",
+    "numeric_ks_statistic",
+    "correlation_preservation",
+    "fidelity_report",
+]

@@ -1,0 +1,31 @@
+"""Distributed representations of words (paper Section 2.2) and the
+tokenisation/vocabulary machinery beneath them."""
+
+from repro.text.onehot import OneHotEncoder
+from repro.text.similarity import (
+    coherent_group_similarity,
+    cosine,
+    cosine_matrix,
+    euclidean,
+    mean_vector,
+)
+from repro.text.subword import SubwordEmbeddings
+from repro.text.tokenize import char_ngrams, sentence_split, value_tokenize, word_tokenize
+from repro.text.vocab import Vocabulary
+from repro.text.word2vec import SkipGram
+
+__all__ = [
+    "word_tokenize",
+    "value_tokenize",
+    "char_ngrams",
+    "sentence_split",
+    "Vocabulary",
+    "OneHotEncoder",
+    "SkipGram",
+    "SubwordEmbeddings",
+    "cosine",
+    "cosine_matrix",
+    "euclidean",
+    "mean_vector",
+    "coherent_group_similarity",
+]

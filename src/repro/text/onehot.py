@@ -1,0 +1,41 @@
+"""Local (one-hot) representations — Figure 3(a) of the paper.
+
+Provided both for the local-vs-distributed comparison in the examples and as
+the encoding layer for the categorical columns of the tabular models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+
+
+class OneHotEncoder:
+    """Encode tokens as one-of-N vectors over a fixed vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+
+    @property
+    def dim(self) -> int:
+        return len(self.vocabulary)
+
+    def encode(self, token: str) -> np.ndarray:
+        """One-hot vector for ``token``; raises ``KeyError`` when unknown."""
+        vec = np.zeros(self.dim)
+        vec[self.vocabulary.id_of(token)] = 1.0
+        return vec
+
+    def encode_many(self, tokens: list[str]) -> np.ndarray:
+        """Stack one-hot rows for a token list, shape ``(len, dim)``."""
+        out = np.zeros((len(tokens), self.dim))
+        for row, token in enumerate(tokens):
+            out[row, self.vocabulary.id_of(token)] = 1.0
+        return out
+
+    def decode(self, vector: np.ndarray) -> str:
+        """Inverse of :meth:`encode` (argmax)."""
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        return self.vocabulary.token_of(int(np.argmax(vector)))

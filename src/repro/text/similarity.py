@@ -1,0 +1,70 @@
+"""Vector-similarity primitives, including *coherent groups* (Section 5.1).
+
+The coherent-groups idea from Fernandez et al. [21]: a group of words is
+similar to another group if the **average pairwise similarity** between all
+cross-group word pairs is high.  This handles multi-word phrases
+(``"biopsy site"`` vs ``"site components"``) where single-vector averaging
+washes out the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; 0.0 when either is all-zero."""
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a < 1e-12 or norm_b < 1e-12:
+        return 0.0
+    return float(a @ b / (norm_a * norm_b))
+
+
+def cosine_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities, shape ``(len(a), len(b))``."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    norm_a = np.linalg.norm(a, axis=1, keepdims=True)
+    norm_b = np.linalg.norm(b, axis=1, keepdims=True)
+    norm_a[norm_a < 1e-12] = 1.0
+    norm_b[norm_b < 1e-12] = 1.0
+    return (a / norm_a) @ (b / norm_b).T
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance."""
+    return float(np.linalg.norm(a - b))
+
+
+def coherent_group_similarity(
+    group_a: list[str],
+    group_b: list[str],
+    vector_fn: Callable[[str], np.ndarray],
+) -> float:
+    """Average all-pairs cosine similarity between two word groups.
+
+    ``vector_fn`` maps a word to its embedding (typically
+    :meth:`SubwordEmbeddings.vector`, so OOV words still participate).
+    Returns 0.0 when either group is empty or has no usable vectors.
+    """
+    if not group_a or not group_b:
+        return 0.0
+    vecs_a = np.array([vector_fn(w) for w in group_a])
+    vecs_b = np.array([vector_fn(w) for w in group_b])
+    sims = cosine_matrix(vecs_a, vecs_b)
+    usable = (np.linalg.norm(vecs_a, axis=1)[:, None] > 1e-12) & (
+        np.linalg.norm(vecs_b, axis=1)[None, :] > 1e-12
+    )
+    if not usable.any():
+        return 0.0
+    return float(sims[usable].mean())
+
+
+def mean_vector(vectors: np.ndarray) -> np.ndarray:
+    """Mean of a stack of vectors; zero vector for an empty stack."""
+    if vectors.size == 0:
+        return np.zeros(0)
+    return vectors.mean(axis=0)

@@ -1,0 +1,54 @@
+"""Tokenizers for free text and attribute values.
+
+Data-curation text differs from prose: attribute values carry punctuation,
+codes and numbers that must survive tokenisation (``"nnn-nnnn"`` phone
+formats, ids like ``0001``).  The tokenizers here are deliberately simple,
+deterministic and reversible enough for the DSL/transform modules.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z]+)?")
+_VALUE_RE = re.compile(r"[A-Za-z]+|\d+|[^\sA-Za-z0-9]")
+
+
+def word_tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split prose into word tokens, dropping punctuation."""
+    if lowercase:
+        text = text.lower()
+    return _WORD_RE.findall(text)
+
+
+def value_tokenize(value: str, lowercase: bool = True) -> list[str]:
+    """Split an attribute value keeping digits and punctuation as tokens.
+
+    ``"J. Smith-Jones"`` → ``["j", ".", "smith", "-", "jones"]``.
+    """
+    if lowercase:
+        value = value.lower()
+    return _VALUE_RE.findall(value)
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5, boundary: bool = True) -> list[str]:
+    """Character n-grams of a token (fastText-style subword units).
+
+    With ``boundary=True`` the token is wrapped in ``<`` and ``>`` markers so
+    prefixes/suffixes are distinguishable: ``char_ngrams("cat")`` includes
+    ``"<ca"`` and ``"at>"``.
+    """
+    if n_min < 1 or n_max < n_min:
+        raise ValueError(f"invalid n-gram range [{n_min}, {n_max}]")
+    wrapped = f"<{token}>" if boundary else token
+    grams = []
+    for n in range(n_min, n_max + 1):
+        for i in range(len(wrapped) - n + 1):
+            grams.append(wrapped[i : i + n])
+    return grams
+
+
+def sentence_split(text: str) -> list[str]:
+    """Naive sentence splitter on ``.!?`` boundaries."""
+    pieces = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [p for p in pieces if p]

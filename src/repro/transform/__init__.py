@@ -1,0 +1,46 @@
+"""Data transformation by program synthesis (paper Section 4): FlashFill-
+style DSL + enumerative synthesis, semantic transformations, and neural
+program induction."""
+
+from repro.transform.dsl import (
+    ConstStr,
+    Expression,
+    Lower,
+    Program,
+    SplitSub,
+    SubStr,
+    Title,
+    TokenInitial,
+    TokenSub,
+    Upper,
+)
+from repro.transform.neural import CharVocab, Seq2SeqTransformer
+from repro.transform.semantic import (
+    EmbeddingTransformer,
+    LookupMapping,
+    LookupTransformer,
+)
+from repro.transform.synthesis import Synthesizer, synthesize_column_transform
+from repro.transform.tasks import TransformationTask, default_tasks
+
+__all__ = [
+    "Expression",
+    "ConstStr",
+    "SubStr",
+    "TokenSub",
+    "SplitSub",
+    "TokenInitial",
+    "Lower",
+    "Upper",
+    "Title",
+    "Program",
+    "Synthesizer",
+    "synthesize_column_transform",
+    "LookupTransformer",
+    "LookupMapping",
+    "EmbeddingTransformer",
+    "Seq2SeqTransformer",
+    "CharVocab",
+    "TransformationTask",
+    "default_tasks",
+]

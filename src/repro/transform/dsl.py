@@ -1,0 +1,218 @@
+"""A FlashFill-style DSL for string transformations (paper Section 4).
+
+Programs are concatenations of atomic expressions evaluated against an
+input string:
+
+* :class:`ConstStr` — a literal;
+* :class:`SubStr` — a character slice with (possibly negative) positions;
+* :class:`TokenSub` — the i-th whitespace token;
+* :class:`TokenInitial` — the first character of the i-th token;
+* case modifiers :class:`Lower` / :class:`Upper` / :class:`Title` wrapping
+  any expression.
+
+Every expression has a ``rank`` used by the synthesizer: generalising
+expressions (token/substring references) rank better than literals, so
+"J. Smith" is learned as ``Initial(token 0) + ". " + token 1`` rather than
+memorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expression:
+    """Atomic DSL expression; ``evaluate`` may raise ``ValueError`` when the
+    expression does not apply to an input (e.g. token index out of range)."""
+
+    rank: float = 1.0
+
+    def evaluate(self, text: str) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstStr(Expression):
+    """A literal string, independent of the input."""
+
+    value: str
+
+    @property
+    def rank(self) -> float:
+        # Pure separator literals (spaces/punctuation) are idiomatic glue and
+        # rank cheap; alphanumeric literals generalise worst and rank high.
+        if self.value and all(not ch.isalnum() for ch in self.value):
+            return 0.25 + 0.05 * len(self.value)
+        return 2.0 + 0.1 * len(self.value)
+
+    def evaluate(self, text: str) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class SubStr(Expression):
+    """``text[start:end]`` with python-slice semantics; negative indices
+    anchor to the end of the string (FlashFill's CPos(-k))."""
+
+    start: int
+    end: int
+
+    @property
+    def rank(self) -> float:
+        # Positional slices generalise worse than token references: the
+        # magic offsets only transfer when inputs share a fixed layout.
+        return 1.2
+
+    def evaluate(self, text: str) -> str:
+        start = self.start if self.start >= 0 else len(text) + self.start
+        end = self.end if self.end >= 0 else len(text) + self.end
+        if not (0 <= start <= end <= len(text)):
+            raise ValueError(f"SubStr({self.start},{self.end}) out of range for {text!r}")
+        return text[start:end]
+
+    def __str__(self) -> str:
+        return f"SubStr({self.start},{self.end})"
+
+
+@dataclass(frozen=True)
+class TokenSub(Expression):
+    """The ``index``-th whitespace-separated token (negative from the end)."""
+
+    index: int
+
+    @property
+    def rank(self) -> float:
+        return 0.5
+
+    def evaluate(self, text: str) -> str:
+        tokens = text.split()
+        try:
+            return tokens[self.index]
+        except IndexError:
+            raise ValueError(f"token {self.index} out of range for {text!r}") from None
+
+    def __str__(self) -> str:
+        return f"Token({self.index})"
+
+
+@dataclass(frozen=True)
+class TokenInitial(Expression):
+    """First character of the ``index``-th token (for name initials)."""
+
+    index: int
+
+    @property
+    def rank(self) -> float:
+        return 0.6
+
+    def evaluate(self, text: str) -> str:
+        tokens = text.split()
+        try:
+            token = tokens[self.index]
+        except IndexError:
+            raise ValueError(f"token {self.index} out of range for {text!r}") from None
+        if not token:
+            raise ValueError("empty token")
+        return token[0]
+
+    def __str__(self) -> str:
+        return f"Initial({self.index})"
+
+
+@dataclass(frozen=True)
+class SplitSub(Expression):
+    """The ``index``-th piece after splitting on ``separator``, stripped.
+
+    Covers delimiter-structured values the whitespace tokenizer cannot:
+    ``SplitSub("@", 0)`` extracts the user part of an email,
+    ``SplitSub(",", 1)`` the second CSV field.
+    """
+
+    separator: str
+    index: int
+
+    @property
+    def rank(self) -> float:
+        return 0.7
+
+    def evaluate(self, text: str) -> str:
+        if not self.separator or self.separator not in text:
+            raise ValueError(f"separator {self.separator!r} not in {text!r}")
+        pieces = text.split(self.separator)
+        try:
+            return pieces[self.index].strip()
+        except IndexError:
+            raise ValueError(f"piece {self.index} out of range for {text!r}") from None
+
+    def __str__(self) -> str:
+        return f"Split({self.separator!r},{self.index})"
+
+
+@dataclass(frozen=True)
+class _CaseModifier(Expression):
+    inner: Expression
+
+    _case_fn = staticmethod(lambda s: s)
+    _name = "Case"
+
+    @property
+    def rank(self) -> float:
+        return self.inner.rank + 0.2
+
+    def evaluate(self, text: str) -> str:
+        return self._case_fn(self.inner.evaluate(text))
+
+    def __str__(self) -> str:
+        return f"{self._name}({self.inner})"
+
+
+class Lower(_CaseModifier):
+    """Lowercase the wrapped expression's output."""
+
+    _case_fn = staticmethod(str.lower)
+    _name = "Lower"
+
+
+class Upper(_CaseModifier):
+    """Uppercase the wrapped expression's output."""
+
+    _case_fn = staticmethod(str.upper)
+    _name = "Upper"
+
+
+class Title(_CaseModifier):
+    """Title-case the wrapped expression's output."""
+
+    _case_fn = staticmethod(str.title)
+    _name = "Title"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A concatenation of expressions."""
+
+    parts: tuple[Expression, ...]
+
+    @property
+    def rank(self) -> float:
+        """Lower is better: sum of part ranks + a per-part cost."""
+        return sum(p.rank for p in self.parts) + 0.3 * len(self.parts)
+
+    def evaluate(self, text: str) -> str:
+        return "".join(part.evaluate(text) for part in self.parts)
+
+    def consistent_with(self, examples: list[tuple[str, str]]) -> bool:
+        """True when the program maps every input to its expected output."""
+        for input_text, output_text in examples:
+            try:
+                if self.evaluate(input_text) != output_text:
+                    return False
+            except ValueError:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return " + ".join(str(p) for p in self.parts)

@@ -1,0 +1,162 @@
+"""Semantic transformations (paper Section 4): (France, Paris)-style
+mappings that no regular-expression DSL can express.
+
+Two mechanisms, mirroring the paper's discussion:
+
+* :class:`LookupTransformer` — searches a catalog of reference relations
+  for a column pair consistent with the examples (DataXFormer-style
+  transformation discovery [2]);
+* :class:`EmbeddingTransformer` — learns the *relation vector* between
+  example pairs in embedding space (king − man + woman ≈ queen) and applies
+  it by nearest-neighbour search; works when no reference table exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.data.table import Table
+from repro.data.types import is_missing
+from repro.text.word2vec import SkipGram
+from repro.utils.validation import check_fitted
+
+
+@dataclass(frozen=True)
+class LookupMapping:
+    """A discovered (table, input column, output column) mapping."""
+
+    table_name: str
+    input_column: str
+    output_column: str
+    coverage: float  # fraction of examples witnessed
+
+
+class LookupTransformer:
+    """Discover the example-consistent column pair in a table catalog."""
+
+    def __init__(self, catalog: list[Table]) -> None:
+        if not catalog:
+            raise ValueError("catalog must contain at least one table")
+        self.catalog = list(catalog)
+        self.mapping_: LookupMapping | None = None
+        self._lookup: dict[str, str] | None = None
+
+    def fit(self, examples: list[tuple[str, str]]) -> "LookupTransformer":
+        """Find the best column pair consistent with every example."""
+        if not examples:
+            raise ValueError("need at least one example pair")
+        best: tuple[float, LookupMapping, dict[str, str]] | None = None
+        for table in self.catalog:
+            for in_col in table.columns:
+                mapping = self._column_map(table, in_col)
+                for out_col in table.columns:
+                    if out_col == in_col:
+                        continue
+                    witnessed = 0
+                    consistent = True
+                    for source, target in examples:
+                        row = mapping.get(source.lower())
+                        if row is None:
+                            continue
+                        value = table.cell(row, out_col)
+                        if is_missing(value):
+                            continue
+                        if str(value).lower() != target.lower():
+                            consistent = False
+                            break
+                        witnessed += 1
+                    if not consistent or witnessed == 0:
+                        continue
+                    coverage = witnessed / len(examples)
+                    candidate = LookupMapping(table.name, in_col, out_col, coverage)
+                    if best is None or coverage > best[0]:
+                        lookup = {
+                            str(table.cell(i, in_col)).lower(): str(table.cell(i, out_col))
+                            for i in range(table.num_rows)
+                            if not is_missing(table.cell(i, in_col))
+                            and not is_missing(table.cell(i, out_col))
+                        }
+                        best = (coverage, candidate, lookup)
+        if best is None:
+            raise ValueError("no column pair in the catalog is consistent with the examples")
+        self.mapping_ = best[1]
+        self._lookup = best[2]
+        return self
+
+    def transform(self, value: str) -> str | None:
+        """Map one input value; None when it is not covered."""
+        check_fitted(self, "mapping_")
+        return self._lookup.get(value.lower())
+
+    def _column_map(self, table: Table, column: str) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for i in range(table.num_rows):
+            value = table.cell(i, column)
+            if not is_missing(value):
+                out.setdefault(str(value).lower(), i)
+        return out
+
+
+class EmbeddingTransformer:
+    """Apply the mean example-pair offset vector in embedding space.
+
+    Vectors are mean-centred before the arithmetic ("all-but-the-top"
+    debiasing): small training corpora produce anisotropic spaces where
+    every word shares a large common component, which drowns the relation
+    vector.  Example targets are excluded from the answer set by default,
+    matching the standard analogy-evaluation protocol.
+    """
+
+    def __init__(
+        self,
+        model: SkipGram,
+        candidates: list[str] | None = None,
+        center: bool = True,
+        exclude_example_targets: bool = True,
+    ) -> None:
+        self.model = model
+        self.candidates = candidates
+        self.center = center
+        self.exclude_example_targets = exclude_example_targets
+        self.offset_: np.ndarray | None = None
+        self._example_targets: set[str] = set()
+        self._mean: np.ndarray | None = None
+
+    def _vector(self, token: str) -> np.ndarray:
+        vec = self.model.vector(token)
+        if self.center and self._mean is not None:
+            return vec - self._mean
+        return vec
+
+    def fit(self, examples: list[tuple[str, str]]) -> "EmbeddingTransformer":
+        self._mean = self.model.vectors_.mean(axis=0) if self.center else None
+        offsets = []
+        for source, target in examples:
+            if source in self.model and target in self.model:
+                offsets.append(self._vector(target) - self._vector(source))
+                self._example_targets.add(target)
+        if not offsets:
+            raise ValueError("no example pair is fully in-vocabulary")
+        self.offset_ = np.mean(offsets, axis=0)
+        return self
+
+    def transform(self, value: str, topn: int = 1) -> list[str]:
+        """Nearest candidates to ``vector(value) + offset``."""
+        check_fitted(self, "offset_")
+        if value not in self.model:
+            return []
+        query = self._vector(value) + self.offset_
+        pool = self.candidates if self.candidates is not None else self.model.vocabulary.tokens
+        scored: list[tuple[str, float]] = []
+        query_norm = np.linalg.norm(query) + 1e-12
+        for token in pool:
+            if token == value or token not in self.model:
+                continue
+            if self.exclude_example_targets and token in self._example_targets:
+                continue
+            vec = self._vector(token)
+            score = float(query @ vec / (query_norm * (np.linalg.norm(vec) + 1e-12)))
+            scored.append((token, score))
+        scored.sort(key=lambda item: -item[1])
+        return [token for token, _ in scored[:topn]]

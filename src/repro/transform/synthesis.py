@@ -1,0 +1,223 @@
+"""Enumerative program synthesis from input-output examples (Section 4).
+
+Strategy (FlashFill-like, simplified): for the first example, build a DAG
+over output positions whose edges carry every atomic expression that
+produces that output span from the input; enumerate programs through the
+DAG best-first; keep programs consistent with all remaining examples and
+return the best-ranked one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.transform.dsl import (
+    ConstStr,
+    Expression,
+    Lower,
+    Program,
+    SplitSub,
+    SubStr,
+    Title,
+    TokenInitial,
+    TokenSub,
+    Upper,
+)
+
+_SEPARATORS = (",", ";", "@", "/", "-", ":", "|", ".")
+
+
+def _substring_expressions(input_text: str, target: str) -> list[Expression]:
+    """All atomic expressions mapping ``input_text`` to exactly ``target``."""
+    out: list[Expression] = []
+    n = len(input_text)
+    # Direct substring occurrences → absolute and end-anchored positions.
+    start = input_text.find(target)
+    while start != -1:
+        end = start + len(target)
+        out.append(SubStr(start, end))
+        if end == n:
+            out.append(SubStr(start - n, n) if start != 0 else SubStr(0, n))
+        start = input_text.find(target, start + 1)
+    # Case-modified occurrences.
+    lowered = input_text.lower()
+    if target != target.lower() or target not in input_text:
+        pos = lowered.find(target.lower())
+        while pos != -1:
+            end = pos + len(target)
+            raw = input_text[pos:end]
+            for modifier, fn in ((Lower, str.lower), (Upper, str.upper), (Title, str.title)):
+                if fn(raw) == target and raw != target:
+                    out.append(modifier(SubStr(pos, end)))
+            pos = lowered.find(target.lower(), pos + 1)
+    # Token references (absolute and from the end).
+    tokens = input_text.split()
+    for rel, token in _indexed_both_ends(tokens):
+        if token == target:
+            out.append(TokenSub(rel))
+        for modifier, fn in ((Lower, str.lower), (Upper, str.upper), (Title, str.title)):
+            if fn(token) == target and token != target:
+                out.append(modifier(TokenSub(rel)))
+        if token and token[0] == target:
+            out.append(TokenInitial(rel))
+        if token and len(target) == 1:
+            if token[0].lower() == target:
+                out.append(Lower(TokenInitial(rel)))
+            if token[0].upper() == target and token[0] != target:
+                out.append(Upper(TokenInitial(rel)))
+    # Separator-split pieces (stripped), with case modifiers.
+    for separator in _SEPARATORS:
+        if separator not in input_text:
+            continue
+        pieces = input_text.split(separator)
+        for rel, piece in _indexed_both_ends(pieces):
+            stripped = piece.strip()
+            if not stripped:
+                continue
+            if stripped == target:
+                out.append(SplitSub(separator, rel))
+            for modifier, fn in ((Lower, str.lower), (Upper, str.upper), (Title, str.title)):
+                if fn(stripped) == target and stripped != target:
+                    out.append(modifier(SplitSub(separator, rel)))
+    return out
+
+
+def _indexed_both_ends(tokens: list[str]):
+    """Yield (index, token) with both positive and negative indices."""
+    for i, token in enumerate(tokens):
+        yield i, token
+        yield i - len(tokens), token
+
+
+class Synthesizer:
+    """Best-first FlashFill-style synthesizer.
+
+    Parameters
+    ----------
+    max_parts:
+        Maximum concatenation length of candidate programs.
+    max_programs:
+        Enumeration budget (programs checked against the other examples).
+    allow_constants:
+        Whether ``ConstStr`` edges are allowed (separators need them).
+    """
+
+    def __init__(
+        self,
+        max_parts: int = 6,
+        max_programs: int = 5000,
+        allow_constants: bool = True,
+    ) -> None:
+        self.max_parts = max_parts
+        self.max_programs = max_programs
+        self.allow_constants = allow_constants
+
+    def synthesize(self, examples: list[tuple[str, str]]) -> Program | None:
+        """Return the best program consistent with all examples, or None."""
+        if not examples:
+            raise ValueError("need at least one example")
+        seed_input, seed_output = examples[0]
+        edges = self._build_edges(seed_input, seed_output)
+        best: Program | None = None
+        for program in itertools.islice(
+            self._enumerate(seed_output, edges), self.max_programs
+        ):
+            if program.consistent_with(examples):
+                # Enumeration is best-first on cumulative rank, so the first
+                # consistent program is also the best-ranked one.
+                best = program
+                break
+        return best
+
+    def synthesize_all(
+        self, examples: list[tuple[str, str]], limit: int = 10
+    ) -> list[Program]:
+        """Up to ``limit`` consistent programs, best rank first."""
+        seed_input, seed_output = examples[0]
+        edges = self._build_edges(seed_input, seed_output)
+        found: list[Program] = []
+        for program in itertools.islice(
+            self._enumerate(seed_output, edges), self.max_programs
+        ):
+            if program.consistent_with(examples):
+                found.append(program)
+                if len(found) >= limit:
+                    break
+        return sorted(found, key=lambda p: p.rank)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _build_edges(
+        self, input_text: str, output_text: str
+    ) -> dict[tuple[int, int], list[Expression]]:
+        """Edge map: output span (i, j) → expressions producing it."""
+        edges: dict[tuple[int, int], list[Expression]] = {}
+        n = len(output_text)
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                target = output_text[i:j]
+                expressions = _substring_expressions(input_text, target)
+                if self.allow_constants:
+                    expressions.append(ConstStr(target))
+                if expressions:
+                    expressions.sort(key=lambda e: e.rank)
+                    edges[(i, j)] = expressions
+        return edges
+
+    def _enumerate(
+        self, output_text: str, edges: dict[tuple[int, int], list[Expression]]
+    ):
+        """Best-first enumeration of full programs through the span DAG."""
+        n = len(output_text)
+        counter = itertools.count()
+        # Heap entries: (cost_so_far, tiebreak, position, parts).
+        heap: list[tuple[float, int, int, tuple[Expression, ...]]] = [
+            (0.0, next(counter), 0, ())
+        ]
+        while heap:
+            cost, _, pos, parts = heapq.heappop(heap)
+            if pos == n:
+                yield Program(parts)
+                continue
+            if len(parts) >= self.max_parts:
+                continue
+            for j in range(pos + 1, n + 1):
+                for expression in edges.get((pos, j), ()):
+                    heapq.heappush(
+                        heap,
+                        (
+                            cost + expression.rank + 0.3,
+                            next(counter),
+                            j,
+                            parts + (expression,),
+                        ),
+                    )
+
+
+def synthesize_column_transform(
+    pairs: list[tuple[str, str]],
+    holdout: list[tuple[str, str]] | None = None,
+    **kwargs: object,
+) -> tuple[Program | None, float]:
+    """Convenience: synthesize from ``pairs``, measure accuracy on ``holdout``.
+
+    Returns ``(program, holdout_accuracy)``; accuracy is 0.0 when synthesis
+    fails.
+    """
+    program = Synthesizer(**kwargs).synthesize(pairs)
+    if program is None:
+        return None, 0.0
+    test = holdout if holdout is not None else pairs
+    if not test:
+        return program, 1.0
+    hits = 0
+    for input_text, expected in test:
+        try:
+            if program.evaluate(input_text) == expected:
+                hits += 1
+        except ValueError:
+            pass
+    return program, hits / len(test)

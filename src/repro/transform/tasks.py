@@ -1,0 +1,144 @@
+"""A suite of string-transformation tasks for experiment E12.
+
+Each task supplies a ground-truth transformation function plus an input
+generator, so benches can draw arbitrarily many (input, output) examples
+and measure synthesis success vs number of provided examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.world import CITIES, FIRST_NAMES, LAST_NAMES
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class TransformationTask:
+    """One benchmark transformation."""
+
+    name: str
+    transform: Callable[[str], str]
+    generator: Callable[[np.random.Generator], str]
+
+    def examples(
+        self, n: int, rng: "np.random.Generator | int | None" = 0
+    ) -> list[tuple[str, str]]:
+        rng = ensure_rng(rng)
+        seen: set[str] = set()
+        out: list[tuple[str, str]] = []
+        guard = 0
+        while len(out) < n and guard < 100 * n + 100:
+            guard += 1
+            source = self.generator(rng)
+            if source in seen:
+                continue
+            seen.add(source)
+            out.append((source, self.transform(source)))
+        return out
+
+
+def _full_name(rng: np.random.Generator) -> str:
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))].title()
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))].title()
+    return f"{first} {last}"
+
+
+def _three_part_name(rng: np.random.Generator) -> str:
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))].title()
+    middle = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))].title()
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))].title()
+    return f"{first} {middle} {last}"
+
+
+def _phone(rng: np.random.Generator) -> str:
+    digits = "".join(str(d) for d in rng.integers(0, 10, size=10))
+    return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+
+
+def _date(rng: np.random.Generator) -> str:
+    return (
+        f"{int(rng.integers(2000, 2020)):04d}-"
+        f"{int(rng.integers(1, 13)):02d}-{int(rng.integers(1, 29)):02d}"
+    )
+
+
+def _city_pair(rng: np.random.Generator) -> str:
+    a = CITIES[int(rng.integers(len(CITIES)))]
+    b = CITIES[int(rng.integers(len(CITIES)))]
+    return f"{a}, {b}"
+
+
+def _email_name(rng: np.random.Generator) -> str:
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+    return f"{first}.{last}@example.com"
+
+
+def default_tasks() -> list[TransformationTask]:
+    """The E12 task suite (each solvable inside the DSL)."""
+    return [
+        TransformationTask(
+            "abbreviate_name",
+            lambda s: f"{s.split()[0][0]}. {s.split()[-1]}",
+            _full_name,
+        ),
+        TransformationTask(
+            "last_first",
+            lambda s: f"{s.split()[-1]}, {s.split()[0]}",
+            _full_name,
+        ),
+        TransformationTask(
+            "upper_last",
+            lambda s: s.split()[-1].upper(),
+            _full_name,
+        ),
+        TransformationTask(
+            "initials",
+            lambda s: "".join(t[0] for t in s.split()),
+            _three_part_name,
+        ),
+        TransformationTask(
+            "drop_middle",
+            lambda s: f"{s.split()[0]} {s.split()[-1]}",
+            _three_part_name,
+        ),
+        TransformationTask(
+            "phone_digits_dash",
+            lambda s: f"{s[1:4]}-{s[6:9]}-{s[10:]}",
+            _phone,
+        ),
+        TransformationTask(
+            "phone_area_code",
+            lambda s: s[1:4],
+            _phone,
+        ),
+        TransformationTask(
+            "date_year",
+            lambda s: s[:4],
+            _date,
+        ),
+        TransformationTask(
+            "date_us_order",
+            lambda s: f"{s[5:7]}/{s[8:]}/{s[:4]}",
+            _date,
+        ),
+        TransformationTask(
+            "first_city_title",
+            lambda s: s.split(",")[0].strip().title(),
+            _city_pair,
+        ),
+        TransformationTask(
+            "lower_full",
+            lambda s: s.lower(),
+            _full_name,
+        ),
+        TransformationTask(
+            "email_user",
+            lambda s: s.split("@")[0],
+            _email_name,
+        ),
+    ]

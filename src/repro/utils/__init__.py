@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG handling, timing, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fitted,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_fitted",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

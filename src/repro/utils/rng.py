@@ -1,0 +1,37 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps the
+convention uniform and makes experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed, or
+    an existing generator (returned unchanged so state is shared).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed or a Generator, got {type(rng)!r}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used when a component fans work out to sub-components that must not share
+    random state (e.g. per-layer initialisation, parallel imputation draws).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,28 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            expensive()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,26 @@
+"""Weak supervision (paper Sections 6.2.4, 6.2.6): labeling functions,
+majority-vote and Dawid-Skene label models, and a simulated crowd."""
+
+from repro.weak.auto import auto_labeling_functions
+from repro.weak.crowd import SimulatedCrowd, Worker
+from repro.weak.label_model import EMLabelModel, MajorityVote
+from repro.weak.lf import (
+    ABSTAIN,
+    LabelingFunction,
+    apply_lfs,
+    labeling_function,
+    lf_summary,
+)
+
+__all__ = [
+    "ABSTAIN",
+    "LabelingFunction",
+    "labeling_function",
+    "apply_lfs",
+    "lf_summary",
+    "auto_labeling_functions",
+    "MajorityVote",
+    "EMLabelModel",
+    "SimulatedCrowd",
+    "Worker",
+]

@@ -1,0 +1,94 @@
+"""Automatic labeling-function generation for ER (paper §6.2.4).
+
+"In fact, in many cases, these weakly labeled data can even be generated
+in an automated manner."  Given unlabeled candidate pairs, this module
+manufactures threshold labeling functions from per-column string
+similarities — no expert in the loop:
+
+* thresholds are calibrated from the *unlabeled* similarity distribution:
+  in a blocked candidate pool true matches concentrate in the upper tail,
+  so the positive cut is a high quantile and the negative cut a low one;
+* each (column, measure) pair yields one LF that votes 1 above the
+  positive cut, 0 below the negative cut, and abstains between.
+
+The generated LFs feed the usual label models (majority vote / EM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.types import is_missing
+from repro.er.features import jaccard_tokens, trigram_jaccard
+from repro.utils.rng import ensure_rng
+from repro.weak.lf import ABSTAIN, LabelingFunction
+
+_MEASURES = {
+    "trigram": trigram_jaccard,
+    "jaccard": jaccard_tokens,
+}
+
+
+def _column_similarity(pair, column: str, measure) -> float | None:
+    record_a, record_b = pair
+    value_a, value_b = record_a.get(column), record_b.get(column)
+    if is_missing(value_a) or is_missing(value_b):
+        return None
+    return measure(str(value_a).lower(), str(value_b).lower())
+
+
+def auto_labeling_functions(
+    pairs: list[tuple[dict, dict]],
+    columns: list[str],
+    positive_quantile: float = 0.9,
+    negative_quantile: float = 0.5,
+    min_separation: float = 0.15,
+    sample: int = 2000,
+    rng: "np.random.Generator | int | None" = 0,
+) -> list[LabelingFunction]:
+    """Generate threshold LFs calibrated on unlabeled candidate pairs.
+
+    Columns whose similarity distribution is too flat (upper and lower
+    quantiles closer than ``min_separation``) produce no LF — they carry no
+    signal worth voting on.
+    """
+    if not 0.0 <= negative_quantile < positive_quantile <= 1.0:
+        raise ValueError(
+            f"need 0 <= negative_quantile < positive_quantile <= 1, got "
+            f"{negative_quantile} / {positive_quantile}"
+        )
+    rng = ensure_rng(rng)
+    if len(pairs) > sample:
+        index = rng.choice(len(pairs), size=sample, replace=False)
+        calibration = [pairs[i] for i in index]
+    else:
+        calibration = list(pairs)
+
+    functions: list[LabelingFunction] = []
+    for column in columns:
+        for measure_name, measure in _MEASURES.items():
+            values = [
+                s for pair in calibration
+                if (s := _column_similarity(pair, column, measure)) is not None
+            ]
+            if len(values) < 20:
+                continue
+            high = float(np.quantile(values, positive_quantile))
+            low = float(np.quantile(values, negative_quantile))
+            if high - low < min_separation:
+                continue
+
+            def lf(pair, column=column, measure=measure, high=high, low=low):
+                similarity = _column_similarity(pair, column, measure)
+                if similarity is None:
+                    return ABSTAIN
+                if similarity >= high:
+                    return 1
+                if similarity <= low:
+                    return 0
+                return ABSTAIN
+
+            functions.append(
+                LabelingFunction(f"auto_{column}_{measure_name}", lf)
+            )
+    return functions

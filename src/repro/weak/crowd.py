@@ -1,0 +1,72 @@
+"""Simulated crowdsourcing (paper Section 6.2.6).
+
+Substitutes the crowd platform we do not have: each worker has a latent
+sensitivity/specificity and votes accordingly; workers may skip tasks.
+The resulting vote matrices feed the same label models as LFs — "inferring
+true labels from noisy labels, learning the skill of workers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.weak.lf import ABSTAIN
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A simulated annotator with a binary confusion profile."""
+
+    name: str
+    sensitivity: float  # P(vote 1 | true 1)
+    specificity: float  # P(vote 0 | true 0)
+    response_rate: float = 1.0
+
+    def vote(self, true_label: int, rng: np.random.Generator) -> int:
+        if rng.random() > self.response_rate:
+            return ABSTAIN
+        if true_label == 1:
+            return 1 if rng.random() < self.sensitivity else 0
+        return 0 if rng.random() < self.specificity else 1
+
+
+class SimulatedCrowd:
+    """A pool of workers with mixed skill levels."""
+
+    def __init__(
+        self,
+        n_workers: int = 7,
+        skill_range: tuple[float, float] = (0.6, 0.95),
+        response_rate: float = 0.9,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        check_probability("response_rate", response_rate)
+        if not 0.5 <= skill_range[0] <= skill_range[1] <= 1.0:
+            raise ValueError(f"skill_range must be within [0.5, 1], got {skill_range}")
+        self._rng = ensure_rng(rng)
+        self.workers = [
+            Worker(
+                name=f"worker_{i}",
+                sensitivity=float(self._rng.uniform(*skill_range)),
+                specificity=float(self._rng.uniform(*skill_range)),
+                response_rate=response_rate,
+            )
+            for i in range(n_workers)
+        ]
+
+    def annotate(self, true_labels: np.ndarray) -> np.ndarray:
+        """Vote matrix of shape ``(n_examples, n_workers)``."""
+        true_labels = np.asarray(true_labels, dtype=np.int64)
+        matrix = np.full((true_labels.size, len(self.workers)), ABSTAIN, dtype=np.int64)
+        for j, worker in enumerate(self.workers):
+            for i, label in enumerate(true_labels):
+                matrix[i, j] = worker.vote(int(label), self._rng)
+        return matrix
+
+    def true_skills(self) -> list[tuple[float, float]]:
+        """(sensitivity, specificity) per worker, for recovery checks."""
+        return [(w.sensitivity, w.specificity) for w in self.workers]

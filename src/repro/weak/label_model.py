@@ -1,0 +1,121 @@
+"""Label models: turning noisy votes into probabilistic training labels.
+
+* :class:`MajorityVote` — the obvious baseline;
+* :class:`EMLabelModel` — Dawid–Skene-style EM that jointly estimates each
+  source's confusion matrix and the latent true labels.  Works both for
+  labeling-function matrices (Section 6.2.4) and simulated crowd workers
+  (Section 6.2.6) — statistically they are the same inference problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.weak.lf import ABSTAIN
+from repro.utils.validation import check_fitted
+
+
+class MajorityVote:
+    """Probability = fraction of non-abstaining votes that say positive."""
+
+    def fit(self, matrix: np.ndarray) -> "MajorityVote":
+        return self
+
+    def predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        votes = np.asarray(matrix)
+        counted = votes != ABSTAIN
+        positives = ((votes == 1) & counted).sum(axis=1)
+        totals = counted.sum(axis=1)
+        probs = np.full(votes.shape[0], 0.5)
+        has_votes = totals > 0
+        probs[has_votes] = positives[has_votes] / totals[has_votes]
+        return probs
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(matrix) > 0.5).astype(int)
+
+
+class EMLabelModel:
+    """Dawid–Skene EM over binary votes with abstentions.
+
+    Model: latent true label y ~ Bernoulli(pi); each source j has
+    sensitivity ``alpha_j = P(vote 1 | y=1)`` and specificity
+    ``beta_j = P(vote 0 | y=0)``; abstentions are ignored (missing at
+    random).  EM alternates posterior inference over y with ML updates of
+    (pi, alpha, beta).
+    """
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-6, smoothing: float = 1.0) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.class_prior_: float | None = None
+        self.sensitivity_: np.ndarray | None = None
+        self.specificity_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "EMLabelModel":
+        votes = np.asarray(matrix)
+        n, m = votes.shape
+        posterior = MajorityVote().predict_proba(votes)
+        pi = float(np.clip(posterior.mean(), 0.05, 0.95))
+        alpha = np.full(m, 0.7)
+        beta = np.full(m, 0.7)
+        voted_pos = votes == 1
+        voted_neg = votes == 0
+        for _ in range(self.max_iter):
+            # E-step: posterior P(y=1 | votes).
+            log_pos = np.log(pi) + (
+                voted_pos @ np.log(alpha + 1e-12)
+                + voted_neg @ np.log(1 - alpha + 1e-12)
+            )
+            log_neg = np.log(1 - pi) + (
+                voted_pos @ np.log(1 - beta + 1e-12)
+                + voted_neg @ np.log(beta + 1e-12)
+            )
+            shift = np.maximum(log_pos, log_neg)
+            new_posterior = np.exp(log_pos - shift) / (
+                np.exp(log_pos - shift) + np.exp(log_neg - shift)
+            )
+            # M-step with Laplace smoothing.
+            s = self.smoothing
+            pos_mass = new_posterior
+            neg_mass = 1.0 - new_posterior
+            alpha = (voted_pos.T @ pos_mass + s) / (
+                (voted_pos | voted_neg).T @ pos_mass + 2 * s
+            )
+            beta = (voted_neg.T @ neg_mass + s) / (
+                (voted_pos | voted_neg).T @ neg_mass + 2 * s
+            )
+            pi = float(np.clip(pos_mass.mean(), 0.01, 0.99))
+            if np.abs(new_posterior - posterior).max() < self.tol:
+                posterior = new_posterior
+                break
+            posterior = new_posterior
+        self.class_prior_ = pi
+        self.sensitivity_ = alpha
+        self.specificity_ = beta
+        return self
+
+    def predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        check_fitted(self, "sensitivity_")
+        votes = np.asarray(matrix)
+        voted_pos = votes == 1
+        voted_neg = votes == 0
+        log_pos = np.log(self.class_prior_) + (
+            voted_pos @ np.log(self.sensitivity_ + 1e-12)
+            + voted_neg @ np.log(1 - self.sensitivity_ + 1e-12)
+        )
+        log_neg = np.log(1 - self.class_prior_) + (
+            voted_pos @ np.log(1 - self.specificity_ + 1e-12)
+            + voted_neg @ np.log(self.specificity_ + 1e-12)
+        )
+        shift = np.maximum(log_pos, log_neg)
+        return np.exp(log_pos - shift) / (
+            np.exp(log_pos - shift) + np.exp(log_neg - shift)
+        )
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(matrix) > 0.5).astype(int)
+
+    def fit_predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).predict_proba(matrix)

@@ -1,0 +1,78 @@
+"""Labeling functions — Snorkel-style weak supervision (paper Section 6.2.4).
+
+A labeling function (LF) votes +1 (positive), 0 (negative) or ``ABSTAIN``
+on an example.  ``apply_lfs`` produces the (n_examples, n_lfs) label matrix
+the label models consume, plus per-LF coverage/agreement diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+ABSTAIN = -1
+
+
+@dataclass(frozen=True)
+class LabelingFunction:
+    """A named weak-labelling heuristic."""
+
+    name: str
+    fn: Callable[[object], int]
+
+    def __call__(self, example: object) -> int:
+        vote = self.fn(example)
+        if vote not in (0, 1, ABSTAIN):
+            raise ValueError(
+                f"LF {self.name!r} returned {vote!r}; must be 0, 1 or ABSTAIN"
+            )
+        return vote
+
+
+def labeling_function(name: str):
+    """Decorator: ``@labeling_function("has_same_phone")``."""
+
+    def wrap(fn: Callable[[object], int]) -> LabelingFunction:
+        return LabelingFunction(name, fn)
+
+    return wrap
+
+
+def apply_lfs(lfs: list[LabelingFunction], examples: list[object]) -> np.ndarray:
+    """Label matrix ``L[i, j]`` = vote of LF j on example i."""
+    if not lfs:
+        raise ValueError("need at least one labeling function")
+    matrix = np.full((len(examples), len(lfs)), ABSTAIN, dtype=np.int64)
+    for j, lf in enumerate(lfs):
+        for i, example in enumerate(examples):
+            matrix[i, j] = lf(example)
+    return matrix
+
+
+def lf_summary(
+    matrix: np.ndarray, lfs: list[LabelingFunction], gold: np.ndarray | None = None
+) -> list[dict[str, object]]:
+    """Per-LF coverage, overlap/conflict rates and (optional) accuracy."""
+    n, m = matrix.shape
+    rows = []
+    for j, lf in enumerate(lfs):
+        votes = matrix[:, j]
+        covered = votes != ABSTAIN
+        coverage = float(covered.mean())
+        others = np.delete(matrix, j, axis=1)
+        overlaps = covered & (others != ABSTAIN).any(axis=1)
+        conflict = covered & (
+            (others != ABSTAIN) & (others != votes[:, None])
+        ).any(axis=1)
+        record: dict[str, object] = {
+            "name": lf.name,
+            "coverage": coverage,
+            "overlap": float(overlaps.mean()),
+            "conflict": float(conflict.mean()),
+        }
+        if gold is not None and covered.any():
+            record["accuracy"] = float((votes[covered] == gold[covered]).mean())
+        rows.append(record)
+    return rows

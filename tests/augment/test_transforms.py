@@ -1,0 +1,98 @@
+"""Augmentation pipeline tests: label preservation above all."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import AugmentationPipeline, augment_er_pairs, default_er_transforms
+from repro.augment.transforms import (
+    case_transform,
+    null_out_transform,
+    token_swap_transform,
+    typo_transform,
+)
+
+
+@pytest.fixture
+def labeled_pairs():
+    return [
+        ({"name": "John Smith", "city": "paris", "phone": "555-1234"},
+         {"name": "J Smith", "city": "paris", "phone": "555-1234"}, 1),
+        ({"name": "Maria Garcia", "city": "rome", "phone": "111-2222"},
+         {"name": "Peter King", "city": "oslo", "phone": "999-8888"}, 0),
+    ]
+
+
+class TestRecordTransforms:
+    def test_typo_keeps_structure(self):
+        rng = np.random.default_rng(0)
+        record = {"name": "Jonathan Smithson", "n": 5}
+        out = typo_transform(record, rng)
+        assert set(out) == set(record)
+        assert out["n"] == 5  # non-strings untouched
+
+    def test_case_preserves_letters(self):
+        rng = np.random.default_rng(0)
+        out = case_transform({"name": "John Smith"}, rng)
+        assert out["name"].lower().replace(" ", "") == "johnsmith"
+
+    def test_token_swap_preserves_tokens(self):
+        rng = np.random.default_rng(1)
+        out = token_swap_transform({"name": "a b c"}, rng)
+        assert sorted(out["name"].split()) == ["a", "b", "c"]
+
+    def test_null_out_keeps_minimum_signal(self):
+        rng = np.random.default_rng(0)
+        record = {"a": "x", "b": "y", "c": "z"}
+        out = null_out_transform(record, rng)
+        remaining = sum(1 for v in out.values() if v is not None)
+        assert remaining == 2
+
+    def test_null_out_skips_sparse_records(self):
+        rng = np.random.default_rng(0)
+        record = {"a": "x", "b": None, "c": "z"}
+        out = null_out_transform(record, rng)
+        assert sum(1 for v in out.values() if v is not None) == 2
+
+
+class TestAugmentationPipeline:
+    def test_multiplier_controls_size(self, labeled_pairs):
+        pipeline = AugmentationPipeline(multiplier=3, rng=0)
+        out = pipeline.augment(labeled_pairs)
+        assert len(out) == len(labeled_pairs) * 4
+
+    def test_labels_preserved(self, labeled_pairs):
+        out = AugmentationPipeline(multiplier=5, rng=0).augment(labeled_pairs)
+        label_counts = {0: 0, 1: 0}
+        for _, _, label in out:
+            label_counts[label] += 1
+        assert label_counts[1] == 6
+        assert label_counts[0] == 6
+
+    def test_originals_included(self, labeled_pairs):
+        out = AugmentationPipeline(multiplier=1, rng=0).augment(labeled_pairs)
+        originals = [(a, b, y) for a, b, y in out if (a, b, y) in [tuple(p) for p in labeled_pairs]]
+        assert len(originals) >= len(labeled_pairs)
+
+    def test_zero_multiplier_shuffles_only(self, labeled_pairs):
+        out = AugmentationPipeline(multiplier=0, swap_pairs=False, rng=0).augment(labeled_pairs)
+        assert len(out) == len(labeled_pairs)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            AugmentationPipeline(multiplier=-1)
+
+    def test_inputs_not_mutated(self, labeled_pairs):
+        import copy
+
+        snapshot = copy.deepcopy(labeled_pairs)
+        AugmentationPipeline(multiplier=4, rng=0).augment(labeled_pairs)
+        assert labeled_pairs == snapshot
+
+    def test_convenience_function(self, labeled_pairs):
+        out = augment_er_pairs(labeled_pairs, multiplier=2, rng=0)
+        assert len(out) == 6
+
+    def test_default_transform_set(self):
+        assert len(default_er_transforms()) == 4

@@ -1,0 +1,90 @@
+"""Golden-record / consolidation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import (
+    PreferenceLearner,
+    consolidate_longest,
+    consolidate_majority,
+    value_features,
+)
+
+
+@pytest.fixture
+def cluster():
+    return [
+        {"name": "John Smith", "city": "paris", "phone": None},
+        {"name": "J Smith", "city": "paris", "phone": "555-1234"},
+        {"name": "John Smith", "city": None, "phone": "555-1234"},
+    ]
+
+
+class TestRuleBased:
+    def test_majority(self, cluster):
+        golden = consolidate_majority(cluster, ["name", "city", "phone"])
+        assert golden["name"] == "John Smith"
+        assert golden["city"] == "paris"
+        assert golden["phone"] == "555-1234"
+
+    def test_majority_tie_prefers_longest(self):
+        cluster = [{"n": "J Smith"}, {"n": "John Smith"}]
+        assert consolidate_majority(cluster, ["n"])["n"] == "John Smith"
+
+    def test_all_missing_gives_none(self):
+        assert consolidate_majority([{"n": None}], ["n"])["n"] is None
+
+    def test_longest(self, cluster):
+        golden = consolidate_longest(cluster, ["name"])
+        assert golden["name"] == "John Smith"
+
+
+class TestValueFeatures:
+    def test_feature_vector_length(self):
+        features = value_features("John Smith", ["John Smith", "J Smith"])
+        assert len(features) == 6
+
+    def test_initials_flag(self):
+        features = value_features("J Smith", ["J Smith"])
+        assert features[5] == 1.0
+        assert value_features("John Smith", ["John Smith"])[5] == 0.0
+
+
+class TestPreferenceLearner:
+    def _decisions(self):
+        return [
+            ("John Smith", ["J Smith", "J. Smith"]),
+            ("Maria Garcia", ["M Garcia"]),
+            ("Robert Brown", ["R. Brown"]),
+            ("Linda Davis", ["L Davis", "L. Davis"]),
+            ("Carlos Lopez", ["C Lopez"]),
+        ]
+
+    def test_learns_prefer_full_names(self):
+        learner = PreferenceLearner().fit(self._decisions())
+        assert learner.choose(["D. Wilson", "David Wilson"]) == "David Wilson"
+        assert learner.choose(["Emma King", "E King"]) == "Emma King"
+
+    def test_single_candidate(self):
+        learner = PreferenceLearner().fit(self._decisions())
+        assert learner.choose(["only"]) == "only"
+
+    def test_empty_candidates_raise(self):
+        learner = PreferenceLearner().fit(self._decisions())
+        with pytest.raises(ValueError):
+            learner.choose([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PreferenceLearner().choose(["a", "b"])
+
+    def test_fit_requires_decisions(self):
+        with pytest.raises(ValueError):
+            PreferenceLearner().fit([])
+
+    def test_consolidate_cluster(self, cluster):
+        learner = PreferenceLearner().fit(self._decisions())
+        golden = learner.consolidate(cluster, ["name", "city"])
+        assert golden["name"] == "John Smith"
+        assert golden["city"] == "paris"

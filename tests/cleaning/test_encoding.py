@@ -1,0 +1,72 @@
+"""Mixed-type table encoder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning import TableEncoder
+from repro.data import ColumnType, Table
+
+
+@pytest.fixture
+def mixed_table():
+    return Table(
+        "mixed",
+        ["color", "size"],
+        rows=[["red", 1.0], ["blue", 3.0], ["red", 5.0], [None, None]],
+    )
+
+
+class TestTableEncoder:
+    def test_width(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        assert encoder.width_ == 2 + 1  # two colors one-hot + one numeric
+
+    def test_numeric_standardised(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        matrix, mask = encoder.encode(mixed_table)
+        numeric = matrix[:3, encoder.column_slice("size")][:, 0]
+        assert np.isclose(numeric.mean(), 0.0)
+        assert np.isclose(numeric.std(), 1.0)
+
+    def test_onehot_encoding(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        matrix, mask = encoder.encode(mixed_table)
+        color_block = matrix[:, encoder.column_slice("color")]
+        assert np.allclose(color_block[:3].sum(axis=1), 1.0)
+        assert np.allclose(color_block[3], 0.0)
+
+    def test_mask_marks_missing(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        _, mask = encoder.encode(mixed_table)
+        assert not mask[3].any()
+        assert mask[0].all()
+
+    def test_decode_roundtrip(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        matrix, _ = encoder.encode(mixed_table)
+        assert encoder.decode_cell(matrix[0], "color") == "red"
+        assert encoder.decode_cell(matrix[1], "color") == "blue"
+        assert encoder.decode_cell(matrix[2], "size") == pytest.approx(5.0)
+
+    def test_unseen_category_unobserved(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        other = Table("o", ["color", "size"], rows=[["green", 2.0]])
+        matrix, mask = encoder.encode(other)
+        assert not mask[0, encoder.column_slice("color")].any()
+        assert mask[0, encoder.column_slice("size")].any()
+
+    def test_unfitted_raises(self, mixed_table):
+        with pytest.raises(RuntimeError):
+            TableEncoder().encode(mixed_table)
+
+    def test_unknown_column_raises(self, mixed_table):
+        encoder = TableEncoder().fit(mixed_table)
+        with pytest.raises(KeyError):
+            encoder.column_slice("ghost")
+
+    def test_column_kind(self, mixed_table):
+        encoder = TableEncoder(["size"]).fit(mixed_table)
+        assert encoder.column_kind("size") == ColumnType.NUMERIC
+        assert encoder.column_kind("color") == ColumnType.CATEGORICAL

@@ -1,0 +1,60 @@
+"""Conflict fusion (treat-as-missing + impute) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import KNNImputer, MeanModeImputer, blank_conflicts, fuse_with_imputer
+from repro.data import FunctionalDependency, Table
+
+
+@pytest.fixture
+def conflicted_table():
+    return Table(
+        "t",
+        ["country", "capital"],
+        rows=[
+            ["fr", "paris"], ["fr", "paris"], ["fr", "lyon"],  # conflict
+            ["de", "berlin"], ["de", "berlin"],
+        ],
+    )
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency(("country",), "capital")
+
+
+class TestBlankConflicts:
+    def test_conflicting_group_blanked(self, conflicted_table, fd):
+        blanked, cells = blank_conflicts(conflicted_table, [fd])
+        assert cells == {(0, "capital"), (1, "capital"), (2, "capital")}
+        for row, column in cells:
+            assert blanked.cell(row, column) is None
+
+    def test_clean_groups_untouched(self, conflicted_table, fd):
+        blanked, _ = blank_conflicts(conflicted_table, [fd])
+        assert blanked.cell(3, "capital") == "berlin"
+
+    def test_no_conflicts_no_cells(self, fd):
+        table = Table("t", ["country", "capital"], rows=[["fr", "paris"]])
+        _, cells = blank_conflicts(table, [fd])
+        assert cells == set()
+
+
+class TestFuseWithImputer:
+    def test_fusion_restores_majority_value(self, conflicted_table, fd):
+        """After blanking, a context-aware imputer resolves 'fr' to the
+        majority-supported capital."""
+        fused, cells = fuse_with_imputer(conflicted_table, [fd], KNNImputer(k=2))
+        assert len(cells) == 3
+        # All fr rows now agree (imputed from the same donor distribution).
+        values = {fused.cell(i, "capital") for i in (0, 1, 2)}
+        assert len(values) == 1
+
+    def test_no_conflict_returns_copy(self, fd):
+        table = Table("t", ["country", "capital"], rows=[["fr", "paris"]])
+        fused, cells = fuse_with_imputer(table, [fd], MeanModeImputer())
+        assert cells == set()
+        assert fused.cell(0, "capital") == "paris"
+        assert fused.name.endswith("_fused")

@@ -1,0 +1,147 @@
+"""Imputation tests: baselines and the MIDA-style DAE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    DAEImputer,
+    HotDeckImputer,
+    KNNImputer,
+    MeanModeImputer,
+    MedianImputer,
+    evaluate_imputation,
+)
+from repro.data import ErrorGenerator, Table, World
+
+
+@pytest.fixture(scope="module")
+def structured_table():
+    """Country/capital table + a country-correlated numeric column."""
+    rng = np.random.default_rng(0)
+    base, _ = World(0).locations_table(160)
+    populations = {c: float(rng.uniform(10, 100)) for c in sorted(set(base.column("country")))}
+    table = Table("demo", base.columns + ["population"])
+    for i in range(base.num_rows):
+        row = list(base.row(i))
+        table.append(row + [round(populations[row[1]] * rng.uniform(0.97, 1.03), 2)])
+    return table
+
+
+@pytest.fixture(scope="module")
+def dirty_setup(structured_table):
+    dirty, report = ErrorGenerator(rng=1).corrupt(
+        structured_table, null_rate=0.15, protected_columns={"person"}
+    )
+    cells = {(e.row, e.column) for e in report.by_kind("null")}
+    return dirty, cells
+
+
+class TestBaselines:
+    def test_mean_mode_fills_everything(self, dirty_setup):
+        dirty, _ = dirty_setup
+        filled = MeanModeImputer(["population"]).fit_transform(dirty)
+        assert filled.missing_rate() == 0.0
+
+    def test_mean_value_correct(self):
+        table = Table("t", ["x"], rows=[[1.0], [3.0], [None]])
+        filled = MeanModeImputer(["x"]).fit_transform(table)
+        assert filled.cell(2, "x") == pytest.approx(2.0)
+
+    def test_median_value_correct(self):
+        table = Table("t", ["x"], rows=[[1.0], [2.0], [100.0], [None]])
+        filled = MedianImputer(["x"]).fit_transform(table)
+        assert filled.cell(3, "x") == pytest.approx(2.0)
+
+    def test_mode_for_categorical(self):
+        table = Table("t", ["c"], rows=[["a"], ["a"], ["b"], [None]])
+        filled = MeanModeImputer().fit_transform(table)
+        assert filled.cell(3, "c") == "a"
+
+    def test_all_missing_column_left_alone(self):
+        table = Table("t", ["c"], rows=[[None], [None]])
+        filled = MeanModeImputer().fit_transform(table)
+        assert filled.cell(0, "c") is None
+
+    def test_hotdeck_uses_observed_values(self):
+        table = Table("t", ["c"], rows=[["a"], ["b"], [None]])
+        filled = HotDeckImputer(rng=0).fit_transform(table)
+        assert filled.cell(2, "c") in {"a", "b"}
+
+    def test_unfitted_raises(self, dirty_setup):
+        dirty, _ = dirty_setup
+        with pytest.raises(RuntimeError):
+            MeanModeImputer().transform(dirty)
+
+
+class TestKNN:
+    def test_exploits_row_context(self):
+        """kNN must use the country column to fill the capital, beating mode."""
+        table, _ = World(1).locations_table(100)
+        dirty, report = ErrorGenerator(rng=2).corrupt(
+            table, null_rate=0.2, protected_columns={"person", "country", "city"}
+        )
+        cells = {(e.row, e.column) for e in report.by_kind("null")}
+        knn = KNNImputer(k=5).fit_transform(dirty)
+        mode = MeanModeImputer().fit_transform(dirty)
+        knn_score = evaluate_imputation(knn, table, cells)
+        mode_score = evaluate_imputation(mode, table, cells)
+        assert knn_score["categorical_accuracy"] > mode_score["categorical_accuracy"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNImputer(k=0)
+
+    def test_fills_missing(self, dirty_setup):
+        dirty, _ = dirty_setup
+        filled = KNNImputer(k=3, numeric_columns=["population"]).fit_transform(dirty)
+        assert filled.missing_rate() < dirty.missing_rate()
+
+
+class TestDAE:
+    def test_beats_mean_mode(self, structured_table, dirty_setup):
+        dirty, cells = dirty_setup
+        dae = DAEImputer(numeric_columns=["population"], epochs=50, rng=0)
+        dae_filled = dae.fit_transform(dirty)
+        mode_filled = MeanModeImputer(["population"]).fit_transform(dirty)
+        dae_score = evaluate_imputation(dae_filled, structured_table, cells, ["population"])
+        mode_score = evaluate_imputation(mode_filled, structured_table, cells, ["population"])
+        assert dae_score["categorical_accuracy"] > mode_score["categorical_accuracy"]
+        assert dae_score["numeric_nrmse"] < mode_score["numeric_nrmse"]
+
+    def test_multiple_imputation_draws_averaged(self, dirty_setup):
+        dirty, _ = dirty_setup
+        dae = DAEImputer(numeric_columns=["population"], epochs=10, n_draws=3, rng=0)
+        filled = dae.fit_transform(dirty)
+        assert filled.missing_rate() == 0.0
+
+    def test_observed_cells_untouched(self, structured_table, dirty_setup):
+        dirty, cells = dirty_setup
+        dae = DAEImputer(numeric_columns=["population"], epochs=5, rng=0)
+        filled = dae.fit_transform(dirty)
+        for i in range(dirty.num_rows):
+            for column in dirty.columns:
+                if (i, column) not in cells and dirty.cell(i, column) is not None:
+                    assert filled.cell(i, column) == dirty.cell(i, column)
+
+    def test_unfitted_raises(self, dirty_setup):
+        dirty, _ = dirty_setup
+        with pytest.raises(RuntimeError):
+            DAEImputer().transform(dirty)
+
+
+class TestEvaluateImputation:
+    def test_perfect_imputation(self):
+        truth = Table("t", ["c", "x"], rows=[["a", 1.0], ["b", 2.0]])
+        assert evaluate_imputation(truth.copy(), truth, {(0, "c"), (1, "x")}, ["x"]) == {
+            "categorical_accuracy": 1.0,
+            "numeric_nrmse": 0.0,
+            "n_cells": 2.0,
+        }
+
+    def test_all_wrong_categorical(self):
+        truth = Table("t", ["c"], rows=[["a"]])
+        wrong = Table("t", ["c"], rows=[["b"]])
+        score = evaluate_imputation(wrong, truth, {(0, "c")})
+        assert score["categorical_accuracy"] == 0.0

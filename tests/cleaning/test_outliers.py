@@ -1,0 +1,113 @@
+"""Outlier-detection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    AutoencoderOutlierDetector,
+    IQRDetector,
+    ZScoreDetector,
+    evaluate_outlier_detection,
+)
+from repro.data import ErrorGenerator, Table
+
+
+@pytest.fixture(scope="module")
+def correlated_setup():
+    """Correlated numeric table with injected outliers."""
+    rng = np.random.default_rng(0)
+    table = Table("nums", ["a", "b", "c"])
+    for _ in range(250):
+        x = rng.normal()
+        table.append([
+            round(x, 3),
+            round(2 * x + rng.normal(0, 0.1), 3),
+            round(-x + rng.normal(0, 0.1), 3),
+        ])
+    dirty, report = ErrorGenerator(rng=1).corrupt(table, outlier_rate=0.03)
+    true_rows = {e.row for e in report.by_kind("outlier")}
+    return dirty, true_rows
+
+
+class TestAutoencoderDetector:
+    def test_detects_injected_outliers(self, correlated_setup):
+        dirty, true_rows = correlated_setup
+        detector = AutoencoderOutlierDetector(contamination=0.1, epochs=50, rng=0).fit(dirty)
+        metrics = evaluate_outlier_detection(detector.predict(dirty), true_rows)
+        assert metrics["recall"] > 0.6
+        assert metrics["precision"] > 0.4
+
+    def test_scores_higher_for_outliers(self, correlated_setup):
+        dirty, true_rows = correlated_setup
+        detector = AutoencoderOutlierDetector(contamination=0.1, epochs=50, rng=0).fit(dirty)
+        scores = detector.scores(dirty)
+        outlier_scores = [scores[i] for i in true_rows]
+        inlier_scores = [scores[i] for i in range(len(scores)) if i not in true_rows]
+        assert np.mean(outlier_scores) > np.mean(inlier_scores)
+
+    def test_detects_correlation_breaks_zscore_misses(self):
+        """A row whose values are individually normal but jointly impossible:
+        the AE (which learns structure) must out-score marginal z-scores."""
+        rng = np.random.default_rng(0)
+        table = Table("corr", ["x", "y"])
+        for _ in range(300):
+            x = rng.normal()
+            table.append([round(x, 3), round(x + rng.normal(0, 0.05), 3)])
+        # Structural outlier: both values within marginal range, wrong pairing.
+        table.append([1.5, -1.5])
+        ae = AutoencoderOutlierDetector(contamination=0.02, epochs=60, rng=0).fit(table)
+        z = ZScoreDetector(z=3.0).fit(table)
+        ae_rank = (ae.scores(table) >= ae.scores(table)[-1]).sum()
+        assert ae_rank <= 10  # among the most anomalous rows
+        assert not z.predict(table)[-1]  # marginal detector misses it
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            AutoencoderOutlierDetector(contamination=0.9)
+
+    def test_unfitted_raises(self, correlated_setup):
+        dirty, _ = correlated_setup
+        with pytest.raises(RuntimeError):
+            AutoencoderOutlierDetector().predict(dirty)
+
+
+class TestStatisticalDetectors:
+    def test_zscore_flags_extremes(self, correlated_setup):
+        dirty, true_rows = correlated_setup
+        detector = ZScoreDetector(z=3.0).fit(dirty)
+        metrics = evaluate_outlier_detection(detector.predict(dirty), true_rows)
+        assert metrics["recall"] > 0.8
+
+    def test_iqr_flags_extremes(self, correlated_setup):
+        dirty, true_rows = correlated_setup
+        detector = IQRDetector(k=3.0).fit(dirty)
+        metrics = evaluate_outlier_detection(detector.predict(dirty), true_rows)
+        assert metrics["recall"] > 0.8
+
+    def test_clean_gaussian_mostly_unflagged(self):
+        rng = np.random.default_rng(0)
+        table = Table("clean", ["x"], rows=[[float(v)] for v in rng.normal(size=500)])
+        detector = ZScoreDetector(z=4.0).fit(table)
+        assert detector.predict(table).mean() < 0.01
+
+    def test_missing_values_not_flagged(self):
+        table = Table(
+            "t", ["x"],
+            rows=[[1.0], [None], [2.0], [3.0], [2.0], [1.0], [2.0], [100.0]],
+        )
+        detector = IQRDetector(k=1.5).fit(table)
+        flags = detector.predict(table)
+        assert not flags[1]
+        assert flags[7]
+
+
+class TestEvaluation:
+    def test_empty_truth_full_recall(self):
+        assert evaluate_outlier_detection(np.zeros(5, dtype=bool), set())["recall"] == 1.0
+
+    def test_no_predictions_zero_precision(self):
+        metrics = evaluate_outlier_detection(np.zeros(5, dtype=bool), {1})
+        assert metrics["precision"] == 0.0
+        assert metrics["recall"] == 0.0

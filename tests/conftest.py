@@ -1,0 +1,35 @@
+"""Shared fixtures: deterministic RNGs and session-scoped expensive objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import World, citations_benchmark
+from repro.embeddings import tuple_documents
+from repro.text import SkipGram
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return World(0)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A small citations EM benchmark shared across ER tests."""
+    return citations_benchmark(n_entities=120, rng=0)
+
+
+@pytest.fixture(scope="session")
+def word_model(small_benchmark) -> SkipGram:
+    """Word embeddings trained on the benchmark tables + world corpus."""
+    docs = tuple_documents([small_benchmark.table_a, small_benchmark.table_b])
+    word_docs = [[t for v in doc for t in str(v).split()] for doc in docs]
+    corpus = World(5).corpus(400)
+    return SkipGram(dim=24, window=8, epochs=8, rng=0).fit(word_docs + corpus)

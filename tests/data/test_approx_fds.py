@@ -1,0 +1,77 @@
+"""Approximate FD (g3 error) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    ErrorGenerator,
+    FunctionalDependency,
+    Table,
+    World,
+    discover_approximate_fds,
+    discover_fds,
+    fd_error,
+)
+
+
+class TestFdError:
+    def test_zero_when_holds(self):
+        table = Table("t", ["a", "b"], rows=[["1", "x"], ["1", "x"], ["2", "y"]])
+        assert fd_error(FunctionalDependency(("a",), "b"), table) == 0.0
+
+    def test_counts_minority_rows(self):
+        table = Table(
+            "t", ["a", "b"],
+            rows=[["1", "x"], ["1", "x"], ["1", "y"], ["2", "z"]],
+        )
+        # One of four participating rows must be removed.
+        assert fd_error(FunctionalDependency(("a",), "b"), table) == 0.25
+
+    def test_missing_rows_excluded(self):
+        table = Table("t", ["a", "b"], rows=[["1", "x"], ["1", None], [None, "y"]])
+        assert fd_error(FunctionalDependency(("a",), "b"), table) == 0.0
+
+    def test_empty_table(self):
+        assert fd_error(FunctionalDependency(("a",), "b"), Table("t", ["a", "b"])) == 0.0
+
+
+class TestApproximateDiscovery:
+    def test_survives_dirty_data_where_exact_fails(self):
+        """The reason approximate discovery exists: a few injected FD
+        violations kill exact discovery but not approximate."""
+        table, fds = World(0).locations_table(150)
+        dirty, _ = ErrorGenerator(rng=0).corrupt(
+            table, fd_violation_rate=0.03, fds=fds
+        )
+        exact = discover_fds(dirty, max_lhs=1)
+        assert fds[0] not in exact
+        approx = discover_approximate_fds(dirty, max_error=0.1, max_lhs=1)
+        assert any(fd == fds[0] for fd, _ in approx)
+
+    def test_errors_reported_and_sorted(self):
+        table = Table(
+            "t", ["a", "b", "c"],
+            rows=[["1", "x", "p"], ["1", "x", "q"], ["2", "y", "r"],
+                  ["2", "y", "r"], ["3", "z", "s"], ["3", "z", "s"]],
+        )
+        found = discover_approximate_fds(table, max_error=0.5, max_lhs=1)
+        errors = [e for _, e in found]
+        assert errors == sorted(errors)
+        by_fd = {str(fd): e for fd, e in found}
+        assert by_fd.get("a -> b") == 0.0
+
+    def test_max_error_zero_equals_exact(self):
+        table, fds = World(1).locations_table(80)
+        exact = set(map(str, discover_fds(table, max_lhs=1)))
+        approx = {str(fd) for fd, _ in discover_approximate_fds(table, max_error=0.0, max_lhs=1)}
+        assert exact == approx
+
+    def test_minimality(self):
+        table = Table(
+            "t", ["a", "b", "c"],
+            rows=[["1", "x", "p"], ["1", "y", "p"], ["2", "x", "q"], ["2", "y", "q"]],
+        )
+        found = discover_approximate_fds(table, max_error=0.0, max_lhs=2)
+        lhs_for_c = [fd.lhs for fd, _ in found if fd.rhs == "c"]
+        assert all(len(lhs) == 1 for lhs in lhs_for_c)

@@ -1,0 +1,99 @@
+"""EM benchmark generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import citations_benchmark, products_benchmark, restaurants_benchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return citations_benchmark(n_entities=100, rng=0)
+
+
+class TestBenchmarkStructure:
+    def test_tables_nonempty_and_overlapping(self, bench):
+        assert bench.table_a.num_rows > 0
+        assert bench.table_b.num_rows > 0
+        assert len(bench.matches) > 0
+
+    def test_match_ids_exist_in_tables(self, bench):
+        ids_a = set(map(str, bench.table_a.column(bench.id_column)))
+        ids_b = set(map(str, bench.table_b.column(bench.id_column)))
+        for a, b in bench.matches:
+            assert a in ids_a
+            assert b in ids_b
+
+    def test_b_side_ids_are_fresh(self, bench):
+        ids_a = set(map(str, bench.table_a.column(bench.id_column)))
+        ids_b = set(map(str, bench.table_b.column(bench.id_column)))
+        assert not ids_a & ids_b
+
+    def test_is_match(self, bench):
+        a, b = sorted(bench.matches)[0]
+        assert bench.is_match(a, b)
+        assert not bench.is_match(a, "b9999")
+
+    def test_record_lookup(self, bench):
+        a, b = sorted(bench.matches)[0]
+        assert bench.record_a(a)[bench.id_column] == a
+        with pytest.raises(KeyError):
+            bench.record_a("nonexistent")
+
+    def test_deterministic(self):
+        bench1 = citations_benchmark(n_entities=50, rng=3)
+        bench2 = citations_benchmark(n_entities=50, rng=3)
+        assert bench1.matches == bench2.matches
+        assert bench1.table_b.equals(bench2.table_b)
+
+    def test_matched_pairs_textually_similar(self, bench):
+        """Dirty copies must still resemble their originals on average."""
+        from repro.er import trigram_jaccard
+
+        sims, mismatches = [], []
+        for a, b in sorted(bench.matches)[:30]:
+            ra, rb = bench.record_a(a), bench.record_b(b)
+            if ra["title"] and rb["title"]:
+                sims.append(trigram_jaccard(str(ra["title"]), str(rb["title"])))
+        assert np.mean(sims) > 0.5
+
+
+class TestLabeledPairs:
+    def test_skew_ratio(self, bench):
+        labeled = bench.labeled_pairs(negative_ratio=5, rng=0)
+        positives = sum(label for _, _, label in labeled)
+        negatives = len(labeled) - positives
+        assert negatives == pytest.approx(5 * positives, rel=0.05)
+
+    def test_n_positives_cap(self, bench):
+        labeled = bench.labeled_pairs(n_positives=10, negative_ratio=2, rng=0)
+        assert sum(label for _, _, label in labeled) == 10
+
+    def test_negatives_are_not_matches(self, bench):
+        labeled = bench.labeled_pairs(negative_ratio=3, rng=0)
+        for a, b, label in labeled:
+            if label == 0:
+                assert not bench.is_match(a, b)
+
+    def test_all_pairs_size(self, bench):
+        assert len(bench.all_pairs()) == bench.table_a.num_rows * bench.table_b.num_rows
+
+
+class TestOtherDomains:
+    def test_products(self):
+        bench = products_benchmark(n_entities=60, rng=1)
+        assert "price" in bench.numeric_columns
+        assert len(bench.matches) > 5
+
+    def test_restaurants_phone_in_compare_columns(self):
+        bench = restaurants_benchmark(n_entities=60, rng=1)
+        assert "phone" in bench.compare_columns
+        assert len(bench.matches) > 5
+
+    def test_noise_zero_produces_identical_text(self):
+        bench = citations_benchmark(n_entities=40, noise=0.0, null_rate=0.0, rng=2)
+        for a, b in sorted(bench.matches)[:10]:
+            ra, rb = bench.record_a(a), bench.record_b(b)
+            assert ra["title"] == rb["title"]

@@ -1,0 +1,149 @@
+"""Conditional FD and matching-dependency tests (§3.1 limitation 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    ConditionalFunctionalDependency,
+    MatchingDependency,
+    Pattern,
+    SimilarityClause,
+    Table,
+    cfd,
+)
+from repro.er import jaro_winkler, trigram_jaccard
+
+
+@pytest.fixture
+def addresses():
+    return Table(
+        "addr",
+        ["country", "zip", "city"],
+        rows=[
+            ["uk", "ec1", "london"],
+            ["uk", "ec1", "london"],
+            ["uk", "m1", "manchester"],
+            ["us", "10001", "new york"],
+            ["us", "10001", "boston"],   # would violate zip->city, but only for uk
+            ["uk", "m1", "leeds"],       # violates the UK-conditional FD
+        ],
+    )
+
+
+class TestConditionalFD:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalFunctionalDependency((), "x")
+        with pytest.raises(ValueError):
+            cfd({"x": "_"}, "x")
+
+    def test_str(self):
+        dependency = cfd({"country": "uk", "zip": "_"}, "city")
+        assert str(dependency) == "[country=uk, zip=_] -> city=_"
+
+    def test_matched_rows_respect_condition(self, addresses):
+        dependency = cfd({"country": "uk", "zip": "_"}, "city")
+        assert dependency.matched_rows(addresses) == [0, 1, 2, 5]
+
+    def test_conditional_scope(self, addresses):
+        """The FD zip→city holds only where country='uk': the US conflict
+        (rows 3, 4) is *not* a violation; the UK conflict (2, 5) is."""
+        dependency = cfd({"country": "uk", "zip": "_"}, "city")
+        assert dependency.violations(addresses) == [(2, 5)]
+        assert not dependency.holds(addresses)
+
+    def test_unconditional_wildcards_behave_like_fd(self, addresses):
+        dependency = cfd({"country": "_", "zip": "_"}, "city")
+        witnesses = dependency.violations(addresses)
+        assert (3, 4) in witnesses
+        assert (2, 5) in witnesses
+
+    def test_constant_rhs(self):
+        table = Table("t", ["plan", "support"], rows=[
+            ["premium", "24x7"], ["premium", "weekdays"], ["basic", "weekdays"],
+        ])
+        dependency = cfd({"plan": "premium"}, "support", "24x7")
+        assert dependency.violations(table) == [(1,)]
+
+    def test_constant_rhs_holds(self):
+        table = Table("t", ["plan", "support"], rows=[
+            ["premium", "24x7"], ["basic", "weekdays"],
+        ])
+        assert cfd({"plan": "premium"}, "support", "24x7").holds(table)
+
+    def test_missing_values_never_match(self):
+        table = Table("t", ["a", "b"], rows=[[None, "x"], ["1", None]])
+        dependency = cfd({"a": "_"}, "b")
+        assert dependency.matched_rows(table) == []
+
+    def test_pattern_matching(self):
+        assert Pattern("c", "_").matches("anything")
+        assert Pattern("c", "UK").matches("uk")
+        assert not Pattern("c", "uk").matches("us")
+        assert not Pattern("c", "_").matches(None)
+
+
+class TestMatchingDependency:
+    @pytest.fixture
+    def md(self):
+        return MatchingDependency(
+            clauses=(
+                SimilarityClause("name", jaro_winkler, 0.85),
+                SimilarityClause("city", trigram_jaccard, 0.5),
+            ),
+            rhs_column="phone",
+        )
+
+    @pytest.fixture
+    def two_tables(self):
+        table_a = Table("a", ["name", "city", "phone"], rows=[
+            ["john smith", "paris", "555-1234"],
+            ["maria garcia", "rome", "555-9999"],
+        ])
+        table_b = Table("b", ["name", "city", "phone"], rows=[
+            ["jon smith", "paris", "555-1234"],       # matches row 0, identified
+            ["maria garcia", "rome", "111-0000"],     # matches row 1, conflicting
+            ["peter king", "oslo", "222-0000"],       # no match
+        ])
+        return table_a, table_b
+
+    def test_requires_clauses(self):
+        with pytest.raises(ValueError):
+            MatchingDependency((), "x")
+
+    def test_implied_matches(self, md, two_tables):
+        table_a, table_b = two_tables
+        assert md.implied_matches(table_a, table_b) == [(0, 0), (1, 1)]
+
+    def test_violations_only_unidentified(self, md, two_tables):
+        table_a, table_b = two_tables
+        assert md.violations(table_a, table_b) == [(1, 1)]
+
+    def test_enforce_identifies_values(self, md, two_tables):
+        table_a, table_b = two_tables
+        out_a, out_b, changed = md.enforce(table_a, table_b)
+        assert changed >= 1
+        assert out_a.cell(1, "phone") == out_b.cell(1, "phone")
+        assert not md.violations(out_a, out_b)
+
+    def test_enforce_leaves_inputs_untouched(self, md, two_tables):
+        table_a, table_b = two_tables
+        md.enforce(table_a, table_b)
+        assert table_b.cell(1, "phone") == "111-0000"
+
+    def test_missing_similarity_never_matches(self, md):
+        table_a = Table("a", ["name", "city", "phone"], rows=[["x", None, "1"]])
+        table_b = Table("b", ["name", "city", "phone"], rows=[["x", "paris", "1"]])
+        assert md.implied_matches(table_a, table_b) == []
+
+    def test_candidate_pairs_limit_scope(self, md, two_tables):
+        table_a, table_b = two_tables
+        assert md.implied_matches(table_a, table_b, candidate_pairs=[(0, 0)]) == [(0, 0)]
+
+    def test_custom_choose(self, md, two_tables):
+        table_a, table_b = two_tables
+        out_a, out_b, _ = md.enforce(
+            table_a, table_b, choose=lambda a, b: b
+        )
+        assert out_a.cell(1, "phone") == "111-0000"

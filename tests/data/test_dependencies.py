@@ -1,0 +1,110 @@
+"""Functional-dependency tests: declaration, violations, discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FunctionalDependency, Table, discover_fds, violation_rate
+
+
+@pytest.fixture
+def figure4_table():
+    """The paper's Figure-4 employee table (with its FD2 violation)."""
+    return Table(
+        "employees",
+        ["employee_id", "employee_name", "department_id", "department_name"],
+        rows=[
+            ["0001", "John Doe", "1", "Human Resources"],
+            ["0002", "Jane Doe", "2", "Marketing"],
+            ["0003", "John Smith", "1", "Human Resources"],
+            ["0004", "John Doe", "1", "Finance"],  # violates dept_id -> dept_name
+        ],
+    )
+
+
+class TestFunctionalDependency:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency((), "x")
+        with pytest.raises(ValueError):
+            FunctionalDependency(("x",), "x")
+
+    def test_str(self):
+        fd = FunctionalDependency(("a", "b"), "c")
+        assert str(fd) == "a, b -> c"
+
+    def test_holds_on_clean_fd(self, figure4_table):
+        fd = FunctionalDependency(("employee_id",), "department_id")
+        assert fd.holds(figure4_table)
+
+    def test_violation_detected(self, figure4_table):
+        fd = FunctionalDependency(("department_id",), "department_name")
+        violations = fd.violations(figure4_table)
+        assert (0, 3) in violations
+        assert (2, 3) in violations
+        assert (0, 2) not in violations  # both Human Resources
+
+    def test_violating_rows(self, figure4_table):
+        fd = FunctionalDependency(("department_id",), "department_name")
+        assert fd.violating_rows(figure4_table) == {0, 2, 3}
+
+    def test_missing_values_never_witness(self):
+        table = Table("t", ["a", "b"], rows=[["1", "x"], ["1", None], [None, "y"]])
+        fd = FunctionalDependency(("a",), "b")
+        assert fd.holds(table)
+
+    def test_multi_attribute_lhs(self):
+        table = Table(
+            "t", ["a", "b", "c"],
+            rows=[["1", "1", "x"], ["1", "2", "y"], ["1", "1", "x"]],
+        )
+        assert FunctionalDependency(("a", "b"), "c").holds(table)
+        assert not FunctionalDependency(("a",), "c").holds(table)
+
+
+class TestViolationRate:
+    def test_zero_when_clean(self, figure4_table):
+        fd = FunctionalDependency(("employee_id",), "department_id")
+        assert violation_rate(figure4_table, [fd]) == 0.0
+
+    def test_counts_involved_rows(self, figure4_table):
+        fd = FunctionalDependency(("department_id",), "department_name")
+        assert violation_rate(figure4_table, [fd]) == 0.75
+
+    def test_empty_inputs(self):
+        assert violation_rate(Table("t", ["a"]), []) == 0.0
+
+
+class TestDiscovery:
+    def test_finds_planted_fd(self):
+        table = Table(
+            "t", ["country", "capital", "city"],
+            rows=[
+                ["fr", "paris", "lyon"], ["fr", "paris", "nice"],
+                ["de", "berlin", "bonn"], ["de", "berlin", "koeln"],
+                ["it", "rome", "milan"], ["it", "rome", "turin"],
+            ],
+        )
+        fds = discover_fds(table, max_lhs=1)
+        assert FunctionalDependency(("country",), "capital") in fds
+
+    def test_minimality(self):
+        """If A -> C holds, A,B -> C must not also be reported."""
+        table = Table(
+            "t", ["a", "b", "c"],
+            rows=[["1", "x", "p"], ["1", "y", "p"], ["2", "x", "q"], ["2", "y", "q"]],
+        )
+        fds = discover_fds(table, max_lhs=2)
+        lhs_for_c = [fd.lhs for fd in fds if fd.rhs == "c"]
+        assert ("a",) in lhs_for_c
+        assert all(len(lhs) == 1 for lhs in lhs_for_c)
+
+    def test_min_support_filters_vacuous(self):
+        """Key-like LHS (all groups singletons) should not produce FDs."""
+        table = Table("t", ["id", "x"], rows=[["1", "a"], ["2", "b"], ["3", "a"]])
+        fds = discover_fds(table, max_lhs=1, min_support=1)
+        assert FunctionalDependency(("id",), "x") not in fds
+
+    def test_violated_fd_not_discovered(self):
+        table = Table("t", ["a", "b"], rows=[["1", "x"], ["1", "y"], ["2", "z"]])
+        assert discover_fds(table, max_lhs=1) == []

@@ -1,0 +1,94 @@
+"""BART-style error generator tests: every error logged, rates honoured."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ErrorGenerator,
+    FunctionalDependency,
+    Table,
+    World,
+    violation_rate,
+)
+
+
+@pytest.fixture
+def clean_table():
+    table, fds = World(0).locations_table(120)
+    return table, fds
+
+
+class TestErrorGenerator:
+    def test_input_untouched(self, clean_table):
+        table, _ = clean_table
+        snapshot = table.copy()
+        ErrorGenerator(rng=0).corrupt(table, typo_rate=0.2, null_rate=0.2)
+        assert table.equals(snapshot)
+
+    def test_every_reported_error_visible_in_table(self, clean_table):
+        table, _ = clean_table
+        dirty, report = ErrorGenerator(rng=0).corrupt(table, typo_rate=0.1, null_rate=0.1)
+        for error in report.errors:
+            assert dirty.cell(error.row, error.column) == error.corrupted
+            assert error.original != error.corrupted
+
+    def test_unreported_cells_unchanged(self, clean_table):
+        table, _ = clean_table
+        dirty, report = ErrorGenerator(rng=1).corrupt(table, typo_rate=0.1)
+        dirty_cells = report.cells()
+        for i in range(table.num_rows):
+            for column in table.columns:
+                if (i, column) not in dirty_cells:
+                    assert dirty.cell(i, column) == table.cell(i, column)
+
+    def test_null_rate_approximate(self, clean_table):
+        table, _ = clean_table
+        dirty, report = ErrorGenerator(rng=2).corrupt(table, null_rate=0.2)
+        expected = 0.2 * table.num_rows * table.num_columns
+        assert len(report.by_kind("null")) == pytest.approx(expected, rel=0.35)
+
+    def test_fd_violations_increase_violation_rate(self, clean_table):
+        table, fds = clean_table
+        dirty, report = ErrorGenerator(rng=3).corrupt(
+            table, fd_violation_rate=0.1, fds=fds
+        )
+        assert violation_rate(table, fds) == 0.0
+        assert violation_rate(dirty, fds) > 0.0
+        assert len(report.by_kind("fd_violation")) > 0
+
+    def test_outliers_only_in_numeric_columns(self):
+        table = Table("t", ["name", "value"], rows=[[f"n{i}", float(i)] for i in range(50)])
+        dirty, report = ErrorGenerator(rng=4).corrupt(table, outlier_rate=0.2)
+        assert report.errors
+        assert all(e.column == "value" for e in report.errors)
+
+    def test_outlier_magnitude(self):
+        rng = np.random.default_rng(0)
+        table = Table("t", ["x"], rows=[[float(v)] for v in rng.normal(0, 1, 100)])
+        dirty, report = ErrorGenerator(rng=5).corrupt(table, outlier_rate=0.1, outlier_scale=10.0)
+        for error in report.by_kind("outlier"):
+            assert abs(error.corrupted - error.original) > 5.0
+
+    def test_swaps_come_in_pairs(self, clean_table):
+        table, _ = clean_table
+        _, report = ErrorGenerator(rng=6).corrupt(table, swap_rate=0.05)
+        assert len(report.by_kind("swap")) % 2 == 0
+
+    def test_protected_columns_untouched(self, clean_table):
+        table, _ = clean_table
+        dirty, report = ErrorGenerator(rng=7).corrupt(
+            table, typo_rate=0.3, null_rate=0.3, protected_columns={"person"}
+        )
+        assert all(e.column != "person" for e in report.errors)
+
+    def test_invalid_rate_rejected(self, clean_table):
+        table, _ = clean_table
+        with pytest.raises(ValueError):
+            ErrorGenerator().corrupt(table, typo_rate=1.5)
+
+    def test_typos_skip_numeric_columns(self):
+        table = Table("t", ["x"], rows=[[1.5], [2.5]])
+        _, report = ErrorGenerator(rng=8).corrupt(table, typo_rate=0.9)
+        assert len(report) == 0

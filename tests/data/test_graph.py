@@ -1,0 +1,77 @@
+"""Figure-4 heterogeneous-graph conversion tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FunctionalDependency, Table, cell_node, graph_statistics, table_to_graph
+
+
+@pytest.fixture
+def table_and_fds():
+    table = Table(
+        "emp",
+        ["eid", "dept_id", "dept_name"],
+        rows=[
+            ["1", "10", "hr"],
+            ["2", "20", "sales"],
+            ["3", "10", "hr"],
+        ],
+    )
+    fds = [FunctionalDependency(("dept_id",), "dept_name")]
+    return table, fds
+
+
+class TestTableToGraph:
+    def test_nodes_are_unique_values(self, table_and_fds):
+        table, fds = table_and_fds
+        graph = table_to_graph(table, fds)
+        # 3 eids + 2 dept_ids + 2 dept_names = 7 unique (column, value) nodes.
+        assert graph.number_of_nodes() == 7
+        assert graph.has_node(cell_node("dept_id", "10"))
+
+    def test_cooccurrence_edges(self, table_and_fds):
+        table, fds = table_and_fds
+        graph = table_to_graph(table, fds)
+        edge = graph[cell_node("eid", "1")][cell_node("dept_id", "10")]
+        assert "cooccurrence" in edge["kinds"]
+
+    def test_fd_edges_marked_and_weighted(self, table_and_fds):
+        table, fds = table_and_fds
+        graph = table_to_graph(table, fds, cooccurrence_weight=1.0, fd_weight=2.0)
+        edge = graph[cell_node("dept_id", "10")][cell_node("dept_name", "hr")]
+        assert "fd" in edge["kinds"]
+        # 2 supporting tuples x (1.0 co-occurrence + 2.0 fd) = 6.0.
+        assert edge["weight"] == pytest.approx(6.0)
+
+    def test_repeated_cooccurrence_accumulates(self, table_and_fds):
+        table, fds = table_and_fds
+        graph = table_to_graph(table, [])
+        edge = graph[cell_node("dept_id", "10")][cell_node("dept_name", "hr")]
+        assert edge["weight"] == pytest.approx(2.0)
+
+    def test_missing_values_skipped(self):
+        table = Table("t", ["a", "b"], rows=[["x", None]])
+        graph = table_to_graph(table)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_fd_with_missing_lhs_skipped(self):
+        table = Table("t", ["a", "b"], rows=[[None, "y"]])
+        fds = [FunctionalDependency(("a",), "b")]
+        graph = table_to_graph(table, fds)
+        assert graph.number_of_edges() == 0
+
+    def test_statistics(self, table_and_fds):
+        table, fds = table_and_fds
+        stats = graph_statistics(table_to_graph(table, fds))
+        assert stats["nodes"] == 7
+        assert 0.0 < stats["fd_edge_fraction"] <= 1.0
+        assert stats["density"] > 0
+
+    def test_statistics_empty_graph(self):
+        import networkx as nx
+
+        stats = graph_statistics(nx.Graph())
+        assert stats["edges"] == 0.0
+        assert stats["fd_edge_fraction"] == 0.0

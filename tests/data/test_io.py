@@ -1,0 +1,47 @@
+"""CSV round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table, read_csv, write_csv
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        table = Table("t", ["a", "b"], rows=[["1", "x"], ["2", None]])
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.columns == ["a", "b"]
+        assert loaded.row(0) == ("1", "x")
+        assert loaded.row(1) == ("2", None)
+
+    def test_name_from_filename(self, tmp_path):
+        table = Table("anything", ["a"], rows=[["1"]])
+        path = tmp_path / "mydata.csv"
+        write_csv(table, path)
+        assert read_csv(path).name == "mydata"
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv(Table("t", ["a"], rows=[["1"]]), path)
+        assert read_csv(path, name="custom").name == "custom"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_short_rows_padded(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b,c\n1,2\n")
+        table = read_csv(path)
+        assert table.row(0) == ("1", "2", None)
+
+    def test_values_with_commas_quoted(self, tmp_path):
+        table = Table("t", ["name"], rows=[["doe, john"]])
+        path = tmp_path / "quoted.csv"
+        write_csv(table, path)
+        assert read_csv(path).cell(0, "name") == "doe, john"

@@ -1,0 +1,73 @@
+"""Perturbation primitive tests (with hypothesis invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import perturb
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTypo:
+    def test_short_strings_unchanged(self, rng):
+        assert perturb.typo("a", rng) == "a"
+
+    def test_changes_at_most_slightly(self, rng):
+        value = "restaurant"
+        for _ in range(20):
+            out = perturb.typo(value, rng)
+            assert abs(len(out) - len(value)) <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abcdefgh", min_size=2, max_size=15), st.integers(0, 1000))
+    def test_length_invariant_property(self, value, seed):
+        out = perturb.typo(value, np.random.default_rng(seed))
+        assert abs(len(out) - len(value)) <= 1
+
+
+class TestNameOps:
+    def test_abbreviate(self, rng):
+        out = perturb.abbreviate_name("john smith", rng)
+        assert out in ("j smith", "j. smith")
+
+    def test_abbreviate_single_token(self, rng):
+        assert perturb.abbreviate_name("cher", rng) == "cher"
+
+    def test_drop_token(self, rng):
+        out = perturb.drop_token("a b c", rng)
+        assert len(out.split()) == 2
+
+    def test_drop_token_single(self, rng):
+        assert perturb.drop_token("single", rng) == "single"
+
+    def test_swap_tokens_preserves_set(self, rng):
+        out = perturb.swap_tokens("a b c d", rng)
+        assert sorted(out.split()) == ["a", "b", "c", "d"]
+
+    def test_change_case_preserves_letters(self, rng):
+        out = perturb.change_case("John Smith", rng)
+        assert out.lower() == "john smith"
+
+
+class TestNumericAndPhone:
+    def test_jitter_within_bounds(self, rng):
+        for _ in range(20):
+            out = perturb.jitter_number(100.0, rng, relative=0.05)
+            assert 94.9 <= out <= 105.1
+
+    def test_reformat_phone_preserves_digits(self, rng):
+        phone = "555-123-4567"
+        for _ in range(10):
+            out = perturb.reformat_phone(phone, rng)
+            digits = "".join(ch for ch in out if ch.isdigit())
+            assert digits == "5551234567"
+
+    def test_reformat_short_phone_unchanged(self, rng):
+        assert perturb.reformat_phone("123", rng) == "123"

@@ -1,0 +1,117 @@
+"""Table-profiling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    ColumnType,
+    Table,
+    World,
+    find_candidate_keys,
+    profile_column,
+    profile_table,
+)
+
+
+@pytest.fixture
+def sample_table():
+    return Table(
+        "sample",
+        ["id", "color", "price"],
+        rows=[
+            ["1", "red", 10.0],
+            ["2", "blue", 20.0],
+            ["3", "red", 30.0],
+            ["4", None, None],
+        ],
+    )
+
+
+class TestColumnProfile:
+    def test_missing_rate(self, sample_table):
+        profile = profile_column(sample_table, "color")
+        assert profile.missing_rate == 0.25
+
+    def test_distinct_counts(self, sample_table):
+        profile = profile_column(sample_table, "color")
+        assert profile.distinct_count == 2
+        assert profile.distinct_ratio == pytest.approx(2 / 3)
+
+    def test_top_values_ordered(self, sample_table):
+        profile = profile_column(sample_table, "color")
+        assert profile.top_values[0] == ("red", 2)
+
+    def test_numeric_stats(self, sample_table):
+        profile = profile_column(sample_table, "price")
+        assert profile.inferred_type == ColumnType.NUMERIC
+        assert profile.minimum == 10.0
+        assert profile.maximum == 30.0
+        assert profile.mean == 20.0
+
+    def test_categorical_has_no_numeric_stats(self, sample_table):
+        profile = profile_column(sample_table, "color")
+        assert profile.mean is None
+
+    def test_key_like_flag(self, sample_table):
+        assert profile_column(sample_table, "id").is_key_like
+        assert not profile_column(sample_table, "color").is_key_like
+
+    def test_constant_flag(self):
+        table = Table("t", ["c"], rows=[["x"], ["x"], [None]])
+        assert profile_column(table, "c").is_constant
+
+
+class TestCandidateKeys:
+    def test_single_column_key(self, sample_table):
+        keys = find_candidate_keys(sample_table)
+        assert ("id",) in keys
+
+    def test_minimality(self, sample_table):
+        keys = find_candidate_keys(sample_table, max_columns=2)
+        assert all(len(k) == 1 or "id" not in k for k in keys)
+
+    def test_composite_key(self):
+        table = Table("t", ["a", "b"], rows=[
+            ["1", "x"], ["1", "y"], ["2", "x"], ["2", "y"],
+        ])
+        keys = find_candidate_keys(table, max_columns=2)
+        assert ("a", "b") in keys
+        assert ("a",) not in keys
+
+    def test_missing_rows_skipped(self):
+        table = Table("t", ["a"], rows=[["1"], [None], ["2"]])
+        assert ("a",) in find_candidate_keys(table)
+
+    def test_no_keys_when_duplicated(self):
+        table = Table("t", ["a"], rows=[["1"], ["1"]])
+        assert find_candidate_keys(table) == []
+
+
+class TestTableProfile:
+    def test_full_profile(self, sample_table):
+        profile = profile_table(sample_table)
+        assert profile.num_rows == 4
+        assert len(profile.columns) == 3
+        assert profile.column("price").inferred_type == ColumnType.NUMERIC
+        assert ("id",) in profile.candidate_keys
+
+    def test_unknown_column_raises(self, sample_table):
+        with pytest.raises(KeyError):
+            profile_table(sample_table).column("ghost")
+
+    def test_overall_missing_rate(self, sample_table):
+        profile = profile_table(sample_table)
+        assert profile.overall_missing_rate == pytest.approx((0 + 0.25 + 0.25) / 3)
+
+    def test_summary_renders(self, sample_table):
+        text = profile_table(sample_table).summary()
+        assert "sample" in text
+        assert "key-like" in text
+        assert "candidate keys" in text
+
+    def test_world_employee_profile(self):
+        table, _ = World(0).employees_table(60)
+        profile = profile_table(table)
+        assert ("employee_id",) in profile.candidate_keys
+        assert profile.column("department_id").distinct_count <= 6

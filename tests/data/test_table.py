@@ -1,0 +1,137 @@
+"""Table abstraction tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ColumnType, Table
+
+
+@pytest.fixture
+def employees():
+    return Table(
+        "employees",
+        ["id", "name", "dept"],
+        rows=[
+            ["1", "john doe", "hr"],
+            ["2", "jane doe", "marketing"],
+            ["3", "john smith", "hr"],
+        ],
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self, employees):
+        assert employees.num_rows == 3
+        assert employees.num_columns == 3
+        assert len(employees) == 3
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a", "a"])
+
+    def test_row_length_validation(self, employees):
+        with pytest.raises(ValueError):
+            employees.append(["4", "too short"])
+
+    def test_from_records_missing_keys(self):
+        table = Table.from_records("t", [{"a": 1}, {"b": 2}])
+        assert table.columns == ["a", "b"]
+        assert table.row(0) == (1, None)
+        assert table.row(1) == (None, 2)
+
+
+class TestAccess:
+    def test_cell_and_row(self, employees):
+        assert employees.cell(1, "name") == "jane doe"
+        assert employees.row(0) == ("1", "john doe", "hr")
+        assert employees.row_dict(2)["dept"] == "hr"
+
+    def test_iter_rows(self, employees):
+        assert len(list(employees.iter_rows())) == 3
+
+    def test_set_cell(self, employees):
+        employees.set_cell(0, "dept", "finance")
+        assert employees.cell(0, "dept") == "finance"
+
+    def test_column_type_inference_cached(self, employees):
+        assert employees.column_type("id") in (ColumnType.NUMERIC, ColumnType.ID)
+        employees.set_column_type("id", ColumnType.ID)
+        assert employees.column_type("id") == ColumnType.ID
+
+    def test_set_column_type_unknown_column(self, employees):
+        with pytest.raises(KeyError):
+            employees.set_column_type("salary", ColumnType.NUMERIC)
+
+
+class TestRelationalOps:
+    def test_project(self, employees):
+        projected = employees.project(["name"])
+        assert projected.columns == ["name"]
+        assert projected.num_rows == 3
+
+    def test_project_unknown_column(self, employees):
+        with pytest.raises(KeyError):
+            employees.project(["salary"])
+
+    def test_select(self, employees):
+        hr = employees.select(lambda r: r["dept"] == "hr")
+        assert hr.num_rows == 2
+
+    def test_take_reorders(self, employees):
+        taken = employees.take([2, 0])
+        assert taken.row(0)[0] == "3"
+        assert taken.row(1)[0] == "1"
+
+    def test_copy_is_independent(self, employees):
+        clone = employees.copy()
+        clone.set_cell(0, "name", "CHANGED")
+        assert employees.cell(0, "name") == "john doe"
+
+    def test_rename(self, employees):
+        renamed = employees.rename({"dept": "department"})
+        assert "department" in renamed.columns
+        assert renamed.column("department") == employees.column("dept")
+
+    def test_equals(self, employees):
+        assert employees.equals(employees.copy())
+        other = employees.copy()
+        other.set_cell(0, "name", "x")
+        assert not employees.equals(other)
+
+
+class TestQualityStats:
+    def test_missing_rate(self):
+        table = Table("t", ["a", "b"], rows=[[1, None], [None, None]])
+        assert table.missing_rate() == 0.75
+
+    def test_missing_mask(self):
+        table = Table("t", ["a"], rows=[[1], [None], [""]])
+        assert [m[0] for m in table.missing_mask()] == [False, True, True]
+
+    def test_distinct_values_order_and_dedup(self):
+        table = Table("t", ["a"], rows=[["x"], ["y"], ["x"], [None]])
+        assert table.distinct_values("a") == ["x", "y"]
+
+    def test_value_counts(self):
+        table = Table("t", ["a"], rows=[["x"], ["x"], ["y"], [None]])
+        assert table.value_counts("a") == {"x": 2, "y": 1}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-100, 100), st.sampled_from("abc")),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_append_roundtrip_property(rows):
+    table = Table("t", ["num", "cat"])
+    for row in rows:
+        table.append(list(row))
+    assert table.num_rows == len(rows)
+    for i, row in enumerate(rows):
+        assert table.row(i) == row

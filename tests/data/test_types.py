@@ -1,0 +1,60 @@
+"""Type inference and missing-value semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data import ColumnType, coerce_numeric, infer_column_type, is_missing
+
+
+class TestIsMissing:
+    @pytest.mark.parametrize("value", [None, "", float("nan")])
+    def test_missing_values(self, value):
+        assert is_missing(value)
+
+    @pytest.mark.parametrize("value", [0, 0.0, "0", " ", "x", False])
+    def test_present_values(self, value):
+        assert not is_missing(value)
+
+
+class TestInference:
+    def test_numeric(self):
+        assert infer_column_type([1, 2.5, "3"]) == ColumnType.NUMERIC
+
+    def test_numeric_with_missing(self):
+        assert infer_column_type([1, None, 3]) == ColumnType.NUMERIC
+
+    def test_categorical(self):
+        assert infer_column_type(["red", "blue", "red"] * 5) == ColumnType.CATEGORICAL
+
+    def test_id_like(self):
+        values = [f"user_{i}" for i in range(20)]
+        assert infer_column_type(values) == ColumnType.ID
+
+    def test_text(self):
+        values = ["the quick brown fox jumps", "over the lazy dog today"] * 3
+        assert infer_column_type(values) == ColumnType.TEXT
+
+    def test_all_missing_defaults_categorical(self):
+        assert infer_column_type([None, None]) == ColumnType.CATEGORICAL
+
+    def test_small_unique_not_id(self):
+        # Few values: unique ratio 1.0 but too small to call ID.
+        assert infer_column_type(["a", "b"]) == ColumnType.CATEGORICAL
+
+
+class TestCoerceNumeric:
+    def test_parses_strings(self):
+        assert coerce_numeric("3.5") == 3.5
+
+    def test_passes_numbers(self):
+        assert coerce_numeric(2) == 2.0
+
+    def test_missing_returns_none(self):
+        assert coerce_numeric(None) is None
+        assert coerce_numeric("") is None
+
+    def test_unparseable_returns_none(self):
+        assert coerce_numeric("abc") is None

@@ -1,0 +1,59 @@
+"""Synthetic world generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import COUNTRIES, World
+
+
+class TestWorld:
+    def test_people_deterministic(self):
+        a = World(0).people(20)
+        b = World(0).people(20)
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_people_have_valid_fields(self):
+        for person in World(1).people(30):
+            assert person.country in COUNTRIES
+            assert len(person.name.split()) == 2
+            assert person.person_id.isdigit()
+
+    def test_employees_table_satisfies_fds(self):
+        table, fds = World(2).employees_table(60)
+        assert all(fd.holds(table) for fd in fds)
+        assert table.num_rows == 60
+
+    def test_locations_table_fd(self):
+        table, fds = World(3).locations_table(50)
+        assert fds[0].holds(table)
+        for i in range(table.num_rows):
+            country = table.cell(i, "country")
+            assert table.cell(i, "capital") == COUNTRIES[country]
+
+    def test_products_fields(self):
+        products = World(4).products(25)
+        assert len(products) == 25
+        for product in products:
+            assert product["brand"] in product["title"]
+            assert 99 <= product["price"] <= 2499
+
+    def test_restaurants_phone_format(self):
+        for r in World(5).restaurants(20):
+            area, mid, last = r["phone"].split("-")
+            assert len(area) == 3 and len(mid) == 3 and len(last) == 4
+
+    def test_citations_author_count(self):
+        for c in World(6).citations(20):
+            assert 1 <= len(c["authors"].split(",")) <= 3
+
+    def test_corpus_sentences_nonempty(self):
+        corpus = World(7).corpus(100)
+        assert len(corpus) == 100
+        assert all(len(sentence) > 2 for sentence in corpus)
+
+    def test_corpus_contains_country_capital_facts(self):
+        corpus = World(8).corpus(2000)
+        text = " ".join(" ".join(s) for s in corpus)
+        hits = sum(1 for c, cap in COUNTRIES.items() if c in text and cap in text)
+        assert hits > len(COUNTRIES) // 2

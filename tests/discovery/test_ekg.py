@@ -1,0 +1,79 @@
+"""Enterprise-knowledge-graph tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.discovery import (
+    EnterpriseKnowledgeGraph,
+    column_node,
+    external_node,
+    table_node,
+)
+
+
+@pytest.fixture
+def ekg():
+    graph = EnterpriseKnowledgeGraph()
+    graph.add_table(Table("patients", ["pid", "biopsy_site"], rows=[["1", "lung"]]))
+    graph.add_table(Table("assays", ["aid", "protein"], rows=[["1", "p53"]]))
+    graph.add_table(Table("billing", ["bid", "amount"], rows=[["1", "10"]]))
+    return graph
+
+
+class TestEKG:
+    def test_tables_registered(self, ekg):
+        assert ekg.tables == ["assays", "billing", "patients"]
+        assert ekg.table("patients").num_rows == 1
+
+    def test_duplicate_table_rejected(self, ekg):
+        with pytest.raises(ValueError):
+            ekg.add_table(Table("patients", ["x"]))
+
+    def test_contains_edges(self, ekg):
+        assert ekg.graph.has_edge(
+            table_node("patients"), column_node("patients", "biopsy_site")
+        )
+
+    def test_semantic_link_and_listing(self, ekg):
+        ekg.add_semantic_link(
+            column_node("patients", "biopsy_site"),
+            column_node("assays", "protein"),
+            score=0.8,
+        )
+        links = ekg.links(min_score=0.5)
+        assert len(links) == 1
+        assert links[0][2] == 0.8
+
+    def test_link_to_unknown_node_rejected(self, ekg):
+        with pytest.raises(KeyError):
+            ekg.add_semantic_link("column:ghost.x", table_node("patients"), 0.9)
+
+    def test_external_nodes(self, ekg):
+        ekg.add_external("gene_ontology", description="GO terms")
+        ekg.add_semantic_link(
+            external_node("gene_ontology"), column_node("assays", "protein"), 0.7
+        )
+        assert len(ekg.links()) == 1
+
+    def test_related_tables_through_links(self, ekg):
+        ekg.add_semantic_link(
+            column_node("patients", "biopsy_site"),
+            column_node("assays", "protein"),
+            score=0.9,
+        )
+        related = ekg.related_tables("patients")
+        assert "assays" in related
+        assert "billing" not in related
+
+    def test_related_tables_unknown_table(self, ekg):
+        with pytest.raises(KeyError):
+            ekg.related_tables("ghost")
+
+    def test_links_min_score_filter(self, ekg):
+        ekg.add_semantic_link(
+            column_node("patients", "pid"), column_node("billing", "bid"), score=0.2
+        )
+        assert ekg.links(min_score=0.5) == []
+        assert len(ekg.links(min_score=0.1)) == 1

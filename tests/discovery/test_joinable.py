@@ -1,0 +1,100 @@
+"""Join discovery / inclusion dependency tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.discovery import (
+    enrich,
+    find_inclusion_dependencies,
+    find_joinable_columns,
+    joinability,
+)
+
+
+@pytest.fixture
+def orders_and_customers():
+    customers = Table(
+        "customers", ["cid", "cname", "country"],
+        rows=[["c1", "acme", "fr"], ["c2", "globex", "de"], ["c3", "stark", "it"]],
+    )
+    orders = Table(
+        "orders", ["oid", "customer", "amount"],
+        rows=[["o1", "c1", 10], ["o2", "c2", 20], ["o3", "c1", 30]],
+    )
+    return orders, customers
+
+
+class TestInclusionDependencies:
+    def test_foreign_key_found(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        inds = find_inclusion_dependencies(orders, [customers])
+        keys = {(d.column_a, d.table_b, d.column_b) for d in inds}
+        assert ("customer", "customers", "cid") in keys
+        best = inds[0]
+        assert best.containment == 1.0
+
+    def test_partial_containment_threshold(self):
+        source = Table("s", ["k"], rows=[["a"], ["b"], ["c"], ["zzz"]])
+        target = Table("t", ["k"], rows=[["a"], ["b"], ["c"]])
+        assert not find_inclusion_dependencies(source, [target], min_containment=0.95)
+        inds = find_inclusion_dependencies(source, [target], min_containment=0.7)
+        assert inds and inds[0].containment == 0.75
+
+    def test_constant_columns_skipped(self):
+        source = Table("s", ["k"], rows=[["x"], ["x"]])
+        target = Table("t", ["k"], rows=[["x"], ["y"], ["z"]])
+        assert not find_inclusion_dependencies(source, [target], min_distinct=2)
+
+    def test_self_excluded(self, orders_and_customers):
+        orders, _ = orders_and_customers
+        assert not find_inclusion_dependencies(orders, [orders])
+
+    def test_str(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        ind = find_inclusion_dependencies(orders, [customers])[0]
+        assert "⊆" in str(ind)
+
+
+class TestJoinability:
+    def test_symmetric_max_containment(self):
+        a = Table("a", ["x"], rows=[["1"], ["2"], ["3"], ["4"]])
+        b = Table("b", ["x"], rows=[["3"], ["4"]])
+        assert joinability(a, "x", b, "x") == 1.0  # b fully contained
+
+    def test_disjoint_zero(self):
+        a = Table("a", ["x"], rows=[["1"]])
+        b = Table("b", ["x"], rows=[["2"]])
+        assert joinability(a, "x", b, "x") == 0.0
+
+    def test_find_joinable_ranked(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        results = find_joinable_columns(orders, [customers], min_score=0.5)
+        assert results[0][:3] == ("customer", "customers", "cid")
+
+
+class TestEnrich:
+    def test_left_join_adds_columns(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        enriched = enrich(orders, customers, "customer", "cid")
+        assert enriched.columns == ["oid", "customer", "amount", "cname", "country"]
+        assert enriched.cell(0, "cname") == "acme"
+        assert enriched.cell(2, "cname") == "acme"  # repeated key joins again
+
+    def test_unmatched_rows_get_none(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        orders.append(["o4", "c9", 99])
+        enriched = enrich(orders, customers, "customer", "cid")
+        assert enriched.cell(3, "cname") is None
+
+    def test_column_clash_rejected(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        clashing = customers.rename({"cname": "amount"})
+        with pytest.raises(ValueError):
+            enrich(orders, clashing, "customer", "cid")
+
+    def test_subset_of_columns(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        enriched = enrich(orders, customers, "customer", "cid", add_columns=["country"])
+        assert enriched.columns == ["oid", "customer", "amount", "country"]

@@ -1,0 +1,113 @@
+"""Dataset search-engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.discovery import (
+    BM25SearchEngine,
+    EmbeddingSearchEngine,
+    TfIdfSearchEngine,
+    mean_reciprocal_rank,
+    table_document,
+)
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return [
+        Table(
+            "restaurant_reviews",
+            ["restaurant", "cuisine", "rating"],
+            rows=[["hall grill", "french", "4"], ["king cafe", "italian", "5"]],
+        ),
+        Table(
+            "employee_salaries",
+            ["employee", "department", "salary"],
+            rows=[["john doe", "finance", "100"], ["jane doe", "marketing", "90"]],
+        ),
+        Table(
+            "product_catalog",
+            ["product", "brand", "price"],
+            rows=[["acme laptop", "acme", "999"], ["stark phone", "stark", "799"]],
+        ),
+    ]
+
+
+class TestTableDocument:
+    def test_includes_schema_and_values(self, lake):
+        tokens = table_document(lake[0])
+        assert "restaurant" in tokens
+        assert "cuisine" in tokens
+        assert "french" in tokens
+
+    def test_value_sampling_cap(self):
+        table = Table("big", ["c"], rows=[[f"value{i}"] for i in range(100)])
+        tokens = table_document(table, value_sample=5)
+        value_tokens = [t for t in tokens if t.startswith("value")]
+        assert len(value_tokens) == 5
+
+
+@pytest.mark.parametrize("engine_cls", [TfIdfSearchEngine, BM25SearchEngine])
+class TestLexicalEngines:
+    def test_exact_term_ranks_right_table_first(self, lake, engine_cls):
+        engine = engine_cls()
+        engine.add_tables(lake)
+        results = engine.search("french cuisine restaurant", topn=3)
+        assert results[0][0] == "restaurant_reviews"
+
+    def test_salary_query(self, lake, engine_cls):
+        engine = engine_cls()
+        engine.add_tables(lake)
+        assert engine.search("department salary", topn=1)[0][0] == "employee_salaries"
+
+    def test_duplicate_index_rejected(self, lake, engine_cls):
+        engine = engine_cls()
+        engine.add_table(lake[0])
+        with pytest.raises(ValueError):
+            engine.add_table(lake[0])
+
+    def test_mrr(self, lake, engine_cls):
+        engine = engine_cls()
+        engine.add_tables(lake)
+        queries = [
+            ("french cuisine", "restaurant_reviews"),
+            ("salary department", "employee_salaries"),
+            ("laptop price brand", "product_catalog"),
+        ]
+        assert mean_reciprocal_rank(engine, queries) > 0.8
+
+
+class TestEmbeddingEngine:
+    def _engine(self, lake):
+        clusters = {
+            "restaurant": [1, 0, 0], "cuisine": [1, 0, 0], "french": [1, 0, 0],
+            "italian": [1, 0, 0], "food": [1, 0, 0], "dining": [0.9, 0, 0.1],
+            "employee": [0, 1, 0], "department": [0, 1, 0], "salary": [0, 1, 0],
+            "payroll": [0, 0.9, 0.1], "staff": [0, 0.95, 0],
+            "product": [0, 0, 1], "brand": [0, 0, 1], "price": [0, 0, 1],
+            "laptop": [0, 0, 1], "catalog": [0, 0, 1], "gadgets": [0.1, 0, 0.9],
+        }
+        fn = lambda t: np.array(clusters.get(t, [0.0, 0.0, 0.0]), dtype=float)
+        engine = EmbeddingSearchEngine(fn, dim=3)
+        engine.add_tables(lake)
+        return engine
+
+    def test_semantic_query_without_shared_terms(self, lake):
+        """'payroll staff' shares no token with employee_salaries but lands
+        in the same embedding cluster — the semantic-search win."""
+        engine = self._engine(lake)
+        assert engine.search("payroll staff", topn=1)[0][0] == "employee_salaries"
+
+    def test_dining_query(self, lake):
+        engine = self._engine(lake)
+        assert engine.search("dining food", topn=1)[0][0] == "restaurant_reviews"
+
+    def test_lexical_engine_fails_semantic_query(self, lake):
+        """Contrast: TF-IDF scores 0 for vocabulary-disjoint queries."""
+        engine = TfIdfSearchEngine()
+        engine.add_tables(lake)
+        results = dict(engine.search("payroll staff", topn=3))
+        assert results["employee_salaries"] == 0.0

@@ -1,0 +1,90 @@
+"""Cell-embedding tests (tuple-as-document adaptation, §3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table, World
+from repro.embeddings import CellEmbedder, cooccurrence_hit_rate, tuple_documents
+
+
+@pytest.fixture(scope="module")
+def locations():
+    table, fds = World(0).locations_table(150)
+    return table
+
+
+class TestTupleDocuments:
+    def test_one_document_per_row(self, locations):
+        docs = tuple_documents([locations])
+        assert len(docs) == locations.num_rows
+
+    def test_missing_values_skipped(self):
+        table = Table("t", ["a", "b"], rows=[["x", None], [None, None]])
+        docs = tuple_documents([table])
+        assert docs == [["x"]]
+
+    def test_qualified_tokens(self):
+        table = Table("t", ["a"], rows=[["X"]])
+        docs = tuple_documents([table], qualify=True)
+        assert docs == [["a=x"]]
+
+    def test_multiple_tables_concatenated(self, locations):
+        docs = tuple_documents([locations, locations])
+        assert len(docs) == 2 * locations.num_rows
+
+
+class TestCellEmbedder:
+    def test_fit_and_vector_shape(self, locations):
+        embedder = CellEmbedder(dim=16, epochs=3, rng=0).fit([locations])
+        assert embedder.vector("france").shape == (16,)
+
+    def test_unseen_value_zero_vector(self, locations):
+        embedder = CellEmbedder(dim=16, epochs=3, rng=0).fit([locations])
+        assert np.allclose(embedder.vector("atlantis"), 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CellEmbedder().vector("x")
+
+    def test_empty_tables_raise(self):
+        with pytest.raises(ValueError):
+            CellEmbedder().fit([Table("t", ["a"])])
+
+    def test_qualified_requires_column(self, locations):
+        embedder = CellEmbedder(dim=8, epochs=2, qualify=True, rng=0).fit([locations])
+        with pytest.raises(ValueError):
+            embedder.vector("france")
+        assert embedder.vector("france", column="country").shape == (8,)
+
+    def test_cooccurring_cells_associate(self, locations):
+        """france/paris share tuples; france/tokyo never do."""
+        embedder = CellEmbedder(dim=24, epochs=8, rng=0).fit([locations])
+        paired = embedder.model.first_order_similarity("france", "paris")
+        unpaired = embedder.model.first_order_similarity("france", "tokyo")
+        assert paired > unpaired
+
+
+class TestWindowLimitation:
+    """Paper §3.1 limitation 2: attributes further apart than the window
+    never co-occur as training pairs."""
+
+    def test_hit_rate_one_when_window_covers(self, locations):
+        rate = cooccurrence_hit_rate(locations, "country", "capital", window=4)
+        assert rate == 1.0
+
+    def test_hit_rate_drops_with_distance(self):
+        columns = [f"c{i}" for i in range(12)]
+        table = Table("wide", columns, rows=[[str(i) for i in range(12)]])
+        near = cooccurrence_hit_rate(table, "c0", "c2", window=4)
+        far = cooccurrence_hit_rate(table, "c0", "c11", window=4)
+        assert far == 0.0
+        assert near > far
+
+    def test_hit_rate_matches_analytic(self):
+        """P(span >= d) with span ~ U{1..w} equals (w - d + 1) / w."""
+        columns = [f"c{i}" for i in range(8)]
+        table = Table("wide", columns, rows=[[str(i) for i in range(8)]])
+        rate = cooccurrence_hit_rate(table, "c0", "c3", window=6, trials=20000, rng=0)
+        assert rate == pytest.approx((6 - 3 + 1) / 6, abs=0.02)

@@ -1,0 +1,143 @@
+"""Compositional embedding tests: tuple2vec, column2vec, table2vec, LSTM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.embeddings import (
+    LSTMComposer,
+    TupleEmbedder,
+    column_embedding,
+    database_embedding,
+    mean_compose,
+    sif_weights,
+    table_embedding,
+)
+from repro.text import SkipGram
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    words = ["red", "blue", "green", "small", "large", "widget", "gadget", "device"]
+    docs = [
+        [str(w) for w in rng.choice(words, size=4, replace=False)] for _ in range(200)
+    ]
+    # Make "widget" very frequent so SIF down-weights it measurably.
+    docs += [["widget", "widget", "widget"]] * 100
+    return SkipGram(dim=12, epochs=3, rng=0).fit(docs)
+
+
+class TestTupleEmbedder:
+    def test_embed_shape(self, model):
+        embedder = TupleEmbedder(model, ["name", "color"])
+        vec = embedder.embed({"name": "widget", "color": "red"})
+        assert vec.shape == (12,)
+
+    def test_empty_record_zero(self, model):
+        embedder = TupleEmbedder(model, ["name"])
+        assert np.allclose(embedder.embed({"name": None}), 0.0)
+
+    def test_mean_is_token_average(self, model):
+        embedder = TupleEmbedder(model, ["a"])
+        vec = embedder.embed({"a": "red blue"})
+        expected = (model.vector("red") + model.vector("blue")) / 2
+        assert np.allclose(vec, expected)
+
+    def test_invalid_method(self, model):
+        with pytest.raises(ValueError):
+            TupleEmbedder(model, ["a"], method="max")
+
+    def test_sif_downweights_frequent_tokens(self, model):
+        weights = sif_weights(["widget", "green"], model)
+        assert weights[0] < weights[1]
+
+    def test_sif_differs_from_mean(self, model):
+        mean_emb = TupleEmbedder(model, ["a"], method="mean")
+        sif_emb = TupleEmbedder(model, ["a"], method="sif")
+        record = {"a": "widget green"}
+        assert not np.allclose(mean_emb.embed(record), sif_emb.embed(record))
+
+    def test_embed_columns_aligned(self, model):
+        embedder = TupleEmbedder(model, ["x", "y"])
+        matrix = embedder.embed_columns({"x": "red", "y": None})
+        assert matrix.shape == (2, 12)
+        assert np.allclose(matrix[0], model.vector("red"))
+        assert np.allclose(matrix[1], 0.0)
+
+    def test_token_matrix_padding_and_truncation(self, model):
+        embedder = TupleEmbedder(model, ["a"])
+        matrix = embedder.token_matrix({"a": "red blue"}, max_tokens=4)
+        assert matrix.shape == (4, 12)
+        assert np.allclose(matrix[2:], 0.0)
+        truncated = embedder.token_matrix({"a": "red blue green small large"}, max_tokens=2)
+        assert truncated.shape == (2, 12)
+
+    def test_embed_many(self, model):
+        embedder = TupleEmbedder(model, ["a"])
+        out = embedder.embed_many([{"a": "red"}, {"a": "blue"}])
+        assert out.shape == (2, 12)
+        assert embedder.embed_many([]).shape == (0, 12)
+
+    def test_custom_vector_fn(self, model):
+        constant = np.ones(12)
+        embedder = TupleEmbedder(model, ["a"], vector_fn=lambda t: constant)
+        assert np.allclose(embedder.embed({"a": "anything at all"}), 1.0)
+
+
+class TestColumnTableEmbeddings:
+    def _vector_fn(self, model):
+        return lambda t: model.vector(t) if t in model else np.zeros(model.dim)
+
+    def test_column_embedding(self, model):
+        table = Table("t", ["color"], rows=[["red"], ["blue"], ["red"]])
+        vec = column_embedding(table, "color", self._vector_fn(model), 12)
+        assert vec.shape == (12,)
+        assert not np.allclose(vec, 0.0)
+
+    def test_empty_column_zero(self, model):
+        table = Table("t", ["color"], rows=[[None]])
+        assert np.allclose(column_embedding(table, "color", self._vector_fn(model), 12), 0.0)
+
+    def test_column_sampling(self, model):
+        table = Table("t", ["c"], rows=[["red"]] * 100)
+        vec = column_embedding(table, "c", self._vector_fn(model), 12, sample=10)
+        assert np.allclose(vec, model.vector("red"))
+
+    def test_table_and_database_embeddings(self, model):
+        table = Table("t", ["a", "b"], rows=[["red", "widget"], ["blue", "gadget"]])
+        t_vec = table_embedding(table, self._vector_fn(model), 12)
+        db_vec = database_embedding([table, table], self._vector_fn(model), 12)
+        assert t_vec.shape == (12,)
+        assert np.allclose(db_vec, t_vec)  # mean of identical tables
+
+    def test_similar_columns_closer_than_different(self, model):
+        from repro.text import cosine
+
+        colors_a = Table("a", ["c"], rows=[["red"], ["blue"]])
+        colors_b = Table("b", ["c"], rows=[["green"], ["red"]])
+        things = Table("c", ["c"], rows=[["widget"], ["gadget"]])
+        fn = self._vector_fn(model)
+        va = column_embedding(colors_a, "c", fn, 12)
+        vb = column_embedding(colors_b, "c", fn, 12)
+        vc = column_embedding(things, "c", fn, 12)
+        assert cosine(va, vb) > cosine(va, vc) or np.allclose(va, vb)
+
+
+class TestLSTMComposer:
+    def test_output_shape(self, model):
+        composer = LSTMComposer(12, hidden_dim=8, rng=0)
+        out = composer(np.zeros((3, 5, 12)))
+        assert out.shape == (3, 16)  # bidirectional doubles
+
+    def test_unidirectional(self, model):
+        composer = LSTMComposer(12, hidden_dim=8, bidirectional=False, rng=0)
+        assert composer(np.zeros((2, 4, 12))).shape == (2, 8)
+
+    def test_gradients_flow(self, model):
+        composer = LSTMComposer(6, hidden_dim=4, rng=0)
+        out = composer(np.random.default_rng(0).normal(size=(2, 3, 6)))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in composer.parameters())

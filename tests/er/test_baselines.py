@@ -1,0 +1,112 @@
+"""Traditional ER baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import (
+    FeatureBasedER,
+    LogisticRegressionClassifier,
+    ThresholdMatcher,
+    classification_prf,
+)
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = (x @ np.array([1.0, -2.0, 0.5]) > 0).astype(int)
+        model = LogisticRegressionClassifier().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_probabilities_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegressionClassifier().fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_balanced_class_weight_improves_minority_recall(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack([rng.normal(-1, 1, size=(190, 2)), rng.normal(1.1, 1, size=(10, 2))])
+        y = np.array([0] * 190 + [1] * 10)
+        plain = LogisticRegressionClassifier().fit(x, y)
+        balanced = LogisticRegressionClassifier(class_weight="balanced").fit(x, y)
+        recall_plain = classification_prf(y, plain.predict(x)).recall
+        recall_balanced = classification_prf(y, balanced.predict(x)).recall
+        assert recall_balanced >= recall_plain
+
+    def test_constant_feature_no_crash(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        y = (x[:, 1] > 4).astype(int)
+        model = LogisticRegressionClassifier().fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()
+
+
+class TestFeatureBasedER:
+    def test_learns_benchmark(self, small_benchmark):
+        labeled = small_benchmark.labeled_pairs(negative_ratio=4, rng=0)
+        trips = [
+            (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+            for a, b, y in labeled
+        ]
+        split = int(0.7 * len(trips))
+        model = FeatureBasedER(small_benchmark.compare_columns, ["year"]).fit(trips[:split])
+        test = trips[split:]
+        labels = np.array([y for _, _, y in test])
+        predictions = model.predict([(a, b) for a, b, _ in test])
+        assert classification_prf(labels, predictions).f1 > 0.85
+
+    def test_unfitted_raises(self, small_benchmark):
+        with pytest.raises(RuntimeError):
+            FeatureBasedER(small_benchmark.compare_columns).predict_proba([({}, {})])
+
+    def test_empty_pairs(self, small_benchmark):
+        labeled = small_benchmark.labeled_pairs(n_positives=5, negative_ratio=2, rng=0)
+        trips = [
+            (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+            for a, b, y in labeled
+        ]
+        model = FeatureBasedER(small_benchmark.compare_columns).fit(trips)
+        assert model.predict_proba([]).shape == (0,)
+
+
+class TestThresholdMatcher:
+    def test_identical_scores_one(self):
+        matcher = ThresholdMatcher(["name"])
+        assert matcher.score({"name": "john"}, {"name": "john"}) == 1.0
+
+    def test_missing_columns_ignored(self):
+        matcher = ThresholdMatcher(["name", "city"])
+        score = matcher.score({"name": "john", "city": None}, {"name": "john", "city": "x"})
+        assert score == 1.0
+
+    def test_all_missing_scores_zero(self):
+        matcher = ThresholdMatcher(["name"])
+        assert matcher.score({"name": None}, {"name": None}) == 0.0
+
+    def test_best_threshold_improves_f1(self, small_benchmark):
+        labeled = small_benchmark.labeled_pairs(negative_ratio=4, rng=0)
+        trips = [
+            (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+            for a, b, y in labeled
+        ]
+        matcher = ThresholdMatcher(small_benchmark.compare_columns, threshold=0.99)
+        labels = np.array([y for _, _, y in trips])
+        f1_before = classification_prf(labels, matcher.predict([(a, b) for a, b, _ in trips])).f1
+        matcher.best_threshold(trips)
+        f1_after = classification_prf(labels, matcher.predict([(a, b) for a, b, _ in trips])).f1
+        assert f1_after >= f1_before
+        assert 0.05 <= matcher.threshold <= 0.95

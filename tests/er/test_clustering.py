@@ -1,0 +1,128 @@
+"""Entity clustering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.er import (
+    cluster_metrics,
+    connected_components,
+    correlation_cluster,
+    dedupe_table,
+)
+
+
+class TestConnectedComponents:
+    def test_transitive_closure(self):
+        clusters = connected_components(
+            ["a", "b", "c", "d"], {("a", "b"), ("b", "c")}
+        )
+        assert ["a", "b", "c"] in clusters
+        assert ["d"] in clusters
+
+    def test_all_singletons_without_edges(self):
+        clusters = connected_components(["x", "y"], set())
+        assert clusters == [["x"], ["y"]]
+
+    def test_deterministic_order(self):
+        c1 = connected_components(["b", "a", "c"], {("c", "a")})
+        c2 = connected_components(["c", "b", "a"], {("a", "c")})
+        assert c1 == c2 == [["a", "c"], ["b"]]
+
+    def test_every_item_exactly_once(self):
+        items = [f"i{k}" for k in range(20)]
+        pairs = {("i0", "i5"), ("i5", "i10"), ("i3", "i4")}
+        clusters = connected_components(items, pairs)
+        flat = sorted(x for c in clusters for x in c)
+        assert flat == sorted(items)
+
+
+class TestCorrelationCluster:
+    def test_resists_single_spurious_edge(self):
+        """a,b,c form a clique; d has one high score to a only.  Transitive
+        closure would glue d in; average-linkage keeps it out."""
+        scores = {
+            frozenset(p): 0.9
+            for p in [("a", "b"), ("a", "c"), ("b", "c")]
+        }
+        scores[frozenset(("a", "d"))] = 0.9  # the one bad edge
+        fn = lambda x, y: scores.get(frozenset((x, y)), 0.05)
+        clusters = correlation_cluster(["a", "b", "c", "d"], fn, threshold=0.5)
+        assert ["a", "b", "c"] in clusters
+        assert ["d"] in clusters
+        # Contrast: components would merge everything.
+        merged = connected_components(
+            ["a", "b", "c", "d"],
+            {p for p in [("a", "b"), ("a", "c"), ("b", "c"), ("a", "d")]},
+        )
+        assert merged == [["a", "b", "c", "d"]]
+
+    def test_threshold_controls_granularity(self):
+        fn = lambda x, y: 0.6
+        loose = correlation_cluster(["a", "b", "c"], fn, threshold=0.5)
+        strict = correlation_cluster(["a", "b", "c"], fn, threshold=0.7)
+        assert len(loose) == 1
+        assert len(strict) == 3
+
+
+class TestDedupeTable:
+    @pytest.fixture
+    def dup_table(self):
+        return Table(
+            "people", ["id", "name"],
+            rows=[
+                ["1", "john smith"], ["2", "jon smith"], ["3", "maria garcia"],
+                ["4", "maria garcia"], ["5", "peter king"],
+            ],
+        )
+
+    def _score(self, a, b):
+        from repro.er import trigram_jaccard
+
+        return trigram_jaccard(str(a["name"]), str(b["name"]))
+
+    def test_finds_duplicate_clusters(self, dup_table):
+        clusters = dedupe_table(dup_table, "id", self._score, threshold=0.5)
+        assert ["1", "2"] in clusters
+        assert ["3", "4"] in clusters
+        assert ["5"] in clusters
+
+    def test_correlation_method(self, dup_table):
+        clusters = dedupe_table(
+            dup_table, "id", self._score, threshold=0.5, method="correlation"
+        )
+        assert ["3", "4"] in clusters
+
+    def test_candidate_pairs_restrict_scoring(self, dup_table):
+        calls = []
+
+        def counting_score(a, b):
+            calls.append(1)
+            return self._score(a, b)
+
+        dedupe_table(
+            dup_table, "id", counting_score,
+            candidate_pairs={("1", "2")}, threshold=0.5,
+        )
+        assert len(calls) == 1
+
+    def test_invalid_method(self, dup_table):
+        with pytest.raises(ValueError):
+            dedupe_table(dup_table, "id", self._score, method="spectral")
+
+
+class TestClusterMetrics:
+    def test_perfect(self):
+        gold = [["a", "b"], ["c"]]
+        assert cluster_metrics(gold, gold)["f1"] == 1.0
+
+    def test_overmerged_loses_precision(self):
+        metrics = cluster_metrics([["a", "b", "c"]], [["a", "b"], ["c"]])
+        assert metrics["recall"] == 1.0
+        assert metrics["precision"] == pytest.approx(1 / 3)
+
+    def test_all_singletons(self):
+        metrics = cluster_metrics([["a"], ["b"]], [["a", "b"]])
+        assert metrics["precision"] == 1.0  # no predicted pairs, vacuous
+        assert metrics["recall"] == 0.0

@@ -1,0 +1,197 @@
+"""DeepER matcher tests (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import DeepER, classification_prf
+from repro.er.deeper import MatcherHead
+
+
+@pytest.fixture(scope="module")
+def labeled_split(small_benchmark):
+    labeled = small_benchmark.labeled_pairs(negative_ratio=4, rng=1)
+    trips = [
+        (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+        for a, b, y in labeled
+    ]
+    split = int(0.7 * len(trips))
+    return trips[:split], trips[split:]
+
+
+def _test_arrays(test):
+    return [(a, b) for a, b, _ in test], np.array([y for _, _, y in test])
+
+
+class TestDeepER:
+    def test_invalid_composition(self, word_model, small_benchmark):
+        with pytest.raises(ValueError):
+            DeepER(word_model, small_benchmark.compare_columns, composition="transformer")
+
+    def test_fit_requires_pairs(self, word_model, small_benchmark):
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        with pytest.raises(ValueError):
+            model.fit([])
+
+    def test_predict_before_fit_raises(self, word_model, small_benchmark):
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        with pytest.raises(RuntimeError):
+            model.predict_proba([({}, {})])
+
+    def test_mean_composition_learns(self, word_model, small_benchmark, labeled_split):
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train, epochs=30)
+        pairs, labels = _test_arrays(test)
+        prf = classification_prf(labels, model.predict(pairs))
+        assert prf.f1 > 0.7
+
+    def test_sif_composition_learns(self, word_model, small_benchmark, labeled_split):
+        train, test = labeled_split
+        model = DeepER(
+            word_model, small_benchmark.compare_columns, composition="sif", rng=0
+        )
+        model.fit(train, epochs=30)
+        pairs, labels = _test_arrays(test)
+        assert classification_prf(labels, model.predict(pairs)).f1 > 0.7
+
+    def test_lstm_composition_trains(self, word_model, small_benchmark, labeled_split):
+        """End-to-end LSTM composer: just verify it trains and beats chance."""
+        train, test = labeled_split
+        model = DeepER(
+            word_model,
+            small_benchmark.compare_columns,
+            composition="lstm",
+            max_tokens=8,
+            rng=0,
+        )
+        model.fit(train[:120], epochs=4)
+        pairs, labels = _test_arrays(test)
+        probs = model.predict_proba(pairs)
+        assert probs.shape == (len(pairs),)
+        auc_proxy = probs[labels == 1].mean() - probs[labels == 0].mean()
+        assert auc_proxy > 0.05
+
+    def test_cnn_composition_trains(self, word_model, small_benchmark, labeled_split):
+        train, test = labeled_split
+        model = DeepER(
+            word_model,
+            small_benchmark.compare_columns,
+            composition="cnn",
+            max_tokens=8,
+            rng=0,
+        )
+        model.fit(train[:150], epochs=12)
+        pairs, labels = _test_arrays(test)
+        probs = model.predict_proba(pairs)
+        auc_proxy = probs[labels == 1].mean() - probs[labels == 0].mean()
+        assert auc_proxy > 0.05
+
+    def test_trainable_composer_tuple_vectors(self, word_model, small_benchmark, labeled_split):
+        train, _ = labeled_split
+        model = DeepER(
+            word_model, small_benchmark.compare_columns,
+            composition="cnn", max_tokens=8, rng=0,
+        ).fit(train[:60], epochs=2)
+        records = [small_benchmark.table_a.row_dict(i) for i in range(4)]
+        vectors = model.tuple_vectors(records)
+        assert vectors.shape == (4, model.composer.output_dim)
+
+    def test_probabilities_in_range(self, word_model, small_benchmark, labeled_split):
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train, epochs=5)
+        probs = model.predict_proba([(a, b) for a, b, _ in test])
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_empty_pairs(self, word_model, small_benchmark, labeled_split):
+        train, _ = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train[:50], epochs=2)
+        assert model.predict_proba([]).shape == (0,)
+
+    def test_undersampling_caps_negatives(self, word_model, small_benchmark, labeled_split):
+        train, _ = labeled_split
+        model = DeepER(
+            word_model,
+            small_benchmark.compare_columns,
+            undersample_ratio=1.0,
+            rng=0,
+        )
+        sampled = model._maybe_undersample(train)
+        positives = sum(1 for _, _, y in sampled if y == 1)
+        negatives = sum(1 for _, _, y in sampled if y == 0)
+        assert negatives <= positives
+
+    def test_tuple_vectors_shape(self, word_model, small_benchmark):
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        records = [small_benchmark.table_a.row_dict(i) for i in range(5)]
+        assert model.tuple_vectors(records).shape == (5, word_model.dim)
+
+    def test_missing_attributes_handled(self, word_model, small_benchmark, labeled_split):
+        train, _ = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train[:50], epochs=2)
+        empty = {c: None for c in small_benchmark.compare_columns}
+        probs = model.predict_proba([(empty, empty)])
+        assert np.isfinite(probs).all()
+
+
+class TestPersistenceAndEarlyStopping:
+    def test_save_load_roundtrip(self, word_model, small_benchmark, labeled_split, tmp_path):
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train, epochs=15)
+        path = tmp_path / "matcher.npz"
+        model.save(str(path))
+        loaded = DeepER.load(str(path), word_model)
+        pairs, _ = _test_arrays(test)
+        assert np.allclose(model.predict_proba(pairs), loaded.predict_proba(pairs))
+
+    def test_save_requires_fit(self, word_model, small_benchmark, tmp_path):
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        with pytest.raises(RuntimeError):
+            model.save(str(tmp_path / "m.npz"))
+
+    def test_load_preserves_config(self, word_model, small_benchmark, labeled_split, tmp_path):
+        train, _ = labeled_split
+        model = DeepER(
+            word_model, small_benchmark.compare_columns, composition="sif", rng=0
+        ).fit(train[:80], epochs=3)
+        path = tmp_path / "m.npz"
+        model.save(str(path))
+        loaded = DeepER.load(str(path), word_model)
+        assert loaded.composition == "sif"
+        assert loaded.columns == model.columns
+
+    def test_early_stopping_halts_and_restores(self, word_model, small_benchmark, labeled_split):
+        train, test = labeled_split
+        validation = test[:80]
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(
+            train[:150], epochs=200, validation_pairs=validation, patience=3
+        )
+        # It must still be a working matcher after restoration.
+        pairs, labels = _test_arrays(test)
+        probs = model.predict_proba(pairs)
+        assert probs[labels == 1].mean() > probs[labels == 0].mean()
+
+
+class TestMatcherHead:
+    def test_fit_predict(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 5))
+        y = (x[:, 0] > 0).astype(float)
+        head = MatcherHead(5, rng=0).fit(x, y, epochs=40)
+        predictions = (head.predict_proba(x) > 0.5).astype(float)
+        assert (predictions == y).mean() > 0.9
+
+    def test_sample_weight_shifts_decision(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(float)
+        weights = np.where(y == 1, 10.0, 0.1)
+        head = MatcherHead(2, rng=0).fit(x, y, epochs=30, sample_weight=weights)
+        # Heavily weighting positives should push mean probability up.
+        assert head.predict_proba(x).mean() > 0.5

@@ -1,0 +1,137 @@
+"""String-similarity feature tests with hypothesis metric properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.er import (
+    exact_match,
+    jaccard_tokens,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    pair_features,
+    trigram_jaccard,
+    TEXT_FEATURES,
+)
+
+words = st.text(alphabet="abcdef ", min_size=0, max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("kitten", "sitting", 3),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("same", "same", 0),
+            ("ab", "ba", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(words, words)
+    def test_symmetry_property(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(words, words, words)
+    def test_triangle_inequality_property(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_winkler_prefix_bonus(self):
+        assert jaro_winkler("prefixed", "prefixxx") >= jaro("prefixed", "prefixxx")
+
+    @settings(max_examples=40, deadline=None)
+    @given(words, words)
+    def test_jaro_winkler_bounds_property(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-9
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard_tokens("a b c", "b c d") == pytest.approx(0.5)
+        assert jaccard_tokens("", "") == 1.0
+        assert jaccard_tokens("a", "") == 0.0
+
+    def test_overlap(self):
+        assert overlap_coefficient("a b", "a b c d") == 1.0
+        assert overlap_coefficient("", "") == 1.0
+
+    def test_trigram_robust_to_single_typo(self):
+        clean = trigram_jaccard("restaurant", "restaurant")
+        typo = trigram_jaccard("restaurant", "restuarant")
+        different = trigram_jaccard("restaurant", "bibliothek")
+        assert clean == 1.0
+        assert typo > 0.3
+        assert different < 0.1
+
+    def test_exact_match_case_insensitive(self):
+        assert exact_match("ABC", "abc") == 1.0
+        assert exact_match("ab", "ba") == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(words)
+    def test_self_similarity_property(self, a):
+        for fn in TEXT_FEATURES.values():
+            assert fn(a, a) == pytest.approx(1.0)
+
+
+class TestNumericSimilarity:
+    def test_equal(self):
+        assert numeric_similarity(5, 5.0) == 1.0
+
+    def test_relative(self):
+        assert numeric_similarity(100, 90) == pytest.approx(0.9)
+
+    def test_unparseable(self):
+        assert numeric_similarity("abc", 5) == 0.0
+
+    def test_both_zero(self):
+        assert numeric_similarity(0, 0) == 1.0
+
+
+class TestPairFeatures:
+    def test_length(self):
+        features = pair_features(
+            {"a": "x", "n": 1}, {"a": "y", "n": 2}, ["a"], ["n"]
+        )
+        assert len(features) == len(TEXT_FEATURES) + 1 + 2
+
+    def test_missing_sets_indicator(self):
+        features = pair_features({"a": None}, {"a": "y"}, ["a"])
+        assert features[-1] == 1.0
+        assert all(f == 0.0 for f in features[:-1])
+
+    def test_identical_records_high(self):
+        record = {"a": "john smith", "n": 5}
+        features = pair_features(record, dict(record), ["a"], ["n"])
+        assert features[0] == 1.0  # levenshtein similarity
+        assert features[len(TEXT_FEATURES) + 1] == 1.0  # numeric sim

@@ -1,0 +1,102 @@
+"""ER/blocking metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import (
+    PRF,
+    accuracy,
+    classification_prf,
+    pair_completeness,
+    precision_recall_f1,
+    reduction_ratio,
+)
+
+
+class TestSetPRF:
+    def test_perfect(self):
+        gold = {("a", "b"), ("c", "d")}
+        prf = precision_recall_f1(gold, gold)
+        assert prf == PRF(1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        prf = precision_recall_f1({("a", "b"), ("x", "y")}, {("a", "b")})
+        assert prf.precision == 0.5
+        assert prf.recall == 1.0
+        assert prf.f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction(self):
+        prf = precision_recall_f1(set(), {("a", "b")})
+        assert prf == PRF(0.0, 0.0, 0.0)
+
+    def test_empty_gold(self):
+        prf = precision_recall_f1({("a", "b")}, set())
+        assert prf.recall == 0.0
+
+    def test_str_format(self):
+        assert "P=1.000" in str(PRF(1.0, 0.5, 2 / 3))
+
+
+class TestClassificationPRF:
+    def test_known_confusion(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        prf = classification_prf(y_true, y_pred)
+        assert prf.precision == pytest.approx(2 / 3)
+        assert prf.recall == pytest.approx(2 / 3)
+
+    def test_no_positives_predicted(self):
+        prf = classification_prf(np.array([1, 0]), np.array([0, 0]))
+        assert prf.precision == 0.0
+        assert prf.f1 == 0.0
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+
+class TestBlockingMetrics:
+    def test_reduction_ratio(self):
+        assert reduction_ratio(100, 1000) == 0.9
+        assert reduction_ratio(0, 0) == 0.0
+
+    def test_pair_completeness(self):
+        gold = {("a", "b"), ("c", "d")}
+        assert pair_completeness({("a", "b")}, gold) == 0.5
+        assert pair_completeness(set(), set()) == 1.0
+        assert pair_completeness(gold | {("x", "y")}, gold) == 1.0
+
+
+class TestSelectThreshold:
+    def test_finds_separating_threshold(self):
+        from repro.er import select_threshold
+
+        probabilities = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        labels = np.array([0, 0, 0, 1, 1])
+        threshold, score = select_threshold(probabilities, labels)
+        assert 0.3 < threshold < 0.8
+        assert score == 1.0
+
+    def test_metric_choice(self):
+        from repro.er import select_threshold
+
+        probabilities = np.array([0.4, 0.6, 0.7, 0.9])
+        labels = np.array([0, 1, 0, 1])
+        threshold, recall = select_threshold(probabilities, labels, metric="recall")
+        # Max recall achieved by the lowest threshold.
+        assert recall == 1.0
+        assert threshold <= 0.6
+
+    def test_invalid_metric(self):
+        from repro.er import select_threshold
+
+        with pytest.raises(ValueError):
+            select_threshold(np.array([0.5]), np.array([1]), metric="auc")
+
+    def test_shape_mismatch(self):
+        from repro.er import select_threshold
+
+        with pytest.raises(ValueError):
+            select_threshold(np.array([0.5, 0.6]), np.array([1]))

@@ -1,0 +1,128 @@
+"""NL query engine + personalized vocabulary tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.nlq import PersonalVocabulary, QueryEngine, ResolutionError
+
+
+@pytest.fixture
+def staff_table():
+    return Table(
+        "staff",
+        ["name", "work_city", "compensation", "dept"],
+        rows=[
+            ["john", "paris", 100, "hr"],
+            ["jane", "oslo", 150, "hr"],
+            ["bob", "paris", 120, "sales"],
+            ["amy", "rome", 90, "sales"],
+            ["eve", None, 200, "hr"],
+        ],
+    )
+
+
+@pytest.fixture
+def engine(staff_table):
+    return QueryEngine(staff_table)
+
+
+class TestVocabulary:
+    def test_exact_resolution(self, staff_table):
+        vocab = PersonalVocabulary(staff_table)
+        assert vocab.resolve("dept").column == "dept"
+        assert vocab.resolve("DEPT").source == "exact"
+
+    def test_partial_resolution(self, staff_table):
+        vocab = PersonalVocabulary(staff_table)
+        resolution = vocab.resolve("city")
+        assert resolution.column == "work_city"
+        assert resolution.source == "partial"
+
+    def test_ambiguous_partial_gives_suggestions(self):
+        table = Table("t", ["start_date", "end_date"], rows=[["a", "b"]])
+        vocab = PersonalVocabulary(table)
+        resolution = vocab.resolve("date")
+        assert resolution.column is None
+        assert set(resolution.suggestions) == {"start_date", "end_date"}
+
+    def test_learn_and_forget(self, staff_table):
+        vocab = PersonalVocabulary(staff_table)
+        vocab.learn("salary", "compensation")
+        assert vocab.resolve("salary").column == "compensation"
+        assert vocab.resolve("salary").source == "personal"
+        vocab.forget("salary")
+        assert vocab.resolve("salary").column is None
+
+    def test_learn_unknown_column_rejected(self, staff_table):
+        with pytest.raises(KeyError):
+            PersonalVocabulary(staff_table).learn("x", "ghost")
+
+    def test_semantic_resolution(self, staff_table):
+        vectors = {
+            "salary": np.array([1.0, 0.0]),
+            "compensation": np.array([0.95, 0.05]),
+            "work": np.array([0.0, 1.0]), "city": np.array([0.0, 1.0]),
+            "name": np.array([0.5, 0.5]), "dept": np.array([0.4, 0.6]),
+        }
+        vocab = PersonalVocabulary(
+            staff_table, vector_fn=lambda w: vectors.get(w, np.zeros(2))
+        )
+        resolution = vocab.resolve("salary")
+        assert resolution.column == "compensation"
+        assert resolution.source == "semantic"
+
+
+class TestEngine:
+    def test_select(self, engine):
+        answer = engine.ask("show name where work_city is paris")
+        assert answer.value.column("name") == ["john", "bob"]
+
+    def test_count(self, engine):
+        assert engine.ask("how many rows where dept is hr").value == 3
+
+    def test_average(self, engine):
+        assert engine.ask("average compensation where dept is sales").value == 105.0
+
+    def test_sum_max_min(self, engine):
+        assert engine.ask("total compensation where dept is sales").value == 210.0
+        assert engine.ask("max compensation").value == 200.0
+        assert engine.ask("min compensation").value == 90.0
+
+    def test_group_by(self, engine):
+        answer = engine.ask("average compensation by dept")
+        assert answer.value == {"hr": 150.0, "sales": 105.0}
+
+    def test_count_group_by(self, engine):
+        assert engine.ask("how many rows by dept").value == {"hr": 3, "sales": 2}
+
+    def test_numeric_comparison(self, engine):
+        answer = engine.ask("show name where compensation over 110")
+        assert answer.value.column("name") == ["jane", "bob", "eve"]
+
+    def test_contains(self, engine):
+        answer = engine.ask("show name where work_city contains ar")
+        assert answer.value.column("name") == ["john", "bob"]
+
+    def test_missing_cells_never_match(self, engine):
+        answer = engine.ask("show name where work_city is paris")
+        assert "eve" not in answer.value.column("name")
+
+    def test_unknown_term_raises_with_suggestions(self, engine):
+        with pytest.raises(ResolutionError, match="salary"):
+            engine.ask("average salary")
+
+    def test_teach_then_succeed(self, engine):
+        engine.teach("salary", "compensation")
+        answer = engine.ask("average salary where city is paris")
+        assert answer.value == 110.0
+        assert "personal" in answer.explanation()
+
+    def test_aggregate_of_empty_selection(self, engine):
+        assert engine.ask("average compensation where dept is legal").value is None
+
+    def test_explanation_mentions_partial(self, engine):
+        answer = engine.ask("show name where city is oslo")
+        assert "work_city" in answer.explanation()

@@ -1,0 +1,91 @@
+"""NL query parser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlq import Filter, ParseError, parse
+
+
+class TestSelect:
+    def test_simple_show(self):
+        query = parse("show names")
+        assert query.action == "select"
+        assert query.target_term == "names"
+        assert query.filters == ()
+
+    def test_show_with_filter(self):
+        query = parse("show name where city is paris")
+        assert query.action == "select"
+        assert query.filters == (Filter("city", "eq", "paris"),)
+
+    @pytest.mark.parametrize("verb", ["show", "list", "get", "give me", "display"])
+    def test_select_verbs(self, verb):
+        assert parse(f"{verb} names").action == "select"
+
+    def test_of_phrase_trimmed(self):
+        query = parse("list the names of restaurants")
+        assert query.target_term == "names"
+
+    def test_multi_word_value(self):
+        query = parse("show name where dept is human resources")
+        assert query.filters[0].value == "human resources"
+
+    def test_two_filters_joined_by_and(self):
+        query = parse("show name where city is paris and with rating over 4")
+        assert len(query.filters) == 2
+        assert query.filters[1] == Filter("rating", "gt", "4")
+
+
+class TestCount:
+    def test_how_many(self):
+        query = parse("how many rows where city is paris")
+        assert query.action == "count"
+
+    def test_count_verb(self):
+        assert parse("count rows where dept is hr").action == "count"
+
+    def test_count_group_by(self):
+        query = parse("how many rows by dept")
+        assert query.action == "count"
+        assert query.group_term == "dept"
+
+
+class TestAggregates:
+    @pytest.mark.parametrize(
+        "word,action",
+        [("average", "avg"), ("mean", "avg"), ("total", "sum"), ("sum", "sum"),
+         ("max", "max"), ("highest", "max"), ("min", "min"), ("lowest", "min")],
+    )
+    def test_aggregate_words(self, word, action):
+        query = parse(f"{word} price")
+        assert query.action == action
+        assert query.target_term == "price"
+
+    def test_what_is_the_prefix(self):
+        query = parse("what is the average price where brand is acme")
+        assert query.action == "avg"
+        assert query.target_term == "price"
+
+    def test_group_by(self):
+        query = parse("average price by brand")
+        assert query.group_term == "brand"
+        assert query.target_term == "price"
+
+    def test_comparison_operators(self):
+        assert parse("show name where price over 100").filters[0].op == "gt"
+        assert parse("show name where price below 100").filters[0].op == "lt"
+        assert parse("show name where title contains deep").filters[0].op == "contains"
+
+
+class TestErrors:
+    def test_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_gibberish_raises_with_hint(self):
+        with pytest.raises(ParseError, match="show <column>"):
+            parse("frobnicate the quux")
+
+    def test_question_mark_normalised(self):
+        assert parse("how many rows where city is oslo?").action == "count"

@@ -1,0 +1,140 @@
+"""Autoencoder family tests: reconstruction, sparsity, denoising, VAE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Autoencoder,
+    DenoisingAutoencoder,
+    SparseAutoencoder,
+    Tensor,
+    VAE,
+)
+
+
+def _train(model, data, epochs=120, lr=5e-3):
+    optimizer = Adam(model.parameters(), lr=lr)
+    for _ in range(epochs):
+        loss = model.loss(Tensor(data))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return loss.item()
+
+
+def _low_rank_data(n=80, dim=8, rank=2, seed=0):
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, dim))
+    codes = rng.normal(size=(n, rank))
+    return codes @ basis * 0.5
+
+
+class TestAutoencoder:
+    def test_shapes(self):
+        model = Autoencoder(8, [4, 2], rng=0)
+        x = Tensor(np.zeros((5, 8)))
+        assert model(x).shape == (5, 8)
+        assert model.encode(x).shape == (5, 2)
+
+    def test_requires_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            Autoencoder(8, [])
+
+    def test_learns_low_rank_structure(self):
+        data = _low_rank_data()
+        model = Autoencoder(8, [6, 2], rng=0)
+        initial = model.loss(Tensor(data)).item()
+        final = _train(model, data)
+        assert final < 0.25 * initial
+
+    def test_reconstruction_error_per_row(self):
+        data = _low_rank_data()
+        model = Autoencoder(8, [6, 2], rng=0)
+        _train(model, data, epochs=60)
+        errors = model.reconstruction_error(data)
+        assert errors.shape == (80,)
+        assert np.all(errors >= 0)
+
+
+class TestSparseAutoencoder:
+    def test_k_sparse_zeroes_all_but_k(self):
+        model = SparseAutoencoder(8, [6], k=2, rng=0)
+        code = model.encode(Tensor(np.random.default_rng(0).normal(size=(4, 8))))
+        nonzero = (np.abs(code.data) > 1e-12).sum(axis=1)
+        assert np.all(nonzero <= 2)
+
+    def test_kl_sparsity_reduces_mean_activation(self):
+        data = _low_rank_data()
+        dense = SparseAutoencoder(8, [10], sparsity_weight=0.0, rng=0)
+        sparse = SparseAutoencoder(8, [10], sparsity_weight=2.0, target_rho=0.05, rng=0)
+        _train(dense, data, epochs=80)
+        _train(sparse, data, epochs=80)
+        act_dense = dense.encode(Tensor(data)).data.mean()
+        act_sparse = sparse.encode(Tensor(data)).data.mean()
+        assert act_sparse < act_dense
+
+
+class TestDenoisingAutoencoder:
+    def test_corrupt_masks_fraction(self):
+        model = DenoisingAutoencoder(10, [4], corruption=0.5, rng=0)
+        data = np.ones((100, 10))
+        noisy = model.corrupt(data)
+        zero_fraction = (noisy == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_corrupt_does_not_mutate_input(self):
+        model = DenoisingAutoencoder(4, [2], corruption=0.5, rng=0)
+        data = np.ones((10, 4))
+        model.corrupt(data)
+        assert np.all(data == 1.0)
+
+    def test_invalid_corruption(self):
+        with pytest.raises(ValueError):
+            DenoisingAutoencoder(4, [2], corruption=1.0)
+
+    def test_denoising_recovers_structure(self):
+        """After training, the DAE should reconstruct the clean signal from
+        corrupted input better than the corrupted input itself does."""
+        data = _low_rank_data(n=120)
+        model = DenoisingAutoencoder(8, [6, 3], corruption=0.3, rng=0)
+        _train(model, data, epochs=150)
+        model.eval()
+        rng = np.random.default_rng(42)
+        mask = rng.random(data.shape) < 0.3
+        corrupted = np.where(mask, 0.0, data)
+        recon = model(Tensor(corrupted)).data
+        err_recon = ((recon - data) ** 2)[mask].mean()
+        err_zero = ((corrupted - data) ** 2)[mask].mean()
+        assert err_recon < err_zero
+
+
+class TestVAE:
+    def test_forward_shapes(self):
+        model = VAE(6, 8, 2, rng=0)
+        recon, mu, log_var = model(Tensor(np.zeros((4, 6))))
+        assert recon.shape == (4, 6)
+        assert mu.shape == (4, 2)
+        assert log_var.shape == (4, 2)
+
+    def test_sample_shape(self):
+        model = VAE(6, 8, 2, rng=0)
+        assert model.sample(7).shape == (7, 6)
+
+    def test_loss_decreases(self):
+        data = _low_rank_data(dim=6)
+        model = VAE(6, 10, 2, beta=0.1, rng=0)
+        initial = model.loss(Tensor(data)).item()
+        final = _train(model, data, epochs=100)
+        assert final < initial
+
+    def test_latent_space_continuity(self):
+        """Nearby latent vectors must decode to nearby outputs (§2.1 VAE)."""
+        model = VAE(6, 10, 2, rng=0)
+        z = np.zeros((1, 2))
+        base = model.decode(Tensor(z)).data
+        nearby = model.decode(Tensor(z + 0.01)).data
+        far = model.decode(Tensor(z + 3.0)).data
+        assert np.linalg.norm(nearby - base) < np.linalg.norm(far - base)

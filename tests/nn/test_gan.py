@@ -1,0 +1,43 @@
+"""GAN tests: interface, training dynamics on a simple distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GAN
+
+
+class TestGAN:
+    def test_generate_shape(self):
+        gan = GAN(data_dim=3, rng=0)
+        assert gan.generate(5).shape == (5, 3)
+
+    def test_rejects_wrong_data_shape(self):
+        gan = GAN(data_dim=3, rng=0)
+        with pytest.raises(ValueError):
+            gan.fit(np.zeros((10, 4)), epochs=1)
+
+    def test_history_keys_and_lengths(self):
+        gan = GAN(data_dim=2, rng=0)
+        history = gan.fit(np.random.default_rng(0).normal(size=(64, 2)), epochs=3)
+        assert set(history) == {"d_loss", "g_loss", "d_accuracy"}
+        assert all(len(v) == 3 for v in history.values())
+
+    def test_learns_shifted_gaussian(self):
+        """Generator output mean should move toward the data mean."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=0.8, scale=0.1, size=(256, 2))
+        gan = GAN(data_dim=2, latent_dim=4, hidden_dim=32, rng=1)
+        before = np.abs(gan.generate(200).mean(axis=0) - 0.8).mean()
+        gan.fit(data, epochs=60, batch_size=64, lr=2e-3)
+        after = np.abs(gan.generate(200).mean(axis=0) - 0.8).mean()
+        assert after < before
+
+    def test_discriminator_accuracy_drops_from_perfect(self):
+        """As the forger improves, the dealer should stop being perfect."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(128, 2)) * 0.3
+        gan = GAN(data_dim=2, rng=2)
+        history = gan.fit(data, epochs=40, batch_size=32, lr=2e-3)
+        assert history["d_accuracy"][-1] < 0.995

@@ -1,0 +1,169 @@
+"""Layer and Module machinery tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    Tanh,
+    Tensor,
+    mlp,
+)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck(self):
+        layer = Linear(3, 2, rng=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        check_gradients(lambda: (layer(x) ** 2).sum(), layer.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2, rng=0)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+    def test_from_pretrained(self):
+        matrix = np.arange(12.0).reshape(4, 3)
+        emb = Embedding.from_pretrained(matrix)
+        assert np.allclose(emb(np.array([2])).data, matrix[2])
+
+    def test_gradient_flows_to_rows(self):
+        emb = Embedding(6, 3, rng=0)
+        out = emb(np.array([1, 1, 4]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[1], 2.0)
+        assert np.allclose(grad[4], 1.0)
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, rng=0)
+        drop.training = False
+        x = Tensor(np.ones((3, 3)))
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_train_masks_and_scales(self):
+        drop = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((200, 50)))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        assert np.allclose(out[out > 0], 2.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        norm = LayerNorm(4)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(6, 4)))
+        out = norm(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        norm = LayerNorm(3)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (norm(x) ** 2).sum(), [x] + norm.parameters())
+
+
+class TestModuleMachinery:
+    def test_parameter_discovery_recursive(self):
+        model = Sequential(Linear(2, 3, rng=0), Tanh(), Linear(3, 1, rng=0))
+        assert len(model.parameters()) == 4
+
+    def test_parameters_in_lists_and_dicts(self):
+        class Holder(Module):
+            def __init__(self):
+                self.items = [Linear(2, 2, rng=0)]
+                self.named = {"head": Linear(2, 1, rng=0)}
+
+        assert len(Holder().parameters()) == 4
+
+    def test_shared_parameter_counted_once(self):
+        layer = Linear(2, 2, rng=0)
+
+        class Shared(Module):
+            def __init__(self):
+                self.a = layer
+                self.b = layer
+
+        assert len(Shared().parameters()) == 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=0))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = mlp([3, 4, 1], rng=0)
+        state = model.state_dict()
+        clone = mlp([3, 4, 1], rng=99)
+        clone.load_state_dict(state)
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = mlp([3, 4, 1], rng=0)
+        wrong = mlp([3, 5, 1], rng=0)
+        with pytest.raises(ValueError):
+            wrong.load_state_dict(model.state_dict())
+
+    def test_num_parameters(self):
+        model = Linear(10, 5, rng=0)
+        assert model.num_parameters() == 10 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        model = mlp([2, 3, 1], rng=0)
+        out = model(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestMlpFactory:
+    def test_structure(self):
+        model = mlp([4, 8, 2], rng=0)
+        assert len(model) == 3  # linear, act, linear
+
+    def test_with_dropout_and_output_activation(self):
+        model = mlp([4, 8, 2], dropout=0.2, output_activation=Tanh, rng=0)
+        out = model(Tensor(np.zeros((1, 4))))
+        assert out.shape == (1, 2)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            mlp([4])

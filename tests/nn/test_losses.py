@@ -1,0 +1,119 @@
+"""Loss function tests: values, gradients, cost-sensitive options."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, bce_with_logits, cross_entropy, kl_divergence_gaussian, mae_loss, mse_loss
+from repro.nn.gradcheck import check_gradients
+from repro.nn.losses import sparsity_penalty
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        pred = Tensor([[1.0, 2.0]])
+        assert mse_loss(pred, np.array([[1.0, 2.0]])).item() == 0.0
+
+    def test_value(self):
+        assert mse_loss(Tensor([2.0]), np.array([0.0])).item() == 4.0
+
+    def test_mae_value(self):
+        assert mae_loss(Tensor([2.0, -2.0]), np.array([0.0, 0.0])).item() == 2.0
+
+    def test_gradcheck(self):
+        w = Tensor(np.random.default_rng(0).normal(size=(3, 1)), requires_grad=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        y = np.random.default_rng(2).normal(size=(4, 1))
+        check_gradients(lambda: mse_loss(x @ w, y), [w])
+
+
+class TestBCE:
+    def test_matches_reference_formula(self):
+        logits = np.array([[0.3], [-1.2], [2.0]])
+        y = np.array([[1.0], [0.0], [1.0]])
+        expected = np.mean(
+            np.maximum(logits, 0) - logits * y + np.log1p(np.exp(-np.abs(logits)))
+        )
+        assert np.isclose(bce_with_logits(Tensor(logits), y).item(), expected)
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        logits = Tensor(np.array([[0.5], [-0.5]]), requires_grad=True)
+        y = np.array([[1.0], [0.0]])
+        bce_with_logits(logits, y).backward()
+        sig = 1 / (1 + np.exp(-logits.data))
+        assert np.allclose(logits.grad, (sig - y) / 2)
+
+    def test_smooth_at_zero_logit(self):
+        """Regression: the stable decomposition has kinks at 0 but BCE is
+        smooth — the gradient there must be sigmoid(0) - y = 0.5 - y."""
+        logits = Tensor(np.array([[0.0]]), requires_grad=True)
+        bce_with_logits(logits, np.array([[0.0]])).backward()
+        assert np.allclose(logits.grad, [[0.5]])
+
+    def test_pos_weight_scales_positive_grad(self):
+        logits = Tensor(np.array([[0.0]]), requires_grad=True)
+        bce_with_logits(logits, np.array([[1.0]]), pos_weight=3.0).backward()
+        assert np.allclose(logits.grad, [[3.0 * (-0.5)]])
+
+    def test_sample_weight(self):
+        logits = Tensor(np.array([[1.0], [1.0]]))
+        y = np.array([[0.0], [0.0]])
+        unweighted = bce_with_logits(logits, y).item()
+        weighted = bce_with_logits(logits, y, sample_weight=np.array([[2.0], [0.0]])).item()
+        assert np.isclose(weighted, unweighted)  # 2+0 averages to same as 1+1
+
+    def test_extreme_logits_no_overflow(self):
+        loss = bce_with_logits(Tensor([[1000.0], [-1000.0]]), np.array([[1.0], [0.0]]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor([[10.0, 0.0], [0.0, 10.0]])
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-3
+
+    def test_uniform_logits_log_k(self):
+        logits = Tensor(np.zeros((2, 4)))
+        assert np.isclose(cross_entropy(logits, np.array([0, 3])).item(), np.log(4))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(4)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_class_weight_changes_loss(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.5, 1.0]]))
+        labels = np.array([0, 1])
+        plain = cross_entropy(logits, labels).item()
+        weighted = cross_entropy(logits, labels, class_weight=np.array([1.0, 10.0])).item()
+        assert plain != weighted
+
+    def test_gradcheck(self):
+        w = Tensor(np.random.default_rng(3).normal(size=(3, 4)), requires_grad=True)
+        x = Tensor(np.random.default_rng(4).normal(size=(5, 3)))
+        labels = np.array([0, 1, 2, 3, 0])
+        check_gradients(lambda: cross_entropy(x @ w, labels), [w])
+
+
+class TestRegularizers:
+    def test_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((3, 2)))
+        log_var = Tensor(np.zeros((3, 2)))
+        assert np.isclose(kl_divergence_gaussian(mu, log_var).item(), 0.0)
+
+    def test_kl_positive_otherwise(self):
+        mu = Tensor(np.ones((3, 2)))
+        log_var = Tensor(np.zeros((3, 2)))
+        assert kl_divergence_gaussian(mu, log_var).item() > 0
+
+    def test_sparsity_penalty_zero_at_target(self):
+        activations = Tensor(np.full((10, 4), 0.05))
+        assert sparsity_penalty(activations, target_rho=0.05).item() < 1e-10
+
+    def test_sparsity_penalty_grows_with_activation(self):
+        low = sparsity_penalty(Tensor(np.full((10, 4), 0.1)), 0.05).item()
+        high = sparsity_penalty(Tensor(np.full((10, 4), 0.5)), 0.05).item()
+        assert high > low > 0

@@ -1,0 +1,115 @@
+"""Optimizer and schedule tests: each optimizer must minimise a quadratic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AdaGrad,
+    ExponentialDecay,
+    RMSProp,
+    SGD,
+    StepDecay,
+    Tensor,
+    clip_grad_norm,
+)
+from repro.nn.layers import Parameter
+
+
+def _quadratic_descent(optimizer_cls, steps=200, **kwargs):
+    param = Parameter(np.array([5.0, -3.0]))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return np.abs(param.data).max()
+
+
+@pytest.mark.parametrize(
+    "optimizer_cls,kwargs",
+    [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.2}),
+        (AdaGrad, {"lr": 0.8}),
+        (RMSProp, {"lr": 0.05}),
+    ],
+)
+def test_optimizers_minimise_quadratic(optimizer_cls, kwargs):
+    assert _quadratic_descent(optimizer_cls, **kwargs) < 0.05
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    param = Parameter(np.array([1.0]))
+    optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+    param.grad = np.array([0.0])
+    optimizer.step()
+    assert param.data[0] < 1.0
+
+
+def test_momentum_accelerates():
+    slow = _quadratic_descent(SGD, steps=30, lr=0.02)
+    fast = _quadratic_descent(SGD, steps=30, lr=0.02, momentum=0.9)
+    assert fast < slow
+
+
+def test_optimizer_skips_none_grads():
+    param = Parameter(np.array([1.0]))
+    optimizer = Adam([param], lr=0.1)
+    optimizer.step()  # no grad set: must not crash or move
+    assert param.data[0] == 1.0
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_negative_lr_rejected():
+    with pytest.raises(ValueError):
+        Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.isclose(np.linalg.norm(param.grad), 1.0, atol=1e-6)
+
+    def test_no_clip_when_below(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.1)
+        clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, 0.1)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = StepDecay(optimizer, step_size=2, gamma=0.5)
+        schedule.step()
+        assert optimizer.lr == 1.0
+        schedule.step()
+        assert optimizer.lr == 0.5
+
+    def test_exponential_decay(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = ExponentialDecay(optimizer, gamma=0.9)
+        schedule.step()
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.81)
+
+    def test_step_decay_validates(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, step_size=0)

@@ -1,0 +1,234 @@
+"""Autograd engine tests: op semantics, broadcasting, gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import Tensor, concat, log_softmax, softmax, stack, where
+
+
+class TestForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        out = 1.0 + Tensor([1.0])
+        assert np.allclose(out.data, [2.0])
+
+    def test_sub_and_rsub(self):
+        assert np.allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        assert np.allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div(self):
+        assert np.allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+        assert np.allclose((Tensor([6.0]) / 2.0).data, [3.0])
+        assert np.allclose((6.0 / Tensor([2.0])).data, [3.0])
+
+    def test_pow(self):
+        assert np.allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0], [1.0]])
+        assert np.allclose((a @ b).data, [[3.0], [7.0]])
+
+    def test_broadcast_add(self):
+        out = Tensor(np.ones((2, 3))) + Tensor([1.0, 2.0, 3.0])
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data[0], [2.0, 3.0, 4.0])
+
+    def test_reductions(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.sum().item() == 10.0
+        assert t.mean().item() == 2.5
+        assert np.allclose(t.sum(axis=0).data, [4.0, 6.0])
+        assert np.allclose(t.mean(axis=1).data, [1.5, 3.5])
+        assert t.max().item() == 4.0
+
+    def test_reshape_transpose(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape(2, 3).T.shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(t[0].data, [1.0, 2.0])
+        assert np.allclose(t[:, 1].data, [2.0, 4.0])
+
+    def test_concat_and_stack(self):
+        a, b = Tensor([[1.0]]), Tensor([[2.0]])
+        assert concat([a, b], axis=0).shape == (2, 1)
+        assert concat([a, b], axis=1).shape == (1, 2)
+        assert stack([a, b], axis=0).shape == (2, 1, 1)
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_softmax_rows_sum_to_one(self):
+        s = softmax(Tensor(np.random.default_rng(0).normal(size=(4, 5))))
+        assert np.allclose(s.data.sum(axis=1), 1.0)
+
+    def test_log_softmax_matches_softmax(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_softmax_stability_large_values(self):
+        s = softmax(Tensor([[1000.0, 1000.0]]))
+        assert np.allclose(s.data, [[0.5, 0.5]])
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        out = (t.detach() * 3.0).sum()
+        out.backward()
+        assert t.grad is None
+
+    def test_item_and_len(self):
+        assert Tensor([[3.0]]).item() == 3.0
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestBackward:
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor([2.0], requires_grad=True)
+        out = (t * t + t).sum()  # d/dt = 2t + 1 = 5
+        out.backward()
+        assert np.allclose(t.grad, [5.0])
+
+    def test_multiple_backward_calls_accumulate(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 3.0).sum().backward()
+        (t * 3.0).sum().backward()
+        assert np.allclose(t.grad, [6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_broadcast_grad_unbroadcasts(self):
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        x = Tensor(np.ones((4, 3)))
+        (x + bias).sum().backward()
+        assert np.allclose(bias.grad, [4.0, 4.0, 4.0])
+
+    def test_diamond_graph(self):
+        t = Tensor([3.0], requires_grad=True)
+        a = t * 2.0
+        b = t * 4.0
+        (a + b).sum().backward()
+        assert np.allclose(t.grad, [6.0])
+
+    def test_gather_scatter_repeated_indices(self):
+        table = Tensor(np.ones((3, 2)), requires_grad=True)
+        picked = table.take_rows(np.array([0, 0, 2]))
+        picked.sum().backward()
+        assert np.allclose(table.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+
+class TestGradChecks:
+    """Numeric gradient verification for every differentiable op."""
+
+    def _leaf(self, shape, seed=0, positive=False):
+        data = np.random.default_rng(seed).normal(size=shape)
+        if positive:
+            data = np.abs(data) + 0.5
+        return Tensor(data, requires_grad=True)
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: (t * t).sum(),
+            lambda t: (t + 2.0).mean(),
+            lambda t: (t / 3.0).sum(),
+            lambda t: (t**3).sum(),
+            lambda t: t.tanh().sum(),
+            lambda t: t.sigmoid().sum(),
+            lambda t: t.exp().mean(),
+            lambda t: (-t).sum(),
+            lambda t: t.mean(axis=0).sum(),
+            lambda t: t.sum(axis=1, keepdims=True).mean(),
+            lambda t: t.reshape(6).sum(),
+            lambda t: t.T.mean(),
+            lambda t: t[0:1, :].sum(),
+            lambda t: softmax(t).max(axis=1).sum(),
+            lambda t: log_softmax(t).sum(),
+        ],
+    )
+    def test_unary_ops(self, op):
+        t = self._leaf((2, 3), seed=1)
+        check_gradients(lambda: op(t), [t])
+
+    def test_log_sqrt_on_positive(self):
+        t = self._leaf((2, 3), seed=2, positive=True)
+        check_gradients(lambda: t.log().sum(), [t])
+        check_gradients(lambda: t.sqrt().sum(), [t])
+
+    def test_matmul(self):
+        a = self._leaf((3, 4), seed=3)
+        b = self._leaf((4, 2), seed=4)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector(self):
+        a = self._leaf((4,), seed=5)
+        b = self._leaf((4,), seed=6)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_div_both_sides(self):
+        a = self._leaf((2, 2), seed=7)
+        b = self._leaf((2, 2), seed=8, positive=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_concat_stack_where(self):
+        a = self._leaf((2, 2), seed=9)
+        b = self._leaf((2, 2), seed=10)
+        cond = np.array([[True, False], [False, True]])
+        check_gradients(lambda: concat([a, b], axis=1).sum(), [a, b])
+        check_gradients(lambda: stack([a, b], axis=0).mean(), [a, b])
+        check_gradients(lambda: where(cond, a, b).sum(), [a, b])
+
+    def test_take_rows(self):
+        table = self._leaf((5, 3), seed=11)
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (table.take_rows(idx) ** 2).sum(), [table])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, (3, 2), elements=st.floats(-5, 5, allow_nan=False)),
+    arrays(np.float64, (3, 2), elements=st.floats(-5, 5, allow_nan=False)),
+)
+def test_add_commutes_property(a, b):
+    assert np.allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (4, 3), elements=st.floats(-10, 10, allow_nan=False)))
+def test_softmax_is_distribution_property(x):
+    s = softmax(Tensor(x)).data
+    assert np.all(s >= 0)
+    assert np.allclose(s.sum(axis=1), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (2, 3), elements=st.floats(-3, 3, allow_nan=False)))
+def test_tanh_grad_matches_identity_property(x):
+    t = Tensor(x, requires_grad=True)
+    t.tanh().sum().backward()
+    assert np.allclose(t.grad, 1 - np.tanh(x) ** 2)

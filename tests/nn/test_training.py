@@ -1,0 +1,91 @@
+"""Trainer, minibatching and early-stopping tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, EarlyStopping, Tensor, Trainer, bce_with_logits, iterate_minibatches, mlp, Tanh
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        batches = list(iterate_minibatches(10, 3, rng=0))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        batches = list(iterate_minibatches(10, 4, rng=0))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_no_shuffle_is_ordered(self):
+        batches = list(iterate_minibatches(6, 2, shuffle=False))
+        assert np.concatenate(batches).tolist() == list(range(6))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))
+
+
+class TestTrainer:
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = (x @ true_w > 0).astype(float)
+        model = mlp([3, 8, 1], activation=Tanh, rng=1)
+
+        def loss_fn(batch):
+            return bce_with_logits(model(Tensor(x[batch])), y[batch])
+
+        return model, loss_fn, x, y
+
+    def test_loss_decreases(self):
+        model, loss_fn, x, y = self._setup()
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), loss_fn, rng=0)
+        history = trainer.fit(64, epochs=20, batch_size=16)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.epochs_run == 20
+
+    def test_model_left_in_eval_mode(self):
+        model, loss_fn, *_ = self._setup()
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), loss_fn, rng=0)
+        trainer.fit(64, epochs=2)
+        assert not model.training
+
+    def test_early_stopping_triggers_and_restores(self):
+        model, loss_fn, x, y = self._setup()
+        val_losses = iter([1.0, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1])
+
+        def val_fn():
+            return next(val_losses)
+
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), loss_fn, rng=0)
+        stopping = EarlyStopping(patience=3)
+        history = trainer.fit(
+            64, epochs=8, val_loss_fn=val_fn, early_stopping=stopping
+        )
+        assert history.stopped_epoch == 5
+        assert stopping.best_loss == 0.5
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        model = mlp([2, 2, 1], rng=0)
+        stopping = EarlyStopping(patience=2)
+        assert not stopping.update(1.0, model)
+        assert not stopping.update(1.1, model)
+        assert not stopping.update(0.5, model)  # improvement resets
+        assert not stopping.update(0.6, model)
+        assert stopping.update(0.7, model)  # patience exhausted
+
+    def test_restore_brings_back_best(self):
+        model = mlp([2, 2, 1], rng=0)
+        stopping = EarlyStopping(patience=1)
+        stopping.update(1.0, model)
+        best = model.state_dict()
+        for p in model.parameters():
+            p.data = p.data + 1.0
+        stopping.restore(model)
+        for key, value in model.state_dict().items():
+            assert np.allclose(value, best[key])

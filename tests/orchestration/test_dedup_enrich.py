@@ -1,0 +1,99 @@
+"""DedupStep and EnrichStep tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.er import trigram_jaccard
+from repro.orchestration import (
+    CurationPipeline,
+    DedupStep,
+    EnrichStep,
+    PipelineContext,
+)
+
+
+def _name_score(a: dict, b: dict) -> float:
+    return trigram_jaccard(str(a.get("name", "")), str(b.get("name", "")))
+
+
+class TestDedupStep:
+    @pytest.fixture
+    def dup_table(self):
+        return Table(
+            "people", ["id", "name", "city"],
+            rows=[
+                ["1", "john smith", "paris"],
+                ["2", "jon smith", None],
+                ["3", "maria garcia", "rome"],
+                ["4", "peter king", "oslo"],
+            ],
+        )
+
+    def test_merges_duplicates(self, dup_table):
+        context = PipelineContext()
+        context.put_table("in", dup_table)
+        step = DedupStep("in", "out", "id", _name_score, threshold=0.5)
+        details = step.run(context)
+        out = context.table("out")
+        assert details["rows_before"] == 4
+        assert details["rows_after"] == 3
+        assert details["clusters_merged"] == 1
+        names = out.column("name")
+        assert "john smith" in names          # majority/longest survives
+        assert "maria garcia" in names
+
+    def test_golden_record_fills_from_cluster(self, dup_table):
+        context = PipelineContext()
+        context.put_table("in", dup_table)
+        DedupStep("in", "out", "id", _name_score, threshold=0.5).run(context)
+        out = context.table("out")
+        row = out.column("name").index("john smith")
+        # City comes from the member that had one.
+        assert out.cell(row, "city") == "paris"
+
+    def test_correlation_method(self, dup_table):
+        context = PipelineContext()
+        context.put_table("in", dup_table)
+        details = DedupStep(
+            "in", "out", "id", _name_score, threshold=0.5, method="correlation"
+        ).run(context)
+        assert details["rows_after"] == 3
+
+
+class TestEnrichStep:
+    @pytest.fixture
+    def context(self):
+        orders = Table(
+            "orders", ["oid", "customer", "amount"],
+            rows=[["o1", "c1", 10], ["o2", "c2", 20]],
+        )
+        customers = Table(
+            "customers", ["cid", "country"],
+            rows=[["c1", "fr"], ["c2", "de"], ["c3", "it"]],
+        )
+        ctx = PipelineContext()
+        ctx.put_table("orders", orders)
+        ctx.artifacts["lake"] = {"orders": orders, "customers": customers}
+        return ctx
+
+    def test_discovers_and_joins(self, context):
+        details = EnrichStep("orders", "enriched", min_score=0.6).run(context)
+        assert details["joined"]
+        assert details["via"] == "customer=customers.cid"
+        enriched = context.table("enriched")
+        assert "country" in enriched.columns
+        assert enriched.cell(0, "country") == "fr"
+
+    def test_no_join_found_passthrough(self, context):
+        context.artifacts["lake"] = {"orders": context.table("orders")}
+        details = EnrichStep("orders", "enriched").run(context)
+        assert not details["joined"]
+        assert context.table("enriched").columns == ["oid", "customer", "amount"]
+
+    def test_in_pipeline(self, context):
+        pipeline = CurationPipeline([EnrichStep("orders", "enriched", min_score=0.6)])
+        context, reports = pipeline.run(context)
+        assert reports[0].name == "enrich"
+        assert reports[0].details["joined"]

@@ -1,0 +1,81 @@
+"""Pipeline framework tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.orchestration import (
+    CurationPipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineStep,
+)
+
+
+class AddRowStep(PipelineStep):
+    name = "add_row"
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def run(self, context: PipelineContext) -> dict:
+        context.table(self.key).append(["x"])
+        return {"rows": context.table(self.key).num_rows}
+
+
+class FailingStep(PipelineStep):
+    name = "boom"
+
+    def run(self, context: PipelineContext) -> dict:
+        raise PipelineError("intentional")
+
+
+class TestContext:
+    def test_table_access(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        assert context.table("t").columns == ["a"]
+
+    def test_missing_table_raises_with_available(self):
+        context = PipelineContext()
+        context.put_table("present", Table("p", ["a"]))
+        with pytest.raises(PipelineError, match="present"):
+            context.table("missing")
+
+    def test_missing_artifact_raises(self):
+        with pytest.raises(PipelineError):
+            PipelineContext().artifact("nothing")
+
+
+class TestPipeline:
+    def test_steps_run_in_order(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        pipeline = CurationPipeline([AddRowStep("t"), AddRowStep("t")])
+        context, reports = pipeline.run(context)
+        assert context.table("t").num_rows == 2
+        assert [r.details["rows"] for r in reports] == [1, 2]
+
+    def test_reports_have_timing(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        _, reports = CurationPipeline([AddRowStep("t")]).run(context)
+        assert reports[0].seconds >= 0
+        assert reports[0].name == "add_row"
+        assert "add_row" in str(reports[0])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            CurationPipeline([])
+
+    def test_step_errors_propagate(self):
+        context = PipelineContext()
+        with pytest.raises(PipelineError, match="intentional"):
+            CurationPipeline([FailingStep()]).run(context)
+
+    def test_describe(self):
+        pipeline = CurationPipeline([AddRowStep("t"), FailingStep()])
+        description = pipeline.describe()
+        assert "1. add_row" in description
+        assert "2. boom" in description

@@ -1,0 +1,196 @@
+"""Concrete pipeline step tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning import MeanModeImputer
+from repro.data import FunctionalDependency, Table
+from repro.discovery import TfIdfSearchEngine
+from repro.orchestration import (
+    ConsolidateStep,
+    CurationPipeline,
+    DiscoverStep,
+    ImputeStep,
+    PipelineContext,
+    PipelineError,
+    RepairStep,
+    ResolveEntitiesStep,
+    TransformStep,
+)
+
+
+class ScoreMatcher:
+    """Deterministic matcher: same 'name' first token => match."""
+
+    def predict_proba(self, pairs):
+        return np.array([
+            1.0 if str(a.get("name", "")).split()[:1] == str(b.get("name", "")).split()[:1]
+            else 0.0
+            for a, b in pairs
+        ])
+
+
+@pytest.fixture
+def two_tables():
+    table_a = Table(
+        "a", ["id", "name", "city"],
+        rows=[["a1", "john smith", "paris"], ["a2", "maria garcia", None]],
+    )
+    table_b = Table(
+        "b", ["id", "name", "city"],
+        rows=[["b1", "john smyth", "paris"], ["b2", "peter king", "oslo"]],
+    )
+    return table_a, table_b
+
+
+class TestDiscoverStep:
+    def test_puts_hits_into_context(self):
+        lake = {
+            "sales": Table("sales", ["amount"], rows=[["5"]]),
+            "people": Table("people", ["name"], rows=[["john"]]),
+        }
+        engine = TfIdfSearchEngine()
+        engine.add_tables(list(lake.values()))
+        context = PipelineContext()
+        context.artifacts["lake"] = lake
+        step = DiscoverStep(engine, "sales amount", top_k=1, output_keys=["found"])
+        details = step.run(context)
+        assert details["hits"] == ["sales"]
+        assert context.table("found").name == "sales"
+
+
+class TestSchemaMatchStep:
+    def test_aligns_divergent_schema_by_values(self):
+        from repro.discovery import SyntacticMatcher
+        from repro.orchestration import SchemaMatchStep
+
+        table_a = Table("a", ["name", "city"], rows=[
+            ["john smith", "paris"], ["maria garcia", "rome"],
+        ])
+        table_b = Table("b", ["person_label", "town"], rows=[
+            ["john smith", "paris"], ["peter king", "oslo"],
+        ])
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        step = SchemaMatchStep(
+            SyntacticMatcher(name_weight=0.0), "a", "b", "b_aligned", threshold=0.3
+        )
+        details = step.run(context)
+        aligned = context.table("b_aligned")
+        assert details["mapping"] == {"person_label": "name", "town": "city"}
+        assert aligned.columns == ["name", "city"]
+
+    def test_greedy_one_to_one_mapping(self):
+        from repro.discovery import SyntacticMatcher
+        from repro.orchestration import SchemaMatchStep
+
+        # Both b-columns overlap a.name's values; only the better one maps.
+        table_a = Table("a", ["name"], rows=[["x"], ["y"], ["z"]])
+        table_b = Table("b", ["col1", "col2"], rows=[
+            ["x", "x"], ["y", "q"], ["z", "r"],
+        ])
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        step = SchemaMatchStep(
+            SyntacticMatcher(name_weight=0.0), "a", "b", "out", threshold=0.2
+        )
+        details = step.run(context)
+        assert details["mapped_columns"] == 1
+        assert details["mapping"] == {"col1": "name"}
+
+
+class TestResolveAndConsolidate:
+    def test_resolve_finds_matches(self, two_tables):
+        table_a, table_b = two_tables
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        step = ResolveEntitiesStep(ScoreMatcher(), "a", "b", "id")
+        details = step.run(context)
+        assert ("a1", "b1") in context.artifacts["matches"]
+        assert details["matches"] == 1
+
+    def test_consolidate_merges_and_keeps_singletons(self, two_tables):
+        table_a, table_b = two_tables
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        context.artifacts["matches"] = {("a1", "b1")}
+        step = ConsolidateStep("a", "b", "id", "merged")
+        details = step.run(context)
+        merged = context.table("merged")
+        # a1+b1 merged, a2 singleton, b2 unmatched singleton.
+        assert merged.num_rows == 3
+        assert details["golden_records"] == 1
+
+    def test_candidate_fn_limits_pairs(self, two_tables):
+        table_a, table_b = two_tables
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        step = ResolveEntitiesStep(
+            ScoreMatcher(), "a", "b", "id",
+            candidate_fn=lambda ta, tb: {("a1", "b1")},
+        )
+        details = step.run(context)
+        assert details["candidates"] == 1
+
+
+class TestCleaningSteps:
+    def test_repair_step(self):
+        table = Table("t", ["country", "capital"],
+                      rows=[["fr", "paris"], ["fr", "paris"], ["fr", "lyon"]])
+        context = PipelineContext()
+        context.put_table("in", table)
+        step = RepairStep([FunctionalDependency(("country",), "capital")], "in", "out")
+        details = step.run(context)
+        assert details["violation_rate_after"] == 0.0
+        assert context.table("out").cell(2, "capital") == "paris"
+
+    def test_impute_step(self, two_tables):
+        table_a, _ = two_tables
+        context = PipelineContext()
+        context.put_table("in", table_a)
+        step = ImputeStep(MeanModeImputer(), "in", "out")
+        details = step.run(context)
+        assert details["missing_rate_after"] == 0.0
+
+    def test_transform_step_normalises_column(self):
+        table = Table("t", ["name"], rows=[["john smith"], ["ada lovelace"]])
+        context = PipelineContext()
+        context.put_table("in", table)
+        step = TransformStep(
+            "in", "out", "name",
+            examples=[("grace hopper", "G. Hopper"), ("alan turing", "A. Turing")],
+        )
+        details = step.run(context)
+        assert context.table("out").cell(0, "name") == "J. Smith"
+        assert details["applied"] == 2
+
+    def test_transform_step_unsolvable_raises(self):
+        table = Table("t", ["name"], rows=[["x"]])
+        context = PipelineContext()
+        context.put_table("in", table)
+        step = TransformStep("in", "out", "name", examples=[("a", "b"), ("a", "c")])
+        with pytest.raises(PipelineError):
+            step.run(context)
+
+
+class TestEndToEndPipeline:
+    def test_full_chain(self, two_tables):
+        table_a, table_b = two_tables
+        context = PipelineContext()
+        context.put_table("a", table_a)
+        context.put_table("b", table_b)
+        pipeline = CurationPipeline([
+            ResolveEntitiesStep(ScoreMatcher(), "a", "b", "id"),
+            ConsolidateStep("a", "b", "id", "merged"),
+            ImputeStep(MeanModeImputer(), "merged", "final"),
+        ])
+        context, reports = pipeline.run(context)
+        assert len(reports) == 3
+        assert context.table("final").missing_rate() == 0.0

@@ -1,0 +1,83 @@
+"""Fidelity metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.synth import (
+    categorical_tv_distance,
+    correlation_preservation,
+    fidelity_report,
+    numeric_ks_statistic,
+)
+
+
+def _table(rows, name="t", columns=("cat", "x", "y")):
+    return Table(name, list(columns), rows=rows)
+
+
+class TestTVDistance:
+    def test_identical_distribution_zero(self):
+        table = _table([["a", 1, 1], ["b", 2, 2]])
+        assert categorical_tv_distance(table, table.copy(), "cat") == 0.0
+
+    def test_disjoint_distribution_one(self):
+        real = _table([["a", 1, 1]])
+        synth = _table([["b", 1, 1]])
+        assert categorical_tv_distance(real, synth, "cat") == 1.0
+
+    def test_half_shifted(self):
+        real = _table([["a", 0, 0], ["a", 0, 0], ["b", 0, 0], ["b", 0, 0]])
+        synth = _table([["a", 0, 0], ["a", 0, 0], ["a", 0, 0], ["b", 0, 0]])
+        assert categorical_tv_distance(real, synth, "cat") == pytest.approx(0.25)
+
+
+class TestKS:
+    def test_identical_zero(self):
+        rng = np.random.default_rng(0)
+        rows = [["a", float(v), 0.0] for v in rng.normal(size=100)]
+        table = _table(rows)
+        assert numeric_ks_statistic(table, table.copy(), "x") == 0.0
+
+    def test_shifted_distributions_high(self):
+        rng = np.random.default_rng(0)
+        real = _table([["a", float(v), 0.0] for v in rng.normal(0, 1, 100)])
+        synth = _table([["a", float(v), 0.0] for v in rng.normal(5, 1, 100)])
+        assert numeric_ks_statistic(real, synth, "x") > 0.9
+
+    def test_empty_column_max_distance(self):
+        real = _table([["a", 1.0, 0.0]])
+        synth = _table([["a", None, 0.0]])
+        assert numeric_ks_statistic(real, synth, "x") == 1.0
+
+
+class TestCorrelation:
+    def test_preserved_correlation_zero_drift(self):
+        rng = np.random.default_rng(0)
+        rows = [["a", float(v), float(2 * v)] for v in rng.normal(size=80)]
+        real = _table(rows)
+        assert correlation_preservation(real, real.copy(), ["x", "y"]) == pytest.approx(0.0)
+
+    def test_broken_correlation_high_drift(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=80)
+        real = _table([["a", float(v), float(2 * v)] for v in values])
+        shuffled = rng.permutation(values)
+        synth = _table([["a", float(v), float(2 * w)] for v, w in zip(values, shuffled)])
+        assert correlation_preservation(real, synth, ["x", "y"]) > 0.5
+
+    def test_single_column_zero(self):
+        real = _table([["a", 1.0, 2.0]])
+        assert correlation_preservation(real, real, ["x"]) == 0.0
+
+
+class TestReport:
+    def test_keys_present(self):
+        rng = np.random.default_rng(0)
+        rows = [["a", float(v), float(v + rng.normal())] for v in rng.normal(size=60)]
+        report = fidelity_report(_table(rows), _table(rows), ["x", "y"])
+        assert set(report) == {"mean_tv_distance", "mean_ks_statistic", "correlation_drift"}
+        assert report["mean_ks_statistic"] == 0.0
+        assert report["mean_tv_distance"] == 0.0

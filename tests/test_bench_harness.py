@@ -1,0 +1,69 @@
+"""Tests for the benchmark harness utilities (table formatting, driver).
+
+These run from the repository root (the benchmarks package lives beside
+src/), matching how pytest and ``python -m benchmarks.run_all`` are
+invoked per the README.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("benchmarks.common", reason="requires repo-root cwd")
+
+from benchmarks.common import benchmark_split, format_table, records_and_ids
+from benchmarks.run_all import EXPERIMENTS, main
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        rows = [
+            {"name": "a", "value": 0.123456},
+            {"name": "longer", "value": 2.0},
+        ]
+        text = format_table(rows, "demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "0.123" in text
+        assert "2.000" in text
+        # Header and rows align on the same column start.
+        assert lines[1].index("value") == lines[3].index("0.123")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], "empty")
+
+    def test_missing_keys_render_as_none(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], "t")
+        assert "None" not in text.splitlines()[1]  # header from first row only
+
+
+class TestRunAllDriver:
+    def test_registry_covers_all_experiments(self):
+        ids = set(EXPERIMENTS)
+        assert {f"e{i}" for i in range(1, 17)} <= ids
+        assert {"a1", "a2", "a3"} <= ids
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["nope"]) == 1
+        assert "unknown experiment ids" in capsys.readouterr().out
+
+    def test_registered_modules_importable(self):
+        import importlib
+
+        for module_name, _ in EXPERIMENTS.values():
+            module = importlib.import_module(f"benchmarks.{module_name}")
+            assert hasattr(module, "run_experiment")
+
+
+class TestCommonHelpers:
+    def test_benchmark_split_shapes(self, small_benchmark):
+        train, test_pairs, test_labels = benchmark_split(small_benchmark)
+        assert len(test_pairs) == len(test_labels)
+        assert all(len(t) == 3 for t in train)
+        assert set(test_labels) <= {0, 1}
+
+    def test_records_and_ids_aligned(self, small_benchmark):
+        records_a, ids_a, records_b, ids_b = records_and_ids(small_benchmark)
+        assert len(records_a) == len(ids_a) == small_benchmark.table_a.num_rows
+        assert len(records_b) == len(ids_b) == small_benchmark.table_b.num_rows
+        assert records_a[0][small_benchmark.id_column] == ids_a[0]

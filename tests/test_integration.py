@@ -1,0 +1,234 @@
+"""Cross-module integration tests: the paper's flows, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import augment_er_pairs
+from repro.cleaning import DAEImputer, FDRepairer, MeanModeImputer
+from repro.data import (
+    ErrorGenerator,
+    World,
+    citations_benchmark,
+    restaurants_benchmark,
+)
+from repro.er import (
+    DeepER,
+    FeatureBasedER,
+    LSHBlocker,
+    TokenBlocker,
+    classification_prf,
+    pair_completeness,
+    precision_recall_f1,
+    reduction_ratio,
+)
+from repro.er.deeper import MatcherHead
+from repro.orchestration import (
+    ConsolidateStep,
+    CurationPipeline,
+    ImputeStep,
+    PipelineContext,
+    RepairStep,
+    ResolveEntitiesStep,
+)
+from repro.weak import ABSTAIN, EMLabelModel, LabelingFunction, apply_lfs
+
+
+class TestDeepERPipeline:
+    """Figure 5 end to end: embed → block → classify."""
+
+    def test_block_then_match(self, small_benchmark, word_model):
+        bench = small_benchmark
+        # Deployment over blocking candidates is far more skewed than any
+        # training sample (§6.1): train with a heavier negative ratio and
+        # decide at a higher threshold to keep precision.
+        labeled = bench.labeled_pairs(negative_ratio=10, rng=3)
+        trips = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+        matcher = DeepER(word_model, bench.compare_columns, rng=0).fit(trips, epochs=25)
+
+        records_a = [bench.table_a.row_dict(i) for i in range(len(bench.table_a))]
+        records_b = [bench.table_b.row_dict(i) for i in range(len(bench.table_b))]
+        ids_a = [str(v) for v in bench.table_a.column(bench.id_column)]
+        ids_b = [str(v) for v in bench.table_b.column(bench.id_column)]
+        blocker = LSHBlocker(n_bits=16, n_bands=8, rng=0)
+        candidates = blocker.candidate_pairs(
+            matcher.tuple_vectors(records_a), ids_a,
+            matcher.tuple_vectors(records_b), ids_b,
+        )
+        total = len(ids_a) * len(ids_b)
+        assert reduction_ratio(len(candidates), total) > 0.1
+        assert pair_completeness(candidates, bench.matches) > 0.8
+
+        index_a = dict(zip(ids_a, records_a))
+        index_b = dict(zip(ids_b, records_b))
+        pairs = [(index_a[a], index_b[b]) for a, b in sorted(candidates)]
+        probabilities = matcher.predict_proba(pairs)
+        predicted = {
+            pair for pair, p in zip(sorted(candidates), probabilities) if p >= 0.7
+        }
+        prf = precision_recall_f1(predicted, bench.matches)
+        assert prf.f1 > 0.6
+
+
+class TestWeakSupervisionToDeepER:
+    """§6.2.4: LFs → label model → train a matcher without gold labels."""
+
+    def test_weakly_supervised_matcher(self, small_benchmark):
+        bench = small_benchmark
+        labeled = bench.labeled_pairs(negative_ratio=4, rng=4)
+        trips = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+        split = int(0.6 * len(trips))
+        train, test = trips[:split], trips[split:]
+
+        from repro.er import jaccard_tokens, trigram_jaccard
+
+        def title_sim(pair):
+            a, b = pair
+            if not a.get("title") or not b.get("title"):
+                return ABSTAIN
+            return 1 if trigram_jaccard(str(a["title"]), str(b["title"])) > 0.55 else 0
+
+        def author_sim(pair):
+            a, b = pair
+            if not a.get("authors") or not b.get("authors"):
+                return ABSTAIN
+            return 1 if jaccard_tokens(str(a["authors"]), str(b["authors"])) > 0.5 else 0
+
+        def year_match(pair):
+            a, b = pair
+            if a.get("year") is None or b.get("year") is None:
+                return ABSTAIN
+            return 1 if abs(float(a["year"]) - float(b["year"])) < 1 else ABSTAIN
+
+        lfs = [
+            LabelingFunction("title", title_sim),
+            LabelingFunction("authors", author_sim),
+            LabelingFunction("year", year_match),
+        ]
+        pairs_only = [(a, b) for a, b, _ in train]
+        votes = apply_lfs(lfs, pairs_only)
+        weak_probs = EMLabelModel().fit_predict_proba(votes)
+        weak_labels = (weak_probs > 0.5).astype(int)
+
+        gold = np.array([y for _, _, y in train])
+        assert (weak_labels == gold).mean() > 0.8  # "mostly correct"
+
+        model = FeatureBasedER(bench.compare_columns, ["year"])
+        weak_train = [
+            (a, b, int(label)) for (a, b), label in zip(pairs_only, weak_labels)
+        ]
+        model.fit(weak_train)
+        test_labels = np.array([y for _, _, y in test])
+        predictions = model.predict([(a, b) for a, b, _ in test])
+        assert classification_prf(test_labels, predictions).f1 > 0.7
+
+
+class TestAugmentationImprovesLowData:
+    def test_augmented_training_not_worse(self, small_benchmark, word_model):
+        bench = small_benchmark
+        labeled = bench.labeled_pairs(n_positives=15, negative_ratio=3, rng=5)
+        trips = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+        eval_pairs = bench.labeled_pairs(negative_ratio=4, rng=6)
+        eval_trips = [
+            (bench.record_a(a), bench.record_b(b), y) for a, b, y in eval_pairs
+        ]
+        test_labels = np.array([y for _, _, y in eval_trips])
+        test_pairs = [(a, b) for a, b, _ in eval_trips]
+
+        plain = DeepER(word_model, bench.compare_columns, rng=0).fit(trips, epochs=25)
+        plain_f1 = classification_prf(test_labels, plain.predict(test_pairs)).f1
+
+        augmented_data = augment_er_pairs(trips, multiplier=3, rng=0)
+        augmented = DeepER(word_model, bench.compare_columns, rng=0).fit(
+            augmented_data, epochs=25
+        )
+        augmented_f1 = classification_prf(test_labels, augmented.predict(test_pairs)).f1
+        assert augmented_f1 >= plain_f1 - 0.05
+
+
+class TestCleaningPipeline:
+    """Dirty table → repair + impute → measurably cleaner."""
+
+    def test_error_injection_then_cleaning(self):
+        table, fds = World(3).locations_table(150)
+        generator = ErrorGenerator(rng=0)
+        dirty, report = generator.corrupt(
+            table, null_rate=0.08, fd_violation_rate=0.06, fds=fds,
+            protected_columns={"person"},
+        )
+        # Impute first (mode fill can itself create FD violations), then let
+        # the FD repairer restore consistency — the right stage order.
+        filled = MeanModeImputer().fit(dirty).transform(dirty)
+        repaired, _ = FDRepairer(fds).repair(filled)
+        from repro.data import violation_rate
+
+        assert violation_rate(repaired, fds) < violation_rate(dirty, fds)
+        assert repaired.missing_rate() == 0.0
+
+
+class TestCurateThenQuery:
+    """Curate a dirty table, then answer plain-language questions over it —
+    the §5.3 endgame: cleaned data immediately usable by an analyst."""
+
+    def test_nl_questions_over_cleaned_table(self):
+        from repro.nlq import QueryEngine
+
+        table, fds = World(6).locations_table(120)
+        dirty, _ = ErrorGenerator(rng=1).corrupt(
+            table, null_rate=0.1, fd_violation_rate=0.05, fds=fds,
+            protected_columns={"person"},
+        )
+        filled = MeanModeImputer().fit(dirty).transform(dirty)
+        cleaned, _ = FDRepairer(fds).repair(filled)
+
+        engine = QueryEngine(cleaned)
+        count = engine.ask("how many rows where country is france").value
+        # On the cleaned table the count matches a manual scan.
+        manual = sum(
+            1 for v in cleaned.column("country") if str(v) == "france"
+        )
+        assert count == manual
+        grouped = engine.ask("how many rows by country").value
+        assert sum(grouped.values()) == cleaned.num_rows
+
+
+class TestFullCurationPipeline:
+    """Figure 1 end to end on a two-source restaurant scenario."""
+
+    def test_promised_land(self):
+        bench = restaurants_benchmark(n_entities=120, rng=7)
+        labeled = bench.labeled_pairs(negative_ratio=4, rng=8)
+        trips = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+        matcher = FeatureBasedER(bench.compare_columns).fit(trips)
+
+        blocker = TokenBlocker(bench.compare_columns)
+
+        def candidates(table_a, table_b):
+            records_a = [table_a.row_dict(i) for i in range(len(table_a))]
+            records_b = [table_b.row_dict(i) for i in range(len(table_b))]
+            ids_a = [str(v) for v in table_a.column("restaurant_id")]
+            ids_b = [str(v) for v in table_b.column("restaurant_id")]
+            return blocker.candidate_pairs(records_a, ids_a, records_b, ids_b)
+
+        context = PipelineContext()
+        context.put_table("a", bench.table_a)
+        context.put_table("b", bench.table_b)
+        pipeline = CurationPipeline([
+            ResolveEntitiesStep(
+                matcher, "a", "b", "restaurant_id",
+                candidate_fn=candidates, threshold=0.5,
+            ),
+            ConsolidateStep("a", "b", "restaurant_id", "merged"),
+            ImputeStep(MeanModeImputer(), "merged", "final"),
+        ])
+        context, reports = pipeline.run(context)
+
+        predicted = context.artifacts["matches"]
+        prf = precision_recall_f1(predicted, bench.matches)
+        assert prf.f1 > 0.7
+        final = context.table("final")
+        assert final.missing_rate() == 0.0
+        # Merged table is smaller than the two sources stacked.
+        assert final.num_rows < bench.table_a.num_rows + bench.table_b.num_rows
+        assert len(reports) == 3

@@ -1,0 +1,196 @@
+"""Cross-module property-based tests on core invariants (hypothesis).
+
+These complement the per-module suites: each property must hold for *any*
+generated input, not just the curated cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import FDRepairer, MeanModeImputer, TableEncoder, consolidate_majority
+from repro.data import ErrorGenerator, FunctionalDependency, Table, violation_rate
+from repro.er import LSHBlocker, connected_components
+from repro.transform import Synthesizer
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+small_value = st.sampled_from(["a", "b", "c", "x1", "y2"])
+rows_strategy = st.lists(
+    st.tuples(small_value, small_value, small_value), min_size=2, max_size=15
+)
+
+
+def _table(rows) -> Table:
+    return Table("t", ["p", "q", "r"], rows=[list(r) for r in rows])
+
+
+# ---------------------------------------------------------------------- #
+# FD repair
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_repair_always_restores_fd(rows):
+    table = _table(rows)
+    fd = FunctionalDependency(("p",), "q")
+    repaired, _ = FDRepairer([fd]).repair(table)
+    assert fd.holds(repaired)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_repair_is_idempotent(rows):
+    table = _table(rows)
+    repairer = FDRepairer([FunctionalDependency(("p",), "q")])
+    once, _ = repairer.repair(table)
+    twice, second_report = repairer.repair(once)
+    assert len(second_report) == 0
+    assert once.equals(twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_repair_only_touches_rhs_column(rows):
+    table = _table(rows)
+    repaired, report = FDRepairer([FunctionalDependency(("p",), "q")]).repair(table)
+    assert all(r.column == "q" for r in report.repairs)
+    assert repaired.column("p") == table.column("p")
+    assert repaired.column("r") == table.column("r")
+
+
+# ---------------------------------------------------------------------- #
+# error generation
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy, st.floats(0.0, 0.5), st.integers(0, 100))
+def test_errorgen_report_matches_diff(rows, rate, seed):
+    table = _table(rows)
+    dirty, report = ErrorGenerator(rng=seed).corrupt(
+        table, typo_rate=rate, null_rate=rate
+    )
+    diff_cells = {
+        (i, c)
+        for i in range(table.num_rows)
+        for c in table.columns
+        if dirty.cell(i, c) != table.cell(i, c)
+    }
+    assert diff_cells == report.cells()
+
+
+# ---------------------------------------------------------------------- #
+# imputation
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy, st.integers(0, 50))
+def test_mean_mode_imputer_leaves_no_missing(rows, seed):
+    table = _table(rows)
+    dirty, _ = ErrorGenerator(rng=seed).corrupt(table, null_rate=0.3)
+    # At least one observed value per column is needed to fill it.
+    assume(all(
+        any(v is not None for v in dirty.column(c)) for c in dirty.columns
+    ))
+    filled = MeanModeImputer().fit_transform(dirty)
+    assert filled.missing_rate() == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_encoder_decode_roundtrip(rows):
+    table = _table(rows)
+    encoder = TableEncoder().fit(table)
+    matrix, mask = encoder.encode(table)
+    for i in range(table.num_rows):
+        for column in table.columns:
+            assert encoder.decode_cell(matrix[i], column) == str(table.cell(i, column))
+
+
+# ---------------------------------------------------------------------- #
+# consolidation
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["john", "j smith", "john smith"]), min_size=1, max_size=6))
+def test_golden_value_comes_from_cluster(values):
+    cluster = [{"name": v} for v in values]
+    golden = consolidate_majority(cluster, ["name"])
+    assert golden["name"] in values
+
+
+# ---------------------------------------------------------------------- #
+# clustering
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 12),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=15),
+)
+def test_connected_components_is_partition(n, raw_edges):
+    items = [f"i{k}" for k in range(n)]
+    edges = {
+        (f"i{a % n}", f"i{b % n}") for a, b in raw_edges if a % n != b % n
+    }
+    clusters = connected_components(items, edges)
+    flat = [x for cluster in clusters for x in cluster]
+    assert sorted(flat) == sorted(items)          # cover
+    assert len(flat) == len(set(flat))            # disjoint
+    for a, b in edges:                            # edges respected
+        cluster_of = {x: i for i, c in enumerate(clusters) for x in c}
+        assert cluster_of[a] == cluster_of[b]
+
+
+# ---------------------------------------------------------------------- #
+# blocking
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 20), st.integers(0, 1000))
+def test_lsh_identical_embeddings_always_collide(n, seed):
+    rng = np.random.default_rng(seed)
+    emb = rng.normal(size=(n, 6))
+    ids_a = [f"a{i}" for i in range(n)]
+    ids_b = [f"b{i}" for i in range(n)]
+    blocker = LSHBlocker(n_bits=16, n_bands=4, rng=seed)
+    pairs = blocker.candidate_pairs(emb, ids_a, emb.copy(), ids_b)
+    for i in range(n):
+        assert (f"a{i}", f"b{i}") in pairs
+
+
+# ---------------------------------------------------------------------- #
+# program synthesis
+# ---------------------------------------------------------------------- #
+
+name_strategy = st.from_regex(r"[a-z]{2,6} [a-z]{2,6}", fullmatch=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(name_strategy, min_size=2, max_size=4, unique=True))
+def test_synthesized_program_consistent_with_examples(inputs):
+    # Ground truth: swap the two tokens.
+    examples = [(s, f"{s.split()[1]} {s.split()[0]}") for s in inputs]
+    program = Synthesizer().synthesize(examples)
+    assert program is not None
+    assert program.consistent_with(examples)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(name_strategy, min_size=2, max_size=3, unique=True))
+def test_synthesis_generalises_token_identity(inputs):
+    examples = [(s, s.split()[0]) for s in inputs]
+    program = Synthesizer().synthesize(examples)
+    assert program is not None
+    assert program.evaluate("zulu yankee") == "zulu"

@@ -1,0 +1,47 @@
+"""Local (one-hot) representation tests — Figure 3(a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text import OneHotEncoder, Vocabulary
+
+
+@pytest.fixture
+def encoder():
+    vocab = Vocabulary.from_documents([["man", "woman", "king", "queen"]])
+    return OneHotEncoder(vocab)
+
+
+class TestOneHot:
+    def test_exactly_one_hot(self, encoder):
+        vec = encoder.encode("king")
+        assert vec.sum() == 1.0
+        assert vec[encoder.vocabulary.id_of("king")] == 1.0
+
+    def test_dim_equals_vocab_size(self, encoder):
+        assert encoder.dim == 4
+
+    def test_unknown_raises(self, encoder):
+        with pytest.raises(KeyError):
+            encoder.encode("emperor")
+
+    def test_encode_many(self, encoder):
+        matrix = encoder.encode_many(["man", "queen"])
+        assert matrix.shape == (2, 4)
+        assert np.all(matrix.sum(axis=1) == 1.0)
+
+    def test_decode_roundtrip(self, encoder):
+        for token in encoder.vocabulary.tokens:
+            assert encoder.decode(encoder.encode(token)) == token
+
+    def test_decode_shape_check(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.decode(np.zeros(3))
+
+    def test_local_representations_orthogonal(self, encoder):
+        """The paper's point: one-hot vectors carry no similarity signal."""
+        a = encoder.encode("king")
+        b = encoder.encode("queen")
+        assert a @ b == 0.0

@@ -1,0 +1,88 @@
+"""Vector similarity + coherent-groups tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.text import (
+    coherent_group_similarity,
+    cosine,
+    cosine_matrix,
+    euclidean,
+    mean_vector,
+)
+
+
+class TestCosine:
+    def test_identical(self):
+        v = np.array([1.0, 2.0])
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        v = np.array([1.0, 2.0])
+        assert cosine(v, -v) == pytest.approx(-1.0)
+
+    def test_zero_vector_returns_zero(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_matrix_shape(self):
+        m = cosine_matrix(np.ones((3, 4)), np.ones((5, 4)))
+        assert m.shape == (3, 5)
+        assert np.allclose(m, 1.0)
+
+    def test_euclidean(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, 4, elements=st.floats(-5, 5, allow_nan=False)),
+    arrays(np.float64, 4, elements=st.floats(-5, 5, allow_nan=False)),
+)
+def test_cosine_bounded_and_symmetric_property(a, b):
+    s = cosine(a, b)
+    assert -1.0001 <= s <= 1.0001
+    assert s == pytest.approx(cosine(b, a))
+
+
+class TestCoherentGroups:
+    def _vector_fn(self):
+        vectors = {
+            "biopsy": np.array([1.0, 0.0]),
+            "site": np.array([0.9, 0.1]),
+            "sample": np.array([0.8, 0.2]),
+            "finance": np.array([0.0, 1.0]),
+            "budget": np.array([0.1, 0.9]),
+        }
+        return lambda w: vectors.get(w, np.zeros(2))
+
+    def test_related_groups_score_high(self):
+        fn = self._vector_fn()
+        related = coherent_group_similarity(["biopsy", "site"], ["sample"], fn)
+        unrelated = coherent_group_similarity(["biopsy", "site"], ["finance", "budget"], fn)
+        assert related > unrelated
+
+    def test_empty_group_returns_zero(self):
+        fn = self._vector_fn()
+        assert coherent_group_similarity([], ["biopsy"], fn) == 0.0
+
+    def test_all_oov_returns_zero(self):
+        fn = self._vector_fn()
+        assert coherent_group_similarity(["zz"], ["qq"], fn) == 0.0
+
+    def test_oov_words_ignored_in_mean(self):
+        fn = self._vector_fn()
+        with_oov = coherent_group_similarity(["biopsy", "zz"], ["sample"], fn)
+        without = coherent_group_similarity(["biopsy"], ["sample"], fn)
+        assert with_oov == pytest.approx(without)
+
+    def test_mean_vector(self):
+        assert np.allclose(mean_vector(np.array([[1.0, 3.0], [3.0, 5.0]])), [2.0, 4.0])
+        assert mean_vector(np.zeros((0,))).size == 0

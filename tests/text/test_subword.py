@@ -1,0 +1,56 @@
+"""Subword OOV embedding tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text import SkipGram, SubwordEmbeddings, cosine
+
+
+@pytest.fixture(scope="module")
+def subword_model():
+    """Two context clusters so the embedding space is anisotropic enough
+    for similarity comparisons to mean something."""
+    rng = np.random.default_rng(0)
+    medical = ["protein", "proteins", "biopsy", "assay", "sample"]
+    finance = ["budget", "budgets", "invoice", "ledger", "payroll"]
+    docs = []
+    for _ in range(300):
+        a, b = rng.choice(medical, size=2, replace=False)
+        docs.append([str(a), "measured", "with", str(b), "in", "the", "lab"])
+        c, d = rng.choice(finance, size=2, replace=False)
+        docs.append([str(c), "approved", "with", str(d), "by", "accounting"])
+    model = SkipGram(dim=16, epochs=5, rng=0).fit(docs)
+    return SubwordEmbeddings(model)
+
+
+class TestSubword:
+    def test_in_vocab_returns_exact(self, subword_model):
+        exact = subword_model.model.vector("protein")
+        assert np.allclose(subword_model.vector("protein"), exact)
+
+    def test_oov_lands_in_right_cluster(self, subword_model):
+        oov = subword_model.vector("proteinx")  # unseen medical variant
+        sim_medical = cosine(oov, subword_model.model.vector("protein"))
+        sim_finance = cosine(oov, subword_model.model.vector("budget"))
+        assert sim_medical > sim_finance
+
+    def test_totally_unknown_is_zero_vector(self, subword_model):
+        vec = subword_model.vector("zzqq")
+        assert np.allclose(vec, 0.0)
+
+    def test_coverage_range(self, subword_model):
+        assert subword_model.coverage("protein") == 1.0
+        assert subword_model.coverage("zzqq") == 0.0
+        assert 0.0 < subword_model.coverage("proteinx") < 1.0
+
+    def test_oov_vector_ignores_vocab(self, subword_model):
+        backed_off = subword_model.oov_vector("protein")
+        exact = subword_model.model.vector("protein")
+        # Reconstruction approximates but rarely equals the exact vector.
+        assert backed_off.shape == exact.shape
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(RuntimeError):
+            SubwordEmbeddings(SkipGram())

@@ -1,0 +1,65 @@
+"""Tokenizer tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import char_ngrams, sentence_split, value_tokenize, word_tokenize
+
+
+class TestWordTokenize:
+    def test_basic(self):
+        assert word_tokenize("Data Curation!") == ["data", "curation"]
+
+    def test_keeps_numbers(self):
+        assert word_tokenize("room 101") == ["room", "101"]
+
+    def test_apostrophes(self):
+        assert word_tokenize("Tukey's fences") == ["tukey's", "fences"]
+
+    def test_no_lowercase(self):
+        assert word_tokenize("Data", lowercase=False) == ["Data"]
+
+    def test_empty(self):
+        assert word_tokenize("") == []
+
+
+class TestValueTokenize:
+    def test_punctuation_preserved(self):
+        assert value_tokenize("J. Smith-Jones") == ["j", ".", "smith", "-", "jones"]
+
+    def test_digit_runs(self):
+        assert value_tokenize("555-1234") == ["555", "-", "1234"]
+
+
+class TestCharNgrams:
+    def test_boundary_markers(self):
+        grams = char_ngrams("cat", 3, 3)
+        assert "<ca" in grams and "at>" in grams
+
+    def test_no_boundary(self):
+        assert char_ngrams("cat", 3, 3, boundary=False) == ["cat"]
+
+    def test_range(self):
+        grams = char_ngrams("ab", 2, 3)
+        assert set(grams) == {"<a", "ab", "b>", "<ab", "ab>"}
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            char_ngrams("x", 3, 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=10))
+    def test_ngram_lengths_property(self, token):
+        for gram in char_ngrams(token, 3, 5):
+            assert 3 <= len(gram) <= 5
+
+
+class TestSentenceSplit:
+    def test_splits_on_terminators(self):
+        assert sentence_split("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_no_terminator(self):
+        assert sentence_split("no punctuation here") == ["no punctuation here"]

@@ -1,0 +1,84 @@
+"""Vocabulary tests, including hypothesis roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import Vocabulary
+
+
+class TestVocabulary:
+    def test_frequency_ordering(self):
+        vocab = Vocabulary.from_documents([["b", "a", "a", "c", "a", "b"]])
+        assert vocab.token_of(0) == "a"
+        assert vocab.id_of("a") == 0
+
+    def test_tie_break_alphabetical(self):
+        vocab = Vocabulary.from_documents([["z", "y"]])
+        assert vocab.tokens == ["y", "z"]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.from_documents([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+        assert len(vocab) == 1
+
+    def test_encode_skip_unknown(self):
+        vocab = Vocabulary.from_documents([["a", "b"]])
+        assert vocab.encode(["a", "zzz", "b"]) == [vocab.id_of("a"), vocab.id_of("b")]
+
+    def test_encode_strict_raises(self):
+        vocab = Vocabulary.from_documents([["a"]])
+        with pytest.raises(KeyError):
+            vocab.encode(["zzz"], skip_unknown=False)
+
+    def test_incremental_add(self):
+        vocab = Vocabulary()
+        vocab.add_documents([["a"]])
+        vocab.add_documents([["b", "b"]])
+        assert vocab.token_of(0) == "b"
+
+    def test_frequencies_aligned_with_ids(self):
+        vocab = Vocabulary.from_documents([["a", "a", "b", "c", "c", "c"]])
+        freqs = vocab.frequencies()
+        assert freqs == [3, 2, 1]
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+    def test_get_with_default(self):
+        vocab = Vocabulary.from_documents([["a"]])
+        assert vocab.get("missing") is None
+        assert vocab.get("missing", -1) == -1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcdefg"), min_size=1, max_size=8),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_encode_decode_roundtrip_property(documents):
+    vocab = Vocabulary.from_documents(documents)
+    for doc in documents:
+        ids = vocab.encode(doc)
+        assert vocab.decode(ids) == doc  # every token in-vocab at min_count 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcde"), min_size=1, max_size=6),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_frequencies_monotone_property(documents):
+    vocab = Vocabulary.from_documents(documents)
+    freqs = vocab.frequencies()
+    assert freqs == sorted(freqs, reverse=True)

@@ -1,0 +1,100 @@
+"""DSL expression and program tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform import (
+    ConstStr,
+    Lower,
+    Program,
+    SplitSub,
+    SubStr,
+    Title,
+    TokenInitial,
+    TokenSub,
+    Upper,
+)
+
+
+class TestExpressions:
+    def test_const(self):
+        assert ConstStr("x").evaluate("anything") == "x"
+
+    def test_substr_positive(self):
+        assert SubStr(1, 4).evaluate("abcdef") == "bcd"
+
+    def test_substr_negative(self):
+        assert SubStr(-3, -1).evaluate("abcdef") == "de"
+
+    def test_substr_out_of_range(self):
+        with pytest.raises(ValueError):
+            SubStr(2, 10).evaluate("abc")
+
+    def test_token(self):
+        assert TokenSub(1).evaluate("john middle smith") == "middle"
+        assert TokenSub(-1).evaluate("john smith") == "smith"
+
+    def test_token_out_of_range(self):
+        with pytest.raises(ValueError):
+            TokenSub(5).evaluate("one two")
+
+    def test_token_initial(self):
+        assert TokenInitial(0).evaluate("john smith") == "j"
+
+    def test_split_sub(self):
+        assert SplitSub("@", 0).evaluate("user@host.com") == "user"
+        assert SplitSub(",", 1).evaluate("a, b, c") == "b"
+
+    def test_split_missing_separator(self):
+        with pytest.raises(ValueError):
+            SplitSub("@", 0).evaluate("no-at-sign")
+
+    def test_case_modifiers(self):
+        assert Upper(TokenSub(0)).evaluate("john smith") == "JOHN"
+        assert Lower(ConstStr("ABC")).evaluate("") == "abc"
+        assert Title(TokenSub(0)).evaluate("john") == "John"
+
+    def test_str_representations(self):
+        assert str(Upper(TokenSub(0))) == "Upper(Token(0))"
+        assert "Split" in str(SplitSub(",", 1))
+
+
+class TestRanking:
+    def test_separator_constant_cheap(self):
+        assert ConstStr(", ").rank < ConstStr("ab").rank
+
+    def test_token_cheaper_than_substr(self):
+        assert TokenSub(0).rank < SubStr(0, 3).rank
+
+    def test_case_modifier_adds_cost(self):
+        assert Upper(TokenSub(0)).rank > TokenSub(0).rank
+
+
+class TestProgram:
+    def test_concatenation(self):
+        program = Program((TokenInitial(0), ConstStr(". "), TokenSub(1)))
+        assert program.evaluate("john smith") == "j. smith"
+
+    def test_consistency_check(self):
+        program = Program((TokenSub(-1), ConstStr(", "), TokenSub(0)))
+        examples = [("john smith", "smith, john"), ("ada lovelace", "lovelace, ada")]
+        assert program.consistent_with(examples)
+        assert not program.consistent_with([("x y", "wrong")])
+
+    def test_consistency_handles_errors(self):
+        program = Program((TokenSub(3),))
+        assert not program.consistent_with([("one two", "anything")])
+
+    def test_rank_prefers_fewer_parts(self):
+        short = Program((TokenSub(0),))
+        long = Program((TokenSub(0), ConstStr(""), TokenSub(0)))
+        assert short.rank < long.rank
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abc d", min_size=1, max_size=12))
+def test_substr_full_range_is_identity_property(text):
+    assert SubStr(0, len(text)).evaluate(text) == text

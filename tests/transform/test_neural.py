@@ -1,0 +1,60 @@
+"""Neural program-induction (seq2seq) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transform import CharVocab, Seq2SeqTransformer, default_tasks
+
+
+class TestCharVocab:
+    def test_roundtrip(self):
+        vocab = CharVocab(["abc", "bcd"])
+        ids = vocab.encode("abc", max_len=5)
+        assert vocab.decode(ids) == "abc"
+
+    def test_eos_terminates_decode(self):
+        vocab = CharVocab(["ab"])
+        ids = vocab.encode("ab", max_len=5, add_eos=True)
+        assert vocab.decode(ids) == "ab"
+
+    def test_padding(self):
+        vocab = CharVocab(["ab"])
+        ids = vocab.encode("a", max_len=4)
+        assert len(ids) == 4
+        assert ids[1:] == [0, 0, 0]
+
+    def test_truncation(self):
+        vocab = CharVocab(["abcdef"])
+        assert len(vocab.encode("abcdef", max_len=3)) == 3
+
+
+class TestSeq2Seq:
+    def test_requires_pairs(self):
+        with pytest.raises(ValueError):
+            Seq2SeqTransformer().fit([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Seq2SeqTransformer().transform("x")
+
+    def test_memorises_small_identity_task(self):
+        """With enough examples of a trivial task the seq2seq must fit the
+        training set (neural induction is data hungry; this is its floor)."""
+        pairs = [(s, s[:2]) for s in ["abcd", "bcda", "cdab", "dabc", "acbd", "bdca"]]
+        model = Seq2SeqTransformer(embedding_dim=16, hidden_dim=32, max_len=8, rng=0)
+        model.fit(pairs, epochs=120, lr=8e-3)
+        train_accuracy = model.accuracy(pairs)
+        assert train_accuracy >= 0.5
+
+    def test_accuracy_empty(self):
+        assert Seq2SeqTransformer().accuracy([]) == 0.0
+
+    def test_learns_prefix_task_with_many_examples(self):
+        """Data-hungry but learnable: 60 examples of 'take area code'."""
+        task = [t for t in default_tasks() if t.name == "date_year"][0]
+        train = task.examples(60, rng=0)
+        test = task.examples(10, rng=123)
+        model = Seq2SeqTransformer(embedding_dim=16, hidden_dim=48, max_len=12, rng=0)
+        model.fit(train, epochs=60, lr=8e-3)
+        assert model.accuracy(test) >= 0.5

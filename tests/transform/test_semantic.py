@@ -1,0 +1,93 @@
+"""Semantic transformation tests (lookup + embedding routes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import World
+from repro.text import SkipGram
+from repro.transform import EmbeddingTransformer, LookupTransformer
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    world = World(0)
+    locations, _ = world.locations_table(120)
+    employees, _ = world.employees_table(40)
+    return [employees, locations]
+
+
+class TestLookupTransformer:
+    def test_discovers_country_capital(self, catalog):
+        transformer = LookupTransformer(catalog).fit(
+            [("france", "paris"), ("germany", "berlin")]
+        )
+        assert transformer.mapping_.input_column == "country"
+        assert transformer.mapping_.output_column == "capital"
+        assert transformer.transform("italy") == "rome"
+
+    def test_case_insensitive(self, catalog):
+        transformer = LookupTransformer(catalog).fit([("France", "Paris")])
+        assert transformer.transform("FRANCE") == "paris"
+
+    def test_uncovered_value_none(self, catalog):
+        transformer = LookupTransformer(catalog).fit([("france", "paris")])
+        assert transformer.transform("atlantis") is None
+
+    def test_inconsistent_examples_raise(self, catalog):
+        with pytest.raises(ValueError):
+            LookupTransformer(catalog).fit([("france", "berlin"), ("germany", "paris")])
+
+    def test_requires_catalog_and_examples(self, catalog):
+        with pytest.raises(ValueError):
+            LookupTransformer([])
+        with pytest.raises(ValueError):
+            LookupTransformer(catalog).fit([])
+
+    def test_department_mapping(self, catalog):
+        transformer = LookupTransformer(catalog).fit([("1", "human resources")])
+        assert transformer.mapping_.table_name == "employees"
+        assert transformer.transform("2") == "marketing"
+
+
+class TestEmbeddingTransformer:
+    @pytest.fixture(scope="class")
+    def model(self):
+        rng = np.random.default_rng(0)
+        pairs = [("france", "paris"), ("germany", "berlin"), ("italy", "rome"),
+                 ("spain", "madrid"), ("japan", "tokyo")]
+        docs = []
+        for _ in range(600):
+            c, cap = pairs[rng.integers(len(pairs))]
+            docs.append(f"{cap} is the capital of {c}".split())
+            docs.append(f"people in {c} visit {cap} often".split())
+        return SkipGram(dim=32, epochs=10, rng=0).fit(docs)
+
+    def test_offset_applies(self, model):
+        capitals = ["paris", "berlin", "rome", "madrid", "tokyo"]
+        transformer = EmbeddingTransformer(model, candidates=capitals).fit(
+            [("france", "paris"), ("germany", "berlin"), ("italy", "rome")]
+        )
+        predictions = transformer.transform("spain", topn=1)
+        assert predictions == ["madrid"]
+
+    def test_example_targets_excluded(self, model):
+        capitals = ["paris", "berlin", "rome", "madrid", "tokyo"]
+        transformer = EmbeddingTransformer(model, candidates=capitals).fit(
+            [("france", "paris"), ("germany", "berlin"), ("italy", "rome")]
+        )
+        predictions = transformer.transform("spain", topn=5)
+        assert "paris" not in predictions
+
+    def test_oov_input_returns_empty(self, model):
+        transformer = EmbeddingTransformer(model).fit([("france", "paris")])
+        assert transformer.transform("atlantis") == []
+
+    def test_all_oov_examples_raise(self, model):
+        with pytest.raises(ValueError):
+            EmbeddingTransformer(model).fit([("xxx", "yyy")])
+
+    def test_unfitted_raises(self, model):
+        with pytest.raises(RuntimeError):
+            EmbeddingTransformer(model).transform("france")

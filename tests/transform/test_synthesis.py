@@ -1,0 +1,84 @@
+"""Program-synthesis tests: the full E12 task suite must be solvable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transform import Synthesizer, default_tasks, synthesize_column_transform
+
+
+class TestSynthesizer:
+    def test_requires_examples(self):
+        with pytest.raises(ValueError):
+            Synthesizer().synthesize([])
+
+    def test_learns_abbreviation(self):
+        examples = [("John Smith", "J. Smith"), ("Jane Doe", "J. Doe")]
+        program = Synthesizer().synthesize(examples)
+        assert program is not None
+        assert program.evaluate("Alan Turing") == "A. Turing"
+
+    def test_learns_reorder(self):
+        examples = [("john smith", "smith, john"), ("ada lovelace", "lovelace, ada")]
+        program = Synthesizer().synthesize(examples)
+        assert program.evaluate("grace hopper") == "hopper, grace"
+
+    def test_learns_case_change(self):
+        examples = [("hello world", "HELLO"), ("foo bar", "FOO")]
+        program = Synthesizer().synthesize(examples)
+        assert program.evaluate("data curation") == "DATA"
+
+    def test_unsatisfiable_returns_none(self):
+        # Contradictory examples: same input, different outputs.
+        examples = [("abc", "x"), ("abc", "y")]
+        assert Synthesizer().synthesize(examples) is None
+
+    def test_constant_output(self):
+        examples = [("a", "-"), ("b", "-")]
+        program = Synthesizer().synthesize(examples)
+        assert program.evaluate("zzz") == "-"
+
+    def test_constants_can_be_disabled(self):
+        examples = [("ab", "xy"), ("cd", "xy")]
+        assert Synthesizer(allow_constants=False).synthesize(examples) is None
+
+    def test_synthesize_all_returns_ranked(self):
+        examples = [("john smith", "john")]
+        programs = Synthesizer().synthesize_all(examples, limit=5)
+        assert programs
+        ranks = [p.rank for p in programs]
+        assert ranks == sorted(ranks)
+        assert all(p.consistent_with(examples) for p in programs)
+
+
+class TestTaskSuite:
+    @pytest.mark.parametrize("task", default_tasks(), ids=lambda t: t.name)
+    def test_three_examples_generalise(self, task):
+        examples = task.examples(3, rng=0)
+        holdout = task.examples(15, rng=99)
+        program, accuracy = synthesize_column_transform(examples, holdout=holdout)
+        assert program is not None, f"no program for {task.name}"
+        assert accuracy == 1.0, f"{task.name}: {accuracy} via {program}"
+
+    def test_one_example_often_overfits(self):
+        """With one example some tasks mis-generalise — more examples help
+        (the E12 curve's shape)."""
+        results = []
+        for task in default_tasks():
+            examples = task.examples(1, rng=5)
+            holdout = task.examples(15, rng=77)
+            _, accuracy = synthesize_column_transform(examples, holdout=holdout)
+            results.append(accuracy)
+        three_results = []
+        for task in default_tasks():
+            examples = task.examples(3, rng=5)
+            holdout = task.examples(15, rng=77)
+            _, accuracy = synthesize_column_transform(examples, holdout=holdout)
+            three_results.append(accuracy)
+        assert sum(three_results) >= sum(results)
+
+    def test_examples_unique_inputs(self):
+        task = default_tasks()[0]
+        examples = task.examples(10, rng=0)
+        inputs = [a for a, _ in examples]
+        assert len(set(inputs)) == len(inputs)

@@ -1,0 +1,63 @@
+"""Auto-generated labeling function tests (§6.2.4 automation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.weak import ABSTAIN, EMLabelModel, apply_lfs, auto_labeling_functions
+
+
+@pytest.fixture(scope="module")
+def candidate_pool(small_benchmark):
+    labeled = small_benchmark.labeled_pairs(negative_ratio=5, rng=1)
+    triples = [
+        (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+        for a, b, y in labeled
+    ]
+    pairs = [(a, b) for a, b, _ in triples]
+    gold = np.array([y for _, _, y in triples])
+    return pairs, gold
+
+
+class TestAutoLabelingFunctions:
+    def test_generates_named_lfs(self, small_benchmark, candidate_pool):
+        pairs, _ = candidate_pool
+        lfs = auto_labeling_functions(pairs, small_benchmark.compare_columns)
+        assert lfs
+        assert all(lf.name.startswith("auto_") for lf in lfs)
+
+    def test_votes_are_valid(self, small_benchmark, candidate_pool):
+        pairs, _ = candidate_pool
+        lfs = auto_labeling_functions(pairs, small_benchmark.compare_columns)
+        votes = apply_lfs(lfs, pairs[:50])
+        assert set(np.unique(votes)) <= {ABSTAIN, 0, 1}
+
+    def test_zero_supervision_labels_mostly_correct(self, small_benchmark, candidate_pool):
+        """The §6.2.4 payoff: automatically generated weak labels reach
+        'mostly correct' quality with no expert in the loop."""
+        pairs, gold = candidate_pool
+        lfs = auto_labeling_functions(pairs, small_benchmark.compare_columns)
+        votes = apply_lfs(lfs, pairs)
+        weak = EMLabelModel().fit(votes).predict(votes)
+        assert (weak == gold).mean() > 0.85
+
+    def test_missing_values_abstain(self, small_benchmark, candidate_pool):
+        pairs, _ = candidate_pool
+        lfs = auto_labeling_functions(pairs, small_benchmark.compare_columns)
+        empty = {c: None for c in small_benchmark.compare_columns}
+        assert all(lf((empty, empty)) == ABSTAIN for lf in lfs)
+
+    def test_flat_columns_produce_no_lf(self):
+        pairs = [({"c": "same"}, {"c": "same"})] * 40
+        assert auto_labeling_functions(pairs, ["c"]) == []
+
+    def test_too_few_observations_skipped(self):
+        pairs = [({"c": "ab"}, {"c": "cd"})] * 5
+        assert auto_labeling_functions(pairs, ["c"]) == []
+
+    def test_quantile_validation(self, candidate_pool):
+        pairs, _ = candidate_pool
+        with pytest.raises(ValueError):
+            auto_labeling_functions(pairs, ["title"], positive_quantile=0.3,
+                                    negative_quantile=0.5)

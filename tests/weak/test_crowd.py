@@ -1,0 +1,52 @@
+"""Simulated-crowd tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.weak import ABSTAIN, SimulatedCrowd, Worker
+
+
+class TestWorker:
+    def test_perfect_worker(self):
+        rng = np.random.default_rng(0)
+        worker = Worker("w", sensitivity=1.0, specificity=1.0)
+        assert worker.vote(1, rng) == 1
+        assert worker.vote(0, rng) == 0
+
+    def test_zero_response_rate_abstains(self):
+        rng = np.random.default_rng(0)
+        worker = Worker("w", 0.9, 0.9, response_rate=0.0)
+        assert worker.vote(1, rng) == ABSTAIN
+
+
+class TestSimulatedCrowd:
+    def test_matrix_shape(self):
+        crowd = SimulatedCrowd(n_workers=5, rng=0)
+        matrix = crowd.annotate(np.array([0, 1, 1]))
+        assert matrix.shape == (3, 5)
+
+    def test_skill_range_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedCrowd(skill_range=(0.2, 0.9))
+
+    def test_response_rate_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedCrowd(response_rate=1.5)
+
+    def test_empirical_accuracy_matches_skill(self):
+        crowd = SimulatedCrowd(n_workers=3, skill_range=(0.8, 0.9), response_rate=1.0, rng=0)
+        truth = np.array([0, 1] * 400)
+        matrix = crowd.annotate(truth)
+        for j, (sensitivity, specificity) in enumerate(crowd.true_skills()):
+            votes = matrix[:, j]
+            positive_rows = truth == 1
+            empirical_sens = (votes[positive_rows] == 1).mean()
+            assert empirical_sens == pytest.approx(sensitivity, abs=0.06)
+
+    def test_response_rate_controls_abstention(self):
+        crowd = SimulatedCrowd(n_workers=4, response_rate=0.5, rng=0)
+        matrix = crowd.annotate(np.ones(500, dtype=int))
+        abstain_rate = (matrix == ABSTAIN).mean()
+        assert abstain_rate == pytest.approx(0.5, abs=0.06)

@@ -1,0 +1,81 @@
+"""Label-model tests: majority vote and Dawid-Skene EM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.weak import ABSTAIN, EMLabelModel, MajorityVote, SimulatedCrowd
+
+
+def _noisy_votes(n=400, sources=7, skills=(0.55, 0.95), seed=0):
+    rng = np.random.default_rng(seed)
+    truth = (rng.random(n) < 0.35).astype(int)
+    crowd = SimulatedCrowd(n_workers=sources, skill_range=skills, response_rate=0.9, rng=seed + 1)
+    return truth, crowd.annotate(truth), crowd
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        matrix = np.array([[1, 1, 1], [0, 0, 0]])
+        assert MajorityVote().predict(matrix).tolist() == [1, 0]
+
+    def test_abstentions_ignored(self):
+        matrix = np.array([[1, ABSTAIN, ABSTAIN]])
+        assert MajorityVote().predict_proba(matrix)[0] == 1.0
+
+    def test_all_abstain_gives_half(self):
+        matrix = np.full((1, 3), ABSTAIN)
+        assert MajorityVote().predict_proba(matrix)[0] == 0.5
+
+    def test_reasonable_accuracy(self):
+        truth, votes, _ = _noisy_votes()
+        accuracy = (MajorityVote().predict(votes) == truth).mean()
+        assert accuracy > 0.8
+
+
+class TestEMLabelModel:
+    def test_at_least_matches_majority_vote(self):
+        truth, votes, _ = _noisy_votes()
+        mv_accuracy = (MajorityVote().predict(votes) == truth).mean()
+        em_accuracy = (EMLabelModel().fit(votes).predict(votes) == truth).mean()
+        assert em_accuracy >= mv_accuracy - 0.01
+
+    def test_beats_majority_with_mixed_skill(self):
+        """One expert among noisy workers: EM should upweight the expert."""
+        rng = np.random.default_rng(0)
+        n = 600
+        truth = (rng.random(n) < 0.4).astype(int)
+        votes = np.zeros((n, 5), dtype=np.int64)
+        # Expert: 95% accurate; four coin-flippers at 55%.
+        for i, y in enumerate(truth):
+            votes[i, 0] = y if rng.random() < 0.95 else 1 - y
+            for j in range(1, 5):
+                votes[i, j] = y if rng.random() < 0.55 else 1 - y
+        mv_accuracy = (MajorityVote().predict(votes) == truth).mean()
+        em = EMLabelModel().fit(votes)
+        em_accuracy = (em.predict(votes) == truth).mean()
+        assert em_accuracy > mv_accuracy
+        # The expert's estimated sensitivity should be the highest.
+        assert np.argmax(em.sensitivity_) == 0
+
+    def test_recovers_worker_skills(self):
+        truth, votes, crowd = _noisy_votes(n=800)
+        em = EMLabelModel().fit(votes)
+        true_sens = np.array([s for s, _ in crowd.true_skills()])
+        correlation = np.corrcoef(true_sens, em.sensitivity_)[0, 1]
+        assert correlation > 0.6
+
+    def test_probabilities_bounded(self):
+        _, votes, _ = _noisy_votes(n=100)
+        probs = EMLabelModel().fit_predict_proba(votes)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EMLabelModel().predict_proba(np.zeros((2, 2)))
+
+    def test_handles_abstentions(self):
+        matrix = np.array([[1, ABSTAIN], [ABSTAIN, 0], [1, 1], [0, 0]] * 10)
+        probs = EMLabelModel().fit_predict_proba(matrix)
+        assert np.isfinite(probs).all()

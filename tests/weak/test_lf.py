@@ -1,0 +1,65 @@
+"""Labeling-function machinery tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.weak import ABSTAIN, LabelingFunction, apply_lfs, labeling_function, lf_summary
+
+
+@pytest.fixture
+def lfs():
+    @labeling_function("positive_if_big")
+    def big(x):
+        return 1 if x > 10 else ABSTAIN
+
+    @labeling_function("negative_if_small")
+    def small(x):
+        return 0 if x < 5 else ABSTAIN
+
+    @labeling_function("always_positive")
+    def always(x):
+        return 1
+
+    return [big, small, always]
+
+
+class TestLabelingFunction:
+    def test_decorator_preserves_name(self, lfs):
+        assert lfs[0].name == "positive_if_big"
+
+    def test_invalid_vote_rejected(self):
+        bad = LabelingFunction("bad", lambda x: 7)
+        with pytest.raises(ValueError):
+            bad(0)
+
+    def test_apply_lfs_matrix(self, lfs):
+        matrix = apply_lfs(lfs, [20, 2, 7])
+        assert matrix.shape == (3, 3)
+        assert matrix[0].tolist() == [1, ABSTAIN, 1]
+        assert matrix[1].tolist() == [ABSTAIN, 0, 1]
+        assert matrix[2].tolist() == [ABSTAIN, ABSTAIN, 1]
+
+    def test_apply_requires_lfs(self):
+        with pytest.raises(ValueError):
+            apply_lfs([], [1])
+
+
+class TestSummary:
+    def test_coverage_and_conflict(self, lfs):
+        matrix = apply_lfs(lfs, [20, 2, 7])
+        summary = lf_summary(matrix, lfs)
+        by_name = {row["name"]: row for row in summary}
+        assert by_name["always_positive"]["coverage"] == 1.0
+        assert by_name["positive_if_big"]["coverage"] == pytest.approx(1 / 3)
+        # small vs always conflict on example index 1.
+        assert by_name["negative_if_small"]["conflict"] == pytest.approx(1 / 3)
+
+    def test_accuracy_with_gold(self, lfs):
+        matrix = apply_lfs(lfs, [20, 2, 7])
+        gold = np.array([1, 0, 0])
+        summary = lf_summary(matrix, lfs, gold=gold)
+        by_name = {row["name"]: row for row in summary}
+        assert by_name["positive_if_big"]["accuracy"] == 1.0
+        assert by_name["always_positive"]["accuracy"] == pytest.approx(1 / 3)
