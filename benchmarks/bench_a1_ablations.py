@@ -15,16 +15,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_split, benchmark_with_embeddings, format_table
+from benchmarks.common import benchmark_split, format_table, profile_config, profile_embeddings
 from repro.cleaning import DAEImputer, evaluate_imputation
 from repro.data import ErrorGenerator, Table, World
 from repro.embeddings import TupleEmbedder
 from repro.er import DeepER, LSHBlocker, classification_prf, pair_completeness, reduction_ratio
 
+_P = {
+    "full": dict(
+        compositions=[("mean", 50), ("sif", 50), ("lstm", 6)],
+        deeper_epochs=50, dae_rows=180, dae_epochs=50, dae_draws=(1, 5),
+    ),
+    "smoke": dict(
+        compositions=[("mean", 8), ("sif", 8)],
+        deeper_epochs=8, dae_rows=80, dae_epochs=12, dae_draws=(1, 2),
+    ),
+}
 
-def _composition_rows(bench, model, subword, train, test_pairs, test_labels):
+
+def _composition_rows(bench, model, subword, train, test_pairs, test_labels,
+                      compositions):
     rows = []
-    for composition, epochs in [("mean", 50), ("sif", 50), ("lstm", 6)]:
+    for composition, epochs in compositions:
         matcher = DeepER(
             model, bench.compare_columns, composition=composition,
             vector_fn=subword.vector, max_tokens=10, rng=0,
@@ -34,13 +46,14 @@ def _composition_rows(bench, model, subword, train, test_pairs, test_labels):
     return rows
 
 
-def _subword_rows(bench, model, subword, train, test_pairs, test_labels):
+def _subword_rows(bench, model, subword, train, test_pairs, test_labels,
+                  epochs):
     rows = []
     for label, vector_fn in [("with subword", subword.vector), ("without", None)]:
         matcher = DeepER(
             model, bench.compare_columns, composition="sif",
             vector_fn=vector_fn, rng=0,
-        ).fit(train, epochs=50)
+        ).fit(train, epochs=epochs)
         f1 = classification_prf(test_labels, matcher.predict(test_pairs)).f1
         rows.append({"ablation": "oov_backoff", "variant": label, "metric": f1})
     return rows
@@ -67,9 +80,9 @@ def _whitening_rows(bench, model, subword):
     return rows
 
 
-def _dae_draw_rows():
+def _dae_draw_rows(n_rows=180, epochs=50, draws=(1, 5)):
     rng = np.random.default_rng(0)
-    base, _ = World(0).locations_table(180)
+    base, _ = World(0).locations_table(n_rows)
     populations = {c: float(rng.uniform(10, 100)) for c in sorted(set(base.column("country")))}
     truth = Table("demo", base.columns + ["population"])
     for i in range(base.num_rows):
@@ -80,28 +93,32 @@ def _dae_draw_rows():
     )
     cells = {(e.row, e.column) for e in report.by_kind("null")}
     rows = []
-    for draws in (1, 5):
+    for n_draws in draws:
         imputer = DAEImputer(
-            numeric_columns=["population"], epochs=50, n_draws=draws, rng=0
+            numeric_columns=["population"], epochs=epochs, n_draws=n_draws, rng=0
         )
         filled = imputer.fit_transform(dirty)
         metrics = evaluate_imputation(filled, truth, cells, ["population"])
         rows.append({
             "ablation": "dae_draws",
-            "variant": f"{draws} draw(s)",
+            "variant": f"{n_draws} draw(s)",
             "metric": metrics["categorical_accuracy"],
         })
     return rows
 
 
-def run_experiment() -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench, model, subword = profile_embeddings("citations", profile)
     train, test_pairs, test_labels = benchmark_split(bench)
     rows = []
-    rows += _composition_rows(bench, model, subword, train, test_pairs, test_labels)
-    rows += _subword_rows(bench, model, subword, train, test_pairs, test_labels)
+    rows += _composition_rows(bench, model, subword, train, test_pairs,
+                              test_labels, cfg["compositions"])
+    rows += _subword_rows(bench, model, subword, train, test_pairs,
+                          test_labels, cfg["deeper_epochs"])
     rows += _whitening_rows(bench, model, subword)
-    rows += _dae_draw_rows()
+    rows += _dae_draw_rows(n_rows=cfg["dae_rows"], epochs=cfg["dae_epochs"],
+                           draws=cfg["dae_draws"])
     return rows
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.er import (
     FeatureBasedER,
     classification_prf,
@@ -22,20 +22,29 @@ from repro.er import (
     uncertainty_sampling,
 )
 
+_P = {
+    "full": dict(n_entities=200, budget=48, test_size=250),
+    "smoke": dict(n_entities=80, budget=16, test_size=80),
+}
 
-def run_experiment() -> list[dict]:
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     # A noisier benchmark than E1's: with clean data the matcher saturates
     # after ~25 random labels and there is nothing for AL to win.
     from repro.data import citations_benchmark
 
-    bench = citations_benchmark(n_entities=200, noise=0.55, null_rate=0.08, rng=3)
+    bench = citations_benchmark(
+        n_entities=cfg["n_entities"], noise=0.55, null_rate=0.08, rng=3
+    )
     labeled = bench.labeled_pairs(negative_ratio=8, rng=5)
     triples = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
+    test_size = cfg["test_size"]
     seed = triples[:6]
-    pool_triples = triples[6 : len(triples) - 250]
+    pool_triples = triples[6 : len(triples) - test_size]
     pool = [(a, b) for a, b, _ in pool_triples]
     answers = [y for _, _, y in pool_triples]
-    test = triples[-250:]
+    test = triples[-test_size:]
     test_pairs = [(a, b) for a, b, _ in test]
     test_labels = np.array([y for _, _, y in test])
 
@@ -53,7 +62,7 @@ def run_experiment() -> list[dict]:
         matcher = FeatureBasedER(bench.compare_columns, bench.numeric_columns)
         result = strategy(
             matcher, pool, lambda i: answers[i], list(seed),
-            budget=48, batch_size=8, evaluate=evaluate, rng=0,
+            budget=cfg["budget"], batch_size=8, evaluate=evaluate, rng=0,
         )
         curves[name] = result.rounds
     for round_index in range(len(curves["uncertainty"])):

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.cleaning import FDRepairer, HolisticRepairer, repair_quality
 from repro.data import FunctionalDependency, Table
 from repro.utils.rng import ensure_rng
@@ -56,7 +56,12 @@ def _scenario(majority_corruption: bool, seed: int = 0):
     return clean, dirty, corrupted_cells
 
 
-def run_experiment() -> list[dict]:
+# Already tiny — both profiles run the identical scenario.
+_P = {"full": {}, "smoke": {}}
+
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    profile_config(_P, profile)
     fd = FunctionalDependency(("city",), "country")
     rows = []
     for majority, scenario_name in [(False, "minority-corrupted"), (True, "majority-corrupted")]:

@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_with_embeddings, format_table
+from benchmarks.common import format_table, profile_config, profile_embeddings
 from repro.er import FeatureBasedER, classification_prf, jaccard_tokens, trigram_jaccard
 from repro.weak import ABSTAIN, EMLabelModel, LabelingFunction, MajorityVote, SimulatedCrowd, apply_lfs
+
+_P = {
+    "full": dict(crowd_items=600),
+    "smoke": dict(crowd_items=200),
+}
 
 
 def _er_lfs() -> list[LabelingFunction]:
@@ -46,9 +51,10 @@ def _er_lfs() -> list[LabelingFunction]:
     ]
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     rows = []
-    bench, _, _ = benchmark_with_embeddings("citations", n_entities=200)
+    bench, _, _ = profile_embeddings("citations", profile)
     labeled = bench.labeled_pairs(negative_ratio=4, rng=3)
     triples = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled]
     split = int(0.6 * len(triples))
@@ -92,8 +98,9 @@ def run_experiment() -> list[dict]:
 
     # (b) Crowd route with mixed skill.
     rng = np.random.default_rng(0)
-    truth = (rng.random(600) < 0.35).astype(int)
-    crowd_votes = np.zeros((600, 6), dtype=np.int64)
+    n_items = cfg["crowd_items"]
+    truth = (rng.random(n_items) < 0.35).astype(int)
+    crowd_votes = np.zeros((n_items, 6), dtype=np.int64)
     accuracies = [0.95, 0.60, 0.58, 0.62, 0.57, 0.59]  # one expert, five weak
     for i, y in enumerate(truth):
         for j, acc in enumerate(accuracies):

@@ -14,12 +14,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_with_embeddings, format_table
+from benchmarks.common import format_table, profile_config, profile_embeddings
 from repro.er import DeepER, classification_prf
 
+_P = {
+    "full": dict(epochs=30),
+    "smoke": dict(epochs=8),
+}
 
-def run_experiment() -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench, model, subword = profile_embeddings("citations", profile)
     skewed = bench.labeled_pairs(negative_ratio=50, rng=4)
     train = [(bench.record_a(a), bench.record_b(b), y) for a, b, y in skewed]
     eval_pairs = bench.labeled_pairs(negative_ratio=10, rng=99)
@@ -40,7 +46,7 @@ def run_experiment() -> list[dict]:
         matcher = DeepER(
             model, bench.compare_columns, composition="sif",
             vector_fn=subword.vector, rng=0, **kwargs,
-        ).fit(train, epochs=30)
+        ).fit(train, epochs=cfg["epochs"])
         prf = classification_prf(test_labels, matcher.predict(test_pairs))
         rows.append({"training": label, "precision": prf.precision,
                      "recall": prf.recall, "f1": prf.f1})

@@ -14,18 +14,26 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.transform import Seq2SeqTransformer, default_tasks, synthesize_column_transform
 
 EXAMPLE_COUNTS = (1, 2, 3, 4)
 NEURAL_TRAIN_SIZES = (4, 16, 48)
 NEURAL_TASKS = ("date_year", "phone_area_code", "upper_last")
 
+_P = {
+    "full": dict(example_counts=EXAMPLE_COUNTS, train_sizes=NEURAL_TRAIN_SIZES,
+                 neural_tasks=NEURAL_TASKS, seq2seq_epochs=80),
+    "smoke": dict(example_counts=(1, 3), train_sizes=(4,),
+                  neural_tasks=("date_year",), seq2seq_epochs=12),
+}
 
-def run_experiment() -> list[dict]:
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     tasks = default_tasks()
     rows = []
-    for n_examples in EXAMPLE_COUNTS:
+    for n_examples in cfg["example_counts"]:
         accuracies = []
         solved = 0
         for task in tasks:
@@ -41,8 +49,8 @@ def run_experiment() -> list[dict]:
             "tasks_solved": f"{solved}/{len(tasks)}",
         })
 
-    neural_tasks = [t for t in default_tasks() if t.name in NEURAL_TASKS]
-    for train_size in NEURAL_TRAIN_SIZES:
+    neural_tasks = [t for t in default_tasks() if t.name in cfg["neural_tasks"]]
+    for train_size in cfg["train_sizes"]:
         accuracies = []
         solved = 0
         for task in neural_tasks:
@@ -51,7 +59,7 @@ def run_experiment() -> list[dict]:
             model = Seq2SeqTransformer(
                 embedding_dim=16, hidden_dim=48, max_len=20, rng=0
             )
-            model.fit(train, epochs=80, lr=8e-3)
+            model.fit(train, epochs=cfg["seq2seq_epochs"], lr=8e-3)
             accuracy = model.accuracy(holdout)
             accuracies.append(accuracy)
             solved += int(accuracy >= 0.9)

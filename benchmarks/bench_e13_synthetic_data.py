@@ -15,11 +15,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.cleaning import HotDeckImputer
 from repro.data import Table
 from repro.synth import TabularGAN, TabularVAE, fidelity_report
 from repro.utils.rng import ensure_rng
+
+_P = {
+    "full": dict(n_rows=400, epochs=150, n_samples=400),
+    "smoke": dict(n_rows=120, epochs=25, n_samples=120),
+}
 
 
 def _real_table(n: int = 400, seed: int = 0) -> Table:
@@ -47,25 +52,26 @@ def _independent_baseline(real: Table, n: int, seed: int = 0) -> Table:
     return out
 
 
-def run_experiment() -> list[dict]:
-    real = _real_table()
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    real = _real_table(n=cfg["n_rows"])
     numeric = ["spend", "visits"]
     rows = []
 
-    vae = TabularVAE(epochs=150, latent_dim=6, numeric_columns=numeric, rng=0)
+    vae = TabularVAE(epochs=cfg["epochs"], latent_dim=6, numeric_columns=numeric, rng=0)
     vae.fit(real)
-    vae_report = fidelity_report(real, vae.sample(400), numeric)
+    vae_report = fidelity_report(real, vae.sample(cfg["n_samples"]), numeric)
     rows.append({"generator": "VAE", **vae_report, "d_accuracy": float("nan")})
 
-    gan = TabularGAN(epochs=150, numeric_columns=numeric, rng=0)
+    gan = TabularGAN(epochs=cfg["epochs"], numeric_columns=numeric, rng=0)
     gan.fit(real)
-    gan_report = fidelity_report(real, gan.sample(400), numeric)
+    gan_report = fidelity_report(real, gan.sample(cfg["n_samples"]), numeric)
     rows.append({
         "generator": "GAN", **gan_report,
         "d_accuracy": gan.discriminator_convergence(),
     })
 
-    independent = _independent_baseline(real, 400)
+    independent = _independent_baseline(real, cfg["n_samples"])
     baseline_report = fidelity_report(real, independent, numeric)
     rows.append({"generator": "independent columns", **baseline_report,
                  "d_accuracy": float("nan")})

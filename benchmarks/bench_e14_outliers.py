@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.cleaning import (
     AutoencoderOutlierDetector,
     IQRDetector,
@@ -22,6 +22,11 @@ from repro.cleaning import (
     evaluate_outlier_detection,
 )
 from repro.data import ErrorGenerator, Table
+
+_P = {
+    "full": dict(n_rows=400, marginal_epochs=60, structural_epochs=150),
+    "smoke": dict(n_rows=150, marginal_epochs=15, structural_epochs=30),
+}
 
 
 def _correlated_table(n: int = 400, seed: int = 0) -> Table:
@@ -49,15 +54,18 @@ def _inject_structural(table: Table, n_outliers: int, seed: int = 1) -> set[int]
     return outliers
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     rows = []
 
     # Scenario 1: marginal (wild-value) outliers.
-    marginal = _correlated_table()
+    marginal = _correlated_table(n=cfg["n_rows"])
     dirty, report = ErrorGenerator(rng=2).corrupt(marginal, outlier_rate=0.03)
     truth = {e.row for e in report.by_kind("outlier")}
     detectors = {
-        "autoencoder": AutoencoderOutlierDetector(contamination=0.08, epochs=60, rng=0),
+        "autoencoder": AutoencoderOutlierDetector(
+            contamination=0.08, epochs=cfg["marginal_epochs"], rng=0
+        ),
         "z-score (3σ)": ZScoreDetector(z=3.0),
         "IQR (k=3)": IQRDetector(k=3.0),
     }
@@ -66,13 +74,14 @@ def run_experiment() -> list[dict]:
         rows.append({"scenario": "marginal", "detector": name, **metrics})
 
     # Scenario 2: structural outliers (correlation breaks).
-    structural = _correlated_table(seed=3)
+    structural = _correlated_table(n=cfg["n_rows"], seed=3)
     truth = _inject_structural(structural, n_outliers=12)
     detectors = {
         # Bottleneck of 1 matches the relation's intrinsic rank, so any
         # correlation break reconstructs poorly.
         "autoencoder": AutoencoderOutlierDetector(
-            hidden_sizes=[3, 1], contamination=0.04, epochs=150, rng=0
+            hidden_sizes=[3, 1], contamination=0.04,
+            epochs=cfg["structural_epochs"], rng=0
         ),
         "z-score (3σ)": ZScoreDetector(z=3.0),
         "IQR (k=3)": IQRDetector(k=3.0),

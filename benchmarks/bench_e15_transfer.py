@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.data import World, citations_benchmark, products_benchmark
 from repro.embeddings import fine_tune, tuple_documents
 from repro.er import DeepER, classification_prf
@@ -25,25 +25,33 @@ from repro.text import SkipGram, SubwordEmbeddings
 
 BUDGETS = (8, 16, 32)
 
+_P = {
+    "full": dict(budgets=BUDGETS, source_entities=250, target_entities=200,
+                 corpus=800, sg_epochs=12, tune_epochs=25, deeper_epochs=40),
+    "smoke": dict(budgets=(8,), source_entities=60, target_entities=60,
+                  corpus=200, sg_epochs=4, tune_epochs=6, deeper_epochs=8),
+}
+
 
 def _word_docs(tables) -> list[list[str]]:
     documents = tuple_documents(tables)
     return [[t for v in doc for t in str(v).split()] for doc in documents]
 
 
-def run_experiment() -> list[dict]:
-    source = products_benchmark(n_entities=250, rng=11)
-    target = citations_benchmark(n_entities=200, rng=0)
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    source = products_benchmark(n_entities=cfg["source_entities"], rng=11)
+    target = citations_benchmark(n_entities=cfg["target_entities"], rng=0)
     world = World(5)
 
     # Source-domain pre-training (products + generic corpus; no target data).
-    pretrained = SkipGram(dim=40, window=8, epochs=12, rng=0).fit(
-        _word_docs([source.table_a, source.table_b]) + world.corpus(800)
+    pretrained = SkipGram(dim=40, window=8, epochs=cfg["sg_epochs"], rng=0).fit(
+        _word_docs([source.table_a, source.table_b]) + world.corpus(cfg["corpus"])
     )
     # Fine-tuned variant: continue on unlabeled target-table text.
     tuned = fine_tune(
         pretrained, _word_docs([target.table_a, target.table_b]),
-        epochs=25, learning_rate=0.05, rng=0,
+        epochs=cfg["tune_epochs"], learning_rate=0.05, rng=0,
     )
 
     eval_pairs = target.labeled_pairs(negative_ratio=4, rng=99)
@@ -54,7 +62,7 @@ def run_experiment() -> list[dict]:
     test_labels = np.array([y for _, _, y in eval_triples])
 
     rows = []
-    for budget in BUDGETS:
+    for budget in cfg["budgets"]:
         labeled = target.labeled_pairs(n_positives=budget, negative_ratio=3, rng=1)
         train = [
             (target.record_a(a), target.record_b(b), y) for a, b, y in labeled
@@ -65,7 +73,7 @@ def run_experiment() -> list[dict]:
              for t in str(v).split()]
             for a, b, _ in train
         ]
-        scratch_model = SkipGram(dim=40, window=8, epochs=12, rng=0).fit(scratch_docs)
+        scratch_model = SkipGram(dim=40, window=8, epochs=cfg["sg_epochs"], rng=0).fit(scratch_docs)
 
         scores = {}
         for label, model in [
@@ -77,7 +85,7 @@ def run_experiment() -> list[dict]:
             matcher = DeepER(
                 model, target.compare_columns, composition="sif",
                 vector_fn=subword.vector, rng=0,
-            ).fit(train, epochs=40)
+            ).fit(train, epochs=cfg["deeper_epochs"])
             scores[label] = classification_prf(
                 test_labels, matcher.predict(test_pairs)
             ).f1

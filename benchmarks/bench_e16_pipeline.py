@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.cleaning import KNNImputer
 from repro.data import FunctionalDependency, Table, World, restaurants_benchmark, violation_rate
 from repro.discovery import BM25SearchEngine, SyntacticMatcher
@@ -38,11 +38,20 @@ from repro.orchestration import (
 )
 
 
-def run_experiment() -> list[dict]:
-    bench = restaurants_benchmark(n_entities=150, noise=0.3, null_rate=0.06, rng=7)
+_P = {
+    "full": dict(n_entities=150, lake_rows=50),
+    "smoke": dict(n_entities=60, lake_rows=20),
+}
+
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench = restaurants_benchmark(
+        n_entities=cfg["n_entities"], noise=0.3, null_rate=0.06, rng=7
+    )
     world = World(9)
-    employees, _ = world.employees_table(50)
-    products = Table.from_records("catalog", world.products(50))
+    employees, _ = world.employees_table(cfg["lake_rows"])
+    products = Table.from_records("catalog", world.products(cfg["lake_rows"]))
 
     # Source B arrives under a different schema — the "integrate" stage has
     # to discover the column correspondence before entities can be matched.

@@ -13,27 +13,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_split, benchmark_with_embeddings, format_table
+from benchmarks.common import benchmark_split, format_table, profile_config, profile_embeddings
 from repro.er import DeepER, FeatureBasedER, ThresholdMatcher, classification_prf
 
 DOMAINS = ("citations", "products", "restaurants")
 
+_P = {
+    "full": dict(domains=DOMAINS, epochs=50),
+    "smoke": dict(domains=("citations",), epochs=8),
+}
 
-def run_domain(domain: str) -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings(domain, n_entities=200)
+
+def run_domain(domain: str, profile: str = "full", epochs: int = 50) -> list[dict]:
+    bench, model, subword = profile_embeddings(domain, profile)
     train, test_pairs, test_labels = benchmark_split(bench)
     rows = []
 
     deeper = DeepER(
         model, bench.compare_columns, composition="sif",
         vector_fn=subword.vector, rng=0,
-    ).fit(train, epochs=50)
+    ).fit(train, epochs=epochs)
     prf = classification_prf(test_labels, deeper.predict(test_pairs))
     rows.append({"domain": domain, "matcher": "DeepER (sif+subword)",
                  "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
 
     deeper_mean = DeepER(model, bench.compare_columns, composition="mean", rng=0)
-    deeper_mean.fit(train, epochs=50)
+    deeper_mean.fit(train, epochs=epochs)
     prf = classification_prf(test_labels, deeper_mean.predict(test_pairs))
     rows.append({"domain": domain, "matcher": "DeepER (mean)",
                  "precision": prf.precision, "recall": prf.recall, "f1": prf.f1})
@@ -51,10 +56,11 @@ def run_domain(domain: str) -> list[dict]:
     return rows
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     rows = []
-    for domain in DOMAINS:
-        rows.extend(run_domain(domain))
+    for domain in cfg["domains"]:
+        rows.extend(run_domain(domain, profile, epochs=cfg["epochs"]))
     return rows
 
 

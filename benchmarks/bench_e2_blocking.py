@@ -15,8 +15,9 @@ import numpy as np
 
 from benchmarks.common import (
     benchmark_split,
-    benchmark_with_embeddings,
     format_table,
+    profile_config,
+    profile_embeddings,
     records_and_ids,
 )
 from repro.embeddings import TupleEmbedder
@@ -29,8 +30,15 @@ from repro.er import (
 )
 
 
-def run_experiment() -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+_P = {
+    "full": dict(lsh_grid=[(32, 4), (32, 8), (64, 16), (96, 16), (96, 12), (120, 24), (150, 25)]),
+    "smoke": dict(lsh_grid=[(32, 8), (64, 16)]),
+}
+
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench, model, subword = profile_embeddings("citations", profile)
     records_a, ids_a, records_b, ids_b = records_and_ids(bench)
     embedder = TupleEmbedder(
         model, bench.compare_columns, method="sif", vector_fn=subword.vector
@@ -40,7 +48,7 @@ def run_experiment() -> list[dict]:
     total = len(ids_a) * len(ids_b)
     rows = []
 
-    for n_bits, n_bands in [(32, 4), (32, 8), (64, 16), (96, 16), (96, 12), (120, 24), (150, 25)]:
+    for n_bits, n_bands in cfg["lsh_grid"]:
         blocker = LSHBlocker(n_bits=n_bits, n_bands=n_bands, rng=0)
         candidates = blocker.candidate_pairs(emb_a, ids_a, emb_b, ids_b)
         sizes = blocker.block_sizes(np.concatenate([emb_a, emb_b]))

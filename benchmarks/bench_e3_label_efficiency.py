@@ -13,14 +13,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_with_embeddings, format_table
+from benchmarks.common import format_table, profile_config, profile_embeddings
 from repro.er import DeepER, FeatureBasedER, classification_prf
 
 BUDGETS = (8, 16, 32, 64, 110)
 
+_P = {
+    "full": dict(budgets=BUDGETS, epochs=50),
+    "smoke": dict(budgets=(8, 16), epochs=10),
+}
 
-def run_experiment() -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench, model, subword = profile_embeddings("citations", profile)
     eval_pairs = bench.labeled_pairs(negative_ratio=4, rng=99)
     eval_triples = [
         (bench.record_a(a), bench.record_b(b), y) for a, b, y in eval_pairs
@@ -29,7 +35,7 @@ def run_experiment() -> list[dict]:
     test_labels = np.array([y for _, _, y in eval_triples])
 
     rows = []
-    for budget in BUDGETS:
+    for budget in cfg["budgets"]:
         labeled = bench.labeled_pairs(
             n_positives=budget, negative_ratio=3, rng=1
         )
@@ -39,7 +45,7 @@ def run_experiment() -> list[dict]:
         deeper = DeepER(
             model, bench.compare_columns, composition="sif",
             vector_fn=subword.vector, rng=0,
-        ).fit(train, epochs=50)
+        ).fit(train, epochs=cfg["epochs"])
         deeper_f1 = classification_prf(test_labels, deeper.predict(test_pairs)).f1
 
         feature = FeatureBasedER(bench.compare_columns, bench.numeric_columns)

@@ -15,29 +15,35 @@ import time
 
 import numpy as np
 
-from benchmarks.common import benchmark_split, benchmark_with_embeddings, format_table
+from benchmarks.common import benchmark_split, format_table, profile_config
 from repro.data import World, citations_benchmark
 from repro.embeddings import tuple_documents
 from repro.er import DeepER
 from repro.text import SkipGram
 
+_P = {
+    "full": dict(entity_counts=(100, 200, 400), sg_epochs=10, deeper_epochs=40),
+    "smoke": dict(entity_counts=(60,), sg_epochs=3, deeper_epochs=8),
+}
 
-def run_experiment() -> list[dict]:
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     rows = []
-    for n_entities in (100, 200, 400):
+    for n_entities in cfg["entity_counts"]:
         bench = citations_benchmark(n_entities=n_entities, rng=0)
         documents = tuple_documents([bench.table_a, bench.table_b])
         word_documents = [
             [t for v in doc for t in str(v).split()] for doc in documents
         ]
         start = time.perf_counter()
-        model = SkipGram(dim=40, window=8, epochs=10, rng=0).fit(word_documents)
+        model = SkipGram(dim=40, window=8, epochs=cfg["sg_epochs"], rng=0).fit(word_documents)
         pretrain_seconds = time.perf_counter() - start
 
         train, test_pairs, _ = benchmark_split(bench)
         start = time.perf_counter()
         deeper = DeepER(model, bench.compare_columns, composition="mean", rng=0)
-        deeper.fit(train, epochs=40)
+        deeper.fit(train, epochs=cfg["deeper_epochs"])
         train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.cleaning import (
     DAEImputer,
     HotDeckImputer,
@@ -26,11 +26,16 @@ from repro.data import ErrorGenerator, Table, World
 
 MISSING_RATES = (0.05, 0.15, 0.30)
 
+_P = {
+    "full": dict(missing_rates=MISSING_RATES, n_rows=220, dae_epochs=60, n_draws=5),
+    "smoke": dict(missing_rates=(0.15,), n_rows=80, dae_epochs=15, n_draws=2),
+}
 
-def _structured_table(seed: int = 0) -> Table:
+
+def _structured_table(seed: int = 0, n_rows: int = 220) -> Table:
     """Locations + a country-correlated numeric column."""
     rng = np.random.default_rng(seed)
-    base, _ = World(seed).locations_table(220)
+    base, _ = World(seed).locations_table(n_rows)
     populations = {c: float(rng.uniform(10, 100)) for c in sorted(set(base.column("country")))}
     table = Table("demo", base.columns + ["population"])
     for i in range(base.num_rows):
@@ -39,10 +44,11 @@ def _structured_table(seed: int = 0) -> Table:
     return table
 
 
-def run_experiment() -> list[dict]:
-    truth = _structured_table()
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    truth = _structured_table(n_rows=cfg["n_rows"])
     rows = []
-    for rate in MISSING_RATES:
+    for rate in cfg["missing_rates"]:
         dirty, report = ErrorGenerator(rng=1).corrupt(
             truth, null_rate=rate, protected_columns={"person"}
         )
@@ -52,7 +58,8 @@ def run_experiment() -> list[dict]:
             "hot-deck": HotDeckImputer(rng=0),
             "kNN (k=5)": KNNImputer(k=5, numeric_columns=["population"]),
             "DAE (MIDA)": DAEImputer(
-                numeric_columns=["population"], epochs=60, n_draws=5, rng=0
+                numeric_columns=["population"], epochs=cfg["dae_epochs"],
+                n_draws=cfg["n_draws"], rng=0
             ),
         }
         for name, imputer in imputers.items():

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.data import Table, World
 from repro.discovery import (
     BM25SearchEngine,
@@ -30,6 +30,11 @@ from repro.discovery import (
     one_to_one,
 )
 from repro.text import SkipGram, SubwordEmbeddings
+
+_P = {
+    "full": dict(corpus=2500, schema_reps=40, sg_epochs=12, lake_rows=40),
+    "smoke": dict(corpus=600, schema_reps=10, sg_epochs=4, lake_rows=15),
+}
 
 
 def _enterprise(seed: int = 0):
@@ -57,7 +62,8 @@ def _enterprise(seed: int = 0):
     return staff, directory, sites, gold
 
 
-def _embeddings(seed: int = 0):
+def _embeddings(seed: int = 0, corpus_sentences: int = 2500,
+                schema_reps: int = 40, sg_epochs: int = 12):
     """World corpus + light schema-term co-occurrence documents.
 
     The schema documents stand in for the enterprise documentation /
@@ -65,21 +71,25 @@ def _embeddings(seed: int = 0):
     substitution), linking synonymous schema words.
     """
     world = World(seed)
-    corpus = world.corpus(2500)
+    corpus = world.corpus(corpus_sentences)
     schema_docs = [
         ["full", "name", "person", "people", "employee", "staff"],
         ["work", "city", "location", "town", "place"],
         ["dept", "division", "department", "unit"],
         ["sid", "pid", "id", "identifier"],
         ["site", "component", "part", "weight"],
-    ] * 40
-    model = SkipGram(dim=40, window=6, epochs=12, rng=0).fit(corpus + schema_docs)
+    ] * schema_reps
+    model = SkipGram(dim=40, window=6, epochs=sg_epochs, rng=0).fit(corpus + schema_docs)
     return model, SubwordEmbeddings(model)
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     staff, directory, sites, gold = _enterprise()
-    model, subword = _embeddings()
+    model, subword = _embeddings(
+        corpus_sentences=cfg["corpus"], schema_reps=cfg["schema_reps"],
+        sg_epochs=cfg["sg_epochs"],
+    )
     vector_fn = centered_vector_fn(model, subword.vector)
     rows = []
 
@@ -103,10 +113,11 @@ def run_experiment() -> list[dict]:
     # Search: paraphrased analyst queries that share no tokens with the
     # target tables — only the corpus knows the words co-occur.
     world = World(0)
+    lake_rows = cfg["lake_rows"]
     lake = [
-        Table.from_records("restaurant_guide", world.restaurants(40)),
-        Table.from_records("paper_index", world.citations(40)),
-        Table.from_records("product_catalog", world.products(40)),
+        Table.from_records("restaurant_guide", world.restaurants(lake_rows)),
+        Table.from_records("paper_index", world.citations(lake_rows)),
+        Table.from_records("product_catalog", world.products(lake_rows)),
         staff,
     ]
     queries = [

@@ -18,9 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.data import COUNTRIES, Table
 from repro.embeddings import CellEmbedder, cooccurrence_hit_rate
+
+_P = {
+    "full": dict(distances=(1, 2, 4, 6, 8, 10), trials=20000, epochs=30, n_rows=300),
+    "smoke": dict(distances=(1, 6), trials=4000, epochs=8, n_rows=120),
+}
 
 
 def _wide_table(distance: int, n_rows: int = 300, seed: int = 0) -> Table:
@@ -36,15 +41,16 @@ def _wide_table(distance: int, n_rows: int = 300, seed: int = 0) -> Table:
     return table
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     window = 4
     rows = []
-    for distance in (1, 2, 4, 6, 8, 10):
-        table = _wide_table(distance)
+    for distance in cfg["distances"]:
+        table = _wide_table(distance, n_rows=cfg["n_rows"])
         hit_rate = cooccurrence_hit_rate(
-            table, "country", "capital", window=window, trials=20000, rng=0
+            table, "country", "capital", window=window, trials=cfg["trials"], rng=0
         )
-        embedder = CellEmbedder(dim=24, window=window, epochs=30, rng=0)
+        embedder = CellEmbedder(dim=24, window=window, epochs=cfg["epochs"], rng=0)
         embedder.model.learning_rate = 0.1
         embedder.fit([table])
         # Learned association between planted pairs vs mismatched pairs.

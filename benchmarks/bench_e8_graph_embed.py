@@ -24,9 +24,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import format_table
+from benchmarks.common import format_table, profile_config
 from repro.data import COUNTRIES, Table, World
 from repro.embeddings import CellEmbedder, TableGraphEmbedder
+
+_P = {
+    "full": dict(wide_rows=300, cell_epochs=30, walks=8, employees=120),
+    "smoke": dict(wide_rows=120, cell_epochs=8, walks=4, employees=60),
+}
 
 
 def _wide_table(distance: int = 10, n_rows: int = 300, seed: int = 0) -> Table:
@@ -51,11 +56,12 @@ def _margin(pairs_fn, linked, unlinked) -> tuple[float, float, float]:
     )
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
     rows = []
 
     # --- Probe 1: position independence on the wide relation. ---------- #
-    wide = _wide_table(distance=10)
+    wide = _wide_table(distance=10, n_rows=cfg["wide_rows"])
     countries = list(COUNTRIES)[:8]
     linked = [(c, COUNTRIES[c]) for c in countries]
     unlinked = [
@@ -63,14 +69,14 @@ def run_experiment() -> list[dict]:
         if COUNTRIES[o] != COUNTRIES[c]
     ]
 
-    naive = CellEmbedder(dim=32, window=4, epochs=30, rng=0)
+    naive = CellEmbedder(dim=32, window=4, epochs=cfg["cell_epochs"], rng=0)
     naive.model.learning_rate = 0.1
     naive.fit([wide])
     m, u, gap = _margin(lambda a, b: naive.association(a, b), linked, unlinked)
     rows.append({"probe": "wide(d=10)", "embedder": "tuple-as-document (w=4)",
                  "linked": m, "unlinked": u, "margin": gap})
 
-    graph = TableGraphEmbedder(dim=32, rng=0, walks_per_node=8)
+    graph = TableGraphEmbedder(dim=32, rng=0, walks_per_node=cfg["walks"])
     graph.fit(wide, fds=[])
     m, u, gap = _margin(
         lambda a, b: graph.cell_association("country", a, "capital", b),
@@ -80,7 +86,7 @@ def run_experiment() -> list[dict]:
                  "linked": m, "unlinked": u, "margin": gap})
 
     # --- Probe 2: FD-edge ablation on the employee table. -------------- #
-    table, fds = World(0).employees_table(120)
+    table, fds = World(0).employees_table(cfg["employees"])
     dept_linked, dept_unlinked = [], []
     for dept_id in table.distinct_values("department_id"):
         row = table.column("department_id").index(dept_id)
@@ -92,7 +98,7 @@ def run_experiment() -> list[dict]:
 
     for use_fd, label in [(True, "graph + FD edges"), (False, "graph, no FD edges")]:
         embedder = TableGraphEmbedder(
-            dim=32, use_fd_edges=use_fd, rng=0, walks_per_node=8
+            dim=32, use_fd_edges=use_fd, rng=0, walks_per_node=cfg["walks"]
         )
         embedder.fit(table, fds)
         m, u, gap = _margin(

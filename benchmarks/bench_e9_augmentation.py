@@ -13,15 +13,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import benchmark_with_embeddings, format_table
+from benchmarks.common import format_table, profile_config, profile_embeddings
 from repro.augment import augment_er_pairs
 from repro.er import DeepER, classification_prf
 
 BUDGETS = (8, 16, 32, 64)
 
+_P = {
+    "full": dict(budgets=BUDGETS, multipliers=(0, 2, 4), epochs=40),
+    "smoke": dict(budgets=(8,), multipliers=(0, 2), epochs=10),
+}
 
-def run_experiment() -> list[dict]:
-    bench, model, subword = benchmark_with_embeddings("citations", n_entities=200)
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    bench, model, subword = profile_embeddings("citations", profile)
     eval_pairs = bench.labeled_pairs(negative_ratio=4, rng=99)
     eval_triples = [
         (bench.record_a(a), bench.record_b(b), y) for a, b, y in eval_pairs
@@ -30,13 +36,13 @@ def run_experiment() -> list[dict]:
     test_labels = np.array([y for _, _, y in eval_triples])
 
     rows = []
-    for budget in BUDGETS:
+    for budget in cfg["budgets"]:
         labeled = bench.labeled_pairs(n_positives=budget, negative_ratio=3, rng=2)
         train = [
             (bench.record_a(a), bench.record_b(b), y) for a, b, y in labeled
         ]
         scores = {}
-        for multiplier in (0, 2, 4):
+        for multiplier in cfg["multipliers"]:
             data = (
                 train if multiplier == 0
                 else augment_er_pairs(train, multiplier=multiplier, rng=0)
@@ -44,16 +50,15 @@ def run_experiment() -> list[dict]:
             matcher = DeepER(
                 model, bench.compare_columns, composition="sif",
                 vector_fn=subword.vector, rng=0,
-            ).fit(data, epochs=40)
+            ).fit(data, epochs=cfg["epochs"])
             scores[multiplier] = classification_prf(
                 test_labels, matcher.predict(test_pairs)
             ).f1
-        rows.append({
-            "positive_labels": budget,
-            "f1_no_augment": scores[0],
-            "f1_augment_x2": scores[2],
-            "f1_augment_x4": scores[4],
-        })
+        row = {"positive_labels": budget}
+        for multiplier in cfg["multipliers"]:
+            key = "f1_no_augment" if multiplier == 0 else f"f1_augment_x{multiplier}"
+            row[key] = scores[multiplier]
+        rows.append(row)
     return rows
 
 

@@ -1,0 +1,55 @@
+"""Validate ``BENCH_*.json`` files: ``python -m benchmarks.check_bench_json``.
+
+With no arguments, validates every ``BENCH_*.json`` in the current
+directory; otherwise validates the given paths.  Checks the schema from
+:mod:`repro.obs.bench` (required keys, types, schema version) plus the
+monotonic-timestamp invariant ``started <= finished <= generated``.
+Exit code 0 iff every file parses and validates.
+
+``benchmarks.run_all`` invokes this automatically on everything it emits.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.bench import validate_record
+
+
+def check_files(paths: list[str]) -> list[str]:
+    """Validate each path; return human-readable problem strings."""
+    problems: list[str] = []
+    for raw_path in paths:
+        path = Path(raw_path)
+        source = path.name
+        if not path.is_file():
+            problems.append(f"{source}: file not found")
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            problems.append(f"{source}: invalid JSON ({error})")
+            continue
+        problems.extend(validate_record(record, source=source))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or sorted(str(p) for p in Path(".").glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files found")
+        return 1
+    problems = check_files(paths)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        print(f"{len(problems)} problem(s) in {len(paths)} file(s)")
+        return 1
+    print(f"{len(paths)} BENCH json file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

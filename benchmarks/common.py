@@ -1,20 +1,67 @@
 """Shared helpers for the experiment benches (E1-E16).
 
-Each bench module exposes ``run_experiment() -> list[dict]`` producing the
-rows of its results table, plus a pytest-benchmark test that times the
-core computation once and asserts the expected *shape* (who wins, where
-the crossover falls).  ``python -m benchmarks.run_all`` prints every table.
+Each bench module exposes ``run_experiment(profile="full") -> list[dict]``
+producing the rows of its results table, plus a pytest-benchmark test that
+times the core computation once and asserts the expected *shape* (who
+wins, where the crossover falls).  The ``"smoke"`` profile shrinks every
+knob to the smallest config that still exercises the full code path — the
+tier-1 smoke suite and ``python -m benchmarks.run_all --profile smoke``
+run it.  ``python -m benchmarks.run_all`` prints every table and emits a
+machine-readable ``BENCH_<exp>.json`` per experiment via :func:`emit_bench`.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
 from repro.data import EMBenchmark, World, citations_benchmark, products_benchmark, restaurants_benchmark
 from repro.embeddings import tuple_documents
+from repro.obs.bench import build_record, write_record
+from repro.obs.trace import Span
 from repro.text import SkipGram, SubwordEmbeddings
+
+PROFILES = ("full", "smoke")
+
+
+def profile_config(per_profile: dict[str, dict], profile: str) -> dict:
+    """Pick a bench module's knob dict for ``profile`` (validated)."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    return per_profile[profile]
+
+
+def emit_bench(
+    rows: list[dict],
+    experiment_id: str,
+    *,
+    title: str | None = None,
+    profile: str = "full",
+    started_unix: float | None = None,
+    wall_time_seconds: float | None = None,
+    span: Span | None = None,
+    metrics_snapshot: dict | None = None,
+    out_dir: str | Path = ".",
+) -> Path:
+    """Write ``BENCH_<EXPERIMENT_ID>.json`` and return its path.
+
+    The record bundles the result rows with wall time, the current metrics
+    snapshot, the experiment's span tree and the git sha — one diffable
+    artifact per experiment run (schema in :mod:`repro.obs.bench`).
+    """
+    record = build_record(
+        rows,
+        experiment_id,
+        title=title,
+        profile=profile,
+        started_unix=started_unix,
+        wall_time_seconds=wall_time_seconds,
+        span=span,
+        metrics_snapshot=metrics_snapshot,
+    )
+    return write_record(record, out_dir)
 
 
 def format_table(rows: list[dict], title: str) -> str:
@@ -40,9 +87,15 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def benchmark_with_embeddings(
-    name: str = "citations", n_entities: int = 200, seed: int = 0
+    name: str = "citations",
+    n_entities: int = 200,
+    seed: int = 0,
+    dim: int = 40,
+    window: int = 8,
+    epochs: int = 15,
+    corpus_sentences: int = 800,
 ) -> tuple[EMBenchmark, SkipGram, SubwordEmbeddings]:
     """An EM benchmark plus word embeddings pre-trained on its tables and
     the world corpus (the transfer setup DeepER assumes)."""
@@ -56,10 +109,25 @@ def benchmark_with_embeddings(
     word_documents = [
         [token for value in doc for token in str(value).split()] for doc in documents
     ]
-    corpus = World(5).corpus(800)
-    model = SkipGram(dim=40, window=8, epochs=15, rng=0).fit(word_documents + corpus)
+    corpus = World(5).corpus(corpus_sentences)
+    model = SkipGram(dim=dim, window=window, epochs=epochs, rng=0).fit(
+        word_documents + corpus
+    )
     subword = SubwordEmbeddings(model)
     return bench, model, subword
+
+
+def profile_embeddings(
+    name: str = "citations", profile: str = "full"
+) -> tuple[EMBenchmark, SkipGram, SubwordEmbeddings]:
+    """Profile-sized :func:`benchmark_with_embeddings` (cached per config)."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    if profile == "smoke":
+        return benchmark_with_embeddings(
+            name, n_entities=60, dim=24, window=6, epochs=5, corpus_sentences=200
+        )
+    return benchmark_with_embeddings(name, n_entities=200)
 
 
 def benchmark_split(

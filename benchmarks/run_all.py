@@ -1,17 +1,27 @@
 """Print every experiment's results table: ``python -m benchmarks.run_all``.
 
 Optionally pass experiment ids (``python -m benchmarks.run_all e1 e7``) to
-run a subset.  This is the EXPERIMENTS.md regeneration path; the pytest
-entry points in each bench module additionally assert the expected shapes.
+run a subset, and ``--profile smoke`` for the smallest configs.  This is
+the EXPERIMENTS.md regeneration path; the pytest entry points in each
+bench module additionally assert the expected shapes.
+
+Each experiment also writes a machine-readable ``BENCH_<EXP>.json``
+(result rows + wall time + metrics snapshot + span tree + git sha; see
+``repro.obs.bench``).  After the run, every emitted file is validated with
+``benchmarks.check_bench_json`` and the exit code reflects the result.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import sys
 import time
 
-from benchmarks.common import format_table
+from benchmarks.common import PROFILES, emit_bench, format_table
+from benchmarks.check_bench_json import check_files
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import drain_roots, span
 
 EXPERIMENTS = {
     "e1": ("bench_e1_deeper_accuracy", "E1: DeepER vs traditional ER"),
@@ -36,24 +46,92 @@ EXPERIMENTS = {
 }
 
 
+def run_one(exp_id: str, profile: str = "full", out_dir: str = ".") -> dict:
+    """Run one experiment under metrics+tracing and emit its BENCH json."""
+    module_name, title = EXPERIMENTS[exp_id]
+    module = importlib.import_module(f"benchmarks.{module_name}")
+
+    REGISTRY.reset()
+    drain_roots()
+    previously_enabled = REGISTRY.enabled
+    REGISTRY.enable()
+    started_unix = time.time()
+    start = time.perf_counter()
+    try:
+        with span(exp_id, title=title, profile=profile) as exp_span:
+            rows = module.run_experiment(profile=profile)
+    finally:
+        if not previously_enabled:
+            REGISTRY.disable()
+    elapsed = time.perf_counter() - start
+    snapshot = REGISTRY.snapshot()
+    drain_roots()
+
+    path = emit_bench(
+        rows,
+        exp_id,
+        title=title,
+        profile=profile,
+        started_unix=started_unix,
+        wall_time_seconds=elapsed,
+        span=exp_span,
+        metrics_snapshot=snapshot,
+        out_dir=out_dir,
+    )
+    return {
+        "id": exp_id,
+        "title": title,
+        "rows": rows,
+        "seconds": elapsed,
+        "path": path,
+    }
+
+
 def main(argv: list[str]) -> int:
-    selected = [a.lower() for a in argv] or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.run_all",
+        description="Run experiment benches and emit BENCH_<exp>.json files.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--profile", choices=PROFILES, default="full",
+                        help="knob profile (smoke = smallest configs)")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for BENCH_<exp>.json files")
+    args = parser.parse_args(argv)
+
+    selected = [a.lower() for a in args.experiments] or list(EXPERIMENTS)
     unknown = [s for s in selected if s not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}")
         return 1
+
+    summary = []
+    emitted = []
     for exp_id in selected:
-        module_name, title = EXPERIMENTS[exp_id]
-        module = importlib.import_module(f"benchmarks.{module_name}")
-        start = time.perf_counter()
-        rows = module.run_experiment()
-        elapsed = time.perf_counter() - start
+        result = run_one(exp_id, profile=args.profile, out_dir=args.out_dir)
         printable = [
             {k: v for k, v in row.items() if not str(k).startswith("_")}
-            for row in rows
+            for row in result["rows"]
         ]
-        print(format_table(printable, f"{title}  ({elapsed:.1f}s)"))
+        print(format_table(printable, f"{result['title']}  ({result['seconds']:.1f}s)"))
         print()
+        emitted.append(result["path"])
+        summary.append({
+            "experiment": exp_id,
+            "rows": len(result["rows"]),
+            "seconds": result["seconds"],
+            "bench_json": result["path"].name,
+        })
+
+    print(format_table(summary, f"run_all summary (profile={args.profile})"))
+    print()
+    problems = check_files([str(p) for p in emitted])
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"validated {len(emitted)} BENCH json file(s): all OK")
     return 0
 
 

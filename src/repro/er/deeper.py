@@ -23,6 +23,7 @@ from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor, concat
 from repro.nn.training import iterate_minibatches
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.text.similarity import cosine
 from repro.text.word2vec import SkipGram
 from repro.utils.rng import ensure_rng
@@ -103,6 +104,7 @@ class DeepER:
             feature_dim = len(self.columns) * (dim + 1)
         self.classifier: Sequential = mlp([feature_dim, hidden_dim, 1], rng=self._rng)
         self.trained_: bool | None = None
+        self.loss_history_: list[float] = []
 
     # ------------------------------------------------------------------ #
     # representations
@@ -185,6 +187,7 @@ class DeepER:
         """
         if not labeled_pairs:
             raise ValueError("need at least one labeled pair")
+        self.loss_history_: list[float] = []
         labeled_pairs = self._maybe_undersample(labeled_pairs)
         labels = np.array([[float(label)] for _, _, label in labeled_pairs])
         pairs = [(a, b) for a, b, _ in labeled_pairs]
@@ -199,6 +202,13 @@ class DeepER:
             )
         self.trained_ = True
         return self
+
+    def _record_epoch_loss(self, mean_loss: float) -> None:
+        """Append to :attr:`loss_history_` and mirror into the metrics."""
+        self.loss_history_.append(mean_loss)
+        if _OBS.enabled:
+            _OBS.series("deeper.loss_curve").append(mean_loss)
+            _OBS.gauge("deeper.loss").set(mean_loss)
 
     def _maybe_undersample(self, labeled_pairs: list) -> list:
         if self.undersample_ratio is None:
@@ -242,6 +252,7 @@ class DeepER:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+            self._record_epoch_loss(float(np.mean(losses)))
             if stopping is not None:
                 self.classifier.eval()
                 val_loss = bce_with_logits(
@@ -277,6 +288,7 @@ class DeepER:
                 clip_grad_norm(params, 5.0)
                 optimizer.step()
                 losses.append(loss.item())
+            self._record_epoch_loss(float(np.mean(losses)))
             if verbose and (epoch + 1) % 5 == 0:
                 print(f"epoch {epoch + 1}: loss={np.mean(losses):.4f}")
 

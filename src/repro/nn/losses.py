@@ -67,7 +67,9 @@ def bce_with_logits(
     def backward(grad: np.ndarray) -> None:
         logits._accumulate(grad * (sigmoid - target_data) * weight / count)
 
-    return logits._make(np.asarray(per_element.mean()), (logits,), backward)
+    return logits._make(
+        np.asarray(per_element.mean()), (logits,), backward, "bce_with_logits"
+    )
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray, class_weight: np.ndarray | None = None) -> Tensor:

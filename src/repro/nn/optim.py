@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import Parameter
+from repro.obs.metrics import REGISTRY as _OBS
 
 
 class Optimizer:
@@ -23,6 +24,13 @@ class Optimizer:
             param.zero_grad()
 
     def step(self) -> None:
+        """Apply one update; subclasses implement :meth:`_step`."""
+        if _OBS.enabled:
+            _OBS.counter(f"optim.steps.{type(self).__name__}").inc()
+            _OBS.gauge("optim.lr").set(self.lr)
+        self._step()
+
+    def _step(self) -> None:
         raise NotImplementedError
 
 
@@ -41,7 +49,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param, velocity in zip(self.params, self._velocity):
             if param.grad is None:
                 continue
@@ -74,7 +82,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
-    def step(self) -> None:
+    def _step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
@@ -101,7 +109,7 @@ class AdaGrad(Optimizer):
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param, accum in zip(self.params, self._accum):
             if param.grad is None:
                 continue
@@ -124,7 +132,7 @@ class RMSProp(Optimizer):
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param, accum in zip(self.params, self._accum):
             if param.grad is None:
                 continue
@@ -146,6 +154,11 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
         if param.grad is not None:
             total += float((param.grad**2).sum())
     norm = float(np.sqrt(total))
+    if _OBS.enabled:
+        _OBS.gauge("train.grad_norm").set(norm)
+        _OBS.histogram("train.grad_norm_hist").observe(norm)
+        if norm > max_norm:
+            _OBS.counter("train.grad_clips").inc()
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for param in params:

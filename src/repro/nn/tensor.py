@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import REGISTRY as _OBS
+
 ArrayLike = "np.ndarray | float | int | list | tuple"
 
 
@@ -40,6 +42,27 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad
 
 
+def _node(
+    data: np.ndarray,
+    parents: "Sequence[Tensor]",
+    backward: "Callable[[np.ndarray], None]",
+    op: str,
+) -> "Tensor":
+    """Build a graph node for ``op``; the single autograd choke point.
+
+    All forward ops funnel through here, which is where the (default-off)
+    observability hook lives: per-op node counts and allocated bytes.
+    """
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires, _parents=parents)
+    out._op = op
+    if requires:
+        out._backward = backward
+    if _OBS.enabled:
+        _OBS.record_op(op, out.data.nbytes)
+    return out
+
+
 class Tensor:
     """A numpy-backed tensor with reverse-mode autograd.
 
@@ -51,7 +74,7 @@ class Tensor:
         If True, gradients accumulate into :attr:`grad` during backward.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op")
 
     def __init__(
         self,
@@ -66,6 +89,7 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = tuple(_parents)
         self.name = name
+        self._op = "leaf"
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -122,12 +146,9 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: str = "?",
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _parents=parents)
-        if requires:
-            out._backward = backward
-        return out
+        return _node(data, parents, backward, op)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
@@ -149,7 +170,7 @@ class Tensor:
             self._accumulate(grad)
             other._accumulate(grad)
 
-        return self._make(self.data + other.data, (self, other), backward)
+        return self._make(self.data + other.data, (self, other), backward, "add")
 
     __radd__ = __add__
 
@@ -157,7 +178,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other: "Tensor | float") -> "Tensor":
         return self + (-self._lift(other))
@@ -172,7 +193,7 @@ class Tensor:
             self._accumulate(grad * other.data)
             other._accumulate(grad * self.data)
 
-        return self._make(self.data * other.data, (self, other), backward)
+        return self._make(self.data * other.data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -183,7 +204,7 @@ class Tensor:
             self._accumulate(grad / other.data)
             other._accumulate(-grad * self.data / (other.data**2))
 
-        return self._make(self.data / other.data, (self, other), backward)
+        return self._make(self.data / other.data, (self, other), backward, "div")
 
     def __rtruediv__(self, other: "Tensor | float") -> "Tensor":
         return self._lift(other) / self
@@ -196,7 +217,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * base ** (exponent - 1))
 
-        return self._make(base**exponent, (self,), backward)
+        return self._make(base**exponent, (self,), backward, "pow")
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = self._lift(other)
@@ -215,7 +236,7 @@ class Tensor:
                 self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
                 other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
 
-        return self._make(self.data @ other.data, (self, other), backward)
+        return self._make(self.data @ other.data, (self, other), backward, "matmul")
 
     # ------------------------------------------------------------------ #
     # pointwise nonlinearities
@@ -228,14 +249,14 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return self._make(np.log(self.data), (self,), backward)
+        return self._make(np.log(self.data), (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
@@ -244,7 +265,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
         """Elementwise hyperbolic tangent."""
@@ -253,7 +274,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic function (numerically stable)."""
@@ -267,7 +288,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         """Elementwise max(x, 0)."""
@@ -276,7 +297,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(self.data * mask, (self,), backward)
+        return self._make(self.data * mask, (self,), backward, "relu")
 
     def leaky_relu(self, alpha: float = 0.01) -> "Tensor":
         """Elementwise leaky ReLU with negative slope ``alpha``."""
@@ -285,7 +306,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * slope)
 
-        return self._make(self.data * slope, (self,), backward)
+        return self._make(self.data * slope, (self,), backward, "leaky_relu")
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value (sign subgradient at 0 is 0)."""
@@ -294,7 +315,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * sign)
 
-        return self._make(np.abs(self.data), (self,), backward)
+        return self._make(np.abs(self.data), (self,), backward, "abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient is passed through only inside the range."""
@@ -303,7 +324,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(np.clip(self.data, low, high), (self,), backward)
+        return self._make(np.clip(self.data, low, high), (self,), backward, "clip")
 
     # ------------------------------------------------------------------ #
     # reductions
@@ -321,7 +342,7 @@ class Tensor:
                     g = np.expand_dims(g, ax)
             self._accumulate(np.broadcast_to(g, self.data.shape))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sum")
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         """Mean over ``axis`` (all elements when None)."""
@@ -346,7 +367,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(np.broadcast_to(g, self.data.shape) * mask / counts)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "max")
 
     # ------------------------------------------------------------------ #
     # shape manipulation and indexing
@@ -360,7 +381,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return self._make(self.data.reshape(shape), (self,), backward)
+        return self._make(self.data.reshape(shape), (self,), backward, "reshape")
 
     def transpose(self, *axes: int) -> "Tensor":
         """Permute axes (reversed when none given)."""
@@ -371,7 +392,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.transpose(grad, inverse))
 
-        return self._make(np.transpose(self.data, axes), (self,), backward)
+        return self._make(np.transpose(self.data, axes), (self,), backward, "transpose")
 
     @property
     def T(self) -> "Tensor":
@@ -384,7 +405,7 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return self._make(self.data[index], (self,), backward)
+        return self._make(self.data[index], (self,), backward, "getitem")
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows by integer index (embedding lookup).
@@ -400,7 +421,7 @@ class Tensor:
             np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, self.data.shape[-1]))
             self._accumulate(full)
 
-        return self._make(self.data[indices], (self,), backward)
+        return self._make(self.data[indices], (self,), backward, "take_rows")
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -437,9 +458,16 @@ class Tensor:
                 if id(parent) not in visited and parent.requires_grad:
                     stack.append((parent, False))
 
+        observing = _OBS.enabled
+        if observing:
+            _OBS.counter("autograd.backward_passes").inc()
+            _OBS.histogram("autograd.tape_length").observe(len(topo))
+
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if observing:
+                    _OBS.counter(f"autograd.backward.{node._op}").inc()
                 node._backward(node.grad)
 
 
@@ -463,11 +491,7 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(grad[tuple(slicer)])
 
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
-    if requires:
-        out._backward = backward
-    return out
+    return _node(data, tuple(tensors), backward, "concat")
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -482,11 +506,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(piece)
 
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
-    if requires:
-        out._backward = backward
-    return out
+    return _node(data, tuple(tensors), backward, "stack")
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -500,11 +520,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         b._accumulate(grad * ~condition)
 
     data = np.where(condition, a.data, b.data)
-    requires = a.requires_grad or b.requires_grad
-    out = Tensor(data, requires_grad=requires, _parents=(a, b))
-    if requires:
-        out._backward = backward
-    return out
+    return _node(data, (a, b), backward, "where")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

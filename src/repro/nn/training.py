@@ -6,6 +6,7 @@ loss callable, the :class:`Trainer` handles the rest.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -14,6 +15,7 @@ import numpy as np
 from repro.nn.layers import Module
 from repro.nn.optim import Optimizer, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.utils.rng import ensure_rng
 
 
@@ -113,9 +115,11 @@ class Trainer:
         """Run up to ``epochs`` passes over ``n_examples`` training items."""
         history = TrainingHistory()
         self.model.train()
+        observing = _OBS.enabled
         for epoch in range(epochs):
             losses = []
             for batch in iterate_minibatches(n_examples, batch_size, rng=self._rng):
+                step_start = time.perf_counter() if observing else 0.0
                 loss = self.loss_fn(batch)
                 self.optimizer.zero_grad()
                 loss.backward()
@@ -123,7 +127,16 @@ class Trainer:
                     clip_grad_norm(self.optimizer.params, self.max_grad_norm)
                 self.optimizer.step()
                 losses.append(loss.item())
+                if observing:
+                    _OBS.histogram("train.step_seconds").observe(
+                        time.perf_counter() - step_start
+                    )
+                    _OBS.counter("train.batches").inc()
             history.train_loss.append(float(np.mean(losses)))
+            if observing:
+                _OBS.series("train.loss_curve").append(history.train_loss[-1])
+                _OBS.gauge("train.loss").set(history.train_loss[-1])
+                _OBS.counter("train.epochs").inc()
             if val_loss_fn is not None:
                 self.model.eval()
                 val = float(val_loss_fn())

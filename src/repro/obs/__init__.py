@@ -1,0 +1,60 @@
+"""Observability subsystem: metrics, tracing and bench-record emission.
+
+Zero-dependency telemetry for the curation stack (see DESIGN.md §
+"Observability").  Three pieces:
+
+* :mod:`repro.obs.metrics` — a process-global, thread-safe registry of
+  counters/gauges/histograms/series, **off by default**; the autograd
+  engine, optimizers and trainer report into it when enabled.
+* :mod:`repro.obs.trace` — nested span contexts producing provenance
+  trees; always on (it replaces hand-rolled ``perf_counter`` timing).
+* :mod:`repro.obs.bench` — the ``BENCH_*.json`` record schema shared by
+  ``benchmarks/common.emit_bench`` and ``benchmarks.check_bench_json``.
+
+Enabling metrics never changes numeric results: instruments only observe.
+"""
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    build_record,
+    git_sha,
+    sanitize,
+    validate_record,
+    write_record,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
+from repro.obs.trace import Span, current_span, drain_roots, span
+
+__all__ = [
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "Span",
+    "build_record",
+    "collecting",
+    "current_span",
+    "disable_metrics",
+    "drain_roots",
+    "enable_metrics",
+    "git_sha",
+    "metrics_enabled",
+    "sanitize",
+    "span",
+    "validate_record",
+    "write_record",
+]

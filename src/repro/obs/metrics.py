@@ -1,0 +1,272 @@
+"""Process-global metrics: thread-safe counters, gauges, histograms, series.
+
+The registry is **disabled by default** so that instrumented hot loops (the
+autograd engine, optimizers) pay only a single attribute check
+(``REGISTRY.enabled``) per event.  Enabling it never changes numeric
+results — instruments only *count* and *observe*, they consume no
+randomness and never touch the values flowing through the code they watch.
+
+Usage::
+
+    from repro.obs import REGISTRY, enable_metrics
+
+    enable_metrics()
+    REGISTRY.counter("autograd.forward.add").inc()
+    REGISTRY.histogram("train.step_seconds").observe(0.012)
+    print(REGISTRY.snapshot())
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """Monotonically increasing float counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def to_dict(self) -> float | None:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary: count/sum/min/max plus log2-bucket counts.
+
+    Buckets are powers of two (``bucket i`` holds values in
+    ``[2**(i-1), 2**i)``; bucket ``None`` holds zero/negative values), which
+    keeps observation O(1) and the snapshot mergeable across runs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int | None, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        bucket = None if value <= 0 else max(0, math.ceil(math.log2(value)))
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "log2_buckets": {
+                str(k) if k is not None else "<=0": v
+                for k, v in sorted(
+                    self._buckets.items(), key=lambda kv: (-1 if kv[0] is None else kv[0])
+                )
+            },
+        }
+
+
+class Series:
+    """Bounded append-only value series (e.g. a loss curve)."""
+
+    __slots__ = ("name", "maxlen", "_values", "dropped", "_lock")
+
+    def __init__(self, name: str, maxlen: int = 4096) -> None:
+        self.name = name
+        self.maxlen = maxlen
+        self._values: list[float] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, value: float) -> None:
+        with self._lock:
+            if len(self._values) >= self.maxlen:
+                self.dropped += 1
+            else:
+                self._values.append(float(value))
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def to_dict(self) -> dict:
+        return {"values": list(self._values), "dropped": self.dropped}
+
+
+class MetricsRegistry:
+    """Keyed store of metrics with a cheap global on/off switch.
+
+    Metric creation is locked; the instruments themselves carry their own
+    locks so concurrent increments from worker threads are safe.  Hot-path
+    callers should guard with ``if REGISTRY.enabled:`` before touching any
+    instrument — disabled means *zero* observation cost beyond that check.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, Series] = {}
+
+    # -- instrument accessors (create on first use) --------------------- #
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    def series(self, name: str, maxlen: int = 4096) -> Series:
+        instrument = self._series.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._series.setdefault(name, Series(name, maxlen))
+        return instrument
+
+    # -- convenience hot-path hooks ------------------------------------- #
+
+    def record_op(self, op: str, nbytes: int) -> None:
+        """One autograd forward node: per-op count + allocated bytes."""
+        self.counter(f"autograd.forward.{op}").inc()
+        self.counter("autograd.nodes").inc()
+        self.counter("autograd.bytes_allocated").inc(float(nbytes))
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all instruments (the enabled flag is left as-is)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._series.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument's current state."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "counters": {k: v.to_dict() for k, v in sorted(self._counters.items())},
+                "gauges": {k: v.to_dict() for k, v in sorted(self._gauges.items())},
+                "histograms": {k: v.to_dict() for k, v in sorted(self._histograms.items())},
+                "series": {k: v.to_dict() for k, v in sorted(self._series.items())},
+            }
+
+
+REGISTRY = MetricsRegistry()
+
+
+def enable_metrics() -> None:
+    """Turn on the process-global registry."""
+    REGISTRY.enable()
+
+
+def disable_metrics() -> None:
+    """Turn off the process-global registry."""
+    REGISTRY.disable()
+
+
+def metrics_enabled() -> bool:
+    """Whether the process-global registry is collecting."""
+    return REGISTRY.enabled
+
+
+class collecting:
+    """Context manager: enable metrics inside the block, restore after.
+
+    Usable from tests and benches::
+
+        with collecting():
+            model.fit(...)
+        snapshot = REGISTRY.snapshot()
+    """
+
+    def __init__(self, reset: bool = False) -> None:
+        self._reset = reset
+        self._previous: bool | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = REGISTRY.enabled
+        if self._reset:
+            REGISTRY.reset()
+        REGISTRY.enable()
+        return REGISTRY
+
+    def __exit__(self, *exc_info: object) -> None:
+        REGISTRY.enabled = bool(self._previous)

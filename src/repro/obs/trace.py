@@ -1,0 +1,118 @@
+"""Nested span tracing for pipeline/bench provenance.
+
+A :func:`span` context manager times a named region and records it in a
+per-thread tree.  Nesting follows lexical structure::
+
+    with span("pipeline"):
+        with span("blocking", table="citations"):
+            ...
+
+Completed top-level spans accumulate per thread until drained with
+:func:`drain_roots` (the bench harness does this once per experiment).
+Unlike metrics, tracing is always on: it replaces the hand-rolled
+``perf_counter`` pairs the callers previously carried, so its (tiny) cost
+is the cost of timing itself.  Spans are exception-safe — a span closes
+with its duration recorded even when the body raises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are spans opened while it was open."""
+
+    name: str
+    start: float = 0.0
+    end: float | None = None
+    meta: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now for a still-open span)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict (used by ``BENCH_*.json`` emission)."""
+        return {
+            "name": self.name,
+            "seconds": self.duration,
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def tree(self, indent: int = 0) -> str:
+        """Human-readable indented rendering of the span tree."""
+        lines = [f"{'  ' * indent}{self.name}: {self.duration:.3f}s"]
+        for child in self.children:
+            lines.append(child.tree(indent + 1))
+        return "\n".join(lines)
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _TraceState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+        self.roots: list[Span] = []
+
+
+_STATE = _TraceState()
+
+
+class span:
+    """Context manager opening a :class:`Span` named ``name``.
+
+    Keyword arguments become the span's ``meta`` dict.  Yields the span so
+    callers can attach more metadata or read ``duration`` afterwards.
+    """
+
+    def __init__(self, name: str, **meta: object) -> None:
+        self._span = Span(name=name, meta=dict(meta))
+
+    def __enter__(self) -> Span:
+        self._span.start = time.perf_counter()
+        if _STATE.stack:
+            _STATE.stack[-1].children.append(self._span)
+        _STATE.stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.end = time.perf_counter()
+        # Pop back to (and including) our span even if callers leaked inner
+        # spans by closing out of order.
+        while _STATE.stack:
+            top = _STATE.stack.pop()
+            if top is self._span:
+                break
+        if not _STATE.stack:
+            _STATE.roots.append(self._span)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    return _STATE.stack[-1] if _STATE.stack else None
+
+
+def drain_roots() -> list[Span]:
+    """Return and clear this thread's completed top-level spans."""
+    roots = _STATE.roots
+    _STATE.roots = []
+    return roots

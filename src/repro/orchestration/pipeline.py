@@ -6,16 +6,18 @@ integrated and cleaned, ready for the analytics task at hand."
 
 A :class:`CurationPipeline` chains typed steps over a shared
 :class:`PipelineContext` (a keyed store of tables and artifacts).  Every
-step execution is timed and logged with a detail dict, so the run produces
-an auditable report — provenance for the self-driving pipeline.
+step execution runs inside a :mod:`repro.obs.trace` span, so the run
+produces an auditable provenance tree: each :class:`StepReport` carries
+its span (with any nested spans the step opened) alongside the detail
+dict.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.data.table import Table
+from repro.obs.trace import Span, span
 
 
 class PipelineError(RuntimeError):
@@ -24,15 +26,25 @@ class PipelineError(RuntimeError):
 
 @dataclass
 class PipelineContext:
-    """Shared state flowing through the pipeline."""
+    """Shared state flowing through the pipeline.
+
+    ``current_step`` is maintained by :meth:`CurationPipeline.run` so that
+    lookup failures name the step that asked — "no table 'x'" is useless
+    in a six-step run without knowing *who* wanted 'x'.
+    """
 
     tables: dict[str, Table] = field(default_factory=dict)
     artifacts: dict[str, object] = field(default_factory=dict)
+    current_step: str | None = None
+
+    def _requester(self) -> str:
+        return f"step {self.current_step!r}: " if self.current_step else ""
 
     def table(self, key: str) -> Table:
         if key not in self.tables:
             raise PipelineError(
-                f"no table {key!r} in context; available: {sorted(self.tables)}"
+                f"{self._requester()}no table {key!r} in context; "
+                f"available: {sorted(self.tables)}"
             )
         return self.tables[key]
 
@@ -42,7 +54,8 @@ class PipelineContext:
     def artifact(self, key: str) -> object:
         if key not in self.artifacts:
             raise PipelineError(
-                f"no artifact {key!r} in context; available: {sorted(self.artifacts)}"
+                f"{self._requester()}no artifact {key!r} in context; "
+                f"available: {sorted(self.artifacts)}"
             )
         return self.artifacts[key]
 
@@ -54,6 +67,7 @@ class StepReport:
     name: str
     seconds: float
     details: dict[str, object] = field(default_factory=dict)
+    span: Span | None = None
 
     def __str__(self) -> str:
         detail = ", ".join(f"{k}={v}" for k, v in self.details.items())
@@ -79,14 +93,27 @@ class CurationPipeline:
         self.steps = list(steps)
 
     def run(self, context: PipelineContext | None = None) -> tuple[PipelineContext, list[StepReport]]:
-        """Execute all steps in order; returns final context + reports."""
+        """Execute all steps in order; returns final context + reports.
+
+        The whole run opens a ``pipeline`` span with one child span per
+        step; each report's :attr:`StepReport.span` points at its step's
+        subtree.  Spans close (and ``current_step`` resets) even when a
+        step raises.
+        """
         context = context or PipelineContext()
         reports: list[StepReport] = []
-        for step in self.steps:
-            start = time.perf_counter()
-            details = step.run(context)
-            elapsed = time.perf_counter() - start
-            reports.append(StepReport(step.name, elapsed, details or {}))
+        with span("pipeline", steps=len(self.steps)) as root:
+            for step in self.steps:
+                context.current_step = step.name
+                try:
+                    with span(step.name) as step_span:
+                        details = step.run(context)
+                finally:
+                    context.current_step = None
+                reports.append(
+                    StepReport(step.name, step_span.duration, details or {}, span=step_span)
+                )
+        self.last_span_ = root
         return context, reports
 
     def describe(self) -> str:

@@ -1,8 +1,14 @@
-"""Wall-clock timing helper used by the benchmark harness."""
+"""Wall-clock timing helper used by the benchmark harness.
+
+Since the observability PR, :class:`Timer` is a thin veneer over
+:mod:`repro.obs.trace` — each ``Timer`` block opens a named span, so timed
+regions show up in the provenance tree alongside pipeline steps instead
+of being invisible ad-hoc ``perf_counter`` pairs.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.trace import Span, span
 
 
 class Timer:
@@ -13,16 +19,25 @@ class Timer:
         with Timer() as t:
             expensive()
         print(t.elapsed)
+
+    Pass ``name`` to label the underlying span (default ``"timer"``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "timer") -> None:
+        self.name = name
         self.start: float | None = None
         self.elapsed: float = 0.0
+        self.span: Span | None = None
+        self._cm: span | None = None
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self._cm = span(self.name)
+        self.span = self._cm.__enter__()
+        self.start = self.span.start
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        if self.start is not None:
-            self.elapsed = time.perf_counter() - self.start
+        if self._cm is not None:
+            self._cm.__exit__(*exc_info)
+            self.elapsed = self.span.duration
+            self._cm = None

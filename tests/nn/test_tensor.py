@@ -208,6 +208,65 @@ class TestGradChecks:
         idx = np.array([0, 2, 2, 4])
         check_gradients(lambda: (table.take_rows(idx) ** 2).sum(), [table])
 
+    def test_concat_axis0_and_many_tensors(self):
+        a = self._leaf((1, 3), seed=12)
+        b = self._leaf((2, 3), seed=13)
+        c = self._leaf((3, 3), seed=14)
+        check_gradients(lambda: (concat([a, b, c], axis=0) ** 2).sum(), [a, b, c])
+
+    def test_concat_mixed_requires_grad(self):
+        a = self._leaf((2, 2), seed=15)
+        frozen = Tensor(np.ones((2, 2)))
+        check_gradients(lambda: concat([a, frozen], axis=0).sum(), [a])
+        assert frozen.grad is None
+
+    def test_transpose_with_permutation_3d(self):
+        t = self._leaf((2, 3, 4), seed=16)
+        check_gradients(lambda: (t.transpose(2, 0, 1) ** 2).sum(), [t])
+        check_gradients(lambda: (t.transpose(1, 2, 0) * 0.5).sum(), [t])
+
+    def test_getitem_fancy_repeated_indices(self):
+        t = self._leaf((4, 3), seed=17)
+        idx = np.array([1, 1, 3, 1])
+        check_gradients(lambda: (t[idx] ** 2).sum(), [t])
+        # Scatter-add semantics: grad of row 1 counts every pick.
+        t.zero_grad()
+        t[idx].sum().backward()
+        assert np.allclose(t.grad[1], 3.0)
+        assert np.allclose(t.grad[0], 0.0)
+
+    def test_getitem_tuple_fancy_index(self):
+        t = self._leaf((3, 4), seed=18)
+        rows = np.array([0, 2, 2])
+        cols = np.array([1, 1, 3])
+        check_gradients(lambda: (t[rows, cols] ** 2).sum(), [t])
+
+    def test_broadcast_row_and_column(self):
+        row = self._leaf((1, 3), seed=19)
+        full = self._leaf((4, 3), seed=20)
+        check_gradients(lambda: (full * row).sum(), [full, row])
+        col = self._leaf((2, 1), seed=21)
+        wide = self._leaf((2, 5), seed=22)
+        check_gradients(lambda: (wide + col).sum(), [wide, col])
+
+    def test_broadcast_scalar_and_new_axis(self):
+        scalar = self._leaf((), seed=23)
+        grid = self._leaf((3, 2), seed=24)
+        check_gradients(lambda: (grid * scalar).sum(), [grid, scalar])
+        vec = self._leaf((2,), seed=25)  # (2,) + (3,2) prepends an axis
+        check_gradients(lambda: (grid + vec).sum(), [grid, vec])
+
+    def test_unbroadcast_keeps_one_sized_axes(self):
+        # Both operands broadcast: (1,3) * (4,1) -> (4,3); each grad must
+        # collapse back to its own shape, not the output's.
+        a = self._leaf((1, 3), seed=26)
+        b = self._leaf((4, 1), seed=27)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+        a.zero_grad(); b.zero_grad()
+        (a * b).sum().backward()
+        assert a.grad.shape == (1, 3)
+        assert b.grad.shape == (4, 1)
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -1,0 +1,168 @@
+"""BENCH_*.json emission: round-trip, schema validation, sanitization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.check_bench_json import check_files, main as check_main
+from benchmarks.common import emit_bench
+from repro.obs import build_record, sanitize, span, validate_record, write_record
+
+
+def _minimal_record(**overrides) -> dict:
+    record = build_record(
+        [{"metric": 1.0}], "e1", title="demo", profile="smoke",
+        wall_time_seconds=0.5,
+    )
+    record.update(overrides)
+    return record
+
+
+class TestSanitize:
+    def test_plain_types_pass_through(self):
+        assert sanitize({"a": 1, "b": "x", "c": None, "d": True}) == {
+            "a": 1, "b": "x", "c": None, "d": True,
+        }
+
+    def test_non_finite_floats_become_none(self):
+        assert sanitize(float("nan")) is None
+        assert sanitize(float("inf")) is None
+        assert sanitize([1.0, float("nan")]) == [1.0, None]
+
+    def test_numpy_scalars_and_arrays(self):
+        assert sanitize(np.float64(2.5)) == 2.5
+        assert sanitize(np.int64(3)) == 3
+        assert sanitize(np.array([1, 2])) == [1, 2]
+
+    def test_unknown_objects_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "odd!"
+
+        assert sanitize(Odd()) == "odd!"
+
+
+class TestRecordRoundTrip:
+    def test_emit_and_reload(self, tmp_path):
+        with span("exp", profile="smoke") as exp_span:
+            with span("stage"):
+                pass
+        path = emit_bench(
+            [{"f1": 0.9, "bad": float("nan")}], "e1",
+            title="demo", profile="smoke", wall_time_seconds=1.25,
+            span=exp_span, out_dir=tmp_path,
+        )
+        assert path.name == "BENCH_E1.json"
+        record = json.loads(path.read_text())
+        assert record["experiment_id"] == "e1"
+        assert record["profile"] == "smoke"
+        assert record["wall_time_seconds"] == 1.25
+        assert record["rows"] == [{"f1": 0.9, "bad": None}]
+        assert record["spans"]["name"] == "exp"
+        assert record["spans"]["children"][0]["name"] == "stage"
+        assert validate_record(record, source=path.name) == []
+
+    def test_written_json_is_strict(self, tmp_path):
+        record = _minimal_record()
+        record["rows"] = [{"x": float("inf")}]
+        with pytest.raises(ValueError):
+            write_record(record, tmp_path)  # sanitize() was bypassed
+
+    def test_timestamps_are_monotonic(self):
+        record = _minimal_record()
+        assert record["started_unix"] <= record["finished_unix"]
+        assert record["finished_unix"] <= record["generated_unix"]
+
+    def test_empty_experiment_id_rejected(self):
+        with pytest.raises(ValueError):
+            build_record([], "")
+
+
+class TestValidateRecord:
+    def test_valid_record_passes(self):
+        assert validate_record(_minimal_record()) == []
+
+    def test_missing_key_reported(self):
+        record = _minimal_record()
+        del record["git_sha"]
+        problems = validate_record(record)
+        assert any("git_sha" in p for p in problems)
+
+    def test_wrong_type_reported(self):
+        problems = validate_record(_minimal_record(rows="nope"))
+        assert any("rows" in p for p in problems)
+
+    def test_non_dict_rejected(self):
+        assert validate_record([1, 2]) != []
+
+    def test_schema_version_mismatch(self):
+        problems = validate_record(_minimal_record(schema_version=99))
+        assert any("schema_version" in p for p in problems)
+
+    def test_timestamp_order_enforced(self):
+        record = _minimal_record()
+        record["started_unix"] = record["finished_unix"] + 10
+        problems = validate_record(record)
+        assert any("started_unix" in p for p in problems)
+
+        record = _minimal_record()
+        record["generated_unix"] = record["finished_unix"] - 10
+        problems = validate_record(record)
+        assert any("generated_unix" in p for p in problems)
+
+    def test_negative_wall_time_rejected(self):
+        problems = validate_record(_minimal_record(wall_time_seconds=-1.0))
+        assert any("wall_time_seconds" in p for p in problems)
+
+    def test_non_dict_row_rejected(self):
+        problems = validate_record(_minimal_record(rows=[{"ok": 1}, "bad"]))
+        assert any("rows[1]" in p for p in problems)
+
+    def test_span_validation(self):
+        good = {"name": "s", "seconds": 1.0, "meta": {}, "children": []}
+        assert validate_record(_minimal_record(spans=good)) == []
+        missing = {"name": "s", "seconds": 1.0}
+        assert validate_record(_minimal_record(spans=missing)) != []
+        negative = {"name": "s", "seconds": -1.0, "meta": {}, "children": []}
+        assert validate_record(_minimal_record(spans=negative)) != []
+
+    def test_children_cannot_outlive_parent(self):
+        spans = {
+            "name": "parent", "seconds": 1.0, "meta": {},
+            "children": [
+                {"name": "kid", "seconds": 5.0, "meta": {}, "children": []},
+            ],
+        }
+        problems = validate_record(_minimal_record(spans=spans))
+        assert any("exceeds" in p for p in problems)
+
+
+class TestCheckBenchJsonCli:
+    def test_valid_file_ok(self, tmp_path, capsys):
+        path = write_record(_minimal_record(), tmp_path)
+        assert check_main([str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        path = write_record(_minimal_record(schema_version=99), tmp_path)
+        assert check_main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file_reported(self):
+        problems = check_files(["/nonexistent/BENCH_X.json"])
+        assert any("not found" in p for p in problems)
+
+    def test_corrupt_json_reported(self, tmp_path):
+        path = tmp_path / "BENCH_BAD.json"
+        path.write_text("{not json")
+        problems = check_files([str(path)])
+        assert any("invalid JSON" in p for p in problems)
+
+    def test_no_files_found(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert check_main([]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Instrumentation must observe, never perturb.
+
+The core acceptance test for ``repro.obs``: training DeepER with the
+metrics registry enabled produces bit-identical losses and predictions to
+training with it disabled.  Plus positive checks that the autograd/trainer
+instrumentation actually records when switched on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import DeepER
+from repro.nn.tensor import Tensor
+from repro.obs import REGISTRY, collecting, drain_roots, metrics_enabled
+
+
+@pytest.fixture(autouse=True)
+def metrics_off_between_tests():
+    REGISTRY.disable()
+    yield
+    REGISTRY.disable()
+    REGISTRY.reset()
+    drain_roots()
+
+
+def _fit_deeper(small_benchmark, word_model, epochs: int = 4):
+    labeled = small_benchmark.labeled_pairs(negative_ratio=3, rng=1)
+    triples = [
+        (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+        for a, b, y in labeled
+    ]
+    train, test = triples[:60], triples[60:90]
+    matcher = DeepER(
+        word_model, small_benchmark.compare_columns, composition="mean", rng=0
+    ).fit(train, epochs=epochs)
+    pairs = [(a, b) for a, b, _ in test]
+    return matcher.loss_history_, matcher.predict_proba(pairs)
+
+
+class TestMetricsDoNotPerturb:
+    def test_deeper_bit_identical_on_vs_off(self, small_benchmark, word_model):
+        assert not metrics_enabled()
+        losses_off, proba_off = _fit_deeper(small_benchmark, word_model)
+        with collecting(reset=True):
+            losses_on, proba_on = _fit_deeper(small_benchmark, word_model)
+        assert losses_off == losses_on  # bit-identical epoch losses
+        np.testing.assert_array_equal(proba_off, proba_on)
+
+    def test_tensor_math_bit_identical_on_vs_off(self):
+        def compute():
+            x = Tensor(np.linspace(-1, 1, 12).reshape(3, 4), requires_grad=True)
+            w = Tensor(np.arange(8, dtype=float).reshape(4, 2) / 7, requires_grad=True)
+            loss = ((x @ w).tanh() ** 2).sum()
+            loss.backward()
+            return loss.data.copy(), x.grad.copy(), w.grad.copy()
+
+        loss_off, gx_off, gw_off = compute()
+        with collecting(reset=True):
+            loss_on, gx_on, gw_on = compute()
+        np.testing.assert_array_equal(loss_off, loss_on)
+        np.testing.assert_array_equal(gx_off, gx_on)
+        np.testing.assert_array_equal(gw_off, gw_on)
+
+
+class TestInstrumentationRecords:
+    def test_autograd_counters_populate(self):
+        with collecting(reset=True):
+            x = Tensor(np.ones((2, 3)), requires_grad=True)
+            y = (x * 2.0 + 1.0).sum()
+            y.backward()
+            snapshot = REGISTRY.snapshot()
+        counters = snapshot["counters"]
+        assert counters["autograd.forward.mul"] >= 1
+        assert counters["autograd.forward.add"] >= 1
+        assert counters["autograd.forward.sum"] >= 1
+        assert counters["autograd.nodes"] >= 3
+        assert counters["autograd.bytes_allocated"] > 0
+        assert counters["autograd.backward_passes"] == 1
+        assert counters["autograd.backward.mul"] >= 1
+        assert snapshot["histograms"]["autograd.tape_length"]["count"] == 1
+
+    def test_deeper_loss_curve_recorded(self, small_benchmark, word_model):
+        with collecting(reset=True):
+            losses, _ = _fit_deeper(small_benchmark, word_model, epochs=3)
+            snapshot = REGISTRY.snapshot()
+        assert snapshot["series"]["deeper.loss_curve"]["values"] == losses
+        assert len(losses) == 3
+
+    def test_disabled_registry_records_nothing(self):
+        REGISTRY.reset()
+        assert not metrics_enabled()
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 3.0).sum().backward()
+        snapshot = REGISTRY.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}

@@ -1,0 +1,183 @@
+"""Metrics instruments: thread safety, semantics, registry lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    collecting,
+    metrics_enabled,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = Counter("c")
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        assert gauge.value is None
+        gauge.set(1)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 16.0
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+        assert hist.mean == 4.0
+
+    def test_log2_buckets(self):
+        hist = Histogram("h")
+        hist.observe(0.0)     # <=0 bucket
+        hist.observe(1.0)     # 2**0 -> bucket 0
+        hist.observe(3.0)     # ceil(log2 3) = 2
+        hist.observe(1000.0)  # ceil(log2 1000) = 10
+        buckets = hist.to_dict()["log2_buckets"]
+        assert buckets == {"<=0": 1, "0": 1, "2": 1, "10": 1}
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram("h").to_dict()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None and snapshot["max"] is None
+
+    def test_concurrent_observations(self):
+        hist = Histogram("h")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for i in range(per_thread):
+                hist.observe(float(i + 1))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == n_threads * per_thread
+        assert hist.min == 1.0
+        assert hist.max == float(per_thread)
+        assert sum(hist.to_dict()["log2_buckets"].values()) == hist.count
+
+
+class TestSeries:
+    def test_bounded(self):
+        series = Series("s", maxlen=3)
+        for value in (1, 2, 3, 4, 5):
+            series.append(value)
+        assert series.values == [1.0, 2.0, 3.0]
+        assert series.dropped == 2
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        assert MetricsRegistry().enabled is False
+
+    def test_create_on_demand_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+
+    def test_record_op(self):
+        registry = MetricsRegistry()
+        registry.record_op("add", 64)
+        registry.record_op("add", 64)
+        registry.record_op("mul", 8)
+        assert registry.counter("autograd.forward.add").value == 2
+        assert registry.counter("autograd.nodes").value == 3
+        assert registry.counter("autograd.bytes_allocated").value == 136
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.enable()
+        registry.reset()
+        assert registry.counter("x").value == 0
+        assert registry.enabled is True  # reset does not flip the switch
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.5)
+        registry.series("s").append(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1.0}
+        assert snapshot["gauges"] == {"g": 2.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["series"]["s"]["values"] == [0.1]
+
+    def test_concurrent_create_and_increment(self):
+        registry = MetricsRegistry()
+        n_threads = 8
+
+        def work(i: int):
+            for j in range(1000):
+                registry.counter(f"shared.{j % 5}").inc()
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(registry.counter(f"shared.{k}").value for k in range(5))
+        assert total == n_threads * 1000
+
+
+class TestCollecting:
+    def test_enables_then_restores(self):
+        assert not metrics_enabled()
+        with collecting() as registry:
+            assert metrics_enabled()
+            registry.counter("tmp").inc()
+        assert not metrics_enabled()
+
+    def test_reset_option_clears_previous_counts(self):
+        REGISTRY.counter("leftover").inc()
+        with collecting(reset=True):
+            assert REGISTRY.counter("leftover").value == 0
+        assert not metrics_enabled()
+
+    def test_restores_even_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert not metrics_enabled()

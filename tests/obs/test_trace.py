@@ -1,0 +1,138 @@
+"""Span tracing: nesting, exception safety, root draining."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Span, current_span, drain_roots, span
+
+
+@pytest.fixture(autouse=True)
+def clean_roots():
+    drain_roots()
+    yield
+    drain_roots()
+
+
+class TestSpanNesting:
+    def test_lexical_nesting_builds_tree(self):
+        with span("outer") as outer:
+            with span("middle") as middle:
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in middle.children] == ["inner"]
+        roots = drain_roots()
+        assert [r.name for r in roots] == ["outer"]
+
+    def test_current_span_tracks_innermost(self):
+        assert current_span() is None
+        with span("a") as a:
+            assert current_span() is a
+            with span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_meta_kwargs_recorded(self):
+        with span("job", table="citations", rows=10) as s:
+            pass
+        assert s.meta == {"table": "citations", "rows": 10}
+
+    def test_durations_cover_children(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                time.sleep(0.01)
+        assert inner.duration >= 0.01
+        assert outer.duration >= inner.duration
+        assert outer.closed and inner.closed
+
+
+class TestExceptionSafety:
+    def test_span_closes_when_body_raises(self):
+        with pytest.raises(ValueError):
+            with span("doomed") as s:
+                raise ValueError("boom")
+        assert s.closed
+        assert s.duration >= 0
+        assert [r.name for r in drain_roots()] == ["doomed"]
+        assert current_span() is None
+
+    def test_nested_raise_closes_whole_stack(self):
+        with pytest.raises(RuntimeError):
+            with span("outer") as outer:
+                with span("inner"):
+                    raise RuntimeError("boom")
+        assert outer.closed
+        assert all(c.closed for c in outer.children)
+        assert current_span() is None
+
+
+class TestDrainRoots:
+    def test_drain_clears(self):
+        with span("one"):
+            pass
+        with span("two"):
+            pass
+        assert [r.name for r in drain_roots()] == ["one", "two"]
+        assert drain_roots() == []
+
+    def test_open_span_is_not_a_root_yet(self):
+        with span("open"):
+            assert drain_roots() == []
+
+    def test_threads_have_independent_trees(self):
+        seen: dict[str, list[str]] = {}
+
+        def work(tag: str):
+            with span(tag):
+                pass
+            seen[tag] = [r.name for r in drain_roots()]
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(4):
+            assert seen[f"t{i}"] == [f"t{i}"]
+
+
+class TestSpanHelpers:
+    def test_to_dict_round_trip_shape(self):
+        with span("root", profile="smoke") as root:
+            with span("child"):
+                pass
+        data = root.to_dict()
+        assert data["name"] == "root"
+        assert data["meta"] == {"profile": "smoke"}
+        assert data["children"][0]["name"] == "child"
+        assert data["seconds"] >= data["children"][0]["seconds"]
+
+    def test_find_depth_first(self):
+        with span("a") as a:
+            with span("b"):
+                with span("c"):
+                    pass
+        assert a.find("c").name == "c"
+        assert a.find("missing") is None
+
+    def test_tree_rendering(self):
+        with span("root") as root:
+            with span("leaf"):
+                pass
+        text = root.tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root:")
+        assert lines[1].startswith("  leaf:")
+
+    def test_open_span_duration_is_live(self):
+        s = Span(name="live", start=time.perf_counter())
+        first = s.duration
+        time.sleep(0.005)
+        assert s.duration > first

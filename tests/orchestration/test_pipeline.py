@@ -31,6 +31,22 @@ class FailingStep(PipelineStep):
         raise PipelineError("intentional")
 
 
+class NeedsMissingInputStep(PipelineStep):
+    name = "wants_input"
+
+    def run(self, context: PipelineContext) -> dict:
+        context.table("not_there")
+        return {}
+
+
+class NeedsMissingArtifactStep(PipelineStep):
+    name = "wants_artifact"
+
+    def run(self, context: PipelineContext) -> dict:
+        context.artifact("no_such_artifact")
+        return {}
+
+
 class TestContext:
     def test_table_access(self):
         context = PipelineContext()
@@ -79,3 +95,33 @@ class TestPipeline:
         description = pipeline.describe()
         assert "1. add_row" in description
         assert "2. boom" in description
+
+    def test_missing_table_error_names_requesting_step(self):
+        pipeline = CurationPipeline([NeedsMissingInputStep()])
+        with pytest.raises(PipelineError, match=r"step 'wants_input'.*not_there"):
+            pipeline.run(PipelineContext())
+
+    def test_missing_artifact_error_names_requesting_step(self):
+        pipeline = CurationPipeline([NeedsMissingArtifactStep()])
+        with pytest.raises(PipelineError, match=r"step 'wants_artifact'.*no_such_artifact"):
+            pipeline.run(PipelineContext())
+
+    def test_lookup_outside_pipeline_has_no_step_prefix(self):
+        with pytest.raises(PipelineError) as excinfo:
+            PipelineContext().table("loose")
+        assert "step" not in str(excinfo.value)
+
+    def test_current_step_reset_after_failure(self):
+        context = PipelineContext()
+        with pytest.raises(PipelineError):
+            CurationPipeline([NeedsMissingInputStep()]).run(context)
+        assert context.current_step is None
+
+    def test_reports_carry_span_tree(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        pipeline = CurationPipeline([AddRowStep("t"), AddRowStep("t")])
+        _, reports = pipeline.run(context)
+        assert all(r.span is not None and r.span.closed for r in reports)
+        assert [c.name for c in pipeline.last_span_.children] == ["add_row", "add_row"]
+        assert pipeline.last_span_.meta == {"steps": 2}

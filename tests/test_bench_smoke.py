@@ -1,0 +1,61 @@
+"""Smoke-run every experiment bench at the smallest profile.
+
+Guards against the failure mode where a bench module only breaks when
+actually executed (signature drift, renamed helpers, profile dicts out of
+sync).  Each ``run_experiment(profile="smoke")`` must return a non-empty
+list of dict rows; the shape assertions stay with the full-profile pytest
+entries in each bench module.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+pytest.importorskip("benchmarks.common", reason="requires repo-root cwd")
+
+import benchmarks
+from benchmarks.common import PROFILES, profile_config
+from benchmarks.run_all import EXPERIMENTS
+
+
+def _all_bench_modules() -> list[str]:
+    return sorted(
+        name for _, name, _ in pkgutil.iter_modules(benchmarks.__path__)
+        if name.startswith("bench_")
+    )
+
+
+def test_every_bench_module_is_registered_or_micro():
+    registered = {module_name for module_name, _ in EXPERIMENTS.values()}
+    unregistered = set(_all_bench_modules()) - registered
+    # The substrate microbenchmarks are pytest-benchmark-only by design.
+    assert unregistered == {"bench_micro_substrate"}
+
+
+@pytest.mark.parametrize("module_name", _all_bench_modules())
+def test_bench_module_imports(module_name):
+    module = importlib.import_module(f"benchmarks.{module_name}")
+    if module_name != "bench_micro_substrate":
+        assert hasattr(module, "run_experiment")
+        assert set(module._P) == set(PROFILES)
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_run_experiment_smoke(exp_id):
+    module_name, _ = EXPERIMENTS[exp_id]
+    module = importlib.import_module(f"benchmarks.{module_name}")
+    rows = module.run_experiment(profile="smoke")
+    assert isinstance(rows, list) and rows
+    assert all(isinstance(row, dict) for row in rows)
+    # Tables need a stable header: every row shares the first row's keys
+    # (modulo private "_" assertion keys).
+    first = {k for k in rows[0] if not str(k).startswith("_")}
+    assert first
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown profile"):
+        profile_config({"full": {}, "smoke": {}}, "huge")
