@@ -4,7 +4,11 @@ With no arguments, validates every ``BENCH_*.json`` in the current
 directory; otherwise validates the given paths.  Checks the schema from
 :mod:`repro.obs.bench` (required keys, types, schema version) plus the
 monotonic-timestamp invariant ``started <= finished <= generated``.
-Exit code 0 iff every file parses and validates.
+
+Every file is always checked — one broken file never masks problems in
+the rest — and the report ends with a per-file summary naming each
+failing file with its problem count.  Exit code 0 iff every file parses
+and validates.
 
 ``benchmarks.run_all`` invokes this automatically on everything it emits.
 """
@@ -18,22 +22,31 @@ from pathlib import Path
 from repro.obs.bench import validate_record
 
 
+def check_file(raw_path: str) -> list[str]:
+    """Validate one path; return human-readable problem strings."""
+    path = Path(raw_path)
+    source = path.name
+    if not path.is_file():
+        return [f"{source}: file not found"]
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return [f"{source}: invalid JSON ({error})"]
+    return validate_record(record, source=source)
+
+
+def check_files_by_path(paths: list[str]) -> dict[str, list[str]]:
+    """Validate every path; map each path to its problems (empty = valid)."""
+    return {raw_path: check_file(raw_path) for raw_path in paths}
+
+
 def check_files(paths: list[str]) -> list[str]:
-    """Validate each path; return human-readable problem strings."""
-    problems: list[str] = []
-    for raw_path in paths:
-        path = Path(raw_path)
-        source = path.name
-        if not path.is_file():
-            problems.append(f"{source}: file not found")
-            continue
-        try:
-            record = json.loads(path.read_text())
-        except json.JSONDecodeError as error:
-            problems.append(f"{source}: invalid JSON ({error})")
-            continue
-        problems.extend(validate_record(record, source=source))
-    return problems
+    """Flat problem list across ``paths`` (all files are still checked)."""
+    return [
+        problem
+        for problems in check_files_by_path(paths).values()
+        for problem in problems
+    ]
 
 
 def main(argv: list[str]) -> int:
@@ -41,11 +54,15 @@ def main(argv: list[str]) -> int:
     if not paths:
         print("no BENCH_*.json files found")
         return 1
-    problems = check_files(paths)
-    if problems:
-        for problem in problems:
-            print(f"INVALID: {problem}")
-        print(f"{len(problems)} problem(s) in {len(paths)} file(s)")
+    by_path = check_files_by_path(paths)
+    failing = {path: problems for path, problems in by_path.items() if problems}
+    if failing:
+        for problems in failing.values():
+            for problem in problems:
+                print(f"INVALID: {problem}")
+        print(f"{len(failing)}/{len(paths)} file(s) invalid:")
+        for path, problems in failing.items():
+            print(f"  {Path(path).name}: {len(problems)} problem(s)")
         return 1
     print(f"{len(paths)} BENCH json file(s) valid")
     return 0

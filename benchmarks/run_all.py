@@ -9,6 +9,11 @@ Each experiment also writes a machine-readable ``BENCH_<EXP>.json``
 (result rows + wall time + metrics snapshot + span tree + git sha; see
 ``repro.obs.bench``).  After the run, every emitted file is validated with
 ``benchmarks.check_bench_json`` and the exit code reflects the result.
+
+``--lint`` runs the :mod:`repro.lint` invariant checker over ``src`` and
+``benchmarks`` first and refuses to start benches on a dirty tree, so a
+long run never produces records from code that already violates the
+stack's contracts.
 """
 
 from __future__ import annotations
@@ -17,9 +22,10 @@ import argparse
 import importlib
 import sys
 import time
+from pathlib import Path
 
 from benchmarks.common import PROFILES, emit_bench, format_table
-from benchmarks.check_bench_json import check_files
+from benchmarks.check_bench_json import check_files_by_path
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import drain_roots, span
 
@@ -87,6 +93,29 @@ def run_one(exp_id: str, profile: str = "full", out_dir: str = ".") -> dict:
     }
 
 
+def lint_preflight() -> bool:
+    """Run ``repro.lint`` over src+benchmarks; True when the tree is clean."""
+    from repro.lint.baseline import DEFAULT_BASELINE_NAME, load_baseline
+    from repro.lint.engine import lint_paths
+    from repro.lint.report import render_text
+
+    repo_root = Path(__file__).resolve().parent.parent
+    baseline_path = repo_root / DEFAULT_BASELINE_NAME
+    baseline = load_baseline(baseline_path) if baseline_path.is_file() else None
+    result = lint_paths(
+        [repo_root / "src", repo_root / "benchmarks"],
+        baseline=baseline,
+        root=repo_root,
+    )
+    if not result.ok:
+        print(render_text(result))
+        print("lint preflight failed: fix (or baseline, with justification) "
+              "the findings above before running benches")
+        return False
+    print(f"lint preflight OK: {result.files_checked} file(s) clean")
+    return True
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.run_all",
@@ -98,7 +127,13 @@ def main(argv: list[str]) -> int:
                         help="knob profile (smoke = smallest configs)")
     parser.add_argument("--out-dir", default=".",
                         help="directory for BENCH_<exp>.json files")
+    parser.add_argument("--lint", action="store_true",
+                        help="refuse to run benches while repro.lint reports "
+                             "non-baselined findings in src/ or benchmarks/")
     args = parser.parse_args(argv)
+
+    if args.lint and not lint_preflight():
+        return 1
 
     selected = [a.lower() for a in args.experiments] or list(EXPERIMENTS)
     unknown = [s for s in selected if s not in EXPERIMENTS]
@@ -126,10 +161,15 @@ def main(argv: list[str]) -> int:
 
     print(format_table(summary, f"run_all summary (profile={args.profile})"))
     print()
-    problems = check_files([str(p) for p in emitted])
-    if problems:
-        for problem in problems:
-            print(f"INVALID: {problem}")
+    by_path = check_files_by_path([str(p) for p in emitted])
+    failing = {path: problems for path, problems in by_path.items() if problems}
+    if failing:
+        for path, problems in failing.items():
+            for problem in problems:
+                print(f"INVALID: {problem}")
+        print(f"{len(failing)}/{len(emitted)} emitted file(s) invalid:")
+        for path, problems in failing.items():
+            print(f"  {Path(path).name}: {len(problems)} problem(s)")
         return 1
     print(f"validated {len(emitted)} BENCH json file(s): all OK")
     return 0

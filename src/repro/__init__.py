@@ -24,6 +24,25 @@ The package is organised by the paper's roadmap:
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
 
+from repro import (
+    augment,
+    cleaning,
+    data,
+    discovery,
+    embeddings,
+    er,
+    lint,
+    nlq,
+    nn,
+    obs,
+    orchestration,
+    synth,
+    text,
+    transform,
+    utils,
+    weak,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -40,5 +59,7 @@ __all__ = [
     "augment",
     "synth",
     "orchestration",
+    "obs",
+    "lint",
     "utils",
 ]

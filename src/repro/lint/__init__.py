@@ -1,0 +1,50 @@
+"""``repro.lint`` — AST-based invariant checker for the repro stack.
+
+Generic linters cannot see the contracts this reproduction's correctness
+rests on: every autograd op needs a proper ``backward`` closure, all
+randomness must flow through seeded generators, observability must stay
+off the hot path unless enabled, and every benchmark must honour the
+``BENCH_*.json`` contract.  This package checks those invariants
+statically (see DESIGN.md § "Static analysis") with:
+
+* an AST-walking engine (:mod:`repro.lint.engine`),
+* a rule registry with stable ``RL###`` ids (:mod:`repro.lint.registry`),
+* per-line/per-file suppressions (:mod:`repro.lint.suppress`),
+* a committed baseline for deliberate exceptions (:mod:`repro.lint.baseline`),
+* text and JSON reporters (:mod:`repro.lint.report`), and
+* a CLI: ``python -m repro.lint [--json] [--baseline PATH] <paths>``.
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintResult, collect_files, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, all_rules, get_rule, register
+from repro.lint.report import render_json, render_text
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "apply_baseline",
+    "collect_files",
+    "get_rule",
+    "lint_paths",
+    "load_baseline",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,153 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the linter gate CI strictly (*zero new findings*) while
+deliberate exceptions stay visible and justified instead of silently
+suppressed.  Format (``lint-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "findings": [
+        {
+          "rule": "RL501",
+          "path": "benchmarks/bench_micro_substrate.py",
+          "message": "...",
+          "justification": "why this is a deliberate exception"
+        }
+      ]
+    }
+
+Matching is by line-insensitive fingerprint (rule, path, message) with
+multiplicity: two identical findings need two baseline entries.  Entries
+that no longer match anything are *stale* and reported, so the baseline
+can only shrink or be consciously re-justified.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding with its human justification."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    def fingerprint(self) -> str:
+        return f"{self.rule}|{self.path}|{self.message}"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file contents."""
+
+    entries: list[BaselineEntry]
+
+    def fingerprints(self) -> Counter:
+        return Counter(entry.fingerprint() for entry in self.entries)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read and validate a baseline file (ValueError on malformed input)."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: baseline must be an object with version={BASELINE_VERSION}")
+    raw_entries = document.get("findings")
+    if not isinstance(raw_entries, list):
+        raise ValueError(f"{path}: baseline 'findings' must be a list")
+    entries = []
+    for i, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict) or not {"rule", "path", "message"} <= set(raw):
+            raise ValueError(f"{path}: findings[{i}] needs rule/path/message keys")
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                justification=str(raw.get("justification", "")),
+            )
+        )
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    findings: list[Finding], path: str | Path, previous: Baseline | None = None
+) -> Baseline:
+    """Write a baseline covering ``findings``, keeping old justifications.
+
+    New entries get a TODO justification so reviewers see unexplained
+    grandfathering in the diff.
+    """
+    kept_justifications: dict[str, list[str]] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            kept_justifications.setdefault(entry.fingerprint(), []).append(entry.justification)
+    entries = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.rule_id, f.line)):
+        pool = kept_justifications.get(finding.fingerprint(), [])
+        justification = pool.pop(0) if pool else "TODO: justify this exception"
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule_id,
+                path=finding.path,
+                message=finding.message,
+                justification=justification,
+            )
+        )
+    baseline = Baseline(entries=entries)
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "justification": entry.justification,
+            }
+            for entry in baseline.entries
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return baseline
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline | None
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Mark baselined findings; return (findings, stale baseline entries).
+
+    The returned finding list preserves input order with matched findings
+    replaced by their ``baselined=True`` copies.  Stale entries are baseline
+    rows whose fingerprint matched fewer findings than its multiplicity.
+    """
+    if baseline is None:
+        return list(findings), []
+    budget = baseline.fingerprints()
+    marked: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            marked.append(finding.as_baselined())
+        else:
+            marked.append(finding)
+    stale: list[BaselineEntry] = []
+    remaining = Counter(budget)
+    for entry in baseline.entries:
+        if remaining.get(entry.fingerprint(), 0) > 0:
+            remaining[entry.fingerprint()] -= 1
+            stale.append(entry)
+    return marked, stale

@@ -1,0 +1,80 @@
+"""Command line interface: ``python -m repro.lint [options] <paths>``.
+
+Exit codes: 0 clean, 1 new findings (or stale baseline entries), 2 usage
+or I/O errors.  ``--write-baseline`` regenerates the baseline from the
+current findings, preserving existing justifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, load_baseline, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path | None]:
+    """Pick the baseline file: explicit flag wins, else the default if present."""
+    if args.no_baseline:
+        return None, None
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if not path.is_file() and not args.write_baseline:
+            raise FileNotFoundError(f"baseline file not found: {path}")
+        return (load_baseline(path) if path.is_file() else None), path
+    default = Path(args.root) / DEFAULT_BASELINE_NAME
+    if default.is_file():
+        return load_baseline(default), default
+    return None, default
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro stack.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every finding as new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to cover current findings")
+    parser.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--root", default=".",
+                        help="path display/baseline anchor (default: cwd)")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="include baselined findings in the text report")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline, baseline_path = _resolve_baseline(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+
+    result = lint_paths(args.paths, baseline=baseline, root=args.root, rule_ids=rule_ids)
+    if result.files_checked == 0 and not result.findings:
+        print(f"error: no python files found under {args.paths}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(args.root) / DEFAULT_BASELINE_NAME
+        write_baseline(result.findings, target, previous=baseline)
+        print(f"wrote {len(result.findings)} entr(y/ies) to {target}")
+        return 0
+
+    print(render_json(result) if args.json else
+          render_text(result, verbose_baselined=args.show_baselined))
+    return 0 if result.ok else 1

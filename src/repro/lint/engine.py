@@ -1,0 +1,139 @@
+"""The lint engine: collect files, run rules, apply the baseline.
+
+:func:`lint_paths` is the single entry point used by the CLI, the
+``run_all --lint`` preflight, and the tier-1 repo-clean test.  Syntax
+errors in linted files are reported as ``RL000`` findings rather than
+crashing the run, so one broken file cannot hide findings in the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint import rules as _rules  # noqa: F401  (imports register the rules)
+from repro.lint.baseline import Baseline, BaselineEntry, apply_baseline
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, all_rules, iter_findings
+from repro.lint.suppress import parse_suppressions
+
+__all__ = ["LintResult", "collect_files", "lint_paths"]
+
+PARSE_ERROR_RULE = "RL000"
+
+# Directories never worth descending into.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        """Findings not grandfathered by the baseline (these fail the run)."""
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def baselined_findings(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean: no new findings, no stale baseline."""
+        return not self.new_findings and not self.stale_baseline
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(part for part in p.parts))
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    """Stable posix path for reports/baselines: relative to ``root`` if possible."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    rule_ids: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` and apply ``baseline``.
+
+    ``root`` anchors the display paths (defaults to the current directory);
+    ``rule_ids`` optionally restricts the run to a subset of rules.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    wanted = set(rule_ids) if rule_ids is not None else None
+    rules = [r for r in all_rules() if wanted is None or r.id in wanted]
+
+    result = LintResult()
+    for path in collect_files(paths):
+        display = _display_path(path, root_path)
+        try:
+            source = path.read_text()
+        except OSError as error:
+            result.findings.append(
+                Finding(PARSE_ERROR_RULE, display, 1, 1, f"unreadable file: {error}")
+            )
+            continue
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            result.findings.append(
+                Finding(
+                    PARSE_ERROR_RULE,
+                    display,
+                    error.lineno or 1,
+                    (error.offset or 0) + 1,
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        ctx = FileContext(
+            path=path,
+            display=display,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+            root=root_path,
+        )
+        result.findings.extend(iter_findings(rules, ctx))
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    result.findings, result.stale_baseline = apply_baseline(result.findings, baseline)
+    return result

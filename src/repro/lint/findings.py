@@ -1,0 +1,50 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins a rule violation to a file and line.  Its
+:meth:`~Finding.fingerprint` deliberately omits the line/column so that
+baselined findings survive unrelated edits above them in the file; the
+trade-off (two identical messages in one file collapse to one fingerprint)
+is handled by counting fingerprint multiplicity in the baseline matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used for baseline matching."""
+        return f"{self.rule_id}|{self.path}|{self.message}"
+
+    def as_baselined(self) -> "Finding":
+        """Copy of this finding marked as grandfathered by the baseline."""
+        return replace(self, baselined=True)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the JSON reporter's row shape)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """Compiler-style one-liner: ``path:line:col: RLxxx message``."""
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{tag}"

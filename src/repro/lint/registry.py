@@ -1,0 +1,124 @@
+"""Rule base class, per-file context, and the global rule registry.
+
+Every rule has a stable id (``RL###``) that appears in reports, in
+suppression comments, and in the committed baseline; ids are never reused
+once published.  Numbering groups the families:
+
+* ``RL1xx`` — autograd contract
+* ``RL2xx`` — in-place mutation
+* ``RL3xx`` — determinism
+* ``RL4xx`` — observability hot-path guard
+* ``RL5xx`` — benchmark contract
+* ``RL6xx`` — export hygiene
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.suppress import Suppressions
+
+__all__ = ["FileContext", "Rule", "all_rules", "get_rule", "register"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    ``display`` is the posix-style path used in reports and baseline
+    fingerprints (relative to the lint invocation root when possible, so
+    fingerprints are stable across checkouts).
+    """
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    root: Path | None = None
+    _sibling_cache: dict = field(default_factory=dict)
+
+    def finding(self, rule_id: str, node: ast.AST | None, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (module level when None)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(rule_id=rule_id, path=self.display, line=line, col=col + 1, message=message)
+
+    def sibling_tree(self, name: str) -> ast.Module | None:
+        """Parse (and cache) a file next to this one; None when unreadable.
+
+        Cross-file rules (e.g. the bench-registration check) use this to
+        look at a neighbour without the engine having to lint it.
+        """
+        if name not in self._sibling_cache:
+            sibling = self.path.parent / name
+            try:
+                self._sibling_cache[name] = ast.parse(sibling.read_text())
+            except (OSError, SyntaxError, ValueError):
+                self._sibling_cache[name] = None
+        return self._sibling_cache[name]
+
+
+class Rule:
+    """Base class for all lint rules.
+
+    Subclasses set ``id``/``name``/``description``/``invariant`` and
+    implement :meth:`check`.  ``path_markers`` scopes the rule: the rule
+    runs only on files whose posix path contains at least one marker
+    (empty means every file).
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    path_markers: tuple[str, ...] = ()
+
+    def applies(self, display: str) -> bool:
+        """Whether this rule runs on the file at ``display`` path."""
+        if not self.path_markers:
+            return True
+        probe = "/" + display.lstrip("/")
+        return any(marker in probe for marker in self.path_markers)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; must not mutate the tree."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``rule_cls`` to the registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.id.startswith("RL"):
+        raise ValueError(f"rule {rule_cls.__name__} has no stable RL id")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (KeyError when unknown)."""
+    return _RULES[rule_id]
+
+
+def iter_findings(rules: Iterable[Rule], ctx: FileContext) -> Iterator[Finding]:
+    """Run every applicable rule over ``ctx``, filtering suppressions."""
+    for rule in rules:
+        if not rule.applies(ctx.display):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                yield finding

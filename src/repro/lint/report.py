@@ -1,0 +1,73 @@
+"""Text and JSON reporters over a :class:`~repro.lint.engine.LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import all_rules
+
+__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text"]
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose_baselined: bool = False) -> str:
+    """Human-readable report: one compiler-style line per finding + summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        if finding.baselined and not verbose_baselined:
+            continue
+        lines.append(finding.render())
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} — {entry.message!r} "
+            "no longer occurs; remove it from the baseline"
+        )
+    new = len(result.new_findings)
+    baselined = len(result.baselined_findings)
+    summary = (
+        f"{result.files_checked} file(s) checked: "
+        f"{new} new finding(s), {baselined} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr(y/ies)"
+    )
+    lines.append(summary if lines else f"{summary} — clean")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema below; covered by the lint tests).
+
+    ::
+
+        {
+          "version": 1,
+          "rules": {"RL101": "<rule name>", ...},
+          "findings": [{rule, path, line, col, message, baselined}, ...],
+          "stale_baseline": [{rule, path, message, justification}, ...],
+          "summary": {files_checked, total, new, baselined, stale, ok}
+        }
+    """
+    document = {
+        "version": JSON_REPORT_VERSION,
+        "rules": {rule.id: rule.name for rule in all_rules()},
+        "findings": [finding.to_dict() for finding in result.findings],
+        "stale_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "justification": entry.justification,
+            }
+            for entry in result.stale_baseline
+        ],
+        "summary": {
+            "files_checked": result.files_checked,
+            "total": len(result.findings),
+            "new": len(result.new_findings),
+            "baselined": len(result.baselined_findings),
+            "stale": len(result.stale_baseline),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,41 @@
+"""Rule implementations; importing this package registers every rule.
+
+Families (stable id prefixes, see DESIGN.md § "Static analysis"):
+
+* :mod:`~repro.lint.rules.autograd` — RL101 backward contract, RL102
+  loop-variable capture in backward closures;
+* :mod:`~repro.lint.rules.mutation` — RL201 in-place ``.data`` mutation;
+* :mod:`~repro.lint.rules.determinism` — RL301 legacy ``np.random``,
+  RL302 stdlib ``random``, RL303 clock-derived seeds;
+* :mod:`~repro.lint.rules.obs_guard` — RL401 unguarded metrics calls on
+  hot paths;
+* :mod:`~repro.lint.rules.bench_contract` — RL501 profile hooks, RL502
+  run_all registration;
+* :mod:`~repro.lint.rules.exports` — RL601 ``__all__`` names exist,
+  RL602 packages declare ``__all__``.
+"""
+
+from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
+from repro.lint.rules.bench_contract import BenchProfileContractRule, BenchRegisteredRule
+from repro.lint.rules.determinism import (
+    LegacyNumpyRandomRule,
+    StdlibRandomRule,
+    TimeSeededRule,
+)
+from repro.lint.rules.exports import AllNamesExistRule, PackageDefinesAllRule
+from repro.lint.rules.mutation import InPlaceDataMutationRule
+from repro.lint.rules.obs_guard import ObsHotPathGuardRule
+
+__all__ = [
+    "AllNamesExistRule",
+    "BackwardContractRule",
+    "BenchProfileContractRule",
+    "BenchRegisteredRule",
+    "InPlaceDataMutationRule",
+    "LegacyNumpyRandomRule",
+    "LoopCaptureRule",
+    "ObsHotPathGuardRule",
+    "PackageDefinesAllRule",
+    "StdlibRandomRule",
+    "TimeSeededRule",
+]

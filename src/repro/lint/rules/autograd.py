@@ -1,0 +1,201 @@
+"""Autograd-contract rules (RL1xx).
+
+Every forward op in :mod:`repro.nn` funnels through the two graph-node
+constructors ``_node(...)`` / ``self._make(...)``; the gradient for the
+op lives in the ``backward`` closure passed to them.  Two ways that
+contract silently breaks:
+
+* the closure argument is missing, a lambda, or an expression that is not
+  a function defined in the enclosing op (RL101) — gradients for the op
+  become unreviewable or absent;
+* a ``backward`` closure created inside a loop captures the loop variable
+  by reference (RL102) — python closures late-bind, so every iteration's
+  closure sees the *last* value and the gradients are silently wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules._util import walk_within_scope
+
+__all__ = ["BackwardContractRule", "LoopCaptureRule"]
+
+_NODE_CONSTRUCTORS = {"_node", "_make"}
+# Positional slot of the backward closure in _node(data, parents, backward, op)
+# and self._make(data, parents, backward, op).
+_BACKWARD_ARG_INDEX = 2
+
+
+def _backward_argument(call: ast.Call) -> ast.expr | None:
+    """The expression passed as the backward closure, or None if absent."""
+    for keyword in call.keywords:
+        if keyword.arg == "backward":
+            return keyword.value
+    if len(call.args) > _BACKWARD_ARG_INDEX:
+        return call.args[_BACKWARD_ARG_INDEX]
+    return None
+
+
+def _local_function_names(scope: ast.AST) -> set[str]:
+    """Names of functions defined anywhere inside ``scope`` (nested included)."""
+    return {
+        node.name
+        for node in ast.walk(scope)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not scope
+    }
+
+
+def _parameter_names(scope: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names of ``scope`` (a shim may forward its backward arg)."""
+    args = scope.args
+    names = {a.arg for a in args.args + args.kwonlyargs + args.posonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@register
+class BackwardContractRule(Rule):
+    """RL101: graph-node constructors must receive a local ``def`` closure."""
+
+    id = "RL101"
+    name = "autograd-backward-contract"
+    description = (
+        "calls to the autograd graph-node constructors (_node / self._make) "
+        "must pass a function defined in the enclosing op, conventionally "
+        "named 'backward', so every op's gradient is explicit and reviewable"
+    )
+    path_markers = ("/repro/nn/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Module-level functions and methods are both op scopes.  A name is
+        # an acceptable backward closure when it resolves to a function
+        # defined inside the outermost enclosing op, or is a parameter being
+        # forwarded by a shim (Tensor._make forwards to _node this way).
+        scopes = [
+            node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ] + [
+            method
+            for node in ctx.tree.body
+            if isinstance(node, ast.ClassDef)
+            for method in node.body
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            local_defs = _local_function_names(scope)
+            local_defs |= _parameter_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                name = callee.id if isinstance(callee, ast.Name) else (
+                    callee.attr if isinstance(callee, ast.Attribute) else None
+                )
+                if name not in _NODE_CONSTRUCTORS:
+                    continue
+                argument = _backward_argument(node)
+                if argument is None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{name}() call is missing its backward closure argument",
+                    )
+                elif isinstance(argument, ast.Lambda):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{name}() receives a lambda as backward; define a "
+                        "local 'def backward(grad)' so the gradient is a "
+                        "reviewable block",
+                    )
+                elif not (
+                    isinstance(argument, ast.Name) and argument.id in local_defs
+                ):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{name}() backward argument must be a function "
+                        "defined in the enclosing op (got "
+                        f"{ast.unparse(argument)!r})",
+                    )
+
+
+@register
+class LoopCaptureRule(Rule):
+    """RL102: backward closures must not capture loop variables by reference."""
+
+    id = "RL102"
+    name = "autograd-loop-capture"
+    description = (
+        "a 'backward' closure defined inside a for-loop must not read the "
+        "loop variable: closures late-bind, so after the loop finishes every "
+        "closure sees the final value and gradients are silently wrong; bind "
+        "the value via a default argument or a per-iteration local instead"
+    )
+    path_markers = ("/repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree, loop_vars=())
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, loop_vars: tuple[str, ...]
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.For):
+                targets = tuple(
+                    n.id
+                    for n in ast.walk(child.target)
+                    if isinstance(n, ast.Name)
+                )
+                yield from self._scan(ctx, child, loop_vars + targets)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name == "backward" and loop_vars:
+                    yield from self._check_closure(ctx, child, loop_vars)
+                # A nested def resets the loop context: variables of loops
+                # *inside* it are tracked by the recursive call below.
+                yield from self._scan(ctx, child, ())
+            else:
+                yield from self._scan(ctx, child, loop_vars)
+
+    def _check_closure(
+        self,
+        ctx: FileContext,
+        closure: ast.FunctionDef | ast.AsyncFunctionDef,
+        loop_vars: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        params = {arg.arg for arg in closure.args.args}
+        params.update(arg.arg for arg in closure.args.kwonlyargs)
+        if closure.args.vararg:
+            params.add(closure.args.vararg.arg)
+        if closure.args.kwarg:
+            params.add(closure.args.kwarg.arg)
+        rebound = {
+            n.id
+            for n in ast.walk(closure)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+        }
+        captured = sorted(
+            {
+                n.id
+                for n in ast.walk(closure)
+                if isinstance(n, ast.Name)
+                and isinstance(n.ctx, ast.Load)
+                and n.id in loop_vars
+            }
+            - params
+            - rebound
+        )
+        for name in captured:
+            yield ctx.finding(
+                self.id, closure,
+                f"backward closure captures loop variable {name!r} by "
+                "reference; late binding makes every iteration's gradient "
+                f"use the last value — bind it with 'def backward(grad, "
+                f"{name}={name})' or copy it to a per-iteration local",
+            )

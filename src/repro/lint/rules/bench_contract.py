@@ -1,0 +1,185 @@
+"""Benchmark contract rules (RL5xx).
+
+The ``BENCH_*.json`` pipeline (PR 1) only works when every experiment
+bench is uniform: ``run_experiment(profile=...)`` produces the rows,
+``_P`` maps both the ``full`` and ``smoke`` profiles to knob dicts, and
+``benchmarks.run_all`` runs the module under metrics+tracing, emits the
+record and validates it with ``check_bench_json``.  A bench that drifts
+from this shape silently drops out of the perf trajectory.
+
+* RL501 — ``benchmarks/bench_*.py`` must define ``run_experiment`` with a
+  defaulted ``profile`` parameter and a ``_P`` dict literal containing
+  both profile keys, and ``run_experiment`` must actually consult them.
+* RL502 — the module must be registered in ``run_all.EXPERIMENTS`` (else
+  its record is never emitted or validated).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["BenchProfileContractRule", "BenchRegisteredRule"]
+
+_PROFILE_KEYS = {"full", "smoke"}
+
+
+def _find_run_experiment(tree: ast.Module) -> ast.FunctionDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "run_experiment":
+            return node
+    return None
+
+
+def _profile_table(tree: ast.Module) -> tuple[ast.Assign | None, set[str]]:
+    """The module-level ``_P = {...}`` assignment and its string keys."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "_P" for t in node.targets):
+            continue
+        keys: set[str] = set()
+        if isinstance(node.value, ast.Dict):
+            keys = {
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+        return node, keys
+    return None, set()
+
+
+@register
+class BenchProfileContractRule(Rule):
+    """RL501: every bench module exposes the full/smoke profile hooks."""
+
+    id = "RL501"
+    name = "bench-profile-contract"
+    description = (
+        "benchmarks/bench_*.py must define run_experiment(profile=...) and a "
+        "_P dict with 'full' and 'smoke' knob profiles; the smoke profile is "
+        "what tier-1 tests and run_all --profile smoke execute, so a bench "
+        "without it is untested and unregenerable"
+    )
+    path_markers = ("/benchmarks/bench_",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        run_experiment = _find_run_experiment(ctx.tree)
+        table, keys = _profile_table(ctx.tree)
+
+        if run_experiment is None and table is None:
+            yield ctx.finding(
+                self.id, None,
+                "module exposes neither run_experiment(profile=...) nor a _P "
+                "profile table; every experiment bench must implement both",
+            )
+            return
+        if run_experiment is None:
+            yield ctx.finding(
+                self.id, table,
+                "module has a _P profile table but no run_experiment() hook",
+            )
+        else:
+            params = {a.arg for a in run_experiment.args.args}
+            params.update(a.arg for a in run_experiment.args.kwonlyargs)
+            if "profile" not in params:
+                yield ctx.finding(
+                    self.id, run_experiment,
+                    "run_experiment() must accept a 'profile' parameter",
+                )
+            else:
+                positional = run_experiment.args.args
+                n_defaults = len(run_experiment.args.defaults)
+                defaulted = {a.arg for a in positional[len(positional) - n_defaults:]}
+                defaulted.update(
+                    a.arg
+                    for a, d in zip(
+                        run_experiment.args.kwonlyargs, run_experiment.args.kw_defaults
+                    )
+                    if d is not None
+                )
+                if "profile" not in defaulted:
+                    yield ctx.finding(
+                        self.id, run_experiment,
+                        "run_experiment()'s 'profile' parameter needs a "
+                        "default (run_all and pytest call it both ways)",
+                    )
+            consults = any(
+                (isinstance(n, ast.Name) and n.id in {"_P", "profile_config"})
+                for n in ast.walk(run_experiment)
+            )
+            if not consults:
+                yield ctx.finding(
+                    self.id, run_experiment,
+                    "run_experiment() never consults _P/profile_config, so "
+                    "the profile knob is dead",
+                )
+
+        if table is None:
+            yield ctx.finding(
+                self.id, run_experiment,
+                "module defines no module-level _P profile table",
+            )
+        elif not _PROFILE_KEYS <= keys:
+            missing = sorted(_PROFILE_KEYS - keys)
+            yield ctx.finding(
+                self.id, table,
+                f"_P profile table is missing profile(s): {', '.join(missing)}",
+            )
+
+
+@register
+class BenchRegisteredRule(Rule):
+    """RL502: bench modules must be registered in ``run_all.EXPERIMENTS``."""
+
+    id = "RL502"
+    name = "bench-registered"
+    description = (
+        "a bench module absent from run_all.EXPERIMENTS never runs under "
+        "metrics+tracing and never emits a validated BENCH_<exp>.json, so "
+        "its results fall out of the perf trajectory"
+    )
+    path_markers = ("/benchmarks/bench_",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        run_all = ctx.sibling_tree("run_all.py")
+        if run_all is None:
+            return
+        registered = self._registered_modules(run_all)
+        if registered is None:
+            return
+        module_name = ctx.path.stem
+        if module_name not in registered:
+            yield ctx.finding(
+                self.id, None,
+                f"bench module {module_name!r} is not registered in "
+                "run_all.EXPERIMENTS; register it (or baseline this with a "
+                "justification if it is deliberately pytest-only)",
+            )
+
+    @staticmethod
+    def _registered_modules(tree: ast.Module) -> set[str] | None:
+        """Module names from the ``EXPERIMENTS = {...}`` literal in run_all."""
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "EXPERIMENTS" for t in node.targets
+            ):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                return None
+            modules: set[str] = set()
+            for value in node.value.values:
+                if (
+                    isinstance(value, ast.Tuple)
+                    and value.elts
+                    and isinstance(value.elts[0], ast.Constant)
+                    and isinstance(value.elts[0].value, str)
+                ):
+                    modules.add(value.elts[0].value)
+            return modules
+        return None

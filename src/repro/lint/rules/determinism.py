@@ -1,0 +1,154 @@
+"""Determinism rules (RL3xx).
+
+The paper's numbers are only reproducible if every run is bit-identical
+under a fixed seed, so all randomness must flow through seeded
+``np.random.Generator`` instances (``repro.utils.rng.ensure_rng``).
+Three ways global/implicit entropy sneaks in:
+
+* RL301 — calls into numpy's *legacy* global RandomState
+  (``np.random.rand`` and friends, ``np.random.seed``): shared mutable
+  state, call-order dependent;
+* RL302 — importing the stdlib ``random`` module: a second, untracked
+  entropy source with process-global state;
+* RL303 — seeding anything from the wall clock (``time.time`` /
+  ``time.time_ns`` passed to a seed/rng parameter): different every run
+  by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules._util import attribute_chain, call_name
+
+__all__ = ["LegacyNumpyRandomRule", "StdlibRandomRule", "TimeSeededRule"]
+
+# np.random attributes that are part of the Generator API, not legacy state.
+_ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+_SEED_CALLEES = {"default_rng", "seed", "Random", "SeedSequence", "ensure_rng", "RandomState"}
+_SEED_KEYWORDS = {"seed", "rng", "random_state", "entropy"}
+_CLOCK_FUNCTIONS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter"}
+
+
+def _np_random_target(node: ast.AST) -> str | None:
+    """``np.random.<fn>`` / ``numpy.random.<fn>`` -> ``fn``; else None."""
+    chain = attribute_chain(node)
+    if chain and len(chain) == 3 and chain[0] in {"np", "numpy"} and chain[1] == "random":
+        return chain[2]
+    return None
+
+
+@register
+class LegacyNumpyRandomRule(Rule):
+    """RL301: no calls into numpy's legacy global RandomState."""
+
+    id = "RL301"
+    name = "legacy-numpy-random"
+    description = (
+        "np.random.<fn>() module-level calls draw from numpy's process-global "
+        "legacy RandomState, making results depend on call order across the "
+        "whole process; thread a seeded np.random.default_rng(...) Generator "
+        "through instead"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _np_random_target(node.func)
+            if target is not None and target not in _ALLOWED_NP_RANDOM:
+                yield ctx.finding(
+                    self.id, node,
+                    f"np.random.{target}() uses the legacy global RandomState; "
+                    "use a seeded np.random.default_rng(...) Generator",
+                )
+
+
+@register
+class StdlibRandomRule(Rule):
+    """RL302: the stdlib ``random`` module is banned in library code."""
+
+    id = "RL302"
+    name = "stdlib-random-import"
+    description = (
+        "the stdlib random module is a second, untracked process-global "
+        "entropy source; all randomness must flow through seeded "
+        "np.random.Generator instances so runs are reproducible"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self.id, node,
+                            "stdlib 'random' imported; use seeded "
+                            "np.random.default_rng(...) Generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield ctx.finding(
+                        self.id, node,
+                        "import from stdlib 'random'; use seeded "
+                        "np.random.default_rng(...) Generators",
+                    )
+
+
+@register
+class TimeSeededRule(Rule):
+    """RL303: no wall-clock-derived seeds."""
+
+    id = "RL303"
+    name = "time-seeded-state"
+    description = (
+        "seeding an rng from the clock (time.time(), time.time_ns(), ...) "
+        "makes every run different by construction; seeds must be explicit "
+        "constants or derived from a parent Generator"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            seedish_args: list[ast.expr] = []
+            if callee in _SEED_CALLEES:
+                seedish_args.extend(node.args)
+                seedish_args.extend(
+                    kw.value for kw in node.keywords if kw.arg is None or kw.arg in _SEED_KEYWORDS
+                )
+            else:
+                seedish_args.extend(
+                    kw.value for kw in node.keywords if kw.arg in _SEED_KEYWORDS
+                )
+            for argument in seedish_args:
+                clock = self._clock_call(argument)
+                if clock is not None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{clock} used as a seed makes runs non-reproducible; "
+                        "pass an explicit seed or a parent Generator",
+                    )
+
+    @staticmethod
+    def _clock_call(node: ast.expr) -> str | None:
+        """Name of a clock call appearing anywhere inside ``node``."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                chain = attribute_chain(child.func)
+                if chain and chain[0] == "time" and chain[-1] in _CLOCK_FUNCTIONS:
+                    return ".".join(chain) + "()"
+                if (
+                    isinstance(child.func, ast.Name)
+                    and child.func.id in {"time", "time_ns"}
+                ):
+                    return child.func.id + "()"
+        return None

@@ -1,0 +1,102 @@
+"""Export hygiene rules (RL6xx).
+
+``__all__`` is the public API contract: ``from repro.x import *`` and the
+docs both trust it.  Two failure modes:
+
+* RL601 — a name listed in ``__all__`` is not actually defined or
+  imported at module level (an ``ImportError`` waiting in every
+  star-import), or is listed twice;
+* RL602 — a package ``__init__.py`` under ``repro`` defines no
+  ``__all__`` at all, so its public surface is whatever happens to be
+  importable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules._util import module_level_names
+
+__all__ = ["AllNamesExistRule", "PackageDefinesAllRule"]
+
+
+def _find_all_assignment(tree: ast.Module) -> tuple[ast.Assign | None, list[str] | None]:
+    """The module-level ``__all__`` assignment and its literal names.
+
+    Returns ``(node, None)`` when ``__all__`` exists but is not a literal
+    list/tuple of strings (dynamic ``__all__`` is not checkable).
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in node.value.elts
+        ):
+            return node, [e.value for e in node.value.elts]
+        return node, None
+    return None, None
+
+
+@register
+class AllNamesExistRule(Rule):
+    """RL601: every name in ``__all__`` exists; no duplicates."""
+
+    id = "RL601"
+    name = "all-names-exist"
+    description = (
+        "names listed in __all__ must be defined or imported at module "
+        "level; a phantom entry breaks star-imports and lies about the "
+        "public API"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        node, names = _find_all_assignment(ctx.tree)
+        if node is None or names is None:
+            return
+        defined = module_level_names(ctx.tree)
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                yield ctx.finding(
+                    self.id, node, f"__all__ lists {name!r} more than once"
+                )
+                continue
+            seen.add(name)
+            if name not in defined:
+                yield ctx.finding(
+                    self.id, node,
+                    f"__all__ lists {name!r} but the module never defines or "
+                    "imports it",
+                )
+
+
+@register
+class PackageDefinesAllRule(Rule):
+    """RL602: package ``__init__.py`` files must declare ``__all__``."""
+
+    id = "RL602"
+    name = "package-defines-all"
+    description = (
+        "a package __init__.py without __all__ has an implicit public API; "
+        "declaring it keeps star-imports and the docs honest"
+    )
+    path_markers = ("/repro/",)
+
+    def applies(self, display: str) -> bool:
+        return super().applies(display) and display.endswith("__init__.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        node, _ = _find_all_assignment(ctx.tree)
+        if node is None:
+            yield ctx.finding(
+                self.id, None,
+                "package __init__.py defines no __all__; declare the public "
+                "API explicitly",
+            )

@@ -1,0 +1,95 @@
+"""In-place mutation rule (RL201).
+
+Autograd correctness assumes a tensor's ``.data`` array is immutable once
+the tensor participates in a graph: backward closures capture references
+to parent ``.data`` (e.g. ``mul`` multiplies by ``other.data`` *at
+backward time*), so mutating an array between forward and backward
+silently corrupts gradients.  The only sanctioned mutation sites are the
+optimizer update kernels (whitelisted by path) and explicitly suppressed
+lines (e.g. deliberate buffer reuse with a justification).
+
+Rebinding (``t.data = new_array``) is allowed — it replaces the array
+object, the old one stays intact for any closure that captured it.
+Flagged instead are aliasing mutations: augmented assignment on ``.data``
+(``t.data += g``), slice/element assignment (``t.data[i] = v``,
+``t.data[:] = v``), augmented assignment through a subscript
+(``t.data[i] += v``), and the in-place ndarray methods (``fill``,
+``sort``, ``put``, ``partition``, ``resize``) called on ``.data``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["InPlaceDataMutationRule"]
+
+_INPLACE_METHODS = {"fill", "sort", "put", "partition", "resize", "itemset"}
+
+# Optimizer update kernels legitimately rewrite parameter arrays.
+_WHITELISTED_PATHS = ("/repro/nn/optim.py",)
+
+
+def _is_data_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+@register
+class InPlaceDataMutationRule(Rule):
+    """RL201: no in-place mutation of a tensor's ``.data`` outside whitelisted sites."""
+
+    id = "RL201"
+    name = "inplace-data-mutation"
+    description = (
+        "augmented/slice assignment or in-place ndarray methods on a live "
+        "Tensor's .data corrupt gradients: backward closures hold references "
+        "to parent arrays and replay them at backward time; rebind .data or "
+        "work on a copy, or mutate only inside whitelisted optimizer sites"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def applies(self, display: str) -> bool:
+        probe = "/" + display.lstrip("/")
+        if any(white in probe for white in _WHITELISTED_PATHS):
+            return False
+        return super().applies(display)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                if _is_data_attribute(target):
+                    yield ctx.finding(
+                        self.id, node,
+                        "augmented assignment mutates .data in place; "
+                        "rebind instead: 't.data = t.data <op> ...'",
+                    )
+                elif isinstance(target, ast.Subscript) and _is_data_attribute(target.value):
+                    yield ctx.finding(
+                        self.id, node,
+                        "augmented subscript assignment mutates .data in "
+                        "place; build the new array and rebind .data",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and _is_data_attribute(target.value):
+                        yield ctx.finding(
+                            self.id, target,
+                            "slice/element assignment mutates .data in "
+                            "place; build the new array and rebind .data",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _INPLACE_METHODS
+                    and _is_data_attribute(func.value)
+                ):
+                    yield ctx.finding(
+                        self.id, node,
+                        f".data.{func.attr}() mutates the array in place; "
+                        "use the out-of-place variant and rebind .data",
+                    )

@@ -1,0 +1,222 @@
+"""Observability hot-path guard rule (RL401).
+
+The metrics registry is default-off precisely so instrumented hot loops
+(autograd node construction, optimizer steps, batch loops) pay one
+attribute check per event.  Instrument-accessor calls
+(``REGISTRY.counter(...)``, ``.gauge``, ``.histogram``, ``.series``,
+``.record_op``) allocate/lock even when disabled, so in the hot packages
+(``nn``, ``er``, ``orchestration``) each one must be behind the
+registry's ``enabled`` check.
+
+Recognised guard shapes::
+
+    if _OBS.enabled: ...
+    observing = _OBS.enabled
+    if observing: ...
+    if not _OBS.enabled: return        # early-out guards the rest
+    _OBS.enabled and _OBS.counter(...) # short-circuit
+    x = _OBS.counter(...) if observing else None
+
+Lifecycle calls (``enable``, ``disable``, ``reset``, ``snapshot``) are
+not hot-path and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["ObsHotPathGuardRule"]
+
+_HOT_ACCESSORS = {"counter", "gauge", "histogram", "series", "record_op"}
+_REGISTRY_MODULES = {"repro.obs", "repro.obs.metrics"}
+_EXIT_STMTS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _registry_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the metrics REGISTRY object."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in _REGISTRY_MODULES:
+            for alias in node.names:
+                if alias.name == "REGISTRY":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@register
+class ObsHotPathGuardRule(Rule):
+    """RL401: metrics instrument calls must be behind the enabled check."""
+
+    id = "RL401"
+    name = "obs-hot-path-guard"
+    description = (
+        "calls into the metrics registry's instrument accessors from the hot "
+        "packages must be guarded by 'if REGISTRY.enabled:' (directly or via "
+        "a local bound from it); unguarded calls allocate and lock on every "
+        "event even when observability is off"
+    )
+    path_markers = ("/repro/nn/", "/repro/er/", "/repro/orchestration/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _registry_aliases(ctx.tree)
+        if not aliases:
+            return
+        self._aliases = aliases
+        # Module level: no guard vars, nothing guarded.
+        yield from self._walk_scope(ctx, ctx.tree)
+
+    # -- scope handling -------------------------------------------------- #
+
+    def _walk_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+        guard_vars = self._guard_vars(scope)
+        yield from self._walk_stmts(ctx, self._body_of(scope), guard_vars, False)
+
+    @staticmethod
+    def _body_of(scope: ast.AST) -> list[ast.stmt]:
+        return list(getattr(scope, "body", []))
+
+    def _guard_vars(self, scope: ast.AST) -> set[str]:
+        """Names assigned (anywhere in scope) from an ``.enabled`` read."""
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and self._refs_enabled(node.value, set()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    # -- guard-aware traversal ------------------------------------------- #
+
+    def _walk_stmts(
+        self,
+        ctx: FileContext,
+        stmts: list[ast.stmt],
+        guard_vars: set[str],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        level_guarded = guarded
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # New scope: its own guard vars, nothing inherited lexically
+                # (a nested def may run long after the guard was evaluated).
+                yield from self._walk_scope(ctx, stmt)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._walk_stmts(ctx, stmt.body, set(), False)
+                continue
+            if isinstance(stmt, ast.If):
+                test_guards = self._refs_enabled(stmt.test, guard_vars)
+                negated = isinstance(stmt.test, ast.UnaryOp) and isinstance(
+                    stmt.test.op, ast.Not
+                )
+                yield from self._walk_exprs(ctx, [stmt.test], guard_vars, level_guarded)
+                body_guarded = level_guarded or (test_guards and not negated)
+                else_guarded = level_guarded or (test_guards and negated)
+                yield from self._walk_stmts(ctx, stmt.body, guard_vars, body_guarded)
+                yield from self._walk_stmts(ctx, stmt.orelse, guard_vars, else_guarded)
+                # `if not enabled: return` guards everything after it.
+                if (
+                    test_guards
+                    and negated
+                    and stmt.body
+                    and isinstance(stmt.body[-1], _EXIT_STMTS)
+                ):
+                    level_guarded = True
+                continue
+            # Generic statement: check embedded expressions, then recurse
+            # into any nested statement lists (loops, with, try).
+            yield from self._walk_exprs(
+                ctx, self._stmt_exprs(stmt), guard_vars, level_guarded
+            )
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested:
+                    yield from self._walk_stmts(ctx, nested, guard_vars, level_guarded)
+            for handler in getattr(stmt, "handlers", []):
+                yield from self._walk_stmts(ctx, handler.body, guard_vars, level_guarded)
+
+    @staticmethod
+    def _stmt_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        """Expressions directly attached to ``stmt`` (not nested statements)."""
+        exprs: list[ast.expr] = []
+        for field, value in ast.iter_fields(stmt):
+            if field in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+            elif isinstance(value, list):
+                exprs.extend(v for v in value if isinstance(v, ast.expr))
+        return exprs
+
+    def _walk_exprs(
+        self,
+        ctx: FileContext,
+        exprs: list[ast.expr],
+        guard_vars: set[str],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        stack: list[tuple[ast.expr, bool]] = [(e, guarded) for e in exprs]
+        while stack:
+            node, is_guarded = stack.pop()
+            if isinstance(node, ast.IfExp):
+                test_guards = self._refs_enabled(node.test, guard_vars)
+                stack.append((node.test, is_guarded))
+                stack.append((node.body, is_guarded or test_guards))
+                stack.append((node.orelse, is_guarded))
+                continue
+            if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+                seen_guard = is_guarded
+                for value in node.values:
+                    stack.append((value, seen_guard))
+                    seen_guard = seen_guard or self._refs_enabled(value, guard_vars)
+                continue
+            if isinstance(node, (ast.Lambda,)):
+                stack.append((node.body, False))
+                continue
+            if isinstance(node, ast.Call) and not is_guarded:
+                accessor = self._hot_accessor(node)
+                if accessor is not None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"unguarded {accessor} call on the hot path; wrap it "
+                        "in 'if REGISTRY.enabled:' (one attribute check when "
+                        "observability is off)",
+                    )
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    stack.append((child, is_guarded))
+
+    # -- registry shape matching ----------------------------------------- #
+
+    def _refs_enabled(self, node: ast.expr, guard_vars: set[str]) -> bool:
+        """True when ``node`` reads ``<alias>.enabled`` or a guard variable."""
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Attribute)
+                and child.attr == "enabled"
+                and isinstance(child.value, ast.Name)
+                and child.value.id in self._aliases
+            ):
+                return True
+            if (
+                isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and child.id in guard_vars
+            ):
+                return True
+        return False
+
+    def _hot_accessor(self, call: ast.Call) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _HOT_ACCESSORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._aliases
+        ):
+            return f"{func.value.id}.{func.attr}()"
+        return None

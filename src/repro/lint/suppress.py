@@ -1,0 +1,79 @@
+"""Suppression comments: opt a line or file out of specific rules.
+
+Two forms, both comments so they survive formatters:
+
+* line level — suppress on the line the finding is reported at::
+
+      total = rng_free_thing()  # repro-lint: disable=RL301
+
+* file level — anywhere in the file (conventionally the top)::
+
+      # repro-lint: disable-file=RL501,RL502
+
+``disable=all`` (either form) suppresses every rule.  Comments are found
+with :mod:`tokenize` so string literals that merely *contain* the marker
+text do not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+_ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    def __init__(self) -> None:
+        self.file_rules: set[str] = set()
+        self.line_rules: dict[int, set[str]] = {}
+
+    def add(self, kind: str, rules: set[str], line: int) -> None:
+        if kind == "disable-file":
+            self.file_rules |= rules
+        else:
+            self.line_rules.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is disabled at ``line`` (or file-wide)."""
+        if _ALL in self.file_rules or rule_id in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line, ())
+        return _ALL in at_line or rule_id in at_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract all ``repro-lint`` directives from ``source``."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine; fall back to a crude
+        # per-line scan so suppressions still work on files with odd endings.
+        comments = [
+            (i, line)
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for line, text in comments:
+        match = _MARKER.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",") if part.strip()}
+        if rules:
+            suppressions.add(match.group("kind"), rules, line)
+    return suppressions

@@ -131,6 +131,7 @@ def build_record(
 def write_record(record: dict, out_dir: str | Path = ".") -> Path:
     """Write ``record`` to ``BENCH_<EXPERIMENT_ID>.json`` under ``out_dir``."""
     path = Path(out_dir) / f"BENCH_{record['experiment_id'].upper()}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(record, indent=2, allow_nan=False) + "\n")
     return path
 

@@ -1,0 +1,38 @@
+"""Shared helpers for the lint test suite.
+
+Rules are path-scoped (e.g. the autograd rules only fire under
+``repro/nn/``), so the ``lint_file`` fixture writes each snippet into a
+synthetic tree that mimics the repo layout before running the engine.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_paths
+
+
+@pytest.fixture
+def lint_file(tmp_path):
+    """Write ``source`` at ``relpath`` under a temp root and lint it."""
+
+    def _lint(relpath, source, rule_ids=None, baseline=None, extra_files=()):
+        for extra_relpath, extra_source in extra_files:
+            extra = tmp_path / extra_relpath
+            extra.parent.mkdir(parents=True, exist_ok=True)
+            extra.write_text(textwrap.dedent(extra_source))
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_paths(
+            [path], baseline=baseline, root=tmp_path, rule_ids=rule_ids
+        )
+
+    return _lint
+
+
+def rule_ids(result):
+    """The set of rule ids present in a result's findings."""
+    return {finding.rule_id for finding in result.findings}

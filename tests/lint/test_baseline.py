@@ -1,0 +1,130 @@
+"""Baseline round-trip, stale detection, and justification preservation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def _finding(rule="RL301", path="src/repro/weak/sampler.py", line=4,
+             message="np.random.rand() uses the legacy global RandomState"):
+    return Finding(rule_id=rule, path=path, line=line, col=1, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "lint-baseline.json"
+        findings = [_finding(), _finding(rule="RL302", message="stdlib random imported")]
+        write_baseline(findings, target)
+        loaded = load_baseline(target)
+        assert len(loaded.entries) == 2
+        assert {e.rule for e in loaded.entries} == {"RL301", "RL302"}
+        assert all(e.justification == "TODO: justify this exception" for e in loaded.entries)
+
+    def test_rewrite_preserves_justifications(self, tmp_path):
+        target = tmp_path / "lint-baseline.json"
+        finding = _finding()
+        first = write_baseline([finding], target)
+        # Simulate a human editing the TODO into a real justification.
+        document = json.loads(target.read_text())
+        document["findings"][0]["justification"] = "legacy sampler, tracked in #42"
+        target.write_text(json.dumps(document))
+        rewritten = write_baseline([finding], target, previous=load_baseline(target))
+        assert rewritten.entries[0].justification == "legacy sampler, tracked in #42"
+        assert first.entries[0].justification == "TODO: justify this exception"
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        target = tmp_path / "lint-baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(target)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        target = tmp_path / "lint-baseline.json"
+        target.write_text(json.dumps({"version": 1, "findings": [{"rule": "RL301"}]}))
+        with pytest.raises(ValueError):
+            load_baseline(target)
+
+
+class TestApplyBaseline:
+    def test_matching_finding_marked_baselined(self):
+        finding = _finding()
+        baseline = Baseline(entries=[BaselineEntry(
+            rule=finding.rule_id, path=finding.path, message=finding.message)])
+        marked, stale = apply_baseline([finding], baseline)
+        assert marked[0].baselined
+        assert stale == []
+
+    def test_line_number_drift_still_matches(self):
+        # Fingerprints are line-insensitive: editing unrelated code above a
+        # grandfathered finding must not invalidate the baseline.
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL301", path="src/repro/weak/sampler.py",
+            message="np.random.rand() uses the legacy global RandomState")])
+        marked, stale = apply_baseline([_finding(line=200)], baseline)
+        assert marked[0].baselined
+        assert stale == []
+
+    def test_multiplicity_budget(self):
+        # Two identical findings, one baseline entry: only one is covered.
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL301", path="src/repro/weak/sampler.py",
+            message="np.random.rand() uses the legacy global RandomState")])
+        marked, stale = apply_baseline([_finding(line=4), _finding(line=9)], baseline)
+        assert [f.baselined for f in marked] == [True, False]
+        assert stale == []
+
+    def test_stale_entry_reported(self):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL999", path="src/gone.py", message="was fixed")])
+        marked, stale = apply_baseline([], baseline)
+        assert marked == []
+        assert len(stale) == 1
+        assert stale[0].rule == "RL999"
+
+    def test_no_baseline_passthrough(self):
+        finding = _finding()
+        marked, stale = apply_baseline([finding], None)
+        assert marked == [finding]
+        assert not marked[0].baselined
+        assert stale == []
+
+
+class TestEngineIntegration:
+    def test_baselined_result_is_ok(self, lint_file, tmp_path):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL302", path="src/repro/weak/sampler.py",
+            message="stdlib 'random' imported; use seeded "
+                    "np.random.default_rng(...) Generators")])
+        result = lint_file(
+            "src/repro/weak/sampler.py",
+            "import random\n",
+            rule_ids=["RL302"],
+            baseline=baseline,
+        )
+        assert len(result.findings) == 1
+        assert result.findings[0].baselined
+        assert result.ok
+
+    def test_stale_entry_makes_result_dirty(self, lint_file):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL302", path="src/repro/weak/sampler.py", message="not there")])
+        result = lint_file(
+            "src/repro/weak/sampler.py",
+            "import numpy as np\n",
+            rule_ids=["RL302"],
+            baseline=baseline,
+        )
+        assert result.findings == []
+        assert result.stale_baseline
+        assert not result.ok

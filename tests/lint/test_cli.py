@@ -1,0 +1,127 @@
+"""CLI exit codes, --json output, and --write-baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+
+DIRTY = "import random\n"
+CLEAN = "import numpy as np\n"
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A minimal lintable tree; returns (root, write) for adding files."""
+
+    def write(relpath, source):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    return tmp_path, write
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 0
+        assert "— clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 1
+        assert "RL302" in capsys.readouterr().out
+
+    def test_no_python_files_exit_two(self, project, capsys):
+        root, write = project
+        write("src/notes.txt", "nothing here")
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 2
+        assert "no python files" in capsys.readouterr().err
+
+    def test_missing_baseline_file_exit_two(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        code = main([
+            str(root / "src"), "--root", str(root),
+            "--baseline", str(root / "absent.json"),
+        ])
+        assert code == 2
+        assert "baseline file not found" in capsys.readouterr().err
+
+
+class TestJsonFlag:
+    def test_json_report_parses(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        code = main([str(root / "src"), "--root", str(root), "--json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["new"] == 1
+        assert document["findings"][0]["rule"] == "RL302"
+
+
+class TestBaselineFlow:
+    def test_write_then_gate(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        baseline = root / "lint-baseline.json"
+
+        code = main([
+            str(root / "src"), "--root", str(root),
+            "--baseline", str(baseline), "--write-baseline",
+        ])
+        assert code == 0
+        assert baseline.is_file()
+
+        # Grandfathered finding no longer fails the gate...
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 0
+        capsys.readouterr()
+
+        # ...but a fresh violation still does.
+        write("src/repro/weak/other.py", DIRTY)
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 1
+        assert "other.py" in capsys.readouterr().out
+
+    def test_default_baseline_discovered_from_root(self, project):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        main([
+            str(root / "src"), "--root", str(root), "--write-baseline",
+        ])
+        assert (root / "lint-baseline.json").is_file()
+        assert main([str(root / "src"), "--root", str(root)]) == 0
+
+    def test_no_baseline_ignores_default(self, project):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        main([str(root / "src"), "--root", str(root), "--write-baseline"])
+        assert main([str(root / "src"), "--root", str(root), "--no-baseline"]) == 1
+
+    def test_stale_baseline_fails_gate(self, project, capsys):
+        root, write = project
+        target = write("src/repro/weak/sampler.py", DIRTY)
+        main([str(root / "src"), "--root", str(root), "--write-baseline"])
+        target.write_text(CLEAN)  # the violation is fixed; the entry is stale
+        code = main([str(root / "src"), "--root", str(root)])
+        assert code == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestRulesFlag:
+    def test_rule_filter(self, project):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        assert main([str(root / "src"), "--root", str(root), "--rules", "RL301"]) == 0
+        assert main([str(root / "src"), "--root", str(root), "--rules", "RL302"]) == 1

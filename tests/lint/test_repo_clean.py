@@ -1,0 +1,54 @@
+"""Tier-1 gate: the repo itself must lint clean against its baseline.
+
+This is the enforcement half of the linter — any new violation of an
+RL rule in ``src/`` or ``benchmarks/`` fails this test unless it is
+either fixed or added to ``lint-baseline.json`` with a justification.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, load_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def repo_result():
+    baseline_path = REPO_ROOT / DEFAULT_BASELINE_NAME
+    baseline = load_baseline(baseline_path) if baseline_path.is_file() else None
+    return lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "benchmarks"],
+        baseline=baseline,
+        root=REPO_ROOT,
+    )
+
+
+def test_repo_lints_clean(repo_result):
+    assert repo_result.ok, "\n" + render_text(repo_result)
+
+
+def test_no_stale_baseline_entries(repo_result):
+    assert repo_result.stale_baseline == [], "\n" + render_text(repo_result)
+
+
+def test_baseline_entries_are_justified(repo_result):
+    baseline_path = REPO_ROOT / DEFAULT_BASELINE_NAME
+    if not baseline_path.is_file():
+        pytest.skip("no baseline committed")
+    for entry in load_baseline(baseline_path).entries:
+        assert entry.justification.strip(), f"unjustified baseline entry: {entry}"
+        assert not entry.justification.startswith("TODO"), (
+            f"baseline entry still carries a TODO justification: {entry}"
+        )
+
+
+def test_lint_covers_repo_files(repo_result):
+    # Sanity check that the walk actually visited the codebase; a collection
+    # bug that silently checked 0 files would make the gate vacuous.
+    assert repo_result.files_checked > 100

@@ -1,0 +1,81 @@
+"""Text and JSON reporter output contracts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.report import JSON_REPORT_VERSION, render_json, render_text
+
+SRC_PATH = "src/repro/weak/sampler.py"
+DIRTY = "import random\n"
+
+
+class TestTextReport:
+    def test_clean_run_says_clean(self, lint_file):
+        result = lint_file(SRC_PATH, "import numpy as np\n", rule_ids=["RL302"])
+        text = render_text(result)
+        assert text.endswith("— clean")
+        assert "0 new finding(s)" in text
+
+    def test_finding_rendered_compiler_style(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        text = render_text(result)
+        assert f"{SRC_PATH}:1:1: RL302" in text
+        assert "1 new finding(s)" in text
+
+    def test_baselined_hidden_by_default(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        baselined = [f.as_baselined() for f in result.findings]
+        result.findings = baselined
+        assert "RL302" not in render_text(result).splitlines()[0]
+        assert "RL302" in render_text(result, verbose_baselined=True)
+
+    def test_stale_entries_listed(self, lint_file):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL302", path=SRC_PATH, message="not there")])
+        result = lint_file(
+            SRC_PATH, "import numpy as np\n", rule_ids=["RL302"], baseline=baseline)
+        text = render_text(result)
+        assert "stale baseline entry: RL302" in text
+
+
+class TestJsonReport:
+    def test_schema(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        document = json.loads(render_json(result))
+        assert document["version"] == JSON_REPORT_VERSION
+        assert set(document) == {"version", "rules", "findings", "stale_baseline", "summary"}
+        assert document["rules"]["RL302"]  # rule id -> human name
+        (finding,) = document["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message", "baselined"}
+        assert finding["rule"] == "RL302"
+        assert finding["path"] == SRC_PATH
+        assert finding["baselined"] is False
+        summary = document["summary"]
+        assert summary == {
+            "files_checked": 1,
+            "total": 1,
+            "new": 1,
+            "baselined": 0,
+            "stale": 0,
+            "ok": False,
+        }
+
+    def test_clean_summary_ok_true(self, lint_file):
+        result = lint_file(SRC_PATH, "import numpy as np\n", rule_ids=["RL302"])
+        summary = json.loads(render_json(result))["summary"]
+        assert summary["ok"] is True
+        assert summary["total"] == 0
+
+    def test_stale_entries_serialised(self, lint_file):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RL302", path=SRC_PATH, message="not there", justification="old")])
+        result = lint_file(
+            SRC_PATH, "import numpy as np\n", rule_ids=["RL302"], baseline=baseline)
+        document = json.loads(render_json(result))
+        assert document["stale_baseline"] == [{
+            "rule": "RL302", "path": SRC_PATH,
+            "message": "not there", "justification": "old",
+        }]
+        assert document["summary"]["ok"] is False

@@ -1,0 +1,162 @@
+"""RL101 (backward contract) and RL102 (loop-variable capture)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+NN_PATH = "src/repro/nn/op.py"
+
+
+class TestBackwardContract:
+    def test_missing_backward_argument_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def relu(self):
+                return self._make(self.data, (self,))
+            """,
+            rule_ids=["RL101"],
+        )
+        assert rule_ids(result) == {"RL101"}
+        assert "missing its backward closure" in result.findings[0].message
+
+    def test_lambda_backward_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def relu(self):
+                return self._make(self.data, (self,), lambda g: None, "relu")
+            """,
+            rule_ids=["RL101"],
+        )
+        assert rule_ids(result) == {"RL101"}
+        assert "lambda" in result.findings[0].message
+
+    def test_non_local_backward_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def relu(self):
+                return self._make(self.data, (self,), module_level_fn, "relu")
+            """,
+            rule_ids=["RL101"],
+        )
+        assert rule_ids(result) == {"RL101"}
+
+    def test_local_def_backward_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def relu(self):
+                mask = self.data > 0
+
+                def backward(grad):
+                    self._accumulate(grad * mask)
+
+                return self._make(self.data * mask, (self,), backward, "relu")
+            """,
+            rule_ids=["RL101"],
+        )
+        assert result.findings == []
+
+    def test_keyword_backward_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def relu(self):
+                def backward(grad):
+                    pass
+
+                return _node(self.data, (self,), backward=backward, op="relu")
+            """,
+            rule_ids=["RL101"],
+        )
+        assert result.findings == []
+
+    def test_forwarding_shim_parameter_ok(self, lint_file):
+        # Tensor._make forwards its own backward parameter to _node.
+        result = lint_file(
+            NN_PATH,
+            """
+            def _make(self, data, parents, backward, op="?"):
+                return _node(data, parents, backward, op)
+            """,
+            rule_ids=["RL101"],
+        )
+        assert result.findings == []
+
+    def test_rule_scoped_to_nn(self, lint_file):
+        result = lint_file(
+            "src/repro/er/op.py",
+            """
+            def f(self):
+                return self._make(1, (), None, "x")
+            """,
+            rule_ids=["RL101"],
+        )
+        assert result.findings == []
+
+
+class TestLoopCapture:
+    def test_loop_variable_capture_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def split(self, pieces):
+                outs = []
+                for i, piece in enumerate(pieces):
+                    def backward(grad):
+                        self._accumulate_at(i, grad)
+                    outs.append(self._make(piece, (self,), backward, "split"))
+                return outs
+            """,
+            rule_ids=["RL102"],
+        )
+        assert rule_ids(result) == {"RL102"}
+        assert "'i'" in result.findings[0].message
+
+    def test_default_argument_binding_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def split(self, pieces):
+                outs = []
+                for i, piece in enumerate(pieces):
+                    def backward(grad, i=i):
+                        self._accumulate_at(i, grad)
+                    outs.append(self._make(piece, (self,), backward, "split"))
+                return outs
+            """,
+            rule_ids=["RL102"],
+        )
+        assert result.findings == []
+
+    def test_loop_inside_backward_ok(self, lint_file):
+        # concat-style: the loop lives inside backward, no capture hazard.
+        result = lint_file(
+            NN_PATH,
+            """
+            def concat(tensors):
+                def backward(grad):
+                    for tensor in tensors:
+                        tensor._accumulate(grad)
+                return _node(1, tensors, backward, "concat")
+            """,
+            rule_ids=["RL102"],
+        )
+        assert result.findings == []
+
+    def test_rebound_name_inside_closure_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            def f(items):
+                for i in items:
+                    def backward(grad):
+                        i = transform(grad)
+                        return i
+                    register(backward)
+            """,
+            rule_ids=["RL102"],
+        )
+        assert result.findings == []

@@ -1,0 +1,134 @@
+"""RL501 (profile hooks) and RL502 (run_all registration)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+RUN_ALL = (
+    "benchmarks/run_all.py",
+    """
+    EXPERIMENTS = {
+        "e1": ("bench_e1_thing", "E1: thing"),
+    }
+    """,
+)
+
+GOOD_BENCH = """
+    _P = {
+        "full": dict(epochs=50),
+        "smoke": dict(epochs=2),
+    }
+
+    def run_experiment(profile="full"):
+        cfg = profile_config(_P, profile)
+        return [{"metric": cfg["epochs"]}]
+    """
+
+
+class TestBenchProfileContract:
+    def test_complete_bench_ok(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py", GOOD_BENCH,
+            rule_ids=["RL501"], extra_files=[RUN_ALL],
+        )
+        assert result.findings == []
+
+    def test_empty_module_single_combined_finding(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e9_stub.py",
+            """
+            def helper():
+                return 1
+            """,
+            rule_ids=["RL501"],
+        )
+        assert [f.rule_id for f in result.findings] == ["RL501"]
+        assert "neither" in result.findings[0].message
+
+    def test_missing_profile_parameter_flagged(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py",
+            """
+            _P = {"full": {}, "smoke": {}}
+
+            def run_experiment():
+                return [dict(_P["full"])]
+            """,
+            rule_ids=["RL501"],
+        )
+        assert rule_ids(result) == {"RL501"}
+        assert any("'profile' parameter" in f.message for f in result.findings)
+
+    def test_profile_without_default_flagged(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py",
+            """
+            _P = {"full": {}, "smoke": {}}
+
+            def run_experiment(profile):
+                return [dict(_P[profile])]
+            """,
+            rule_ids=["RL501"],
+        )
+        assert rule_ids(result) == {"RL501"}
+        assert any("default" in f.message for f in result.findings)
+
+    def test_missing_smoke_profile_flagged(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py",
+            """
+            _P = {"full": {"epochs": 50}}
+
+            def run_experiment(profile="full"):
+                return [dict(_P[profile])]
+            """,
+            rule_ids=["RL501"],
+        )
+        assert rule_ids(result) == {"RL501"}
+        assert any("smoke" in f.message for f in result.findings)
+
+    def test_dead_profile_knob_flagged(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py",
+            """
+            _P = {"full": {}, "smoke": {}}
+
+            def run_experiment(profile="full"):
+                return [{"metric": 1.0}]
+            """,
+            rule_ids=["RL501"],
+        )
+        assert rule_ids(result) == {"RL501"}
+        assert any("dead" in f.message for f in result.findings)
+
+    def test_non_bench_files_ignored(self, lint_file):
+        result = lint_file(
+            "benchmarks/common.py",
+            "def helper():\n    return 1\n",
+            rule_ids=["RL501"],
+        )
+        assert result.findings == []
+
+
+class TestBenchRegistered:
+    def test_registered_module_ok(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py", GOOD_BENCH,
+            rule_ids=["RL502"], extra_files=[RUN_ALL],
+        )
+        assert result.findings == []
+
+    def test_unregistered_module_flagged(self, lint_file):
+        result = lint_file(
+            "benchmarks/bench_e2_other.py", GOOD_BENCH,
+            rule_ids=["RL502"], extra_files=[RUN_ALL],
+        )
+        assert rule_ids(result) == {"RL502"}
+        assert "bench_e2_other" in result.findings[0].message
+
+    def test_no_run_all_sibling_ok(self, lint_file):
+        # Without a run_all.py next to the bench there is no registry to check.
+        result = lint_file(
+            "benchmarks/bench_e1_thing.py", GOOD_BENCH, rule_ids=["RL502"],
+        )
+        assert result.findings == []

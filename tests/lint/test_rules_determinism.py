@@ -1,0 +1,158 @@
+"""RL301/RL302/RL303: all randomness flows through seeded Generators."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+SRC_PATH = "src/repro/weak/sampler.py"
+
+
+class TestLegacyNumpyRandom:
+    def test_module_level_call_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+
+            def sample(n):
+                return np.random.rand(n)
+            """,
+            rule_ids=["RL301"],
+        )
+        assert rule_ids(result) == {"RL301"}
+        assert "np.random.rand()" in result.findings[0].message
+
+    def test_global_seed_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+
+            def setup(seed):
+                np.random.seed(seed)
+            """,
+            rule_ids=["RL301"],
+        )
+        assert rule_ids(result) == {"RL301"}
+
+    def test_default_rng_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+
+            def sample(n, seed=0):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+            """,
+            rule_ids=["RL301"],
+        )
+        assert result.findings == []
+
+    def test_generator_annotation_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator, n: int):
+                return rng.random(n)
+            """,
+            rule_ids=["RL301"],
+        )
+        assert result.findings == []
+
+
+class TestStdlibRandom:
+    def test_import_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import random
+
+            def flip():
+                return random.random() < 0.5
+            """,
+            rule_ids=["RL302"],
+        )
+        assert rule_ids(result) == {"RL302"}
+
+    def test_from_import_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from random import shuffle
+            """,
+            rule_ids=["RL302"],
+        )
+        assert rule_ids(result) == {"RL302"}
+
+    def test_other_imports_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+            from collections import Counter
+            """,
+            rule_ids=["RL302"],
+        )
+        assert result.findings == []
+
+
+class TestTimeSeeded:
+    def test_time_seed_positional_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import time
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng(int(time.time()))
+            """,
+            rule_ids=["RL303"],
+        )
+        assert rule_ids(result) == {"RL303"}
+        assert "time.time()" in result.findings[0].message
+
+    def test_time_seed_keyword_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import time
+
+            def build(model_cls):
+                return model_cls(seed=time.time_ns())
+            """,
+            rule_ids=["RL303"],
+        )
+        assert rule_ids(result) == {"RL303"}
+
+    def test_constant_seed_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import numpy as np
+
+            def make_rng(seed=0):
+                return np.random.default_rng(seed)
+            """,
+            rule_ids=["RL303"],
+        )
+        assert result.findings == []
+
+    def test_timing_use_of_clock_ok(self, lint_file):
+        # time.time() for measurement (not seeding) is legitimate.
+        result = lint_file(
+            SRC_PATH,
+            """
+            import time
+
+            def timed(fn):
+                start = time.time()
+                fn()
+                return time.time() - start
+            """,
+            rule_ids=["RL303"],
+        )
+        assert result.findings == []

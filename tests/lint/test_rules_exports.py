@@ -1,0 +1,113 @@
+"""RL601 (__all__ names exist) and RL602 (packages define __all__)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+
+class TestAllNamesExist:
+    def test_phantom_export_flagged(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            from repro.er.blocking import block_pairs
+
+            __all__ = ["block_pairs", "match_pairs"]
+            """,
+            rule_ids=["RL601"],
+        )
+        assert rule_ids(result) == {"RL601"}
+        assert "match_pairs" in result.findings[0].message
+
+    def test_duplicate_export_flagged(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            from repro.er.blocking import block_pairs
+
+            __all__ = ["block_pairs", "block_pairs"]
+            """,
+            rule_ids=["RL601"],
+        )
+        assert rule_ids(result) == {"RL601"}
+        assert "more than once" in result.findings[0].message
+
+    def test_all_names_defined_ok(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            from repro.er.blocking import block_pairs
+            from repro.er import matching
+
+            CONST = 3
+
+            def helper():
+                return CONST
+
+            __all__ = ["block_pairs", "matching", "CONST", "helper"]
+            """,
+            rule_ids=["RL601"],
+        )
+        assert result.findings == []
+
+    def test_conditional_definition_counts(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            try:
+                from repro.er.fast import block_pairs
+            except ImportError:
+                def block_pairs(rows):
+                    return []
+
+            __all__ = ["block_pairs"]
+            """,
+            rule_ids=["RL601"],
+        )
+        assert result.findings == []
+
+    def test_dynamic_all_skipped(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            names = ["a", "b"]
+            __all__ = sorted(names)
+            """,
+            rule_ids=["RL601"],
+        )
+        assert result.findings == []
+
+
+class TestPackageDefinesAll:
+    def test_missing_all_flagged(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            from repro.er.blocking import block_pairs
+            """,
+            rule_ids=["RL602"],
+        )
+        assert rule_ids(result) == {"RL602"}
+
+    def test_all_present_ok(self, lint_file):
+        result = lint_file(
+            "src/repro/er/__init__.py",
+            """
+            from repro.er.blocking import block_pairs
+
+            __all__ = ["block_pairs"]
+            """,
+            rule_ids=["RL602"],
+        )
+        assert result.findings == []
+
+    def test_plain_module_not_required(self, lint_file):
+        result = lint_file(
+            "src/repro/er/blocking.py",
+            """
+            def block_pairs(rows):
+                return []
+            """,
+            rule_ids=["RL602"],
+        )
+        assert result.findings == []

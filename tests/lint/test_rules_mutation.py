@@ -1,0 +1,89 @@
+"""RL201: in-place mutation of a live Tensor's ``.data``."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+ER_PATH = "src/repro/er/model.py"
+
+
+class TestInPlaceDataMutation:
+    def test_augmented_assign_flagged(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def update(param, grad, lr):
+                param.data -= lr * grad
+            """,
+            rule_ids=["RL201"],
+        )
+        assert rule_ids(result) == {"RL201"}
+
+    def test_slice_assign_flagged(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def reset_rows(t, rows):
+                t.data[rows] = 0.0
+            """,
+            rule_ids=["RL201"],
+        )
+        assert rule_ids(result) == {"RL201"}
+
+    def test_augmented_subscript_flagged(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def bump(t, i):
+                t.data[i] += 1.0
+            """,
+            rule_ids=["RL201"],
+        )
+        assert rule_ids(result) == {"RL201"}
+
+    def test_inplace_ndarray_method_flagged(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def clear(t):
+                t.data.fill(0.0)
+            """,
+            rule_ids=["RL201"],
+        )
+        assert rule_ids(result) == {"RL201"}
+
+    def test_rebinding_ok(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def update(param, grad, lr):
+                param.data = param.data - lr * grad
+            """,
+            rule_ids=["RL201"],
+        )
+        assert result.findings == []
+
+    def test_local_array_mutation_ok(self, lint_file):
+        result = lint_file(
+            ER_PATH,
+            """
+            def accumulate(values):
+                total = values.copy()
+                total += 1.0
+                total[0] = 9.0
+                return total
+            """,
+            rule_ids=["RL201"],
+        )
+        assert result.findings == []
+
+    def test_optimizer_whitelisted(self, lint_file):
+        result = lint_file(
+            "src/repro/nn/optim.py",
+            """
+            def fused_step(param, grad, lr):
+                param.data -= lr * grad
+            """,
+            rule_ids=["RL201"],
+        )
+        assert result.findings == []

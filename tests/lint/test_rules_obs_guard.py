@@ -1,0 +1,133 @@
+"""RL401: metrics instrument calls must sit behind the enabled check."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+NN_PATH = "src/repro/nn/hot.py"
+
+
+class TestObsHotPathGuard:
+    def test_unguarded_call_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def step(self):
+                _OBS.counter("optim.steps").inc()
+                self._step()
+            """,
+            rule_ids=["RL401"],
+        )
+        assert rule_ids(result) == {"RL401"}
+        assert "_OBS.counter()" in result.findings[0].message
+
+    def test_direct_guard_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def step(self):
+                if _OBS.enabled:
+                    _OBS.counter("optim.steps").inc()
+                self._step()
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []
+
+    def test_guard_variable_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def fit(self, epochs):
+                observing = _OBS.enabled
+                for epoch in range(epochs):
+                    if observing:
+                        _OBS.counter("train.epochs").inc()
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []
+
+    def test_early_return_guard_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def record(self, value):
+                if not _OBS.enabled:
+                    return
+                _OBS.histogram("train.value").observe(value)
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []
+
+    def test_short_circuit_and_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def record(self, value):
+                _OBS.enabled and _OBS.gauge("v").set(value)
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []
+
+    def test_negated_guard_body_flagged(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def record(self, value):
+                if not _OBS.enabled:
+                    _OBS.counter("backwards").inc()
+            """,
+            rule_ids=["RL401"],
+        )
+        assert rule_ids(result) == {"RL401"}
+
+    def test_nested_def_does_not_inherit_guard(self, lint_file):
+        # The closure may run long after the guard was evaluated.
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def fit(self):
+                if _OBS.enabled:
+                    def hook():
+                        _OBS.counter("late").inc()
+                    self.register(hook)
+            """,
+            rule_ids=["RL401"],
+        )
+        assert rule_ids(result) == {"RL401"}
+
+    def test_lifecycle_calls_ok(self, lint_file):
+        result = lint_file(
+            NN_PATH,
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def finish(self):
+                snapshot = _OBS.snapshot()
+                _OBS.reset()
+                return snapshot
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []
+
+    def test_outside_hot_packages_ok(self, lint_file):
+        result = lint_file(
+            "src/repro/cleaning/impute.py",
+            """
+            from repro.obs.metrics import REGISTRY as _OBS
+            def run(self):
+                _OBS.counter("cleaning.runs").inc()
+            """,
+            rule_ids=["RL401"],
+        )
+        assert result.findings == []

@@ -1,0 +1,82 @@
+"""Per-line and per-file suppression comments."""
+
+from __future__ import annotations
+
+from repro.lint.suppress import parse_suppressions
+
+from tests.lint.conftest import rule_ids
+
+SRC_PATH = "src/repro/weak/sampler.py"
+
+
+class TestParseSuppressions:
+    def test_line_directive(self):
+        sup = parse_suppressions(
+            "import random  # repro-lint: disable=RL302\n"
+        )
+        assert sup.is_suppressed("RL302", 1)
+        assert not sup.is_suppressed("RL301", 1)
+        assert not sup.is_suppressed("RL302", 2)
+
+    def test_file_directive(self):
+        sup = parse_suppressions(
+            "# repro-lint: disable-file=RL301,RL302\nimport random\n"
+        )
+        assert sup.is_suppressed("RL301", 99)
+        assert sup.is_suppressed("RL302", 2)
+        assert not sup.is_suppressed("RL303", 2)
+
+    def test_all_keyword(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert sup.is_suppressed("RL201", 1)
+        assert sup.is_suppressed("RL601", 1)
+
+    def test_plain_comment_ignored(self):
+        sup = parse_suppressions("x = 1  # just a comment about lint\n")
+        assert not sup.is_suppressed("RL201", 1)
+
+    def test_unparseable_source_falls_back(self):
+        # tokenize chokes on this, but the line-scan fallback still works.
+        sup = parse_suppressions(
+            "def broken(:\n    pass  # repro-lint: disable=RL101\n"
+        )
+        assert sup.is_suppressed("RL101", 2)
+
+
+class TestSuppressionEndToEnd:
+    def test_line_suppression_silences_finding(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import random  # repro-lint: disable=RL302
+            """,
+            rule_ids=["RL302"],
+        )
+        assert result.findings == []
+
+    def test_file_suppression_silences_all_occurrences(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            # repro-lint: disable-file=RL301
+            import numpy as np
+
+            def a(n):
+                return np.random.rand(n)
+
+            def b(n):
+                return np.random.randn(n)
+            """,
+            rule_ids=["RL301"],
+        )
+        assert result.findings == []
+
+    def test_suppression_is_rule_specific(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import random  # repro-lint: disable=RL301
+            """,
+            rule_ids=["RL302"],
+        )
+        assert rule_ids(result) == {"RL302"}
