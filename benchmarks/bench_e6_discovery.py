@@ -83,7 +83,7 @@ def _embeddings(seed: int = 0, corpus_sentences: int = 2500,
     return model, SubwordEmbeddings(model)
 
 
-def run_experiment(profile: str = "full") -> list[dict]:
+def run_experiment(profile: str = "full", jobs: int = 1) -> list[dict]:
     cfg = profile_config(_P, profile)
     staff, directory, sites, gold = _enterprise()
     model, subword = _embeddings(
@@ -99,8 +99,11 @@ def run_experiment(profile: str = "full") -> list[dict]:
         ("semantic (coherent groups)", semantic, 0.35),
         ("syntactic (edit+overlap)", syntactic, 0.35),
     ]:
-        links = matcher.match_tables(staff, directory, threshold=threshold)
-        links += matcher.match_tables(staff, sites, threshold=threshold)
+        # jobs is forwarded for the run_all --jobs contract; the semantic
+        # matcher's centered vector_fn closure is unpicklable, so that
+        # family exercises repro.par's deterministic serial fallback.
+        links = matcher.match_tables(staff, directory, threshold=threshold, jobs=jobs)
+        links += matcher.match_tables(staff, sites, threshold=threshold, jobs=jobs)
         links = one_to_one(links)
         metrics = evaluate_links(links, gold)
         spurious = sum(1 for link in links if link.table_b == "site_parts")

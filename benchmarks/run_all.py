@@ -14,12 +14,19 @@ Each experiment also writes a machine-readable ``BENCH_<EXP>.json``
 ``benchmarks`` first and refuses to start benches on a dirty tree, so a
 long run never produces records from code that already violates the
 stack's contracts.
+
+``--jobs N`` forwards a process count to experiments that support
+:mod:`repro.par` parallel execution (currently the blocking and
+discovery benches); by the substrate's determinism contract the emitted
+rows are bit-identical for every value of N — only the wall time (and
+the ``jobs`` recorded in the span meta) changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -52,10 +59,20 @@ EXPERIMENTS = {
 }
 
 
-def run_one(exp_id: str, profile: str = "full", out_dir: str = ".") -> dict:
-    """Run one experiment under metrics+tracing and emit its BENCH json."""
+def run_one(exp_id: str, profile: str = "full", out_dir: str = ".", jobs: int = 1) -> dict:
+    """Run one experiment under metrics+tracing and emit its BENCH json.
+
+    ``jobs`` is forwarded to experiments whose ``run_experiment`` accepts
+    it (they fan their hot paths out through :mod:`repro.par`); other
+    experiments run serially regardless.  The value is recorded in the
+    experiment span's meta, so every BENCH json says how it was produced.
+    """
     module_name, title = EXPERIMENTS[exp_id]
     module = importlib.import_module(f"benchmarks.{module_name}")
+
+    kwargs = {"profile": profile}
+    if "jobs" in inspect.signature(module.run_experiment).parameters:
+        kwargs["jobs"] = jobs
 
     REGISTRY.reset()
     drain_roots()
@@ -64,8 +81,8 @@ def run_one(exp_id: str, profile: str = "full", out_dir: str = ".") -> dict:
     started_unix = time.time()
     start = time.perf_counter()
     try:
-        with span(exp_id, title=title, profile=profile) as exp_span:
-            rows = module.run_experiment(profile=profile)
+        with span(exp_id, title=title, profile=profile, jobs=jobs) as exp_span:
+            rows = module.run_experiment(**kwargs)
     finally:
         if not previously_enabled:
             REGISTRY.disable()
@@ -127,6 +144,10 @@ def main(argv: list[str]) -> int:
                         help="knob profile (smoke = smallest configs)")
     parser.add_argument("--out-dir", default=".",
                         help="directory for BENCH_<exp>.json files")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process count forwarded to experiments that "
+                             "support repro.par parallel execution "
+                             "(results are bit-identical for any value)")
     parser.add_argument("--lint", action="store_true",
                         help="refuse to run benches while repro.lint reports "
                              "non-baselined findings in src/ or benchmarks/")
@@ -134,17 +155,27 @@ def main(argv: list[str]) -> int:
 
     if args.lint and not lint_preflight():
         return 1
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     selected = [a.lower() for a in args.experiments] or list(EXPERIMENTS)
     unknown = [s for s in selected if s not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}")
-        return 1
+        # Refuse the whole run: a typo must not silently drop experiments
+        # (and the exit code must be non-zero so scripts notice).
+        print(
+            f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
 
     summary = []
     emitted = []
     for exp_id in selected:
-        result = run_one(exp_id, profile=args.profile, out_dir=args.out_dir)
+        result = run_one(
+            exp_id, profile=args.profile, out_dir=args.out_dir, jobs=args.jobs
+        )
         printable = [
             {k: v for k, v in row.items() if not str(k).startswith("_")}
             for row in result["rows"]

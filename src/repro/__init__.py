@@ -36,6 +36,7 @@ from repro import (
     nn,
     obs,
     orchestration,
+    par,
     synth,
     text,
     transform,
@@ -60,6 +61,7 @@ __all__ = [
     "synth",
     "orchestration",
     "obs",
+    "par",
     "lint",
     "utils",
 ]

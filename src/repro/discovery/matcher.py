@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -26,11 +27,45 @@ from repro.data.table import Table
 from repro.data.types import is_missing
 from repro.embeddings.compose import column_embedding
 from repro.er.features import levenshtein_similarity
+from repro.par import pmap
 from repro.text.similarity import coherent_group_similarity, cosine
 
 VectorFn = Callable[[str], np.ndarray]
 
 _CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def _score_pair(
+    columns: tuple[str, str], matcher, table_a: Table, table_b: Table
+) -> "ColumnLink":
+    """Score one cross-table column pair (process-pool worker)."""
+    return matcher.score_columns(table_a, columns[0], table_b, columns[1])
+
+
+def _match_tables(
+    matcher, table_a: Table, table_b: Table, threshold: float, jobs: int
+) -> "list[ColumnLink]":
+    """Shared ``match_tables`` body for both matcher families.
+
+    Column pairs are scored via :func:`repro.par.pmap` (results come back
+    in nested-loop order regardless of ``jobs``), then filtered and
+    stably sorted — bit-identical to the serial double loop.  A matcher
+    whose ``vector_fn`` is an unpicklable closure silently degrades to
+    the serial path.
+    """
+    pairs = [
+        (column_a, column_b)
+        for column_a in table_a.columns
+        for column_b in table_b.columns
+    ]
+    links = pmap(
+        partial(_score_pair, matcher=matcher, table_a=table_a, table_b=table_b),
+        pairs,
+        jobs=jobs,
+        label="matcher.match_tables",
+    )
+    kept = [link for link in links if link.score >= threshold]
+    return sorted(kept, key=lambda l: -l.score)
 
 
 def name_word_group(column_name: str) -> list[str]:
@@ -98,16 +133,10 @@ class SemanticMatcher:
         )
 
     def match_tables(
-        self, table_a: Table, table_b: Table, threshold: float = 0.5
+        self, table_a: Table, table_b: Table, threshold: float = 0.5, *, jobs: int = 1
     ) -> list[ColumnLink]:
         """All cross-table column links scoring at least ``threshold``."""
-        links = []
-        for column_a in table_a.columns:
-            for column_b in table_b.columns:
-                link = self.score_columns(table_a, column_a, table_b, column_b)
-                if link.score >= threshold:
-                    links.append(link)
-        return sorted(links, key=lambda l: -l.score)
+        return _match_tables(self, table_a, table_b, threshold, jobs)
 
 
 class SyntacticMatcher:
@@ -153,15 +182,9 @@ class SyntacticMatcher:
         return len(values_a & values_b) / min(len(values_a), len(values_b))
 
     def match_tables(
-        self, table_a: Table, table_b: Table, threshold: float = 0.5
+        self, table_a: Table, table_b: Table, threshold: float = 0.5, *, jobs: int = 1
     ) -> list[ColumnLink]:
-        links = []
-        for column_a in table_a.columns:
-            for column_b in table_b.columns:
-                link = self.score_columns(table_a, column_a, table_b, column_b)
-                if link.score >= threshold:
-                    links.append(link)
-        return sorted(links, key=lambda l: -l.score)
+        return _match_tables(self, table_a, table_b, threshold, jobs)
 
 
 def one_to_one(links: list[ColumnLink]) -> list[ColumnLink]:

@@ -11,13 +11,49 @@ candidates when they collide in at least one band.
 from __future__ import annotations
 
 from collections import defaultdict
+from functools import partial
 
 import numpy as np
 
 from repro.data.types import is_missing
+from repro.par import pmap, pmap_chunks
 from repro.text.tokenize import word_tokenize
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
+
+
+def _band_candidates(
+    bands: list[tuple[int, int]], sig_a: np.ndarray, sig_b: np.ndarray
+) -> set[tuple[int, int]]:
+    """Index pairs of signatures colliding in any of the given bands.
+
+    Module-level (not a method) so :func:`repro.par.pmap_chunks` workers
+    can pickle it by reference.
+    """
+    found: set[tuple[int, int]] = set()
+    for lo, hi in bands:
+        buckets: dict[bytes, list[int]] = defaultdict(list)
+        for i, signature in enumerate(sig_a):
+            buckets[signature[lo:hi].tobytes()].append(i)
+        for j, signature in enumerate(sig_b):
+            key = signature[lo:hi].tobytes()
+            for i in buckets.get(key, ()):
+                found.add((i, j))
+    return found
+
+
+def _token_candidates(
+    indexed_tokens: list[tuple[int, set[str]]],
+    index: dict[str, list[int]],
+    rare: set[str],
+) -> set[tuple[int, int]]:
+    """Index pairs sharing a rare token, for one chunk of B-side records."""
+    found: set[tuple[int, int]] = set()
+    for j, tokens in indexed_tokens:
+        for token in tokens & rare:
+            for i in index.get(token, ()):
+                found.add((i, j))
+    return found
 
 
 class LSHBlocker:
@@ -85,23 +121,35 @@ class LSHBlocker:
         ids_a: list[str],
         embeddings_b: np.ndarray,
         ids_b: list[str],
+        *,
+        jobs: int = 1,
     ) -> set[tuple[str, str]]:
-        """Cross-table candidate pairs sharing at least one band bucket."""
+        """Cross-table candidate pairs sharing at least one band bucket.
+
+        ``jobs > 1`` fans the per-band bucket matching out over a process
+        pool via :mod:`repro.par`; the result is identical to the serial
+        path for every ``jobs`` value (bands are independent and the
+        union is order-insensitive).
+        """
+        if len(embeddings_a) == 0 or len(embeddings_b) == 0:
+            return set()
         self._fit_transform(np.concatenate([embeddings_a, embeddings_b]))
         sig_a = self._signatures(embeddings_a)
         sig_b = self._signatures(embeddings_b)
-        candidates: set[tuple[str, str]] = set()
-        for band in range(self.n_bands):
-            lo = band * self.rows_per_band
-            hi = lo + self.rows_per_band
-            buckets: dict[bytes, list[int]] = defaultdict(list)
-            for i, signature in enumerate(sig_a):
-                buckets[signature[lo:hi].tobytes()].append(i)
-            for j, signature in enumerate(sig_b):
-                key = signature[lo:hi].tobytes()
-                for i in buckets.get(key, ()):
-                    candidates.add((ids_a[i], ids_b[j]))
-        return candidates
+        bands = [
+            (band * self.rows_per_band, (band + 1) * self.rows_per_band)
+            for band in range(self.n_bands)
+        ]
+        index_pairs: set[tuple[int, int]] = pmap_chunks(
+            partial(_band_candidates, sig_a=sig_a, sig_b=sig_b),
+            bands,
+            jobs=jobs,
+            chunk_size=1,
+            label="lsh.bands",
+            combine=lambda left, right: left | right,
+            initial=set(),
+        )
+        return {(ids_a[i], ids_b[j]) for i, j in index_pairs}
 
     def block_sizes(self, embeddings: np.ndarray) -> list[int]:
         """Bucket sizes per band over one table (for block-size reporting)."""
@@ -192,11 +240,18 @@ class TokenBlocker:
         ids_a: list[str],
         records_b: list[dict[str, object]],
         ids_b: list[str],
+        *,
+        jobs: int = 1,
     ) -> set[tuple[str, str]]:
+        """Rare-token candidate pairs; ``jobs > 1`` parallelises the
+        tokenisation of both sides and the B-side probing (document
+        frequencies stay serial — they need the global counts)."""
+        if not records_a or not records_b:
+            return set()
         n_docs = len(records_a) + len(records_b)
         document_frequency: dict[str, int] = defaultdict(int)
-        token_sets_a = [self._tokens(r) for r in records_a]
-        token_sets_b = [self._tokens(r) for r in records_b]
+        token_sets_a = pmap(self._tokens, records_a, jobs=jobs, label="token.tokenize_a")
+        token_sets_b = pmap(self._tokens, records_b, jobs=jobs, label="token.tokenize_b")
         for tokens in token_sets_a + token_sets_b:
             for token in tokens:
                 document_frequency[token] += 1
@@ -205,13 +260,16 @@ class TokenBlocker:
             for token, df in document_frequency.items()
             if df / n_docs <= self.max_df
         }
-        index: dict[str, list[int]] = defaultdict(list)
+        index: dict[str, list[int]] = {}
         for i, tokens in enumerate(token_sets_a):
             for token in tokens & rare:
-                index[token].append(i)
-        candidates: set[tuple[str, str]] = set()
-        for j, tokens in enumerate(token_sets_b):
-            for token in tokens & rare:
-                for i in index[token]:
-                    candidates.add((ids_a[i], ids_b[j]))
-        return candidates
+                index.setdefault(token, []).append(i)
+        index_pairs: set[tuple[int, int]] = pmap_chunks(
+            partial(_token_candidates, index=index, rare=rare),
+            list(enumerate(token_sets_b)),
+            jobs=jobs,
+            label="token.probe",
+            combine=lambda left, right: left | right,
+            initial=set(),
+        )
+        return {(ids_a[i], ids_b[j]) for i, j in index_pairs}

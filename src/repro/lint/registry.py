@@ -10,6 +10,7 @@ once published.  Numbering groups the families:
 * ``RL4xx`` — observability hot-path guard
 * ``RL5xx`` — benchmark contract
 * ``RL6xx`` — export hygiene
+* ``RL7xx`` — parallel-substrate contract (explicit jobs/seed)
 """
 
 from __future__ import annotations

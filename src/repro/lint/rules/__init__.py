@@ -12,7 +12,9 @@ Families (stable id prefixes, see DESIGN.md § "Static analysis"):
 * :mod:`~repro.lint.rules.bench_contract` — RL501 profile hooks, RL502
   run_all registration;
 * :mod:`~repro.lint.rules.exports` — RL601 ``__all__`` names exist,
-  RL602 packages declare ``__all__``.
+  RL602 packages declare ``__all__``;
+* :mod:`~repro.lint.rules.par` — RL701 explicit ``jobs=`` at repro.par
+  call sites, RL702 no ambient-state ``jobs``/``seed`` values.
 """
 
 from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
@@ -25,6 +27,7 @@ from repro.lint.rules.determinism import (
 from repro.lint.rules.exports import AllNamesExistRule, PackageDefinesAllRule
 from repro.lint.rules.mutation import InPlaceDataMutationRule
 from repro.lint.rules.obs_guard import ObsHotPathGuardRule
+from repro.lint.rules.par import ParAmbientStateRule, ParExplicitJobsRule
 
 __all__ = [
     "AllNamesExistRule",
@@ -36,6 +39,8 @@ __all__ = [
     "LoopCaptureRule",
     "ObsHotPathGuardRule",
     "PackageDefinesAllRule",
+    "ParAmbientStateRule",
+    "ParExplicitJobsRule",
     "StdlibRandomRule",
     "TimeSeededRule",
 ]

@@ -5,7 +5,7 @@ The metrics registry is default-off precisely so instrumented hot loops
 attribute check per event.  Instrument-accessor calls
 (``REGISTRY.counter(...)``, ``.gauge``, ``.histogram``, ``.series``,
 ``.record_op``) allocate/lock even when disabled, so in the hot packages
-(``nn``, ``er``, ``orchestration``) each one must be behind the
+(``nn``, ``er``, ``orchestration``, ``par``) each one must be behind the
 registry's ``enabled`` check.
 
 Recognised guard shapes::
@@ -59,7 +59,7 @@ class ObsHotPathGuardRule(Rule):
         "a local bound from it); unguarded calls allocate and lock on every "
         "event even when observability is off"
     )
-    path_markers = ("/repro/nn/", "/repro/er/", "/repro/orchestration/")
+    path_markers = ("/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = _registry_aliases(ctx.tree)

@@ -1,0 +1,173 @@
+"""Parallel-substrate rules (RL7xx).
+
+:mod:`repro.par` keeps parallel runs bit-identical to serial runs only
+when the caller pins the two knobs that feed the contract: ``jobs``
+(how the work is fanned out — must be an explicit decision, never an
+ambient default) and ``seed`` (the root of the per-chunk SeedSequence
+derivation).  Two ways the contract erodes at call sites:
+
+* RL701 — calling ``pmap``/``pstarmap``/``pmap_chunks`` without an
+  explicit ``jobs=`` keyword: the call silently runs with whatever the
+  default is, and a later default change would alter every call site's
+  behaviour at once;
+* RL702 — deriving ``jobs=`` or ``seed=`` from ambient process state
+  (``os.environ`` / ``os.getenv`` / ``os.cpu_count`` /
+  ``multiprocessing.cpu_count`` / ``os.sched_getaffinity``): the value
+  then depends on the host, so two checkouts of the same commit stop
+  agreeing on what "the run" even was.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules._util import attribute_chain
+
+__all__ = ["ParAmbientStateRule", "ParExplicitJobsRule"]
+
+_ENTRY_POINTS = {"pmap", "pstarmap", "pmap_chunks"}
+
+# Ambient reads banned inside jobs=/seed= values: chain suffixes of calls
+# plus the os.environ mapping itself (read via [] or .get).
+_AMBIENT_CALL_CHAINS = {
+    ("os", "getenv"),
+    ("os", "cpu_count"),
+    ("os", "sched_getaffinity"),
+    ("os", "process_cpu_count"),
+    ("multiprocessing", "cpu_count"),
+    ("mp", "cpu_count"),
+}
+_AMBIENT_BARE_CALLS = {"getenv", "cpu_count", "sched_getaffinity", "process_cpu_count"}
+
+
+def _par_entry_aliases(tree: ast.Module) -> tuple[dict[str, str], set[str]]:
+    """Names bound to repro.par entry points / to the module itself.
+
+    Returns ``(function_aliases, module_aliases)`` where
+    ``function_aliases`` maps local name -> entry-point name (from
+    ``from repro.par import pmap as x``) and ``module_aliases`` holds
+    names the module is reachable under (``from repro import par``,
+    ``import repro.par as rp``).
+    """
+    functions: dict[str, str] = {}
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "repro.par":
+                for alias in node.names:
+                    if alias.name in _ENTRY_POINTS:
+                        functions[alias.asname or alias.name] = alias.name
+            elif node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "par":
+                        modules.add(alias.asname or "par")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.par" and alias.asname:
+                    modules.add(alias.asname)
+    return functions, modules
+
+
+def _entry_point_call(
+    node: ast.Call, functions: dict[str, str], modules: set[str]
+) -> str | None:
+    """The repro.par entry-point name this call resolves to, else None."""
+    if isinstance(node.func, ast.Name):
+        return functions.get(node.func.id)
+    chain = attribute_chain(node.func)
+    if chain and chain[-1] in _ENTRY_POINTS:
+        prefix = ".".join(chain[:-1])
+        if prefix in modules or chain[:-1] == ["repro", "par"]:
+            return chain[-1]
+    return None
+
+
+@register
+class ParExplicitJobsRule(Rule):
+    """RL701: repro.par calls must pass an explicit ``jobs=`` keyword."""
+
+    id = "RL701"
+    name = "par-explicit-jobs"
+    description = (
+        "pmap/pstarmap/pmap_chunks called without an explicit jobs= keyword "
+        "leaves the parallelism decision to a library default; every call "
+        "site must say how it fans out (jobs is keyword-only by design)"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        functions, modules = _par_entry_aliases(ctx.tree)
+        if not functions and not modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            entry = _entry_point_call(node, functions, modules)
+            if entry is None:
+                continue
+            passed = {kw.arg for kw in node.keywords}
+            # A **kwargs splat may carry jobs; give it the benefit of the doubt.
+            if "jobs" not in passed and None not in passed:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{entry}() called without an explicit jobs= keyword; "
+                    "pass jobs= at every repro.par call site",
+                )
+
+
+@register
+class ParAmbientStateRule(Rule):
+    """RL702: ``jobs=``/``seed=`` values must not read ambient state."""
+
+    id = "RL702"
+    name = "par-ambient-state"
+    description = (
+        "jobs=/seed= derived from os.environ, os.getenv, os.cpu_count, "
+        "multiprocessing.cpu_count or sched_getaffinity makes the run "
+        "configuration host-dependent; thread explicit values down from "
+        "the CLI / experiment entry point instead"
+    )
+    path_markers = ("/repro/", "/benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        functions, modules = _par_entry_aliases(ctx.tree)
+        if not functions and not modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            entry = _entry_point_call(node, functions, modules)
+            if entry is None:
+                continue
+            for kw in node.keywords:
+                if kw.arg not in {"jobs", "seed"}:
+                    continue
+                ambient = self._ambient_read(kw.value)
+                if ambient is not None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{entry}() derives {kw.arg}= from {ambient}; pass an "
+                        "explicit value threaded down from the entry point",
+                    )
+
+    @staticmethod
+    def _ambient_read(node: ast.expr) -> str | None:
+        """Description of an ambient-state read inside ``node``, else None."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                chain = attribute_chain(child.func)
+                if chain and tuple(chain[-2:]) in _AMBIENT_CALL_CHAINS:
+                    return ".".join(chain) + "()"
+                if (
+                    isinstance(child.func, ast.Name)
+                    and child.func.id in _AMBIENT_BARE_CALLS
+                ):
+                    return child.func.id + "()"
+            elif isinstance(child, ast.Attribute) and child.attr == "environ":
+                chain = attribute_chain(child)
+                if chain and chain[0] == "os":
+                    return "os.environ"
+        return None

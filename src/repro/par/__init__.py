@@ -1,0 +1,39 @@
+"""Deterministic parallel execution substrate (see DESIGN.md § "Parallel
+execution").
+
+``pmap`` / ``pstarmap`` / ``pmap_chunks`` fan work out over a process
+pool under a hard determinism contract: chunk layout and per-chunk
+seeding depend only on the input and the parent seed (never on ``jobs``),
+and reduction is ordered by stable chunk id — so parallel output is
+bit-identical to serial output for every deterministic chunk function.
+Callers must pass ``jobs`` (and ``seed`` for stochastic work) explicitly;
+lint rule RL701/RL702 enforces that nothing reads ambient state instead.
+
+Wired hot paths: LSH/token blocking (:mod:`repro.er.blocking`), DeepER
+pair featurisation (:mod:`repro.er.deeper`), schema matching
+(:mod:`repro.discovery.matcher`) and ``benchmarks/run_all.py --jobs``.
+The serial≡parallel contract is enforced by the differential harness in
+``tests/par/``.
+"""
+
+from repro.par.chunking import (
+    Chunk,
+    chunk_items,
+    chunk_rng,
+    chunk_seed,
+    chunk_spans,
+    ordered_reduce,
+)
+from repro.par.pool import pmap, pmap_chunks, pstarmap
+
+__all__ = [
+    "Chunk",
+    "chunk_items",
+    "chunk_rng",
+    "chunk_seed",
+    "chunk_spans",
+    "ordered_reduce",
+    "pmap",
+    "pmap_chunks",
+    "pstarmap",
+]

@@ -1,0 +1,292 @@
+"""Deterministic process-pool map: ``pmap`` / ``pstarmap`` / ``pmap_chunks``.
+
+Execution model: the input is split into chunks with stable ids
+(:mod:`repro.par.chunking`), chunks are executed — on a process pool when
+``jobs > 1``, otherwise in-process — and the per-chunk results are
+combined in chunk-id order.  Because the chunk layout and per-chunk
+seeding depend only on the input and the parent ``seed`` (never on
+``jobs`` or completion order), parallel output is bit-identical to
+serial output for any deterministic chunk function.
+
+Serial fallback is graceful and silent at the call site (recorded in the
+span meta and ``par.*`` metrics): it triggers when ``jobs <= 1``, when
+there is at most one chunk, when already inside a ``repro.par`` worker
+(no nested pools), when the function or payload cannot be pickled, or
+when the pool fails to start or breaks.  A fallback never changes the
+result — the same chunks run through the same code path in-process.
+
+Worker processes do not report back into the parent's metrics registry or
+span tree; ``par.*`` telemetry is recorded by the parent only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.obs.trace import span
+from repro.par.chunking import Chunk, chunk_items, chunk_rng, ordered_reduce
+from repro.par.chunking import _MISSING
+
+__all__ = ["pmap", "pmap_chunks", "pstarmap"]
+
+ChunkFn = Callable[[list, "np.random.Generator | None"], Any]
+
+# Errors that mean "the pool is unusable", not "the chunk function is
+# wrong": fall back to the serial path (which reproduces any genuine
+# chunk-function error with its original traceback).
+_POOL_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError)
+
+# Set (per process) by the pool initializer so a chunk function that
+# itself calls into repro.par degrades to serial instead of forking a
+# nested pool from a worker.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _call_chunk(
+    chunk_fn: ChunkFn, chunk_id: int, payload: list, seed: int | None
+) -> tuple[int, Any, float]:
+    """Run one chunk (in a worker or in-process) and time it.
+
+    The per-chunk generator is constructed *inside* the call from
+    ``(seed, chunk_id)``, so a worker and the serial path build identical
+    rng state.
+    """
+    start = time.perf_counter()
+    rng = chunk_rng(seed, chunk_id) if seed is not None else None
+    value = chunk_fn(payload, rng)
+    return chunk_id, value, time.perf_counter() - start
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        # pickle raises a zoo of types (PicklingError, TypeError,
+        # AttributeError, NotImplementedError...) depending on the payload.
+        return False
+    return True
+
+
+def _run_serial(
+    chunk_fn: ChunkFn, chunks: list[tuple[Chunk, list]], seed: int | None
+) -> list[tuple[int, Any, float]]:
+    results = []
+    for chunk, payload in chunks:
+        with span("par.chunk", chunk=chunk.chunk_id, items=chunk.size):
+            results.append(_call_chunk(chunk_fn, chunk.chunk_id, payload, seed))
+    return results
+
+
+def _run_parallel(
+    chunk_fn: ChunkFn,
+    chunks: list[tuple[Chunk, list]],
+    jobs: int,
+    seed: int | None,
+) -> list[tuple[int, Any, float]]:
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = None
+    workers = min(jobs, len(chunks))
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=context, initializer=_mark_worker
+    ) as executor:
+        futures = [
+            executor.submit(_call_chunk, chunk_fn, chunk.chunk_id, payload, seed)
+            for chunk, payload in chunks
+        ]
+        # Wait for everything (or the first failure) before collecting, so
+        # a failing chunk surfaces its own exception rather than a pool
+        # shutdown artifact from a sibling.
+        wait(futures, return_when=FIRST_EXCEPTION)
+        return [future.result() for future in futures]
+
+
+def _validate_jobs(jobs: int) -> int:
+    if not isinstance(jobs, (int, np.integer)) or isinstance(jobs, bool):
+        raise TypeError(f"jobs must be an int >= 1, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+def _execute(
+    chunk_fn: ChunkFn,
+    items: Sequence,
+    *,
+    jobs: int,
+    seed: int | None,
+    chunk_size: int | None,
+    label: str,
+) -> list[Any]:
+    """Chunk ``items``, run ``chunk_fn`` over every chunk, reduce in order."""
+    jobs = _validate_jobs(jobs)
+    chunks = chunk_items(items, chunk_size)
+    n_items = len(items)
+
+    fallback: str | None = None
+    if jobs <= 1:
+        fallback = "jobs"
+    elif _IN_WORKER:
+        fallback = "nested"
+    elif len(chunks) <= 1:
+        fallback = "single_chunk"
+    elif not _picklable(chunk_fn, chunks[0][1], seed):
+        fallback = "unpicklable"
+
+    with span("par.map", label=label, jobs=jobs, chunks=len(chunks), items=n_items) as map_span:
+        results: list[tuple[int, Any, float]] | None = None
+        if fallback is None:
+            try:
+                results = _run_parallel(chunk_fn, chunks, jobs, seed)
+                map_span.meta["mode"] = "parallel"
+            except _POOL_ERRORS:
+                fallback = "pool_error"
+        if results is None:
+            map_span.meta["mode"] = f"serial:{fallback}"
+            results = _run_serial(chunk_fn, chunks, seed)
+        if map_span.meta["mode"] == "parallel":
+            map_span.meta["chunk_seconds"] = [
+                round(seconds, 6) for _, _, seconds in sorted(results)
+            ]
+
+    if _OBS.enabled:
+        _OBS.counter("par.calls").inc()
+        _OBS.counter("par.items").inc(float(n_items))
+        _OBS.counter("par.chunks").inc(float(len(chunks)))
+        if fallback is not None:
+            _OBS.counter(f"par.fallback.{fallback}").inc()
+        for _, _, seconds in results:
+            _OBS.histogram("par.chunk_seconds").observe(seconds)
+
+    return ordered_reduce((chunk_id, value) for chunk_id, value, _ in results)
+
+
+# --------------------------------------------------------------------- #
+# chunk-function adapters (module-level so they pickle by reference)
+# --------------------------------------------------------------------- #
+
+
+def _map_adapter(fn: Callable, payload: list, rng) -> list:
+    if rng is None:
+        return [fn(item) for item in payload]
+    return [fn(item, rng) for item in payload]
+
+
+def _star_adapter(fn: Callable, payload: list, rng) -> list:
+    if rng is None:
+        return [fn(*item) for item in payload]
+    return [fn(*item, rng) for item in payload]
+
+
+def _chunk_adapter(fn: Callable, payload: list, rng) -> Any:
+    if rng is None:
+        return fn(payload)
+    return fn(payload, rng)
+
+
+# --------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------- #
+
+
+def pmap(
+    fn: Callable,
+    items: Iterable,
+    *,
+    jobs: int,
+    seed: int | None = None,
+    chunk_size: int | None = None,
+    label: str | None = None,
+) -> list:
+    """Deterministic (possibly parallel) ``[fn(x) for x in items]``.
+
+    Results come back in input order regardless of ``jobs`` or worker
+    completion order.  With ``seed`` set, ``fn`` is called as
+    ``fn(item, rng)`` where ``rng`` is the chunk's generator (seeded from
+    ``(seed, chunk_id)`` and consumed sequentially within the chunk) —
+    identical for every ``jobs`` value because the chunk layout never
+    depends on ``jobs``.
+    """
+    parts = _execute(
+        partial(_map_adapter, fn),
+        list(items),
+        jobs=jobs,
+        seed=seed,
+        chunk_size=chunk_size,
+        label=label or getattr(fn, "__name__", "pmap"),
+    )
+    return [value for part in parts for value in part]
+
+
+def pstarmap(
+    fn: Callable,
+    items: Iterable[tuple],
+    *,
+    jobs: int,
+    seed: int | None = None,
+    chunk_size: int | None = None,
+    label: str | None = None,
+) -> list:
+    """Deterministic (possibly parallel) ``[fn(*args) for args in items]``.
+
+    With ``seed`` set, the chunk generator is appended to the positional
+    arguments: ``fn(*args, rng)``.
+    """
+    parts = _execute(
+        partial(_star_adapter, fn),
+        list(items),
+        jobs=jobs,
+        seed=seed,
+        chunk_size=chunk_size,
+        label=label or getattr(fn, "__name__", "pstarmap"),
+    )
+    return [value for part in parts for value in part]
+
+
+def pmap_chunks(
+    fn: Callable,
+    items: Iterable,
+    *,
+    jobs: int,
+    seed: int | None = None,
+    chunk_size: int | None = None,
+    label: str | None = None,
+    combine: Callable | None = None,
+    initial: Any = _MISSING,
+) -> Any:
+    """Map ``fn`` over whole chunks, reducing per-chunk results in order.
+
+    ``fn`` receives the chunk's item list (and the chunk generator when
+    ``seed`` is set: ``fn(chunk_items, rng)``).  Without ``combine`` the
+    per-chunk results are returned as a list ordered by chunk id; with
+    ``combine`` they are left-folded in that order (pass ``initial`` to
+    seed the fold, e.g. for empty inputs).
+    """
+    parts = _execute(
+        partial(_chunk_adapter, fn),
+        list(items),
+        jobs=jobs,
+        seed=seed,
+        chunk_size=chunk_size,
+        label=label or getattr(fn, "__name__", "pmap_chunks"),
+    )
+    if combine is None:
+        return parts
+    return ordered_reduce(enumerate(parts), combine=combine, initial=initial)

@@ -1,0 +1,229 @@
+"""RL701/RL702: repro.par call sites pin jobs/seed explicitly."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+SRC_PATH = "src/repro/er/blocking.py"
+
+
+class TestExplicitJobs:
+    def test_missing_jobs_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro.par import pmap
+
+            def score(items):
+                return pmap(str, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert rule_ids(result) == {"RL701"}
+        assert "pmap()" in result.findings[0].message
+
+    def test_explicit_jobs_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro.par import pmap, pstarmap
+
+            def score(items, jobs):
+                a = pmap(str, items, jobs=jobs)
+                b = pstarmap(divmod, items, jobs=1)
+                return a, b
+            """,
+            rule_ids=["RL701"],
+        )
+        assert result.findings == []
+
+    def test_aliased_import_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro.par import pmap_chunks as fanout
+
+            def score(items):
+                return fanout(len, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert rule_ids(result) == {"RL701"}
+        assert "pmap_chunks()" in result.findings[0].message
+
+    def test_module_attribute_call_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro import par
+
+            def score(items):
+                return par.pmap(str, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert rule_ids(result) == {"RL701"}
+
+    def test_import_repro_par_as_alias_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import repro.par as rp
+
+            def score(items):
+                return rp.pstarmap(divmod, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert rule_ids(result) == {"RL701"}
+
+    def test_kwargs_splat_tolerated(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro.par import pmap
+
+            def score(items, **kwargs):
+                return pmap(str, items, **kwargs)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert result.findings == []
+
+    def test_unrelated_pmap_ignored(self, lint_file):
+        # A local function that happens to be called pmap is not repro.par.
+        result = lint_file(
+            SRC_PATH,
+            """
+            def pmap(fn, items):
+                return [fn(item) for item in items]
+
+            def score(items):
+                return pmap(str, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert result.findings == []
+
+    def test_outside_scoped_paths_ignored(self, lint_file):
+        result = lint_file(
+            "examples/demo.py",
+            """
+            from repro.par import pmap
+
+            def score(items):
+                return pmap(str, items)
+            """,
+            rule_ids=["RL701"],
+        )
+        assert result.findings == []
+
+
+class TestAmbientState:
+    def test_cpu_count_jobs_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import os
+
+            from repro.par import pmap
+
+            def score(items):
+                return pmap(str, items, jobs=os.cpu_count())
+            """,
+            rule_ids=["RL702"],
+        )
+        assert rule_ids(result) == {"RL702"}
+        assert "os.cpu_count()" in result.findings[0].message
+
+    def test_environ_seed_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import os
+
+            from repro.par import pmap
+
+            def score(items, jobs):
+                return pmap(str, items, jobs=jobs, seed=int(os.environ["SEED"]))
+            """,
+            rule_ids=["RL702"],
+        )
+        assert rule_ids(result) == {"RL702"}
+        assert "os.environ" in result.findings[0].message
+
+    def test_getenv_jobs_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import os
+
+            from repro.par import pstarmap
+
+            def score(items):
+                return pstarmap(divmod, items, jobs=int(os.getenv("JOBS", "1")))
+            """,
+            rule_ids=["RL702"],
+        )
+        assert rule_ids(result) == {"RL702"}
+
+    def test_multiprocessing_cpu_count_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            import multiprocessing
+
+            from repro.par import pmap
+
+            def score(items):
+                return pmap(str, items, jobs=multiprocessing.cpu_count())
+            """,
+            rule_ids=["RL702"],
+        )
+        assert rule_ids(result) == {"RL702"}
+
+    def test_bare_cpu_count_import_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from os import cpu_count
+
+            from repro.par import pmap
+
+            def score(items):
+                return pmap(str, items, jobs=cpu_count() or 1)
+            """,
+            rule_ids=["RL702"],
+        )
+        assert rule_ids(result) == {"RL702"}
+
+    def test_explicit_values_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            from repro.par import pmap
+
+            def score(items, jobs, seed):
+                return pmap(str, items, jobs=jobs, seed=seed)
+            """,
+            rule_ids=["RL702"],
+        )
+        assert result.findings == []
+
+    def test_ambient_read_elsewhere_ok(self, lint_file):
+        # Only the jobs=/seed= values are policed; other env use is RL702's
+        # problem only when it feeds the parallel contract.
+        result = lint_file(
+            SRC_PATH,
+            """
+            import os
+
+            from repro.par import pmap
+
+            def score(items, jobs):
+                label = os.environ.get("RUN_LABEL", "run")
+                return pmap(str, items, jobs=jobs, label=label)
+            """,
+            rule_ids=["RL702"],
+        )
+        assert result.findings == []

@@ -44,8 +44,8 @@ class TestRunAllDriver:
         assert {"a1", "a2", "a3"} <= ids
 
     def test_unknown_id_rejected(self, capsys):
-        assert main(["nope"]) == 1
-        assert "unknown experiment ids" in capsys.readouterr().out
+        assert main(["nope"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
 
     def test_registered_modules_importable(self):
         import importlib

@@ -59,3 +59,17 @@ def test_run_experiment_smoke(exp_id):
 def test_unknown_profile_rejected():
     with pytest.raises(ValueError, match="unknown profile"):
         profile_config({"full": {}, "smoke": {}}, "huge")
+
+
+def test_run_all_parallel_smoke_emits_valid_bench_json(tmp_path, capsys):
+    """One end-to-end --jobs run: the emitted BENCH json must validate."""
+    from benchmarks.check_bench_json import check_file
+    from benchmarks.run_all import main
+
+    exit_code = main(["e2", "--profile", "smoke", "--jobs", "2",
+                      "--out-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert exit_code == 0
+    emitted = sorted(tmp_path.glob("BENCH_*.json"))
+    assert len(emitted) == 1
+    assert check_file(str(emitted[0])) == []

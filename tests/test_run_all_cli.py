@@ -1,0 +1,50 @@
+"""run_all CLI contract: bad invocations must fail loudly, not partially.
+
+Regression suite for the failure mode where a typo'd experiment id (or a
+nonsense ``--jobs``) silently dropped work: the CLI must refuse the whole
+run with a non-zero exit code and emit nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("benchmarks.common", reason="requires repo-root cwd")
+
+from benchmarks.run_all import EXPERIMENTS, main
+
+
+def test_unknown_experiment_exits_nonzero(tmp_path, capsys):
+    exit_code = main(["e99", "--out-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "e99" in captured.err
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_mixed_known_and_unknown_refuses_whole_run(tmp_path, capsys):
+    # The known id must NOT run: a typo'd batch would otherwise produce a
+    # partial result set that looks complete.
+    exit_code = main(["e2", "tpyo", "--profile", "smoke", "--out-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "tpyo" in captured.err
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_experiment_ids_case_insensitive_in_error(capsys):
+    # Uppercase ids are lowered before matching; a genuinely unknown one
+    # still names every valid choice so the fix is one glance away.
+    exit_code = main(["E99"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    for exp_id in EXPERIMENTS:
+        assert exp_id in captured.err
+
+
+def test_nonpositive_jobs_rejected(tmp_path, capsys):
+    exit_code = main(["e2", "--jobs", "0", "--out-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--jobs" in captured.err
+    assert list(tmp_path.glob("BENCH_*.json")) == []
