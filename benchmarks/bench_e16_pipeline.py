@@ -26,6 +26,7 @@ from repro.cleaning import KNNImputer
 from repro.data import FunctionalDependency, Table, World, restaurants_benchmark, violation_rate
 from repro.discovery import BM25SearchEngine, SyntacticMatcher
 from repro.er import FeatureBasedER, TokenBlocker, precision_recall_f1
+from repro.faults import RetryPolicy
 from repro.orchestration import (
     ConsolidateStep,
     CurationPipeline,
@@ -44,8 +45,14 @@ _P = {
 }
 
 
-def run_experiment(profile: str = "full") -> list[dict]:
-    cfg = profile_config(_P, profile)
+def prepare(cfg: dict, retry: "RetryPolicy | dict | None" = None, checkpoint: bool = False):
+    """Build the E16 world once: ``(pipeline, make_context, bench, fds)``.
+
+    Split out of :func:`run_experiment` so the chaos suite can reuse the
+    expensive setup (benchmark data, fitted matcher, search engine) across
+    many pipeline runs under different fault plans; ``make_context()``
+    returns a fresh context per run so runs never share mutable state.
+    """
     bench = restaurants_benchmark(
         n_entities=cfg["n_entities"], noise=0.3, null_rate=0.06, rng=7
     )
@@ -84,8 +91,6 @@ def run_experiment(profile: str = "full") -> list[dict]:
 
     fds = [FunctionalDependency(("name", "address"), "city")]
 
-    context = PipelineContext()
-    context.artifacts["lake"] = lake
     pipeline = CurationPipeline([
         DiscoverStep(engine, "restaurant cuisine city phone", top_k=2,
                      output_keys=["source_a", "source_b"]),
@@ -98,8 +103,22 @@ def run_experiment(profile: str = "full") -> list[dict]:
         ConsolidateStep("source_a", "source_b", "restaurant_id", "merged"),
         ImputeStep(KNNImputer(k=3), "merged", "imputed"),
         RepairStep(fds, "imputed", "final"),
-    ])
-    context, reports = pipeline.run(context)
+    ], retry=retry, checkpoint=checkpoint)
+
+    def make_context() -> PipelineContext:
+        context = PipelineContext()
+        context.artifacts["lake"] = lake
+        return context
+
+    return pipeline, make_context, bench, fds
+
+
+def run_experiment(profile: str = "full") -> list[dict]:
+    cfg = profile_config(_P, profile)
+    # Every step gets a small retry budget, so an injected (or genuinely
+    # transient) step failure recovers to the identical final table.
+    pipeline, make_context, bench, fds = prepare(cfg, retry=RetryPolicy(attempts=3))
+    context, reports = pipeline.run(make_context())
 
     final = context.table("final")
     # Discovery may surface the two sources in either order; matches are

@@ -20,6 +20,12 @@ stack's contracts.
 discovery benches); by the substrate's determinism contract the emitted
 rows are bit-identical for every value of N — only the wall time (and
 the ``jobs`` recorded in the span meta) changes.
+
+``--chaos SEED`` runs every selected experiment under a seeded
+:class:`repro.faults.FaultPlan` chaos schedule (recoverable by
+construction — see :mod:`repro.faults`); by the fault-tolerance contract
+the emitted rows are bit-identical to a fault-free run, and the span meta
+records the seed plus what actually fired.
 """
 
 from __future__ import annotations
@@ -59,20 +65,32 @@ EXPERIMENTS = {
 }
 
 
-def run_one(exp_id: str, profile: str = "full", out_dir: str = ".", jobs: int = 1) -> dict:
+def run_one(
+    exp_id: str, profile: str = "full", out_dir: str = ".", jobs: int = 1,
+    chaos: int | None = None,
+) -> dict:
     """Run one experiment under metrics+tracing and emit its BENCH json.
 
     ``jobs`` is forwarded to experiments whose ``run_experiment`` accepts
     it (they fan their hot paths out through :mod:`repro.par`); other
     experiments run serially regardless.  The value is recorded in the
     experiment span's meta, so every BENCH json says how it was produced.
+
+    ``chaos`` (a seed) activates a recoverable
+    :func:`repro.faults.FaultPlan.chaos` schedule around the experiment;
+    the seed and the fired-fault counts land in the span meta.
     """
+    from contextlib import nullcontext
+
+    from repro.faults import FaultPlan
+
     module_name, title = EXPERIMENTS[exp_id]
     module = importlib.import_module(f"benchmarks.{module_name}")
 
     kwargs = {"profile": profile}
     if "jobs" in inspect.signature(module.run_experiment).parameters:
         kwargs["jobs"] = jobs
+    plan = FaultPlan.chaos(chaos) if chaos is not None else None
 
     REGISTRY.reset()
     drain_roots()
@@ -82,7 +100,11 @@ def run_one(exp_id: str, profile: str = "full", out_dir: str = ".", jobs: int = 
     start = time.perf_counter()
     try:
         with span(exp_id, title=title, profile=profile, jobs=jobs) as exp_span:
-            rows = module.run_experiment(**kwargs)
+            with plan if plan is not None else nullcontext():
+                rows = module.run_experiment(**kwargs)
+            if plan is not None:
+                exp_span.meta["chaos_seed"] = chaos
+                exp_span.meta["chaos_injected"] = plan.ledger.by_kind()
     finally:
         if not previously_enabled:
             REGISTRY.disable()
@@ -148,6 +170,11 @@ def main(argv: list[str]) -> int:
                         help="process count forwarded to experiments that "
                              "support repro.par parallel execution "
                              "(results are bit-identical for any value)")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="run every experiment under a seeded, "
+                             "recoverable fault-injection plan "
+                             "(repro.faults.FaultPlan.chaos); emitted rows "
+                             "stay bit-identical to a fault-free run")
     parser.add_argument("--lint", action="store_true",
                         help="refuse to run benches while repro.lint reports "
                              "non-baselined findings in src/ or benchmarks/")
@@ -174,7 +201,8 @@ def main(argv: list[str]) -> int:
     emitted = []
     for exp_id in selected:
         result = run_one(
-            exp_id, profile=args.profile, out_dir=args.out_dir, jobs=args.jobs
+            exp_id, profile=args.profile, out_dir=args.out_dir, jobs=args.jobs,
+            chaos=args.chaos,
         )
         printable = [
             {k: v for k, v in row.items() if not str(k).startswith("_")}

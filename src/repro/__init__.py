@@ -31,6 +31,7 @@ from repro import (
     discovery,
     embeddings,
     er,
+    faults,
     lint,
     nlq,
     nn,
@@ -62,6 +63,7 @@ __all__ = [
     "orchestration",
     "obs",
     "par",
+    "faults",
     "lint",
     "utils",
 ]

@@ -16,6 +16,7 @@ from functools import partial
 import numpy as np
 
 from repro.data.types import is_missing
+from repro.faults.retry import HOT_POLICY, retry_call
 from repro.par import pmap, pmap_chunks
 from repro.text.tokenize import word_tokenize
 from repro.utils.rng import ensure_rng
@@ -140,7 +141,8 @@ class LSHBlocker:
             (band * self.rows_per_band, (band + 1) * self.rows_per_band)
             for band in range(self.n_bands)
         ]
-        index_pairs: set[tuple[int, int]] = pmap_chunks(
+        index_pairs: set[tuple[int, int]] = retry_call(
+            pmap_chunks,
             partial(_band_candidates, sig_a=sig_a, sig_b=sig_b),
             bands,
             jobs=jobs,
@@ -148,6 +150,9 @@ class LSHBlocker:
             label="lsh.bands",
             combine=lambda left, right: left | right,
             initial=set(),
+            site="er.blocking.lsh",
+            policy=HOT_POLICY,
+            validate=lambda pairs: isinstance(pairs, set),
         )
         return {(ids_a[i], ids_b[j]) for i, j in index_pairs}
 
@@ -248,28 +253,38 @@ class TokenBlocker:
         frequencies stay serial — they need the global counts)."""
         if not records_a or not records_b:
             return set()
-        n_docs = len(records_a) + len(records_b)
-        document_frequency: dict[str, int] = defaultdict(int)
-        token_sets_a = pmap(self._tokens, records_a, jobs=jobs, label="token.tokenize_a")
-        token_sets_b = pmap(self._tokens, records_b, jobs=jobs, label="token.tokenize_b")
-        for tokens in token_sets_a + token_sets_b:
-            for token in tokens:
-                document_frequency[token] += 1
-        rare = {
-            token
-            for token, df in document_frequency.items()
-            if df / n_docs <= self.max_df
-        }
-        index: dict[str, list[int]] = {}
-        for i, tokens in enumerate(token_sets_a):
-            for token in tokens & rare:
-                index.setdefault(token, []).append(i)
-        index_pairs: set[tuple[int, int]] = pmap_chunks(
-            partial(_token_candidates, index=index, rare=rare),
-            list(enumerate(token_sets_b)),
-            jobs=jobs,
-            label="token.probe",
-            combine=lambda left, right: left | right,
-            initial=set(),
+
+        def _block() -> set[tuple[str, str]]:
+            # Pure in its inputs — re-runnable under the retry budget.
+            n_docs = len(records_a) + len(records_b)
+            document_frequency: dict[str, int] = defaultdict(int)
+            token_sets_a = pmap(self._tokens, records_a, jobs=jobs, label="token.tokenize_a")
+            token_sets_b = pmap(self._tokens, records_b, jobs=jobs, label="token.tokenize_b")
+            for tokens in token_sets_a + token_sets_b:
+                for token in tokens:
+                    document_frequency[token] += 1
+            rare = {
+                token
+                for token, df in document_frequency.items()
+                if df / n_docs <= self.max_df
+            }
+            index: dict[str, list[int]] = {}
+            for i, tokens in enumerate(token_sets_a):
+                for token in tokens & rare:
+                    index.setdefault(token, []).append(i)
+            index_pairs: set[tuple[int, int]] = pmap_chunks(
+                partial(_token_candidates, index=index, rare=rare),
+                list(enumerate(token_sets_b)),
+                jobs=jobs,
+                label="token.probe",
+                combine=lambda left, right: left | right,
+                initial=set(),
+            )
+            return {(ids_a[i], ids_b[j]) for i, j in index_pairs}
+
+        return retry_call(
+            _block,
+            site="er.blocking.token",
+            policy=HOT_POLICY,
+            validate=lambda pairs: isinstance(pairs, set),
         )
-        return {(ids_a[i], ids_b[j]) for i, j in index_pairs}

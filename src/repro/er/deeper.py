@@ -20,6 +20,8 @@ from functools import partial
 import numpy as np
 
 from repro.embeddings.compose import LSTMComposer, TupleEmbedder, VectorFn
+from repro.faults.plan import inject
+from repro.faults.retry import HOT_POLICY, retry_call
 from repro.nn.layers import Module, Sequential, mlp
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam, clip_grad_norm
@@ -171,13 +173,19 @@ class DeepER:
 
         ``self.jobs > 1`` fans the per-pair rows out over a process pool;
         rows come back in input order, so the matrix is bit-identical to
-        the serial one.
+        the serial one.  The whole featurisation is a pure function of
+        ``pairs``, so it runs under a short retry budget at fault site
+        ``er.deeper.pair_features``.
         """
-        features = pmap(
+        features = retry_call(
+            pmap,
             partial(_pair_feature_row, embedder=self.embedder),
             pairs,
             jobs=self.jobs,
             label="deeper.pair_features",
+            site="er.deeper.pair_features",
+            policy=HOT_POLICY,
+            validate=lambda rows: isinstance(rows, list) and len(rows) == len(pairs),
         )
         return np.array(features)
 
@@ -270,6 +278,7 @@ class DeepER:
             val_labels = np.array([[float(y)] for _, _, y in validation_pairs])
             stopping = EarlyStopping(patience=patience)
         for epoch in range(epochs):
+            inject("er.deeper.fit.epoch")  # latency-only site: epochs are not idempotent
             losses = []
             for batch in iterate_minibatches(len(pairs), batch_size, rng=self._rng):
                 logits = self.classifier(Tensor(features[batch]))
@@ -303,6 +312,7 @@ class DeepER:
         params = self.classifier.parameters() + self.composer.parameters()
         optimizer = Adam(params, lr=lr)
         for epoch in range(epochs):
+            inject("er.deeper.fit.epoch")  # latency-only site: epochs are not idempotent
             losses = []
             for batch in iterate_minibatches(len(pairs), batch_size, rng=self._rng):
                 u = self.composer(Tensor(mat_a[batch]))

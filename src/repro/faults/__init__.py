@@ -1,0 +1,65 @@
+"""Deterministic fault injection and recovery (see DESIGN.md § "Fault
+injection").
+
+Two halves under one contract:
+
+* :mod:`repro.faults.plan` — seeded, schedule-driven injection of
+  exceptions, artificial latency and corrupted returns at named sites
+  (catalog in :mod:`repro.faults.sites`), activated as a context manager;
+  zero overhead while inactive.
+* :mod:`repro.faults.retry` — ``retry_call`` with capped deterministic
+  backoff (no wall-clock randomness), span/metrics accounting and a
+  metrics quarantine around failed attempts.
+
+The contract, enforced by ``tests/faults``: any fault plan that stays
+under the wired retry budgets yields final artifacts and BENCH metric
+values bit-identical to the fault-free run; plans over budget fail loudly
+(:class:`RetryExhausted`, surfaced by the pipeline as ``PipelineError``
+with partial provenance).
+"""
+
+from repro.faults.plan import (
+    CORRUPTED,
+    Fault,
+    FaultLedger,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    inject,
+    inject_result,
+)
+from repro.faults.retry import (
+    DEFAULT_POLICY,
+    HOT_POLICY,
+    CorruptedResult,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+from repro.faults.sites import (
+    CORRUPT_SITES,
+    LATENCY_ONLY_SITES,
+    RETRY_SITES,
+    all_sites,
+)
+
+__all__ = [
+    "CORRUPTED",
+    "CORRUPT_SITES",
+    "CorruptedResult",
+    "DEFAULT_POLICY",
+    "Fault",
+    "FaultLedger",
+    "FaultPlan",
+    "HOT_POLICY",
+    "InjectedFault",
+    "LATENCY_ONLY_SITES",
+    "RETRY_SITES",
+    "RetryExhausted",
+    "RetryPolicy",
+    "active_plan",
+    "all_sites",
+    "inject",
+    "inject_result",
+    "retry_call",
+]

@@ -1,0 +1,297 @@
+"""Deterministic fault injection: seeded, schedule-driven faults at named sites.
+
+A :class:`FaultPlan` is a list of :class:`Fault` schedule entries.  While a
+plan is active (``with plan:`` — mirroring :class:`repro.obs.metrics.collecting`),
+instrumented code points call :func:`inject` / :func:`inject_result` with
+their site name; the plan counts invocations per concrete site and fires
+exactly the scheduled faults:
+
+* ``error`` — raise :class:`InjectedFault` at the scheduled hit indices;
+* ``latency`` — account artificial delay (simulated by default: recorded
+  in the ledger and ``faults.*`` metrics, no wall-clock sleep, so the run
+  stays deterministic; ``real_sleep=True`` opts into actually sleeping);
+* ``corrupt`` — replace the wrapped call's return value (with the
+  :data:`CORRUPTED` sentinel unless the fault carries its own mutator),
+  which a validating retry site detects and retries.
+
+Determinism: the schedule is data (site pattern + hit indices), the
+per-site counters start from zero at activation, and nothing reads clocks
+or ambient randomness — so replaying the same plan against the same code
+fires the same faults at the same points, every run.  With no active plan
+:func:`inject` is a single module-global ``None`` check: zero overhead.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY as _OBS
+
+__all__ = [
+    "CORRUPTED",
+    "Fault",
+    "FaultLedger",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "inject",
+    "inject_result",
+]
+
+_KINDS = ("error", "latency", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``error`` fault raises at its site."""
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected fault at site {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+class _Corrupted:
+    """Default corrupted-return sentinel: fails any type-shaped validation."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "<corrupted>"
+
+
+CORRUPTED = _Corrupted()
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One schedule entry: fire ``kind`` at ``site`` on invocation ``hits``.
+
+    ``site`` may be a concrete name or an ``fnmatch`` pattern
+    (``"pipeline.step.*"``); hit indices are 0-based per concrete site.
+    """
+
+    site: str
+    kind: str = "error"
+    hits: tuple[int, ...] = (0,)
+    delay_seconds: float = 0.0
+    corrupt: object = None  # callable(value) -> value for "corrupt" faults
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, got {self.kind!r}")
+        if not self.site:
+            raise ValueError("fault site must be non-empty")
+        if not self.hits or any(h < 0 for h in self.hits):
+            raise ValueError(f"hits must be non-empty and >= 0, got {self.hits!r}")
+        if self.kind == "latency" and self.delay_seconds <= 0:
+            raise ValueError("latency faults need delay_seconds > 0")
+
+
+@dataclass
+class FaultLedger:
+    """Record of every fault an activation actually fired."""
+
+    events: list[dict] = field(default_factory=list)
+
+    def record(self, site: str, kind: str, hit: int, delay: float = 0.0) -> None:
+        self.events.append(
+            {"site": site, "kind": kind, "hit": hit, "delay_seconds": delay}
+        )
+
+    def count(self, kind: str | None = None, site: str | None = None) -> int:
+        return sum(
+            1
+            for event in self.events
+            if (kind is None or event["kind"] == kind)
+            and (site is None or event["site"] == site)
+        )
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return counts
+
+    @property
+    def simulated_latency_seconds(self) -> float:
+        return sum(e["delay_seconds"] for e in self.events if e["kind"] == "latency")
+
+
+class FaultPlan:
+    """A schedule of faults, activated as a context manager.
+
+    Entering the plan resets its per-site counters and ledger, so one plan
+    object replays identically across activations.  Activations nest:
+    the innermost plan wins, the previous one is restored on exit.
+    """
+
+    def __init__(
+        self, faults: list[Fault] | tuple[Fault, ...] = (), *,
+        real_sleep: bool = False, name: str = "",
+    ) -> None:
+        self.faults = list(faults)
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"FaultPlan takes Fault entries, got {fault!r}")
+        self.real_sleep = real_sleep
+        self.name = name
+        self.ledger = FaultLedger()
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._results: dict[str, int] = {}
+        self._previous: "FaultPlan | None" = None
+
+    # -- schedule ------------------------------------------------------- #
+
+    def describe(self) -> list[dict]:
+        """JSON-ready schedule dump (stable order), for logs and tests."""
+        return sorted(
+            (
+                {
+                    "site": f.site,
+                    "kind": f.kind,
+                    "hits": list(f.hits),
+                    "delay_seconds": f.delay_seconds,
+                }
+                for f in self.faults
+            ),
+            key=lambda d: (d["site"], d["kind"], d["hits"]),
+        )
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        *,
+        sites: "set[str] | None" = None,
+        error_rate: float = 0.5,
+        corrupt_rate: float = 0.25,
+        latency_rate: float = 0.35,
+        max_delay: float = 0.02,
+    ) -> "FaultPlan":
+        """A seeded, recoverable-by-construction chaos schedule.
+
+        Error and corrupted-return faults are drawn only against retryable
+        (respectively validating) sites from the catalog, with a single
+        hit at invocation 0 and at most one attempt-consuming fault per
+        site — one under every wired budget (the smallest is 2 attempts) —
+        so a chaos run must converge to the fault-free result.  Latency
+        faults (simulated) may land anywhere.  ``sites`` optionally
+        restricts the schedule to a subset of catalog patterns.
+        """
+        from repro.faults.sites import CORRUPT_SITES, LATENCY_ONLY_SITES, RETRY_SITES
+
+        rng = np.random.default_rng(np.random.SeedSequence([0xFA0175, int(seed)]))
+        chosen = (lambda s: sites is None or s in sites)
+        faults: list[Fault] = []
+        consuming: set[str] = set()
+        for site in sorted(RETRY_SITES):
+            if chosen(site) and rng.random() < error_rate:
+                faults.append(Fault(site, "error", hits=(0,)))
+                consuming.add(site)
+        for site in sorted(CORRUPT_SITES):
+            if chosen(site) and rng.random() < corrupt_rate and site not in consuming:
+                faults.append(Fault(site, "corrupt", hits=(0,)))
+        for site in sorted({**RETRY_SITES, **LATENCY_ONLY_SITES}):
+            if chosen(site) and rng.random() < latency_rate:
+                delay = round(float(rng.uniform(0.001, max_delay)), 6)
+                faults.append(Fault(site, "latency", hits=(0,), delay_seconds=delay))
+        return cls(faults, name=f"chaos[{seed}]")
+
+    # -- activation ----------------------------------------------------- #
+
+    def reset(self) -> None:
+        """Clear per-site counters and the ledger (fresh replay)."""
+        with self._lock:
+            self._calls.clear()
+            self._results.clear()
+            self.ledger = FaultLedger()
+
+    def __enter__(self) -> "FaultPlan":
+        global _ACTIVE
+        self.reset()
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+
+    # -- firing --------------------------------------------------------- #
+
+    def _matching(self, site: str, kinds: tuple[str, ...]) -> list[Fault]:
+        return [
+            fault
+            for fault in self.faults
+            if fault.kind in kinds and fnmatch.fnmatchcase(site, fault.site)
+        ]
+
+    def _fire_call(self, site: str) -> None:
+        with self._lock:
+            hit = self._calls.get(site, 0)
+            self._calls[site] = hit + 1
+        delay = sum(
+            fault.delay_seconds
+            for fault in self._matching(site, ("latency",))
+            if hit in fault.hits
+        )
+        if delay > 0:
+            self.ledger.record(site, "latency", hit, delay)
+            if _OBS.enabled:
+                _OBS.counter("faults.injected.latency").inc()
+                _OBS.counter("faults.latency_seconds").inc(delay)
+            if self.real_sleep:
+                time.sleep(delay)
+        for fault in self._matching(site, ("error",)):
+            if hit in fault.hits:
+                self.ledger.record(site, "error", hit)
+                if _OBS.enabled:
+                    _OBS.counter("faults.injected.error").inc()
+                raise InjectedFault(site, hit)
+
+    def _fire_result(self, site: str, value: object) -> object:
+        with self._lock:
+            hit = self._results.get(site, 0)
+            self._results[site] = hit + 1
+        for fault in self._matching(site, ("corrupt",)):
+            if hit in fault.hits:
+                self.ledger.record(site, "corrupt", hit)
+                if _OBS.enabled:
+                    _OBS.counter("faults.injected.corrupt").inc()
+                value = fault.corrupt(value) if fault.corrupt is not None else CORRUPTED
+        return value
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently activated plan, if any."""
+    return _ACTIVE
+
+
+def inject(site: str) -> None:
+    """Fire any scheduled error/latency faults for this ``site`` invocation.
+
+    No-op (one global ``None`` check) when no plan is active — wired hot
+    paths pay nothing with faults off.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan._fire_call(site)
+
+
+def inject_result(site: str, value: object) -> object:
+    """Pass ``value`` through any scheduled corrupted-return fault."""
+    plan = _ACTIVE
+    if plan is None:
+        return value
+    return plan._fire_result(site, value)

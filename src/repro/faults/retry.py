@@ -1,0 +1,167 @@
+"""Deterministic retry engine: ``retry_call`` with capped geometric backoff.
+
+Backoff is pure arithmetic — ``delay(k) = min(cap, base * multiplier**k)``
+for the k-th failure — with no wall-clock randomness (no jitter, no clock
+reads), so two runs that fail the same way back off the same way.  Delays
+are *simulated* by default: they are summed into the telemetry (span meta,
+``faults.*`` metrics, :class:`RetryExhausted`) but nothing sleeps unless
+the policy carries an explicit ``sleep`` callable.
+
+Telemetry: every call annotates the innermost open span's meta under
+``meta["retry"][site]`` (attempts, simulated delay, outcome) and bumps
+guarded ``faults.retry.*`` counters.  Failed attempts run inside a metrics
+*quarantine* — the registry is checkpointed before each attempt and rolled
+back (keeping ``faults.*``) when the attempt dies — so a recovered call
+leaves metric values bit-identical to a never-faulted call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import inject, inject_result
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.obs.trace import current_span
+
+__all__ = [
+    "CorruptedResult",
+    "DEFAULT_POLICY",
+    "HOT_POLICY",
+    "RetryExhausted",
+    "RetryPolicy",
+    "retry_call",
+]
+
+
+class CorruptedResult(RuntimeError):
+    """A wrapped call returned a value its validator rejected."""
+
+
+class RetryExhausted(RuntimeError):
+    """All attempts at a site failed; carries the budget accounting."""
+
+    def __init__(self, site: str, attempts: int, simulated_delay: float) -> None:
+        super().__init__(
+            f"site {site!r} exhausted its retry budget after {attempts} attempt(s) "
+            f"({simulated_delay:.3f}s simulated backoff)"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.simulated_delay = simulated_delay
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a site gets and how the backoff between them grows.
+
+    ``retry_on`` lists the exception types worth retrying; ``give_up_on``
+    carves out types that propagate immediately even when they match
+    ``retry_on`` (the pipeline puts :class:`PipelineError` there — a
+    missing input is not transient).  ``sleep`` is an optional callable
+    receiving each backoff delay; ``None`` keeps delays simulated-only.
+    ``quarantine_metrics`` rolls the metrics registry back after a failed
+    attempt so retries never double-count (``faults.*`` survive).
+    """
+
+    attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 1.0
+    retry_on: tuple = (Exception,)
+    give_up_on: tuple = ()
+    sleep: object = None  # callable(seconds) -> None, or None
+    quarantine_metrics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_multiplier < 1:
+            raise ValueError("backoff_base/cap must be >= 0 and multiplier >= 1")
+
+    def delay(self, failure_index: int) -> float:
+        """Backoff after the ``failure_index``-th failure (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * self.backoff_multiplier ** failure_index)
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+# Pure hot-path wrappers (blocking, pair featurisation): one retry, short
+# backoff — enough to absorb a single injected or transient fault without
+# materially stretching the hot loop.
+HOT_POLICY = RetryPolicy(attempts=2, backoff_base=0.01, backoff_cap=0.1)
+
+
+def _note(site: str, attempts: int, simulated_delay: float, outcome: str) -> None:
+    """Record the retry accounting on the innermost open span, if any."""
+    open_span = current_span()
+    if open_span is None:
+        return
+    open_span.meta.setdefault("retry", {})[site] = {
+        "attempts": attempts,
+        "simulated_delay_seconds": round(simulated_delay, 6),
+        "outcome": outcome,
+    }
+
+
+def _keep_faults(name: str) -> bool:
+    return name.startswith("faults.")
+
+
+def retry_call(
+    fn,
+    *args,
+    site: str,
+    policy: RetryPolicy | None = None,
+    validate=None,
+    give_up_on: tuple = (),
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)`` under ``policy`` at the named fault site.
+
+    Each attempt passes through the fault-injection points — :func:`inject`
+    at entry, :func:`inject_result` on the return value — and, when
+    ``validate`` is given, rejects results failing it (raising
+    :class:`CorruptedResult`, which is retryable).  Retrying is only sound
+    when ``fn`` is pure or idempotent: every wired site re-runs the same
+    deterministic computation, which is what makes a recovered run
+    bit-identical to a fault-free one.  Raises :class:`RetryExhausted`
+    (chained to the last error) once the budget is spent.
+    """
+    policy = policy or DEFAULT_POLICY
+    give_up = tuple(give_up_on) + tuple(policy.give_up_on)
+    simulated_delay = 0.0
+    for attempt in range(policy.attempts):
+        checkpoint = None
+        if policy.quarantine_metrics and _OBS.enabled:
+            checkpoint = _OBS.checkpoint()
+        try:
+            inject(site)
+            result = inject_result(site, fn(*args, **kwargs))
+            if validate is not None and not validate(result):
+                raise CorruptedResult(
+                    f"site {site!r}: result failed validation: {result!r}"
+                )
+        except BaseException as exc:
+            retryable = isinstance(exc, policy.retry_on) and not (
+                give_up and isinstance(exc, give_up)
+            )
+            if not retryable:
+                raise
+            if checkpoint is not None:
+                _OBS.restore(checkpoint, keep=_keep_faults)
+            if attempt == policy.attempts - 1:
+                _note(site, attempt + 1, simulated_delay, "exhausted")
+                if _OBS.enabled:
+                    _OBS.counter("faults.retry.exhausted").inc()
+                raise RetryExhausted(site, attempt + 1, simulated_delay) from exc
+            delay = policy.delay(attempt)
+            simulated_delay += delay
+            if policy.sleep is not None:
+                policy.sleep(delay)
+        else:
+            _note(site, attempt + 1, simulated_delay, "ok")
+            if _OBS.enabled and attempt > 0:
+                _OBS.counter("faults.retry.recovered").inc()
+                _OBS.counter("faults.retry.extra_attempts").inc(float(attempt))
+            return result
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,66 @@
+"""Catalog of named fault-injection sites.
+
+Naming scheme: dot-separated ``<area>.<unit>[.<detail>]`` mirroring the
+package that owns the code point —
+
+* ``pipeline.step.<name>`` — one concrete site per pipeline step (the
+  ``*`` entry below is the fnmatch pattern chaos plans schedule against);
+* ``par.pool`` — each attempt to run a :mod:`repro.par` chunk batch on
+  the process pool;
+* ``er.blocking.lsh`` / ``er.blocking.token`` — the candidate-pair
+  computation of the two blockers;
+* ``er.deeper.pair_features`` — DeepER's pair featurisation hot path;
+* ``er.deeper.fit.epoch`` — the top of every DeepER training epoch.
+
+Sites split by what owns recovery:
+
+* **retryable** sites sit inside a retry or fallback layer, so an
+  injected error under the layer's budget is invisible in the final
+  results (``par.pool`` exhaustion degrades to the serial path, which by
+  the :mod:`repro.par` contract is bit-identical);
+* **latency-only** sites have no recovery layer — chaos plans schedule
+  only latency faults there, because an error fault would (correctly)
+  abort the run.
+
+Chaos plans (:meth:`repro.faults.FaultPlan.chaos`) draw their schedule
+from this catalog, so every seeded plan is recoverable by construction.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CORRUPT_SITES", "LATENCY_ONLY_SITES", "RETRY_SITES", "all_sites"]
+
+RETRY_SITES: dict[str, str] = {
+    "pipeline.step.*": (
+        "CurationPipeline.run step execution; budget = the pipeline's "
+        "RetryPolicy.attempts (no policy means no budget: errors propagate)"
+    ),
+    "par.pool": (
+        "repro.par process-pool attempt; exhaustion falls back to the "
+        "bit-identical serial path, so the call itself never fails"
+    ),
+    "er.blocking.lsh": "LSHBlocker.candidate_pairs band matching (attempts=2)",
+    "er.blocking.token": "TokenBlocker.candidate_pairs rare-token probe (attempts=2)",
+    "er.deeper.pair_features": "DeepER pair featurisation (attempts=2)",
+}
+
+LATENCY_ONLY_SITES: dict[str, str] = {
+    "er.deeper.fit.epoch": (
+        "top of each DeepER training epoch; not retryable (an epoch "
+        "consumes minibatch rng), so only latency faults are scheduled"
+    ),
+}
+
+# Retryable sites whose wrapped call validates its return value, so a
+# corrupted-return fault is detected and retried rather than persisted.
+CORRUPT_SITES: tuple[str, ...] = (
+    "pipeline.step.*",
+    "er.blocking.lsh",
+    "er.blocking.token",
+    "er.deeper.pair_features",
+)
+
+
+def all_sites() -> list[str]:
+    """Every catalogued site (pattern) name, sorted."""
+    return sorted({**RETRY_SITES, **LATENCY_ONLY_SITES})

@@ -11,6 +11,7 @@ once published.  Numbering groups the families:
 * ``RL5xx`` — benchmark contract
 * ``RL6xx`` — export hygiene
 * ``RL7xx`` — parallel-substrate contract (explicit jobs/seed)
+* ``RL8xx`` — fault-injection hygiene (no swallowed injected faults)
 """
 
 from __future__ import annotations

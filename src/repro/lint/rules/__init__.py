@@ -14,7 +14,9 @@ Families (stable id prefixes, see DESIGN.md § "Static analysis"):
 * :mod:`~repro.lint.rules.exports` — RL601 ``__all__`` names exist,
   RL602 packages declare ``__all__``;
 * :mod:`~repro.lint.rules.par` — RL701 explicit ``jobs=`` at repro.par
-  call sites, RL702 no ambient-state ``jobs``/``seed`` values.
+  call sites, RL702 no ambient-state ``jobs``/``seed`` values;
+* :mod:`~repro.lint.rules.faults` — RL801 overbroad except handlers that
+  would swallow injected faults in the fault-wired packages.
 """
 
 from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
@@ -25,6 +27,7 @@ from repro.lint.rules.determinism import (
     TimeSeededRule,
 )
 from repro.lint.rules.exports import AllNamesExistRule, PackageDefinesAllRule
+from repro.lint.rules.faults import FaultSwallowingExceptRule
 from repro.lint.rules.mutation import InPlaceDataMutationRule
 from repro.lint.rules.obs_guard import ObsHotPathGuardRule
 from repro.lint.rules.par import ParAmbientStateRule, ParExplicitJobsRule
@@ -34,6 +37,7 @@ __all__ = [
     "BackwardContractRule",
     "BenchProfileContractRule",
     "BenchRegisteredRule",
+    "FaultSwallowingExceptRule",
     "InPlaceDataMutationRule",
     "LegacyNumpyRandomRule",
     "LoopCaptureRule",

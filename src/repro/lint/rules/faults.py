@@ -1,0 +1,82 @@
+"""Fault-injection hygiene rule (RL801).
+
+The chaos suite (``tests/faults``) only proves anything if injected
+faults actually *reach* the recovery layers — a ``try/except Exception``
+(or a bare ``except``) that swallows the error without re-raising hides
+:class:`repro.faults.InjectedFault` the same way it hides real bugs, and
+turns an over-budget fault plan into a silent wrong answer instead of a
+loud :class:`~repro.faults.RetryExhausted`.
+
+In the fault-wired packages (``orchestration``, ``par``, ``er``), an
+overbroad handler must therefore contain a ``raise`` somewhere in its
+body (re-raise, raise-from, or a translated exception).  Handlers for
+*specific* exception types are fine — they cannot catch an injected
+fault by accident.  Genuinely open-ended probes (e.g. "can this object
+pickle?") go in the baseline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["FaultSwallowingExceptRule"]
+
+_OVERBROAD = {"Exception", "BaseException"}
+
+
+def _overbroad_name(node: ast.expr | None) -> str | None:
+    """The overbroad type this handler catches, or None.
+
+    A bare ``except:`` reports as ``BaseException`` (what it means);
+    ``except Exception`` / ``except BaseException`` match whether alone,
+    aliased via attribute access (``builtins.Exception``), or anywhere
+    inside a tuple of types.
+    """
+    if node is None:
+        return "BaseException"
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _OVERBROAD:
+            return candidate.id
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _OVERBROAD:
+            return candidate.attr
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains any ``raise`` statement."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class FaultSwallowingExceptRule(Rule):
+    """RL801: overbroad except in fault-wired code must re-raise."""
+
+    id = "RL801"
+    name = "fault-swallowing-except"
+    description = (
+        "a bare 'except:' or 'except Exception/BaseException' in the "
+        "fault-wired packages that never raises would swallow injected "
+        "faults (and real errors) silently; re-raise, translate to a "
+        "typed error, or narrow the handler"
+    )
+    path_markers = ("/repro/orchestration/", "/repro/par/", "/repro/er/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _overbroad_name(node.type)
+            if caught is None or _reraises(node):
+                continue
+            spelled = "bare 'except:'" if node.type is None else f"'except {caught}'"
+            yield ctx.finding(
+                self.id, node,
+                f"{spelled} swallows injected faults (and real errors) "
+                "without re-raising; narrow the exception type or add a "
+                "'raise'",
+            )

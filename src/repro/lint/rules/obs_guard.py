@@ -59,7 +59,10 @@ class ObsHotPathGuardRule(Rule):
         "a local bound from it); unguarded calls allocate and lock on every "
         "event even when observability is off"
     )
-    path_markers = ("/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/")
+    path_markers = (
+        "/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/",
+        "/repro/faults/",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = _registry_aliases(ctx.tree)

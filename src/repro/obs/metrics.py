@@ -217,6 +217,62 @@ class MetricsRegistry:
             self._histograms.clear()
             self._series.clear()
 
+    # -- rollback support (used by repro.faults.retry) ------------------- #
+
+    def checkpoint(self) -> dict:
+        """Deep snapshot of every instrument's state, for :meth:`restore`.
+
+        The retry engine brackets each attempt with a checkpoint so a
+        failed-then-retried attempt leaves no double-counted metrics behind
+        — the recovered run's snapshot stays bit-identical to a fault-free
+        run's.
+        """
+        with self._lock:
+            return {
+                "counters": {k: v._value for k, v in self._counters.items()},
+                "gauges": {k: v._value for k, v in self._gauges.items()},
+                "histograms": {
+                    k: (v.count, v.total, v.min, v.max, dict(v._buckets))
+                    for k, v in self._histograms.items()
+                },
+                "series": {
+                    k: (list(v._values), v.dropped) for k, v in self._series.items()
+                },
+            }
+
+    def restore(self, state: dict, keep=None) -> None:
+        """Roll instruments back to a :meth:`checkpoint` snapshot.
+
+        Instruments created after the checkpoint are dropped unless
+        ``keep(name)`` is true (the retry engine keeps ``faults.*`` so the
+        injection ledger survives the rollback of a failed attempt).
+        """
+        with self._lock:
+            for name, value in state["counters"].items():
+                self._counters.setdefault(name, Counter(name))._value = value
+            for name in [n for n in self._counters if n not in state["counters"]]:
+                if keep is None or not keep(name):
+                    del self._counters[name]
+            for name, value in state["gauges"].items():
+                self._gauges.setdefault(name, Gauge(name))._value = value
+            for name in [n for n in self._gauges if n not in state["gauges"]]:
+                if keep is None or not keep(name):
+                    del self._gauges[name]
+            for name, (count, total, lo, hi, buckets) in state["histograms"].items():
+                histogram = self._histograms.setdefault(name, Histogram(name))
+                histogram.count, histogram.total = count, total
+                histogram.min, histogram.max = lo, hi
+                histogram._buckets = dict(buckets)
+            for name in [n for n in self._histograms if n not in state["histograms"]]:
+                if keep is None or not keep(name):
+                    del self._histograms[name]
+            for name, (values, dropped) in state["series"].items():
+                series = self._series.setdefault(name, Series(name))
+                series._values, series.dropped = list(values), dropped
+            for name in [n for n in self._series if n not in state["series"]]:
+                if keep is None or not keep(name):
+                    del self._series[name]
+
     def snapshot(self) -> dict:
         """JSON-ready dump of every instrument's current state."""
         with self._lock:

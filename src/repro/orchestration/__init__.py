@@ -2,6 +2,7 @@
 steps composed into an auditable end-to-end pipeline."""
 
 from repro.orchestration.pipeline import (
+    CHECKPOINT_KEY,
     CurationPipeline,
     PipelineContext,
     PipelineError,
@@ -21,6 +22,7 @@ from repro.orchestration.steps import (
 )
 
 __all__ = [
+    "CHECKPOINT_KEY",
     "CurationPipeline",
     "PipelineContext",
     "PipelineStep",

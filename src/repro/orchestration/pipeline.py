@@ -17,11 +17,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.table import Table
+from repro.faults.plan import inject
+from repro.faults.retry import RetryExhausted, RetryPolicy, retry_call
 from repro.obs.trace import Span, span
+
+#: Context artifact key where a checkpointing pipeline stores its progress.
+CHECKPOINT_KEY = "pipeline.checkpoint"
 
 
 class PipelineError(RuntimeError):
-    """Raised when a step cannot run (missing inputs, bad config)."""
+    """Raised when a step cannot run (missing inputs, bad config).
+
+    When raised out of :meth:`CurationPipeline.run`, carries the partial
+    provenance of the run: ``reports`` (every completed
+    :class:`StepReport`), ``failed_step``, and — for retry-budget
+    exhaustion — the ``exhausted_site``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reports: "list[StepReport] | None" = None,
+        failed_step: str | None = None,
+        exhausted_site: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reports = list(reports) if reports else []
+        self.failed_step = failed_step
+        self.exhausted_site = exhausted_site
 
 
 @dataclass
@@ -84,35 +108,112 @@ class PipelineStep:
         raise NotImplementedError
 
 
-class CurationPipeline:
-    """An ordered sequence of curation steps with run reports."""
+def _valid_details(details: object) -> bool:
+    """A step's detail payload must be a dict (or None → empty dict)."""
+    return details is None or isinstance(details, dict)
 
-    def __init__(self, steps: list[PipelineStep]) -> None:
+
+class CurationPipeline:
+    """An ordered sequence of curation steps with run reports.
+
+    ``retry`` gives flaky steps a budget: a single :class:`RetryPolicy`
+    applies to every step, a ``{step_name: RetryPolicy}`` dict applies
+    per step (steps absent from the dict run unretried).  Retrying a step
+    re-executes :meth:`PipelineStep.run` on the same context, which is
+    sound because steps write their outputs by key — a re-run overwrites
+    its own partial writes deterministically.  :class:`PipelineError`
+    never retries: a missing input is not transient.
+
+    ``checkpoint=True`` records progress in
+    ``context.artifacts[CHECKPOINT_KEY]`` after every completed step;
+    ``run(context, resume=True)`` on a context carrying a checkpoint skips
+    the completed prefix and reuses its reports.
+    """
+
+    def __init__(
+        self,
+        steps: list[PipelineStep],
+        retry: "RetryPolicy | dict[str, RetryPolicy] | None" = None,
+        checkpoint: bool = False,
+    ) -> None:
         if not steps:
             raise ValueError("pipeline needs at least one step")
         self.steps = list(steps)
+        self.retry = retry
+        self.checkpoint = checkpoint
 
-    def run(self, context: PipelineContext | None = None) -> tuple[PipelineContext, list[StepReport]]:
+    def _policy_for(self, step_name: str) -> "RetryPolicy | None":
+        if isinstance(self.retry, dict):
+            return self.retry.get(step_name)
+        return self.retry
+
+    def run(
+        self, context: PipelineContext | None = None, *, resume: bool = False
+    ) -> tuple[PipelineContext, list[StepReport]]:
         """Execute all steps in order; returns final context + reports.
 
         The whole run opens a ``pipeline`` span with one child span per
         step; each report's :attr:`StepReport.span` points at its step's
         subtree.  Spans close (and ``current_step`` resets) even when a
-        step raises.
+        step raises.  On failure the in-flight provenance is not lost:
+        the raised :class:`PipelineError` carries every completed report
+        and the failing step's name (retry-budget exhaustion additionally
+        names the exhausted fault site).
         """
         context = context or PipelineContext()
         reports: list[StepReport] = []
+        start_index = 0
+        if resume:
+            saved = context.artifacts.get(CHECKPOINT_KEY)
+            if saved:
+                start_index = min(int(saved["completed"]), len(self.steps))
+                reports = list(saved["reports"])[:start_index]
         with span("pipeline", steps=len(self.steps)) as root:
-            for step in self.steps:
+            if start_index:
+                root.meta["resumed_from"] = start_index
+            for index, step in enumerate(self.steps):
+                if index < start_index:
+                    continue
                 context.current_step = step.name
+                site = f"pipeline.step.{step.name}"
+                policy = self._policy_for(step.name)
                 try:
                     with span(step.name) as step_span:
-                        details = step.run(context)
+                        if policy is None:
+                            inject(site)
+                            details = step.run(context)
+                        else:
+                            details = retry_call(
+                                step.run,
+                                context,
+                                site=site,
+                                policy=policy,
+                                validate=_valid_details,
+                                give_up_on=(PipelineError,),
+                            )
+                except RetryExhausted as exc:
+                    raise PipelineError(
+                        f"step {step.name!r} failed permanently: {exc}",
+                        reports=reports,
+                        failed_step=step.name,
+                        exhausted_site=exc.site,
+                    ) from exc
+                except PipelineError as exc:
+                    exc.reports = list(reports)
+                    exc.failed_step = step.name
+                    raise
                 finally:
                     context.current_step = None
                 reports.append(
                     StepReport(step.name, step_span.duration, details or {}, span=step_span)
                 )
+                if self.checkpoint:
+                    context.artifacts[CHECKPOINT_KEY] = {
+                        "completed": index + 1,
+                        "reports": list(reports),
+                    }
+        if self.checkpoint:
+            context.artifacts.pop(CHECKPOINT_KEY, None)
         self.last_span_ = root
         return context, reports
 

@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import InjectedFault, inject
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.obs.trace import span
 from repro.par.chunking import Chunk, chunk_items, chunk_rng, ordered_reduce
@@ -43,6 +44,11 @@ ChunkFn = Callable[[list, "np.random.Generator | None"], Any]
 # wrong": fall back to the serial path (which reproduces any genuine
 # chunk-function error with its original traceback).
 _POOL_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError)
+
+# Injected pool faults (fault site "par.pool") are transient by
+# definition, so the pool gets one retry before degrading to serial —
+# real pool errors still fall back immediately, as before.
+_POOL_ATTEMPTS = 2
 
 # Set (per process) by the pool initializer so a chunk function that
 # itself calls into repro.par degrades to serial instead of forking a
@@ -153,11 +159,22 @@ def _execute(
     with span("par.map", label=label, jobs=jobs, chunks=len(chunks), items=n_items) as map_span:
         results: list[tuple[int, Any, float]] | None = None
         if fallback is None:
-            try:
-                results = _run_parallel(chunk_fn, chunks, jobs, seed)
-                map_span.meta["mode"] = "parallel"
-            except _POOL_ERRORS:
-                fallback = "pool_error"
+            attempts = 0
+            for attempt in range(_POOL_ATTEMPTS):
+                attempts = attempt + 1
+                try:
+                    inject("par.pool")
+                    results = _run_parallel(chunk_fn, chunks, jobs, seed)
+                    map_span.meta["mode"] = "parallel"
+                    break
+                except InjectedFault:
+                    fallback = "injected"
+                except _POOL_ERRORS:
+                    fallback = "pool_error"
+                    break
+            map_span.meta["pool_attempts"] = attempts
+            if results is not None:
+                fallback = None
         if results is None:
             map_span.meta["mode"] = f"serial:{fallback}"
             results = _run_serial(chunk_fn, chunks, seed)

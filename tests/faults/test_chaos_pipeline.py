@@ -1,0 +1,216 @@
+"""The headline guarantee: chaos under budget changes nothing, over budget
+fails loudly with partial provenance, and checkpoints resume to the same
+answer.
+
+The property sweep runs a small synthetic pipeline under many seeded
+chaos plans; the E16 gate runs the real self-driving-pipeline bench under
+several seeds and compares final artifacts *and* metric snapshots against
+the fault-free run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Table
+from repro.faults import Fault, FaultPlan, InjectedFault, RetryPolicy
+from repro.obs import REGISTRY, collecting
+from repro.orchestration import (
+    CHECKPOINT_KEY,
+    CurationPipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineStep,
+)
+
+CHAOS_SEEDS = (1, 2, 3)
+
+
+class MakeStep(PipelineStep):
+    name = "make"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, context: PipelineContext) -> dict:
+        self.calls += 1
+        context.put_table("t", Table.from_records(
+            "t", [{"a": i, "b": i * i} for i in range(8)]
+        ))
+        return {"rows": 8}
+
+
+class DeriveStep(PipelineStep):
+    name = "derive"
+
+    def run(self, context: PipelineContext) -> dict:
+        source = context.table("t")
+        context.put_table("u", Table.from_records(
+            "u", [{"total": int(a) + int(b)}
+                  for a, b in zip(source.column("a"), source.column("b"))]
+        ))
+        return {"rows": source.num_rows}
+
+
+class SummarizeStep(PipelineStep):
+    name = "summarize"
+
+    def run(self, context: PipelineContext) -> dict:
+        total = sum(int(v) for v in context.table("u").column("total"))
+        context.artifacts["total"] = total
+        return {"total": total}
+
+
+def _make_pipeline(**kwargs) -> CurationPipeline:
+    return CurationPipeline(
+        [MakeStep(), DeriveStep(), SummarizeStep()], **kwargs
+    )
+
+
+def _run(pipeline: CurationPipeline):
+    context, reports = pipeline.run(PipelineContext())
+    return context, reports
+
+
+class TestSyntheticChaosSweep:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_under_budget_chaos_is_invisible(self, seed):
+        baseline_context, baseline_reports = _run(_make_pipeline())
+        pipeline = _make_pipeline(retry=RetryPolicy(attempts=3))
+        with FaultPlan.chaos(seed, sites={"pipeline.step.*"}) as plan:
+            context, reports = _run(pipeline)
+        assert context.table("u").equals(baseline_context.table("u"))
+        assert context.artifacts["total"] == baseline_context.artifacts["total"]
+        assert [r.name for r in reports] == [r.name for r in baseline_reports]
+        assert [r.details for r in reports] == [r.details for r in baseline_reports]
+        # Some seeds fire nothing — the sweep as a whole must inject.
+        if plan.faults:
+            assert plan.ledger.count() >= 0
+
+    def test_sweep_actually_injects_somewhere(self):
+        fired = 0
+        for seed in range(8):
+            pipeline = _make_pipeline(retry=RetryPolicy(attempts=3))
+            with FaultPlan.chaos(seed, sites={"pipeline.step.*"}) as plan:
+                _run(pipeline)
+            fired += plan.ledger.count()
+        assert fired > 0, "8-seed sweep injected nothing; the gate is vacuous"
+
+    def test_over_budget_fails_with_partial_provenance(self):
+        pipeline = _make_pipeline(retry=RetryPolicy(attempts=3))
+        with FaultPlan([Fault("pipeline.step.derive", "error", hits=(0, 1, 2))]):
+            with pytest.raises(PipelineError) as excinfo:
+                _run(pipeline)
+        exc = excinfo.value
+        assert exc.failed_step == "derive"
+        assert exc.exhausted_site == "pipeline.step.derive"
+        assert [r.name for r in exc.reports] == ["make"]
+
+    def test_chaos_exhaustion_surfaces_exhausted_site(self):
+        # Chaos schedules one hit per site: an attempts=1 pipeline (no
+        # budget at all beyond the first try) must fail loudly instead.
+        pipeline = _make_pipeline(retry=RetryPolicy(attempts=1))
+        plan = FaultPlan([Fault("pipeline.step.*", "error", hits=(0,))])
+        with plan:
+            with pytest.raises(PipelineError) as excinfo:
+                _run(pipeline)
+        assert excinfo.value.failed_step == "make"
+        assert excinfo.value.exhausted_site == "pipeline.step.make"
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_prefix_and_matches_baseline(self):
+        baseline_context, _ = _run(_make_pipeline())
+        pipeline = _make_pipeline(checkpoint=True)
+        make_step = pipeline.steps[0]
+        context = PipelineContext()
+        # No retry budget: the injected fault propagates raw, but the
+        # checkpoint written after the completed prefix survives.
+        with FaultPlan([Fault("pipeline.step.derive", "error", hits=(0,))]):
+            with pytest.raises(InjectedFault):
+                pipeline.run(context)
+        saved = context.artifacts[CHECKPOINT_KEY]
+        assert saved["completed"] == 1
+        assert make_step.calls == 1
+
+        context, reports = pipeline.run(context, resume=True)
+        assert make_step.calls == 1  # completed prefix not re-run
+        assert [r.name for r in reports] == ["make", "derive", "summarize"]
+        assert context.table("u").equals(baseline_context.table("u"))
+        assert context.artifacts["total"] == baseline_context.artifacts["total"]
+        assert CHECKPOINT_KEY not in context.artifacts  # popped on success
+        assert pipeline.last_span_.meta.get("resumed_from") == 1
+
+    def test_checkpoint_removed_after_clean_run(self):
+        context, _ = _make_pipeline(checkpoint=True).run(PipelineContext())
+        assert CHECKPOINT_KEY not in context.artifacts
+
+
+def _comparable_metrics(snapshot: dict) -> dict:
+    """Snapshot projection that must be bit-identical across recovered runs.
+
+    ``faults.*`` instruments are the injection accounting itself (they
+    *should* differ), and histogram value fields carry wall-clock timings —
+    their observation *counts* must match, their sums need not.
+    """
+    def clean(family: dict) -> dict:
+        return {k: v for k, v in family.items() if not k.startswith("faults.")}
+
+    return {
+        "counters": clean(snapshot["counters"]),
+        "gauges": clean(snapshot["gauges"]),
+        "series": clean(snapshot["series"]),
+        "histogram_counts": {
+            k: v["count"] for k, v in clean(snapshot["histograms"]).items()
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def e16_setup():
+    from benchmarks.bench_e16_pipeline import _P, prepare
+
+    pytest.importorskip("benchmarks.common", reason="requires repo-root cwd")
+    return prepare(_P["smoke"], retry=RetryPolicy(attempts=3))
+
+
+def _run_e16(e16_setup):
+    pipeline, make_context, _, _ = e16_setup
+    with collecting(reset=True):
+        context, reports = pipeline.run(make_context())
+        snapshot = REGISTRY.snapshot()
+    return context, reports, snapshot
+
+
+class TestE16ChaosGate:
+    def test_chaos_runs_match_fault_free_run(self, e16_setup):
+        baseline_context, baseline_reports, baseline_snapshot = _run_e16(e16_setup)
+        injected_total = 0
+        for seed in CHAOS_SEEDS:
+            with FaultPlan.chaos(seed) as plan:
+                context, reports, snapshot = _run_e16(e16_setup)
+            injected_total += plan.ledger.count()
+            assert context.table("final").equals(baseline_context.table("final")), (
+                f"chaos seed {seed} changed the final table"
+            )
+            assert context.artifacts["matches"] == baseline_context.artifacts["matches"]
+            assert [r.name for r in reports] == [r.name for r in baseline_reports]
+            assert [r.details for r in reports] == [
+                r.details for r in baseline_reports
+            ]
+            assert _comparable_metrics(snapshot) == _comparable_metrics(
+                baseline_snapshot
+            ), f"chaos seed {seed} changed the metric values"
+        assert injected_total > 0, "no chaos seed injected anything; gate is vacuous"
+
+    def test_over_budget_e16_fails_with_partial_reports(self, e16_setup):
+        pipeline, make_context, _, _ = e16_setup
+        with FaultPlan([
+            Fault("pipeline.step.entity_resolution", "error", hits=(0, 1, 2)),
+        ]):
+            with pytest.raises(PipelineError) as excinfo:
+                pipeline.run(make_context())
+        exc = excinfo.value
+        assert exc.failed_step == "entity_resolution"
+        assert exc.exhausted_site == "pipeline.step.entity_resolution"
+        assert [r.name for r in exc.reports] == ["discover", "schema_match"]

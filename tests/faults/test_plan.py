@@ -1,0 +1,171 @@
+"""FaultPlan: schedules, determinism, ledger, nesting, chaos generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CORRUPT_SITES,
+    CORRUPTED,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    LATENCY_ONLY_SITES,
+    RETRY_SITES,
+    active_plan,
+    all_sites,
+    inject,
+    inject_result,
+)
+from repro.obs import REGISTRY, collecting
+
+
+class TestFaultValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Fault("a.b", kind="explode")
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            Fault("")
+
+    def test_bad_hits_rejected(self):
+        with pytest.raises(ValueError, match="hits"):
+            Fault("a.b", hits=())
+        with pytest.raises(ValueError, match="hits"):
+            Fault("a.b", hits=(-1,))
+
+    def test_latency_needs_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Fault("a.b", kind="latency")
+
+    def test_plan_rejects_non_faults(self):
+        with pytest.raises(TypeError, match="Fault"):
+            FaultPlan(["a.b"])
+
+
+class TestInjection:
+    def test_inactive_is_noop(self):
+        assert active_plan() is None
+        inject("anywhere.at.all")  # must not raise
+        assert inject_result("anywhere.at.all", 41) == 41
+
+    def test_error_fires_at_scheduled_hit_only(self):
+        plan = FaultPlan([Fault("a.b", "error", hits=(1,))])
+        with plan:
+            inject("a.b")  # hit 0: silent
+            with pytest.raises(InjectedFault) as excinfo:
+                inject("a.b")  # hit 1: fires
+            inject("a.b")  # hit 2: silent again
+        assert excinfo.value.site == "a.b"
+        assert excinfo.value.hit == 1
+        assert plan.ledger.count("error", "a.b") == 1
+
+    def test_pattern_matches_concrete_sites_independently(self):
+        plan = FaultPlan([Fault("step.*", "error", hits=(0,))])
+        with plan:
+            with pytest.raises(InjectedFault):
+                inject("step.one")
+            # step.two has its own hit counter, so its hit 0 also fires.
+            with pytest.raises(InjectedFault):
+                inject("step.two")
+            inject("step.one")  # hit 1: silent
+            inject("other.site")  # no match
+        assert plan.ledger.count("error") == 2
+
+    def test_corrupt_replaces_result(self):
+        plan = FaultPlan([Fault("a.b", "corrupt", hits=(0,))])
+        with plan:
+            assert inject_result("a.b", [1, 2]) is CORRUPTED
+            assert inject_result("a.b", [1, 2]) == [1, 2]
+
+    def test_corrupt_custom_mutator(self):
+        plan = FaultPlan([Fault("a.b", "corrupt", hits=(0,), corrupt=lambda v: v[:-1])])
+        with plan:
+            assert inject_result("a.b", [1, 2, 3]) == [1, 2]
+
+    def test_latency_is_simulated_into_ledger(self):
+        plan = FaultPlan([Fault("a.b", "latency", hits=(0, 2), delay_seconds=0.5)])
+        with plan:
+            for _ in range(3):
+                inject("a.b")
+        assert plan.ledger.count("latency") == 2
+        assert plan.ledger.simulated_latency_seconds == pytest.approx(1.0)
+
+    def test_replay_is_identical_across_activations(self):
+        plan = FaultPlan([
+            Fault("a.b", "error", hits=(1,)),
+            Fault("a.b", "latency", hits=(0,), delay_seconds=0.1),
+        ])
+        ledgers = []
+        for _ in range(2):
+            with plan:
+                inject("a.b")
+                with pytest.raises(InjectedFault):
+                    inject("a.b")
+            ledgers.append(plan.ledger.events)
+        assert ledgers[0] == ledgers[1]
+
+    def test_plans_nest_innermost_wins(self):
+        outer = FaultPlan([Fault("a.b", "error", hits=(0,))])
+        inner = FaultPlan()
+        with outer:
+            with inner:
+                assert active_plan() is inner
+                inject("a.b")  # inner has no faults: silent
+            assert active_plan() is outer
+            with pytest.raises(InjectedFault):
+                inject("a.b")
+        assert active_plan() is None
+
+    def test_injection_metrics_guarded(self):
+        plan = FaultPlan([Fault("a.b", "error", hits=(0,))])
+        assert not REGISTRY.enabled
+        REGISTRY.reset()
+        with plan:
+            with pytest.raises(InjectedFault):
+                inject("a.b")
+        assert REGISTRY.snapshot()["counters"] == {}
+        with collecting(reset=True):
+            with plan:
+                with pytest.raises(InjectedFault):
+                    inject("a.b")
+            snapshot = REGISTRY.snapshot()
+        assert snapshot["counters"]["faults.injected.error"] == 1.0
+
+
+class TestChaos:
+    def test_same_seed_same_schedule(self):
+        assert FaultPlan.chaos(3).describe() == FaultPlan.chaos(3).describe()
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {str(FaultPlan.chaos(seed).describe()) for seed in range(20)}
+        assert len(schedules) > 1
+
+    def test_chaos_is_recoverable_by_construction(self):
+        for seed in range(30):
+            plan = FaultPlan.chaos(seed)
+            consuming_sites = set()
+            for fault in plan.faults:
+                assert fault.hits == (0,)
+                if fault.kind == "error":
+                    assert fault.site in RETRY_SITES
+                elif fault.kind == "corrupt":
+                    assert fault.site in CORRUPT_SITES
+                else:
+                    assert fault.site in set(RETRY_SITES) | set(LATENCY_ONLY_SITES)
+                if fault.kind in ("error", "corrupt"):
+                    # At most one attempt-consuming fault per site keeps
+                    # every seed under the smallest wired budget (2).
+                    assert fault.site not in consuming_sites
+                    consuming_sites.add(fault.site)
+
+    def test_chaos_sites_filter(self):
+        plan = FaultPlan.chaos(0, sites={"par.pool"}, error_rate=1.0,
+                               latency_rate=0.0, corrupt_rate=0.0)
+        assert [fault.site for fault in plan.faults] == ["par.pool"]
+
+    def test_site_catalog_is_consistent(self):
+        assert set(CORRUPT_SITES) <= set(RETRY_SITES)
+        assert not set(LATENCY_ONLY_SITES) & set(RETRY_SITES)
+        assert set(all_sites()) == set(RETRY_SITES) | set(LATENCY_ONLY_SITES)

@@ -1,0 +1,208 @@
+"""retry_call: recovery, exhaustion, backoff arithmetic, metrics quarantine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CorruptedResult,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+from repro.obs import REGISTRY, collecting, drain_roots, span
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value: object = "ok",
+                 error: type = RuntimeError) -> None:
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"transient {self.calls}")
+        return self.value
+
+
+class TestPolicy:
+    def test_backoff_is_capped_geometric(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_multiplier=2.0, backoff_cap=0.15)
+        assert policy.delay(0) == pytest.approx(0.05)
+        assert policy.delay(1) == pytest.approx(0.10)
+        assert policy.delay(2) == pytest.approx(0.15)  # capped
+        assert policy.delay(9) == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestRetryCall:
+    def test_first_try_success_passes_through(self):
+        fn = Flaky(0, value=42)
+        assert retry_call(fn, site="t.site") == 42
+        assert fn.calls == 1
+
+    def test_recovers_within_budget(self):
+        fn = Flaky(2)
+        assert retry_call(fn, site="t.site", policy=RetryPolicy(attempts=3)) == "ok"
+        assert fn.calls == 3
+
+    def test_exhaustion_carries_accounting_and_cause(self):
+        fn = Flaky(5)
+        policy = RetryPolicy(attempts=3, backoff_base=0.05, backoff_multiplier=2.0)
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry_call(fn, site="t.site", policy=policy)
+        exc = excinfo.value
+        assert exc.site == "t.site"
+        assert exc.attempts == 3
+        # Two failures back off before the third, final failure.
+        assert exc.simulated_delay == pytest.approx(0.05 + 0.10)
+        assert isinstance(exc.__cause__, RuntimeError)
+        assert "transient 3" in str(exc.__cause__)
+        assert fn.calls == 3
+
+    def test_delays_are_simulated_not_slept(self):
+        slept = []
+        fn = Flaky(1)
+        retry_call(fn, site="t.site",
+                   policy=RetryPolicy(attempts=2, sleep=slept.append))
+        assert slept == [pytest.approx(0.05)]
+        # Without a sleep callable nothing is invoked (nothing to observe
+        # directly, but the default policy path must still recover).
+        assert retry_call(Flaky(1), site="t.site") == "ok"
+
+    def test_give_up_types_propagate_raw(self):
+        fn = Flaky(3, error=KeyError)
+        with pytest.raises(KeyError):
+            retry_call(fn, site="t.site", give_up_on=(KeyError,))
+        assert fn.calls == 1
+
+    def test_narrow_retry_on_propagates_other_errors_raw(self):
+        fn = Flaky(3, error=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(fn, site="t.site", policy=RetryPolicy(retry_on=(KeyError,)))
+        assert fn.calls == 1
+
+    def test_validate_rejection_is_retryable(self):
+        values = iter([[1], [1, 2]])
+        result = retry_call(
+            lambda: next(values), site="t.site",
+            policy=RetryPolicy(attempts=2),
+            validate=lambda v: len(v) == 2,
+        )
+        assert result == [1, 2]
+
+    def test_validate_exhaustion_chains_corrupted_result(self):
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry_call(lambda: "bad", site="t.site",
+                       policy=RetryPolicy(attempts=2), validate=lambda v: False)
+        assert isinstance(excinfo.value.__cause__, CorruptedResult)
+
+
+class TestInjectionThroughRetry:
+    def test_injected_error_recovered(self):
+        fn = Flaky(0, value=7)
+        with FaultPlan([Fault("t.site", "error", hits=(0,))]) as plan:
+            assert retry_call(fn, site="t.site", policy=RetryPolicy(attempts=2)) == 7
+        assert plan.ledger.count("error", "t.site") == 1
+        assert fn.calls == 1  # injection fires before fn on the first attempt
+
+    def test_injected_corruption_detected_and_recovered(self):
+        with FaultPlan([Fault("t.site", "corrupt", hits=(0,))]) as plan:
+            result = retry_call(lambda: [1, 2], site="t.site",
+                                policy=RetryPolicy(attempts=2),
+                                validate=lambda v: isinstance(v, list))
+        assert result == [1, 2]
+        assert plan.ledger.count("corrupt", "t.site") == 1
+
+    def test_unvalidated_corruption_passes_through(self):
+        # Without a validator the corrupted sentinel is returned as-is —
+        # which is why chaos plans only corrupt validating sites.
+        from repro.faults import CORRUPTED
+
+        with FaultPlan([Fault("t.site", "corrupt", hits=(0,))]):
+            assert retry_call(lambda: [1], site="t.site") is CORRUPTED
+
+    def test_over_budget_injection_exhausts(self):
+        with FaultPlan([Fault("t.site", "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                retry_call(lambda: 1, site="t.site", policy=RetryPolicy(attempts=2))
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+
+
+class TestTelemetry:
+    def test_span_meta_records_attempts(self):
+        drain_roots()
+        with span("outer"):
+            retry_call(Flaky(1), site="t.site", policy=RetryPolicy(attempts=2))
+        [root] = drain_roots()
+        note = root.meta["retry"]["t.site"]
+        assert note["outcome"] == "ok"
+        assert note["attempts"] == 2
+        assert note["simulated_delay_seconds"] == pytest.approx(0.05)
+
+    def test_span_meta_records_exhaustion(self):
+        drain_roots()
+        with span("outer"):
+            with pytest.raises(RetryExhausted):
+                retry_call(Flaky(9), site="t.site", policy=RetryPolicy(attempts=2))
+        [root] = drain_roots()
+        assert root.meta["retry"]["t.site"]["outcome"] == "exhausted"
+
+    def test_metrics_quarantine_rolls_back_failed_attempts(self):
+        def work():
+            REGISTRY.counter("work.done").inc()
+            REGISTRY.histogram("work.size").observe(3.0)
+            return True
+
+        def flaky_work(state={"calls": 0}):
+            state["calls"] += 1
+            result = work()
+            if state["calls"] == 1:
+                raise RuntimeError("transient")
+            return result
+
+        with collecting(reset=True):
+            retry_call(flaky_work, site="t.site", policy=RetryPolicy(attempts=2))
+            snapshot = REGISTRY.snapshot()
+        # The failed attempt's observations were rolled back: values match
+        # a run that never faulted.
+        assert snapshot["counters"]["work.done"] == 1.0
+        assert snapshot["histograms"]["work.size"]["count"] == 1
+        # ... while the faults.* accounting survived the rollback.
+        assert snapshot["counters"]["faults.retry.recovered"] == 1.0
+        assert snapshot["counters"]["faults.retry.extra_attempts"] == 1.0
+
+    def test_exhausted_counter(self):
+        with collecting(reset=True):
+            with pytest.raises(RetryExhausted):
+                retry_call(Flaky(9), site="t.site", policy=RetryPolicy(attempts=2))
+            snapshot = REGISTRY.snapshot()
+        assert snapshot["counters"]["faults.retry.exhausted"] == 1.0
+        assert "work.done" not in snapshot["counters"]
+
+    def test_quarantine_off_keeps_partial_metrics(self):
+        def noisy_flaky(state={"calls": 0}):
+            state["calls"] += 1
+            REGISTRY.counter("noisy").inc()
+            if state["calls"] == 1:
+                raise RuntimeError("transient")
+            return True
+
+        policy = RetryPolicy(attempts=2, quarantine_metrics=False)
+        with collecting(reset=True):
+            retry_call(noisy_flaky, site="t.site", policy=policy)
+            snapshot = REGISTRY.snapshot()
+        assert snapshot["counters"]["noisy"] == 2.0

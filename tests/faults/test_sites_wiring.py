@@ -1,0 +1,119 @@
+"""Wired fault sites recover to bit-identical results under their budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import DeepER, LSHBlocker, TokenBlocker
+from repro.faults import Fault, FaultPlan, RetryExhausted
+
+
+@pytest.fixture()
+def lsh_workload(rng):
+    emb_a = rng.normal(size=(40, 16))
+    emb_b = np.concatenate([emb_a[:20] + 0.01 * rng.normal(size=(20, 16)),
+                            rng.normal(size=(20, 16))])
+    ids_a = [f"a{i}" for i in range(40)]
+    ids_b = [f"b{i}" for i in range(40)]
+    return emb_a, ids_a, emb_b, ids_b
+
+
+@pytest.fixture()
+def token_workload():
+    records_a = [{"name": f"alpha beta {i}", "city": f"town{i % 3}"} for i in range(15)]
+    records_b = [{"name": f"alpha gamma {i}", "city": f"town{i % 3}"} for i in range(15)]
+    return records_a, [f"a{i}" for i in range(15)], records_b, [f"b{i}" for i in range(15)]
+
+
+class TestBlockingSites:
+    def test_lsh_recovers_from_injected_error(self, lsh_workload):
+        emb_a, ids_a, emb_b, ids_b = lsh_workload
+        baseline = LSHBlocker(n_bits=16, n_bands=4, rng=0).candidate_pairs(
+            emb_a, ids_a, emb_b, ids_b
+        )
+        assert baseline, "workload produced no candidates; test is vacuous"
+        with FaultPlan([Fault("er.blocking.lsh", "error", hits=(0,))]) as plan:
+            faulted = LSHBlocker(n_bits=16, n_bands=4, rng=0).candidate_pairs(
+                emb_a, ids_a, emb_b, ids_b
+            )
+        assert plan.ledger.count("error", "er.blocking.lsh") == 1
+        assert faulted == baseline
+
+    def test_lsh_recovers_from_corruption(self, lsh_workload):
+        emb_a, ids_a, emb_b, ids_b = lsh_workload
+        baseline = LSHBlocker(n_bits=16, n_bands=4, rng=0).candidate_pairs(
+            emb_a, ids_a, emb_b, ids_b
+        )
+        with FaultPlan([Fault("er.blocking.lsh", "corrupt", hits=(0,))]) as plan:
+            faulted = LSHBlocker(n_bits=16, n_bands=4, rng=0).candidate_pairs(
+                emb_a, ids_a, emb_b, ids_b
+            )
+        assert plan.ledger.count("corrupt", "er.blocking.lsh") == 1
+        assert faulted == baseline
+
+    def test_token_recovers_from_injected_error(self, token_workload):
+        records_a, ids_a, records_b, ids_b = token_workload
+        blocker = TokenBlocker(["name", "city"], max_df=0.4)
+        baseline = blocker.candidate_pairs(records_a, ids_a, records_b, ids_b)
+        assert baseline, "workload produced no candidates; test is vacuous"
+        with FaultPlan([Fault("er.blocking.token", "error", hits=(0,))]) as plan:
+            faulted = blocker.candidate_pairs(records_a, ids_a, records_b, ids_b)
+        assert plan.ledger.count("error", "er.blocking.token") == 1
+        assert faulted == baseline
+
+    def test_over_budget_blocking_fault_exhausts_loudly(self, token_workload):
+        records_a, ids_a, records_b, ids_b = token_workload
+        blocker = TokenBlocker(["name", "city"], max_df=0.4)
+        # HOT_POLICY gives the site two attempts; two scheduled hits exceed it.
+        with FaultPlan([Fault("er.blocking.token", "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                blocker.candidate_pairs(records_a, ids_a, records_b, ids_b)
+        assert excinfo.value.site == "er.blocking.token"
+
+
+class TestDeepERSites:
+    def test_pair_features_recover_from_error_and_corruption(
+        self, word_model, small_benchmark
+    ):
+        labeled = small_benchmark.labeled_pairs(negative_ratio=1, rng=3)[:12]
+        pairs = [
+            (small_benchmark.record_a(a), small_benchmark.record_b(b))
+            for a, b, _ in labeled
+        ]
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        baseline = model._pair_features_numpy(pairs)
+        plan = FaultPlan([
+            Fault("er.deeper.pair_features", "error", hits=(0,)),
+        ])
+        with plan:
+            faulted = model._pair_features_numpy(pairs)
+        assert plan.ledger.count("error", "er.deeper.pair_features") == 1
+        assert np.array_equal(faulted, baseline)
+        with FaultPlan([Fault("er.deeper.pair_features", "corrupt", hits=(0,))]):
+            corrupted_then_retried = model._pair_features_numpy(pairs)
+        assert np.array_equal(corrupted_then_retried, baseline)
+
+    def test_fit_epoch_latency_leaves_training_bitwise_identical(
+        self, word_model, small_benchmark
+    ):
+        labeled = [
+            (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+            for a, b, y in small_benchmark.labeled_pairs(negative_ratio=1, rng=3)[:20]
+        ]
+
+        def train():
+            model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+            model.fit(labeled, epochs=3)
+            return model.loss_history_
+
+        baseline = train()
+        plan = FaultPlan([
+            Fault("er.deeper.fit.epoch", "latency", hits=(0, 1, 2),
+                  delay_seconds=0.01),
+        ])
+        with plan:
+            faulted = train()
+        assert plan.ledger.count("latency", "er.deeper.fit.epoch") == 3
+        assert plan.ledger.simulated_latency_seconds == pytest.approx(0.03)
+        assert faulted == baseline

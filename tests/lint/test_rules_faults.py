@@ -1,0 +1,160 @@
+"""RL801: overbroad except handlers in fault-wired code must re-raise."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+SRC_PATH = "src/repro/orchestration/pipeline.py"
+
+
+class TestFlagged:
+    def test_bare_except_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except:
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert rule_ids(result) == {"RL801"}
+        assert "bare 'except:'" in result.findings[0].message
+
+    def test_except_exception_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except Exception:
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert rule_ids(result) == {"RL801"}
+        assert "'except Exception'" in result.findings[0].message
+
+    def test_base_exception_in_tuple_flagged(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except (KeyError, BaseException) as exc:
+                    return exc
+            """,
+            rule_ids=["RL801"],
+        )
+        assert rule_ids(result) == {"RL801"}
+
+    def test_other_fault_wired_packages_in_scope(self, lint_file):
+        for relpath in ("src/repro/par/pool.py", "src/repro/er/blocking.py"):
+            result = lint_file(
+                relpath,
+                """
+                def probe(fn):
+                    try:
+                        return fn()
+                    except Exception:
+                        return None
+                """,
+                rule_ids=["RL801"],
+            )
+            assert rule_ids(result) == {"RL801"}, relpath
+
+
+class TestNotFlagged:
+    def test_narrow_handler_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except (KeyError, ValueError):
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []
+
+    def test_handler_that_reraises_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except Exception:
+                    step.cleanup()
+                    raise
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []
+
+    def test_handler_that_translates_ok(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def run(step):
+                try:
+                    return step()
+                except BaseException as exc:
+                    if recoverable(exc):
+                        return None
+                    raise RuntimeError("step failed") from exc
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []
+
+    def test_out_of_scope_path_not_flagged(self, lint_file):
+        result = lint_file(
+            "src/repro/cleaning/impute.py",
+            """
+            def probe(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []
+
+
+class TestSuppressions:
+    def test_line_suppression(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            def probe(fn):
+                try:
+                    return fn()
+                except Exception:  # repro-lint: disable=RL801
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []
+
+    def test_file_suppression(self, lint_file):
+        result = lint_file(
+            SRC_PATH,
+            """
+            # repro-lint: disable-file=RL801
+            def probe(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """,
+            rule_ids=["RL801"],
+        )
+        assert result.findings == []

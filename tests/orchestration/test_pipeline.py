@@ -5,7 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.data import Table
+from repro.faults import RetryExhausted, RetryPolicy
+from repro.obs import drain_roots
 from repro.orchestration import (
+    CHECKPOINT_KEY,
     CurationPipeline,
     PipelineContext,
     PipelineError,
@@ -45,6 +48,23 @@ class NeedsMissingArtifactStep(PipelineStep):
     def run(self, context: PipelineContext) -> dict:
         context.artifact("no_such_artifact")
         return {}
+
+
+class TransientStep(PipelineStep):
+    """Fails ``failures`` times, then writes a marker table."""
+
+    name = "transient"
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def run(self, context: PipelineContext) -> dict:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"flaky attempt {self.calls}")
+        context.put_table("out", Table("out", ["a"], [["x"]]))
+        return {"calls": self.calls}
 
 
 class TestContext:
@@ -116,6 +136,93 @@ class TestPipeline:
         with pytest.raises(PipelineError):
             CurationPipeline([NeedsMissingInputStep()]).run(context)
         assert context.current_step is None
+
+    def test_failed_run_attaches_partial_reports(self):
+        # Regression: completed StepReports used to be dropped on the
+        # floor when a later step raised.
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        pipeline = CurationPipeline([AddRowStep("t"), AddRowStep("t"), FailingStep()])
+        with pytest.raises(PipelineError) as excinfo:
+            pipeline.run(context)
+        exc = excinfo.value
+        assert exc.failed_step == "boom"
+        assert [r.name for r in exc.reports] == ["add_row", "add_row"]
+        assert [r.details["rows"] for r in exc.reports] == [1, 2]
+        assert exc.exhausted_site is None
+
+    def test_retry_policy_recovers_transient_step(self):
+        drain_roots()
+        pipeline = CurationPipeline(
+            [TransientStep(failures=2)], retry=RetryPolicy(attempts=3)
+        )
+        context, reports = pipeline.run(PipelineContext())
+        assert context.table("out").num_rows == 1
+        assert reports[0].details == {"calls": 3}
+        note = reports[0].span.meta["retry"]["pipeline.step.transient"]
+        assert note["attempts"] == 3
+        assert note["outcome"] == "ok"
+
+    def test_per_step_retry_dict(self):
+        flaky = TransientStep(failures=1)
+        pipeline = CurationPipeline(
+            [flaky], retry={"transient": RetryPolicy(attempts=2)}
+        )
+        pipeline.run(PipelineContext())
+        assert flaky.calls == 2
+        # Steps absent from the dict run unretried.
+        other = TransientStep(failures=1)
+        with pytest.raises(RuntimeError, match="flaky attempt 1"):
+            CurationPipeline([other], retry={"elsewhere": RetryPolicy()}).run(
+                PipelineContext()
+            )
+        assert other.calls == 1
+
+    def test_pipeline_error_is_never_retried(self):
+        # A missing input is not transient: retrying would just re-fail,
+        # so PipelineError propagates on the first attempt, annotated.
+        pipeline = CurationPipeline([FailingStep()], retry=RetryPolicy(attempts=5))
+        with pytest.raises(PipelineError, match="intentional") as excinfo:
+            pipeline.run(PipelineContext())
+        assert excinfo.value.failed_step == "boom"
+
+    def test_exhausted_retries_become_pipeline_error(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        pipeline = CurationPipeline(
+            [AddRowStep("t"), TransientStep(failures=9)],
+            retry=RetryPolicy(attempts=2),
+        )
+        with pytest.raises(PipelineError, match="failed permanently") as excinfo:
+            pipeline.run(context)
+        exc = excinfo.value
+        assert exc.failed_step == "transient"
+        assert exc.exhausted_site == "pipeline.step.transient"
+        assert [r.name for r in exc.reports] == ["add_row"]
+        assert isinstance(exc.__cause__, RetryExhausted)
+
+    def test_checkpoint_resume_skips_completed_steps(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        first = AddRowStep("t")
+        pipeline = CurationPipeline(
+            [first, TransientStep(failures=1)], checkpoint=True
+        )
+        with pytest.raises(RuntimeError, match="flaky"):
+            pipeline.run(context)
+        assert context.artifacts[CHECKPOINT_KEY]["completed"] == 1
+        context, reports = pipeline.run(context, resume=True)
+        # add_row ran once in total: the resumed run skipped it.
+        assert context.table("t").num_rows == 1
+        assert [r.name for r in reports] == ["add_row", "transient"]
+        assert CHECKPOINT_KEY not in context.artifacts
+
+    def test_resume_without_checkpoint_runs_everything(self):
+        context = PipelineContext()
+        context.put_table("t", Table("t", ["a"]))
+        pipeline = CurationPipeline([AddRowStep("t")], checkpoint=True)
+        context, reports = pipeline.run(context, resume=True)
+        assert [r.name for r in reports] == ["add_row"]
 
     def test_reports_carry_span_tree(self):
         context = PipelineContext()

@@ -13,6 +13,9 @@ import pytest
 from repro.data import Table
 from repro.discovery import SemanticMatcher, SyntacticMatcher
 from repro.er import DeepER, LSHBlocker, TokenBlocker
+from repro.faults import Fault, FaultPlan
+from repro.obs import REGISTRY, collecting, drain_roots
+from repro.par import pmap
 
 
 def _toy_vector(token: str) -> np.ndarray:
@@ -133,6 +136,63 @@ class TestMatcherDifferential:
         for jobs in (1, 2):
             links = matcher.match_tables(table_a, table_b, threshold=0.0, jobs=jobs)
             assert len(links) == 1
+
+
+def _triple(x):
+    return x * 3
+
+
+def _map_span():
+    """The par.map span from the most recent drained trace roots."""
+    for root in drain_roots():
+        if root.name == "par.map":
+            return root
+        found = root.find("par.map")
+        if found is not None:
+            return found
+    raise AssertionError("no par.map span recorded")
+
+
+class TestInjectedPoolFaults:
+    """Injected pool faults exercise the retry-then-serial-fallback path
+    without changing a single result — the par determinism contract holds
+    under fault injection too."""
+
+    ITEMS = list(range(37))
+
+    def test_exhausted_pool_falls_back_serial_identical(self):
+        serial = pmap(_triple, self.ITEMS, jobs=1)
+        for jobs in (2, 3, 4):
+            plan = FaultPlan([Fault("par.pool", "error", hits=(0, 1))])
+            with collecting(reset=True), plan:
+                drain_roots()
+                result = pmap(_triple, self.ITEMS, jobs=jobs, chunk_size=5)
+                snapshot = REGISTRY.snapshot()
+            assert result == serial
+            assert plan.ledger.count("error", "par.pool") == 2
+            map_span = _map_span()
+            assert map_span.meta["mode"] == "serial:injected"
+            assert map_span.meta["pool_attempts"] == 2
+            assert snapshot["counters"]["par.fallback.injected"] == 1.0
+
+    def test_single_injected_fault_recovers_to_parallel(self):
+        serial = pmap(_triple, self.ITEMS, jobs=1)
+        with FaultPlan([Fault("par.pool", "error", hits=(0,))]) as plan:
+            drain_roots()
+            result = pmap(_triple, self.ITEMS, jobs=2, chunk_size=5)
+        assert result == serial
+        assert plan.ledger.count("error", "par.pool") == 1
+        map_span = _map_span()
+        assert map_span.meta["mode"] == "parallel"
+        assert map_span.meta["pool_attempts"] == 2
+
+    def test_no_faults_single_pool_attempt(self):
+        with FaultPlan([]):
+            drain_roots()
+            pmap(_triple, self.ITEMS, jobs=2, chunk_size=5)
+        map_span = _map_span()
+        assert map_span.meta["mode"] == "parallel"
+        assert map_span.meta["pool_attempts"] == 1
 
 
 class TestBenchDifferential:

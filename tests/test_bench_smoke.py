@@ -73,3 +73,24 @@ def test_run_all_parallel_smoke_emits_valid_bench_json(tmp_path, capsys):
     emitted = sorted(tmp_path.glob("BENCH_*.json"))
     assert len(emitted) == 1
     assert check_file(str(emitted[0])) == []
+
+
+def test_run_all_chaos_smoke_emits_valid_bench_json(tmp_path, capsys):
+    """End-to-end --chaos --jobs run: injected faults must not break the
+    emitted BENCH json, and the chaos accounting must land in the span."""
+    import json
+
+    from benchmarks.check_bench_json import check_file
+    from benchmarks.run_all import main
+
+    exit_code = main(["e2", "e16", "--profile", "smoke", "--chaos", "7",
+                      "--jobs", "2", "--out-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert exit_code == 0
+    emitted = sorted(tmp_path.glob("BENCH_*.json"))
+    assert len(emitted) == 2
+    for path in emitted:
+        assert check_file(str(path)) == []
+        record = json.loads(path.read_text())
+        assert record["spans"]["meta"]["chaos_seed"] == 7
+        assert "chaos_injected" in record["spans"]["meta"]
