@@ -59,6 +59,7 @@ EXPERIMENTS = {
     "e14": ("bench_e14_outliers", "E14: outlier detection"),
     "e15": ("bench_e15_transfer", "E15: transfer learning"),
     "e16": ("bench_e16_pipeline", "E16: self-driving pipeline"),
+    "e17": ("bench_e17_serving", "E17: online serving layer"),
     "a1": ("bench_a1_ablations", "A1: design-choice ablations"),
     "a2": ("bench_a2_active_learning", "A2: active labelling"),
     "a3": ("bench_a3_holistic_repair", "A3: holistic vs minimal repair"),

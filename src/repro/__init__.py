@@ -19,7 +19,9 @@ The package is organised by the paper's roadmap:
   transformations, neural program induction (Section 4);
 * :mod:`repro.weak` / :mod:`repro.augment` / :mod:`repro.synth` — the
   training-data tricks of Section 6.2;
-* :mod:`repro.orchestration` — the Figure-1 pipeline, composed end to end.
+* :mod:`repro.orchestration` — the Figure-1 pipeline, composed end to end;
+* :mod:`repro.serve` — deterministic online serving (micro-batching,
+  caching, admission control) for ER match queries on a simulated clock.
 
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
@@ -38,6 +40,7 @@ from repro import (
     obs,
     orchestration,
     par,
+    serve,
     synth,
     text,
     transform,
@@ -61,6 +64,7 @@ __all__ = [
     "augment",
     "synth",
     "orchestration",
+    "serve",
     "obs",
     "par",
     "faults",

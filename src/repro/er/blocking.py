@@ -116,6 +116,36 @@ class LSHBlocker:
             projected = projected @ self._transform
         return (projected @ self._hyperplanes) >= 0
 
+    def prepare_reference(self, embeddings: np.ndarray) -> np.ndarray:
+        """Fit the transform on a reference table and return its signatures.
+
+        Index-build path for :mod:`repro.serve`: unlike
+        :meth:`candidate_pairs` (which refits the centering/whitening on
+        the union of both tables per call), this fits once on the indexed
+        table only, so later :meth:`query_signatures` calls see a *frozen*
+        hash function — a query's candidate set cannot depend on which
+        other queries share its micro-batch.
+        """
+        if len(embeddings) == 0:
+            raise ValueError("cannot prepare an LSH reference from zero embeddings")
+        self._fit_transform(embeddings)
+        return self._signatures(embeddings)
+
+    def query_signatures(self, embeddings: np.ndarray) -> np.ndarray:
+        """Signatures for query embeddings under the fitted transform."""
+        if self._center is None:
+            raise RuntimeError(
+                "prepare_reference must run before query_signatures"
+            )
+        return self._signatures(embeddings)
+
+    def band_slices(self) -> list[tuple[int, int]]:
+        """The ``(lo, hi)`` signature column range of every band."""
+        return [
+            (band * self.rows_per_band, (band + 1) * self.rows_per_band)
+            for band in range(self.n_bands)
+        ]
+
     def candidate_pairs(
         self,
         embeddings_a: np.ndarray,
@@ -137,10 +167,7 @@ class LSHBlocker:
         self._fit_transform(np.concatenate([embeddings_a, embeddings_b]))
         sig_a = self._signatures(embeddings_a)
         sig_b = self._signatures(embeddings_b)
-        bands = [
-            (band * self.rows_per_band, (band + 1) * self.rows_per_band)
-            for band in range(self.n_bands)
-        ]
+        bands = self.band_slices()
         index_pairs: set[tuple[int, int]] = retry_call(
             pmap_chunks,
             partial(_band_candidates, sig_a=sig_a, sig_b=sig_b),

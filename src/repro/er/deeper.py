@@ -147,9 +147,11 @@ class DeepER:
             matrices = np.array(
                 [self.embedder.token_matrix(r, self.max_tokens) for r in records]
             )
+            was_training = self.composer.training
             self.composer.eval()
             out = self.composer(Tensor(matrices)).data
-            self.composer.train()
+            if was_training:
+                self.composer.train()
             return out
         return self.embedder.embed_many(records)
 
@@ -333,22 +335,32 @@ class DeepER:
     # ------------------------------------------------------------------ #
 
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
-        """Match probability per pair."""
+        """Match probability per pair.
+
+        Inference runs in eval mode, then each module is restored to the
+        mode it was in *before* the call — a matcher deliberately left in
+        eval mode (the read-only serving contract of :mod:`repro.serve`)
+        stays in eval mode instead of being silently flipped to train.
+        """
         check_fitted(self, "trained_")
         if not pairs:
             return np.zeros(0)
+        classifier_was_training = self.classifier.training
         self.classifier.eval()
         if self.composer is not None:
+            composer_was_training = self.composer.training
             self.composer.eval()
             mat_a, mat_b = self._token_batches(pairs)
             u = self.composer(Tensor(mat_a))
             v = self.composer(Tensor(mat_b))
             logits = self.classifier(self._pair_tensor(u, v)).data
-            self.composer.train()
+            if composer_was_training:
+                self.composer.train()
         else:
             features = self._pair_features_numpy(pairs)
             logits = self.classifier(Tensor(features)).data
-        self.classifier.train()
+        if classifier_was_training:
+            self.classifier.train()
         return 1.0 / (1.0 + np.exp(-np.clip(logits[:, 0], -500, 500)))
 
     def predict(self, pairs: list[Pair], threshold: float = 0.5) -> np.ndarray:
@@ -461,7 +473,9 @@ class MatcherHead(Module):
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        was_training = self.net.training
         self.net.eval()
         logits = self.net(Tensor(features)).data[:, 0]
-        self.net.train()
+        if was_training:
+            self.net.train()
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))

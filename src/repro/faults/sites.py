@@ -10,7 +10,9 @@ package that owns the code point —
 * ``er.blocking.lsh`` / ``er.blocking.token`` — the candidate-pair
   computation of the two blockers;
 * ``er.deeper.pair_features`` — DeepER's pair featurisation hot path;
-* ``er.deeper.fit.epoch`` — the top of every DeepER training epoch.
+* ``er.deeper.fit.epoch`` — the top of every DeepER training epoch;
+* ``serve.score`` / ``serve.cache.lookup`` — the serving layer's batch
+  scoring call and per-batch cache consult.
 
 Sites split by what owns recovery:
 
@@ -42,12 +44,20 @@ RETRY_SITES: dict[str, str] = {
     "er.blocking.lsh": "LSHBlocker.candidate_pairs band matching (attempts=2)",
     "er.blocking.token": "TokenBlocker.candidate_pairs rare-token probe (attempts=2)",
     "er.deeper.pair_features": "DeepER pair featurisation (attempts=2)",
+    "serve.score": (
+        "MatchService batch scoring via DeepER.predict_proba; validated "
+        "shape/finiteness, retried under HOT_POLICY (attempts=2)"
+    ),
 }
 
 LATENCY_ONLY_SITES: dict[str, str] = {
     "er.deeper.fit.epoch": (
         "top of each DeepER training epoch; not retryable (an epoch "
         "consumes minibatch rng), so only latency faults are scheduled"
+    ),
+    "serve.cache.lookup": (
+        "MatchService per-batch cache consult; pure lookup with no retry "
+        "layer, so only latency faults are scheduled"
     ),
 }
 
@@ -58,6 +68,7 @@ CORRUPT_SITES: tuple[str, ...] = (
     "er.blocking.lsh",
     "er.blocking.token",
     "er.deeper.pair_features",
+    "serve.score",
 )
 
 

@@ -12,6 +12,7 @@ once published.  Numbering groups the families:
 * ``RL6xx`` — export hygiene
 * ``RL7xx`` — parallel-substrate contract (explicit jobs/seed)
 * ``RL8xx`` — fault-injection hygiene (no swallowed injected faults)
+* ``RL9xx`` — serving read-only contract (no training in repro/serve)
 """
 
 from __future__ import annotations

@@ -16,7 +16,9 @@ Families (stable id prefixes, see DESIGN.md § "Static analysis"):
 * :mod:`~repro.lint.rules.par` — RL701 explicit ``jobs=`` at repro.par
   call sites, RL702 no ambient-state ``jobs``/``seed`` values;
 * :mod:`~repro.lint.rules.faults` — RL801 overbroad except handlers that
-  would swallow injected faults in the fault-wired packages.
+  would swallow injected faults in the fault-wired packages;
+* :mod:`~repro.lint.rules.serve` — RL901 read-only inference contract
+  (no training, no weight writes) under ``repro/serve/``.
 """
 
 from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
@@ -31,6 +33,7 @@ from repro.lint.rules.faults import FaultSwallowingExceptRule
 from repro.lint.rules.mutation import InPlaceDataMutationRule
 from repro.lint.rules.obs_guard import ObsHotPathGuardRule
 from repro.lint.rules.par import ParAmbientStateRule, ParExplicitJobsRule
+from repro.lint.rules.serve import ServeReadOnlyRule
 
 __all__ = [
     "AllNamesExistRule",
@@ -45,6 +48,7 @@ __all__ = [
     "PackageDefinesAllRule",
     "ParAmbientStateRule",
     "ParExplicitJobsRule",
+    "ServeReadOnlyRule",
     "StdlibRandomRule",
     "TimeSeededRule",
 ]

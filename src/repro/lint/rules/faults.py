@@ -7,7 +7,8 @@ faults actually *reach* the recovery layers — a ``try/except Exception``
 turns an over-budget fault plan into a silent wrong answer instead of a
 loud :class:`~repro.faults.RetryExhausted`.
 
-In the fault-wired packages (``orchestration``, ``par``, ``er``), an
+In the fault-wired packages (``orchestration``, ``par``, ``er``,
+``serve``), an
 overbroad handler must therefore contain a ``raise`` somewhere in its
 body (re-raise, raise-from, or a translated exception).  Handlers for
 *specific* exception types are fine — they cannot catch an injected
@@ -64,7 +65,8 @@ class FaultSwallowingExceptRule(Rule):
         "faults (and real errors) silently; re-raise, translate to a "
         "typed error, or narrow the handler"
     )
-    path_markers = ("/repro/orchestration/", "/repro/par/", "/repro/er/")
+    path_markers = ("/repro/orchestration/", "/repro/par/", "/repro/er/",
+                    "/repro/serve/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -1,0 +1,158 @@
+"""Serving read-only contract rule (RL901).
+
+The serving layer answers queries against a *frozen* model: the whole
+point of :meth:`repro.serve.service.MatchService.parameter_fingerprint`
+is that any amount of traffic leaves every weight byte-identical.  That
+contract is easy to break by accident — one convenience ``fit`` call, a
+"quick" fine-tune on cached pairs, an optimizer smuggled in for
+calibration — and such a break is invisible to most tests (answers stay
+plausible, just no longer reproducible).  So the contract is enforced
+statically: code under ``repro/serve/`` must not
+
+* call ``.fit(...)`` on anything (training entry points),
+* import ``repro.nn.optim`` or call ``.step()`` on an optimizer-shaped
+  receiver (weight updates),
+* call ``.backward(...)`` (gradient computation has no business in an
+  inference path), or
+* write to a ``.data`` attribute in any form — rebinding, augmented
+  assignment, slice/element assignment, or the in-place ndarray methods.
+  RL201 sanctions rebinding elsewhere; here even rebinding is banned,
+  because in serving code a ``.data`` write *is* a parameter mutation.
+
+Reading ``.data`` (e.g. hashing parameter bytes for the fingerprint)
+stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["ServeReadOnlyRule"]
+
+_INPLACE_METHODS = {"fill", "sort", "put", "partition", "resize", "itemset"}
+
+# A `.step()` receiver is optimizer-shaped when its source text mentions
+# one of these (e.g. `optimizer`, `self.opt`, `adam`, `sgd_update`).
+_OPTIMIZER_HINTS = ("optim", "adam", "sgd", "rmsprop", "momentum")
+
+_OPTIM_MODULES = {"repro.nn.optim"}
+
+
+def _is_data_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+def _imports_optim(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name in _OPTIM_MODULES for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in _OPTIM_MODULES or node.module == "repro.nn":
+                if node.module in _OPTIM_MODULES:
+                    return True
+                if any(alias.name == "optim" for alias in node.names):
+                    return True
+    return False
+
+
+@register
+class ServeReadOnlyRule(Rule):
+    """RL901: serving code must be inference-only — no training, no weight writes."""
+
+    id = "RL901"
+    name = "serve-read-only"
+    description = (
+        "code under repro/serve/ serves a frozen model: .fit() calls, "
+        "optimizer imports/steps, .backward() and any write to a .data "
+        "attribute break the read-only inference contract that makes "
+        "serving answers reproducible and parameter fingerprints stable"
+    )
+    path_markers = ("/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        optim_imported = _imports_optim(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, optim_imported)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_store(ctx, node, target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if node.target is not None:
+                    yield from self._check_store(ctx, node, node.target)
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            if any(alias.name in _OPTIM_MODULES for alias in node.names):
+                yield ctx.finding(
+                    self.id, node,
+                    "optimizer import in serving code; the serving layer "
+                    "must never update weights",
+                )
+        elif node.module in _OPTIM_MODULES or (
+            node.module == "repro.nn"
+            and any(alias.name == "optim" for alias in node.names)
+        ):
+            yield ctx.finding(
+                self.id, node,
+                "optimizer import in serving code; the serving layer must "
+                "never update weights",
+            )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, optim_imported: bool
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "fit":
+            yield ctx.finding(
+                self.id, node,
+                ".fit() call in serving code; training belongs offline — "
+                "serve a model that is already fitted",
+            )
+        elif func.attr == "backward":
+            yield ctx.finding(
+                self.id, node,
+                ".backward() call in serving code; inference never needs "
+                "gradients",
+            )
+        elif func.attr == "step":
+            receiver = ast.unparse(func.value).lower()
+            if optim_imported or any(hint in receiver for hint in _OPTIMIZER_HINTS):
+                yield ctx.finding(
+                    self.id, node,
+                    f"optimizer step on '{ast.unparse(func.value)}' in "
+                    "serving code; weights are frozen at serve time",
+                )
+        elif func.attr in _INPLACE_METHODS and _is_data_attribute(func.value):
+            yield ctx.finding(
+                self.id, node,
+                f".data.{func.attr}() mutates a parameter array in serving "
+                "code; the model is read-only here",
+            )
+
+    def _check_store(
+        self, ctx: FileContext, stmt: ast.stmt, target: ast.expr
+    ) -> Iterator[Finding]:
+        if _is_data_attribute(target):
+            yield ctx.finding(
+                self.id, stmt,
+                "assignment to .data in serving code; even rebinding is a "
+                "parameter write here — the model is read-only",
+            )
+        elif isinstance(target, ast.Subscript) and _is_data_attribute(target.value):
+            yield ctx.finding(
+                self.id, stmt,
+                "subscript assignment into .data in serving code; the model "
+                "is read-only here",
+            )

@@ -1,0 +1,167 @@
+"""Content-addressed LRU caching for the serving layer.
+
+Two caches back :class:`repro.serve.service.MatchService`: a *tuple
+embedding* cache (query record → embedding vector) and a *pair score*
+cache ((query key, candidate id) → match probability).  Both are keyed by
+:func:`content_key` digests of record *content*, never by object identity
+— so a repeated query hits regardless of which dict instance carries it,
+and the hit pattern is a deterministic function of the workload.
+
+Eviction is strict LRU over a single-threaded access sequence, which
+keeps the cache state (and therefore the simulated cost of every batch)
+replayable.  Hit/miss/eviction counts are kept per cache and mirrored
+into guarded ``serve.cache.<name>.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.obs.metrics import REGISTRY as _OBS
+
+__all__ = ["CacheStats", "CacheStatsView", "LRUCache", "MISSING", "content_key"]
+
+
+class _Missing:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+def _canonical(value: object) -> object:
+    """JSON-representable canonical form of a record value."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    # numpy scalars stringify deterministically via repr-stable str().
+    return str(value)
+
+
+def content_key(record: object) -> str:
+    """Stable content digest of a record (dict key order never matters).
+
+    Uses sha1 over a canonical JSON rendering rather than ``hash()`` so
+    keys are identical across processes and ``PYTHONHASHSEED`` values —
+    cache behaviour must replay bit-identically run to run.
+    """
+    payload = json.dumps(_canonical(record), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CacheStatsView:
+    """Immutable sum of several caches' stats (for reports)."""
+
+    def __init__(self, *stats: CacheStats) -> None:
+        self.hits = sum(s.hits for s in stats)
+        self.misses = sum(s.misses for s in stats)
+        self.evictions = sum(s.evictions for s in stats)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with deterministic eviction.
+
+    ``capacity == 0`` is a valid "cache disabled" configuration: every
+    lookup misses and nothing is ever stored, so the serving path runs
+    with identical code either way (the bench's no-cache scenarios use
+    this instead of branching around the cache).
+    """
+
+    def __init__(self, capacity: int, *, name: str = "cache") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.name = name
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object) -> object:
+        """Cached value for ``key`` (freshened), or :data:`MISSING`."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if _OBS.enabled:
+                _OBS.counter(f"serve.cache.{self.name}.hits").inc()
+            return self._entries[key]
+        self.stats.misses += 1
+        if _OBS.enabled:
+            _OBS.counter(f"serve.cache.{self.name}.misses").inc()
+        return MISSING
+
+    def peek(self, key: object) -> object:
+        """Like :meth:`get` but with no stats or recency side effects."""
+        return self._entries.get(key, MISSING)
+
+    def put(self, key: object, value: object) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry when over capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if _OBS.enabled:
+                _OBS.counter(f"serve.cache.{self.name}.evictions").inc()
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved — they are a run log)."""
+        self._entries.clear()
+
+    def keys(self) -> list:
+        """Keys from least- to most-recently used (for tests/inspection)."""
+        return list(self._entries.keys())

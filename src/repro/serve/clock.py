@@ -1,0 +1,52 @@
+"""Simulated clock for the serving layer.
+
+The online path is *simulated-time* end to end: arrivals, batching
+deadlines and service completions all advance a :class:`SimClock` instead
+of reading ``time.perf_counter``.  That is what makes the serving bench
+deterministic — latency percentiles are pure functions of the workload,
+the server config and the cost model, so two runs (at any ``--jobs``)
+produce byte-identical result rows.  Wall-clock time still exists in the
+observability layer (spans time the real computation), but it never feeds
+back into scheduling decisions or reported simulated latencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock (seconds as floats, starting at 0.0).
+
+    Only two operations exist — relative :meth:`advance` and absolute
+    :meth:`advance_to` — and both refuse to move backwards, so event loops
+    built on the clock cannot accidentally reorder history.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (>= 0); returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move forward to ``timestamp`` (no-op when already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

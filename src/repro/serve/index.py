@@ -1,0 +1,153 @@
+"""Online blocking index: LSH buckets over an embedded reference table.
+
+Offline, :class:`repro.er.blocking.LSHBlocker` recomputes signatures for
+both tables on every ``candidate_pairs`` call.  Serving inverts that: the
+indexed table is embedded, transformed and bucketed **once** at build
+time, and each query only computes its own signature and probes the band
+buckets — the "does tuple *t* match anything in the indexed table?" path
+of an online entity-resolution service.
+
+Because the centering/whitening transform and the hyperplanes are frozen
+at build time (:meth:`LSHBlocker.prepare_reference`), a query's candidate
+set is a pure function of the query record — independent of micro-batch
+composition, cache state and arrival order.  That invariant is what lets
+the serving differential test demand bit-identical answers between the
+online path and a direct offline ``predict`` over the same candidates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from functools import partial
+
+import numpy as np
+
+from repro.embeddings.compose import TupleEmbedder
+from repro.er.blocking import LSHBlocker
+from repro.par import pmap
+
+__all__ = ["BlockingIndex"]
+
+
+def _embed_record(record: "dict[str, object]", embedder: TupleEmbedder) -> np.ndarray:
+    """One tuple embedding; module-level so :func:`repro.par.pmap` workers
+    can pickle it by reference."""
+    return embedder.embed(record)
+
+
+class BlockingIndex:
+    """LSH candidate index over a reference table, built once, probed often.
+
+    Parameters
+    ----------
+    embedder:
+        Fixed (non-trainable) tuple embedder shared with the matcher;
+        queries and reference records must embed identically.
+    n_bits / n_bands / whiten / rng:
+        Forwarded to the underlying :class:`LSHBlocker`; ``rng`` seeds the
+        hyperplanes, so two indexes built with the same seed over the same
+        records are identical.
+    """
+
+    def __init__(
+        self,
+        embedder: TupleEmbedder,
+        *,
+        n_bits: int = 16,
+        n_bands: int = 4,
+        whiten: bool = True,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        self.embedder = embedder
+        self.blocker = LSHBlocker(n_bits=n_bits, n_bands=n_bands, whiten=whiten, rng=rng)
+        self._ids: list[str] = []
+        self._records: dict[str, dict[str, object]] = {}
+        self._buckets: list[dict[bytes, list[int]]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+
+    def build(
+        self,
+        records: list[dict[str, object]],
+        ids: list[str],
+        *,
+        jobs: int = 1,
+    ) -> "BlockingIndex":
+        """Embed, transform and bucket the reference table.
+
+        ``jobs`` fans the reference embedding out over :func:`repro.par.pmap`
+        (bit-identical to serial for every value).  Rebuilding replaces the
+        previous index wholesale.
+        """
+        if len(records) != len(ids):
+            raise ValueError(
+                f"records/ids length mismatch: {len(records)} != {len(ids)}"
+            )
+        if not records:
+            raise ValueError("cannot build an index over zero records")
+        embeddings = np.array(
+            pmap(
+                partial(_embed_record, embedder=self.embedder),
+                records,
+                jobs=jobs,
+                label="serve.index.embed",
+            )
+        )
+        signatures = self.blocker.prepare_reference(embeddings)
+        buckets: list[dict[bytes, list[int]]] = []
+        for lo, hi in self.blocker.band_slices():
+            band_buckets: dict[bytes, list[int]] = defaultdict(list)
+            for i, signature in enumerate(signatures):
+                band_buckets[signature[lo:hi].tobytes()].append(i)
+            buckets.append(dict(band_buckets))
+        self._ids = [str(i) for i in ids]
+        self._records = {str(i): r for i, r in zip(ids, records)}
+        self._buckets = buckets
+        return self
+
+    @property
+    def built(self) -> bool:
+        return self._buckets is not None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------ #
+    # probe
+    # ------------------------------------------------------------------ #
+
+    def embed_queries(
+        self, records: list[dict[str, object]], *, jobs: int = 1
+    ) -> np.ndarray:
+        """Tuple embeddings for query records (same embedder as the index)."""
+        if not records:
+            return np.zeros((0, self.embedder.dim))
+        return np.array(
+            pmap(
+                partial(_embed_record, embedder=self.embedder),
+                records,
+                jobs=jobs,
+                label="serve.query.embed",
+            )
+        )
+
+    def candidates(self, embedding: np.ndarray) -> list[str]:
+        """Reference ids colliding with ``embedding`` in at least one band.
+
+        Returned sorted, so downstream pair assembly (and therefore cache
+        key order and scoring batch layout) is deterministic.
+        """
+        if self._buckets is None:
+            raise RuntimeError("index not built; call build() first")
+        signature = self.blocker.query_signatures(embedding.reshape(1, -1))[0]
+        found: set[int] = set()
+        for (lo, hi), band_buckets in zip(self.blocker.band_slices(), self._buckets):
+            key = signature[lo:hi].tobytes()
+            found.update(band_buckets.get(key, ()))
+        return sorted(self._ids[i] for i in found)
+
+    def record(self, reference_id: str) -> dict[str, object]:
+        """The indexed record for ``reference_id`` (KeyError when unknown)."""
+        return self._records[reference_id]

@@ -1,0 +1,299 @@
+"""The online match service: read-only inference over a trained matcher.
+
+:class:`MatchService` answers "does tuple *t* match anything in the
+indexed table?" by composing two existing layers behind an inference-only
+contract: blocking-index candidate lookup (:class:`repro.serve.index.
+BlockingIndex`) followed by one :meth:`repro.er.deeper.DeepER.predict_proba`
+call over every not-yet-cached (query, candidate) pair in the batch.
+That single coalesced scoring call is the micro-batching win the
+scheduler (:mod:`repro.serve.sim`) exists to exploit: N concurrent
+queries cost one model invocation, not N.
+
+Read-only contract
+------------------
+Serving never trains.  The service puts the matcher in eval mode at
+construction and — with ``DeepER.predict_proba`` now restoring the
+*prior* mode — it stays there; lint rule RL901 statically bans ``.fit``,
+``optimizer.step``/``.backward`` and ``.data`` mutation anywhere under
+``repro/serve/``, and :meth:`parameter_fingerprint` lets tests assert the
+weights are byte-identical before and after any amount of traffic.
+
+Fault wiring
+------------
+The scoring call runs under :data:`repro.faults.retry.HOT_POLICY` at site
+``serve.score`` with a shape/finite validator, so an injected error or
+corrupted return is retried and a recovered run stays bit-identical; the
+per-batch cache consult passes through latency-only site
+``serve.cache.lookup``.  Metrics are guarded ``serve.*`` instruments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.er.deeper import DeepER
+from repro.faults.plan import inject
+from repro.faults.retry import HOT_POLICY, retry_call
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.serve.cache import LRUCache, MISSING, CacheStatsView, content_key
+from repro.serve.index import BlockingIndex
+from repro.utils.validation import check_fitted
+
+__all__ = ["BatchReport", "MatchAnswer", "MatchService"]
+
+
+@dataclass(frozen=True)
+class MatchAnswer:
+    """One query's answer: best candidate (if any) and its probability."""
+
+    query_key: str
+    candidates: tuple[str, ...]
+    best_id: str | None
+    probability: float
+    matched: bool
+    embedding_cached: bool
+    scores_cached: int
+
+    def to_dict(self) -> dict:
+        return {
+            "query_key": self.query_key,
+            "candidates": list(self.candidates),
+            "best_id": self.best_id,
+            "probability": self.probability,
+            "matched": self.matched,
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one coalesced batch actually cost.
+
+    ``scored_pairs`` is the number of *unique uncached* pairs sent to the
+    matcher (the simulated cost model charges per scored pair, so cache
+    hits make batches measurably faster); ``predict_calls`` is 0 or 1 —
+    the whole batch shares at most one ``predict_proba`` invocation.
+    """
+
+    answers: "list[MatchAnswer]"
+    scored_pairs: int
+    embedding_misses: int
+    predict_calls: int
+
+
+class MatchService:
+    """Online ER matching over a blocking index and a trained DeepER model.
+
+    Parameters
+    ----------
+    matcher:
+        Fitted :class:`DeepER` (fixed composition for the cached-embedding
+        path); flipped to eval mode at construction and kept there.
+    index:
+        Built :class:`BlockingIndex` over the reference table.
+    threshold:
+        Probability above which the best candidate counts as a match.
+    jobs:
+        Explicit :mod:`repro.par` process count for query embedding and
+        pair featurisation (bit-identical results for every value).
+    embedding_cache_size / score_cache_size:
+        LRU capacities; 0 disables the respective cache.
+    """
+
+    def __init__(
+        self,
+        matcher: DeepER,
+        index: BlockingIndex,
+        *,
+        threshold: float = 0.5,
+        jobs: int = 1,
+        embedding_cache_size: int = 1024,
+        score_cache_size: int = 4096,
+    ) -> None:
+        check_fitted(matcher, "trained_")
+        if not index.built:
+            raise RuntimeError("BlockingIndex must be built before serving")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.matcher = matcher
+        self.index = index
+        self.threshold = threshold
+        self.jobs = jobs
+        # Serving owns the matcher: inference-only mode, explicit jobs.
+        self.matcher.jobs = jobs
+        self.matcher.classifier.eval()
+        if self.matcher.composer is not None:
+            self.matcher.composer.eval()
+        self.embedding_cache = LRUCache(embedding_cache_size, name="embedding")
+        self.score_cache = LRUCache(score_cache_size, name="score")
+
+    # ------------------------------------------------------------------ #
+    # read-only contract
+    # ------------------------------------------------------------------ #
+
+    def parameter_fingerprint(self) -> str:
+        """sha1 over every model parameter's bytes (order-stable).
+
+        Serving must never move a weight: tests take the fingerprint
+        before and after traffic and assert equality.
+        """
+        digest = hashlib.sha1()
+        for param in self.matcher.classifier.parameters():
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        if self.matcher.composer is not None:
+            for param in self.matcher.composer.parameters():
+                digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.hexdigest()
+
+    @property
+    def cache_stats(self) -> CacheStatsView:
+        """Combined hit/miss/eviction view over both caches."""
+        return CacheStatsView(self.embedding_cache.stats, self.score_cache.stats)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+
+    def match_one(self, record: dict[str, object]) -> MatchAnswer:
+        """Single-query convenience wrapper over :meth:`match_batch`."""
+        return self.match_batch([record]).answers[0]
+
+    def match_batch(self, records: list[dict[str, object]]) -> BatchReport:
+        """Answer a coalesced batch of queries with one scoring call.
+
+        Stages: content-keyed embedding-cache consult → one
+        :func:`repro.par.pmap` embedding pass over the misses → candidate
+        lookup per query → score-cache consult → one validated, retried
+        ``predict_proba`` over every unique uncached pair → answers
+        assembled from the (now fully populated) score cache.
+        """
+        if not records:
+            return BatchReport(answers=[], scored_pairs=0, embedding_misses=0,
+                               predict_calls=0)
+        inject("serve.cache.lookup")
+        if _OBS.enabled:
+            _OBS.counter("serve.requests").inc(float(len(records)))
+
+        keys = [content_key(record) for record in records]
+
+        # Embedding stage: consult the cache once per *distinct* key, then
+        # embed the misses in one (possibly parallel) pass.
+        embeddings: dict[str, np.ndarray] = {}
+        embedding_hits: set[str] = set()
+        seen: set[str] = set()
+        miss_keys: list[str] = []
+        miss_records: list[dict[str, object]] = []
+        for key, record in zip(keys, records):
+            if key in seen:
+                continue
+            seen.add(key)
+            cached = self.embedding_cache.get(key)
+            if cached is not MISSING:
+                embeddings[key] = cached
+                embedding_hits.add(key)
+            else:
+                miss_keys.append(key)
+                miss_records.append(record)
+        if miss_records:
+            fresh = self.index.embed_queries(miss_records, jobs=self.jobs)
+            for key, vector in zip(miss_keys, fresh):
+                embeddings[key] = vector
+                self.embedding_cache.put(key, vector)
+
+        # Candidate stage: deterministic (sorted) candidate ids per query.
+        candidates_by_key: dict[str, list[str]] = {
+            key: self.index.candidates(embeddings[key])
+            for key in dict.fromkeys(keys)
+        }
+
+        # Scoring stage: consult the score cache per unique pair, then send
+        # every uncached pair to the matcher in a single predict_proba call.
+        # ``scores_now`` carries this batch's scores locally so answers do
+        # not depend on cache capacity (a 0-capacity cache stores nothing).
+        scores_now: dict[tuple[str, str], float] = {}
+        hits_by_key: dict[str, int] = {}
+        to_score: list[tuple[str, str]] = []
+        for key in dict.fromkeys(keys):
+            hits_by_key[key] = 0
+            for candidate_id in candidates_by_key[key]:
+                pair_key = (key, candidate_id)
+                cached = self.score_cache.get(pair_key)
+                if cached is MISSING:
+                    to_score.append(pair_key)
+                else:
+                    scores_now[pair_key] = cached
+                    hits_by_key[key] += 1
+        predict_calls = 0
+        if to_score:
+            record_by_key = {k: r for k, r in zip(keys, records)}
+            pair_records = [
+                (record_by_key[key], self.index.record(candidate_id))
+                for key, candidate_id in to_score
+            ]
+            probabilities = retry_call(
+                self.matcher.predict_proba,
+                pair_records,
+                site="serve.score",
+                policy=HOT_POLICY,
+                validate=lambda p: (
+                    isinstance(p, np.ndarray)
+                    and p.shape == (len(pair_records),)
+                    and bool(np.all(np.isfinite(p)))
+                ),
+            )
+            predict_calls = 1
+            for pair_key, probability in zip(to_score, probabilities):
+                scores_now[pair_key] = float(probability)
+                self.score_cache.put(pair_key, float(probability))
+            if _OBS.enabled:
+                _OBS.counter("serve.predict_calls").inc()
+                _OBS.counter("serve.scored_pairs").inc(float(len(to_score)))
+                _OBS.histogram("serve.score_batch_pairs").observe(len(to_score))
+
+        answers = [
+            self._assemble(
+                key, candidates_by_key[key], scores_now,
+                key in embedding_hits, hits_by_key[key],
+            )
+            for key in keys
+        ]
+        if _OBS.enabled:
+            _OBS.counter("serve.batches").inc()
+            _OBS.histogram("serve.batch_queries").observe(len(records))
+        return BatchReport(
+            answers=answers,
+            scored_pairs=len(to_score),
+            embedding_misses=len(miss_records),
+            predict_calls=predict_calls,
+        )
+
+    def _assemble(
+        self,
+        key: str,
+        candidate_ids: list[str],
+        scores_now: dict[tuple[str, str], float],
+        embedding_cached: bool,
+        scores_cached: int,
+    ) -> MatchAnswer:
+        """Build one answer from this batch's resolved scores."""
+        if not candidate_ids:
+            return MatchAnswer(
+                query_key=key, candidates=(), best_id=None, probability=0.0,
+                matched=False, embedding_cached=embedding_cached, scores_cached=0,
+            )
+        scores = {c: scores_now[(key, c)] for c in candidate_ids}
+        # Highest probability wins; ties break to the smallest id so the
+        # answer is deterministic whatever the probe order was.
+        best_id = min(candidate_ids, key=lambda c: (-scores[c], c))
+        probability = scores[best_id]
+        return MatchAnswer(
+            query_key=key,
+            candidates=tuple(candidate_ids),
+            best_id=best_id,
+            probability=probability,
+            matched=probability >= self.threshold,
+            embedding_cached=embedding_cached,
+            scores_cached=scores_cached,
+        )

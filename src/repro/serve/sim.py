@@ -1,0 +1,246 @@
+"""Deterministic serving simulator: micro-batching + admission control.
+
+A single-server discrete-event loop on the :class:`~repro.serve.clock.
+SimClock`, shaped like a real inference server's request path:
+
+* **admission control** — at most ``max_queue`` queries may wait; an
+  arrival that finds the queue full is *shed* deterministically (an
+  explicit ``rejected`` result, never an exception), so overload degrades
+  loudly and reproducibly instead of growing an unbounded queue;
+* **micro-batching** — a waiting batch fires when it reaches
+  ``max_batch_size`` or when its oldest query has waited ``max_wait``
+  simulated seconds, whichever is earlier (and never before the server is
+  free) — the classic max-batch/max-wait scheduler of inference servers;
+* **cost model** — a fired batch occupies the server for
+  ``cost_base + cost_per_query·|batch| + cost_per_miss·scored_pairs``
+  simulated seconds.  The real model *is* invoked (answers are genuine
+  ``predict_proba`` outputs), but latency comes from the model above, so
+  cache hits make batches measurably faster and the reported
+  p50/p95/p99 are bit-identical across runs, hosts and ``jobs`` values.
+
+The loop never reads wall clocks or ambient randomness; given the same
+workload, config and service state it replays the exact same schedule —
+including *which* queries get shed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.obs.trace import span
+from repro.serve.clock import SimClock
+from repro.serve.service import MatchAnswer, MatchService
+from repro.serve.workload import Query
+
+__all__ = ["QueryResult", "ServerConfig", "SimReport", "percentile", "simulate"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Scheduler knobs and the simulated service-cost model (seconds)."""
+
+    max_batch_size: int = 8
+    max_wait: float = 0.004
+    max_queue: int = 64
+    cost_base: float = 0.002
+    cost_per_query: float = 0.0004
+    cost_per_miss: float = 0.0012
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if min(self.cost_base, self.cost_per_query, self.cost_per_miss) < 0:
+            raise ValueError("cost model terms must be >= 0")
+
+
+@dataclass
+class QueryResult:
+    """Terminal state of one query: completed with an answer, or shed."""
+
+    query_id: int
+    status: str  # "ok" | "rejected"
+    arrival: float
+    start: float | None = None
+    finish: float | None = None
+    batch_id: int | None = None
+    answer: MatchAnswer | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """Simulated arrival→completion latency; None for shed queries."""
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival
+
+
+@dataclass
+class SimReport:
+    """Everything one simulated run produced, in deterministic order."""
+
+    config: ServerConfig
+    results: list[QueryResult] = field(default_factory=list)
+    batches: list[dict] = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def completed(self) -> list[QueryResult]:
+        return [r for r in self.results if r.status == "ok"]
+
+    @property
+    def shed(self) -> list[QueryResult]:
+        return [r for r in self.results if r.status == "rejected"]
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.shed) / len(self.results) if self.results else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second."""
+        return len(self.completed) / self.duration if self.duration > 0 else 0.0
+
+    def latencies(self) -> list[float]:
+        """Completed-query latencies sorted ascending."""
+        return sorted(r.latency for r in self.completed)
+
+    def latency_percentiles(self, quantiles: tuple[int, ...] = (50, 95, 99)) -> dict[int, float]:
+        """Nearest-rank percentiles of simulated latency (0.0 when empty)."""
+        ordered = self.latencies()
+        return {q: percentile(ordered, q) for q in quantiles}
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b["size"] for b in self.batches) / len(self.batches)
+
+    @property
+    def scored_pairs(self) -> int:
+        return sum(b["scored_pairs"] for b in self.batches)
+
+
+def percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty).
+
+    Nearest-rank (ceil) rather than interpolation: the result is always an
+    observed value, which keeps reported tail latencies honest and the
+    arithmetic trivially bit-stable.
+    """
+    if not ordered:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def simulate(
+    service: MatchService,
+    queries: list[Query],
+    config: ServerConfig,
+    *,
+    clock: SimClock | None = None,
+) -> SimReport:
+    """Run ``queries`` through ``service`` under the scheduler in ``config``.
+
+    ``service`` only needs a ``match_batch(records) -> BatchReport``
+    method, so scheduler tests can drive the loop with a stub.  Results
+    come back ordered by ``query_id`` regardless of completion order.
+    """
+    clock = clock or SimClock()
+    arrivals = sorted(queries, key=lambda q: (q.arrival, q.query_id))
+    pending: list[Query] = []
+    results: dict[int, QueryResult] = {}
+    batches: list[dict] = []
+    server_free_at = 0.0
+    index = 0
+    total = len(arrivals)
+
+    def admit(query: Query) -> None:
+        clock.advance_to(query.arrival)
+        if len(pending) >= config.max_queue:
+            results[query.query_id] = QueryResult(
+                query_id=query.query_id, status="rejected", arrival=query.arrival
+            )
+            if _OBS.enabled:
+                _OBS.counter("serve.shed").inc()
+        else:
+            pending.append(query)
+
+    with span("serve.sim", queries=total) as sim_span:
+        while index < total or pending:
+            if not pending:
+                admit(arrivals[index])
+                index += 1
+                continue
+            # When would the current batch fire?  At batch-full time or the
+            # oldest query's deadline — whichever first — but never while
+            # the server is still busy with the previous batch.
+            full_time = (
+                pending[config.max_batch_size - 1].arrival
+                if len(pending) >= config.max_batch_size
+                else math.inf
+            )
+            fire = max(min(pending[0].arrival + config.max_wait, full_time),
+                       server_free_at)
+            # Arrivals up to and including the fire instant join (or shed)
+            # first: at equal timestamps, arrival events order before
+            # service events, so simultaneous queries coalesce.
+            if index < total and arrivals[index].arrival <= fire:
+                admit(arrivals[index])
+                index += 1
+                continue
+            clock.advance_to(fire)
+            batch = pending[: config.max_batch_size]
+            del pending[: config.max_batch_size]
+            report = service.match_batch([q.record for q in batch])
+            cost = (
+                config.cost_base
+                + config.cost_per_query * len(batch)
+                + config.cost_per_miss * report.scored_pairs
+            )
+            finish = fire + cost
+            server_free_at = finish
+            batch_id = len(batches)
+            batches.append({
+                "batch_id": batch_id,
+                "fire": fire,
+                "finish": finish,
+                "size": len(batch),
+                "scored_pairs": report.scored_pairs,
+                "embedding_misses": report.embedding_misses,
+                "predict_calls": report.predict_calls,
+                "cost": cost,
+            })
+            for query, answer in zip(batch, report.answers):
+                results[query.query_id] = QueryResult(
+                    query_id=query.query_id,
+                    status="ok",
+                    arrival=query.arrival,
+                    start=fire,
+                    finish=finish,
+                    batch_id=batch_id,
+                    answer=answer,
+                )
+        clock.advance_to(server_free_at)
+        sim_report = SimReport(
+            config=config,
+            results=[results[q.query_id] for q in sorted(queries, key=lambda q: q.query_id)],
+            batches=batches,
+            duration=clock.now,
+        )
+        sim_span.meta.update({
+            "completed": len(sim_report.completed),
+            "shed": len(sim_report.shed),
+            "batches": len(batches),
+            "simulated_duration": round(sim_report.duration, 6),
+        })
+    if _OBS.enabled:
+        _OBS.gauge("serve.sim.duration_seconds").set(sim_report.duration)
+    return sim_report

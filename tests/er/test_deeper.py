@@ -129,6 +129,44 @@ class TestDeepER:
         records = [small_benchmark.table_a.row_dict(i) for i in range(5)]
         assert model.tuple_vectors(records).shape == (5, word_model.dim)
 
+    def test_predict_proba_restores_prior_train_mode(
+        self, word_model, small_benchmark, labeled_split
+    ):
+        """A freshly trained matcher (train mode) goes back to train mode."""
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train[:50], epochs=2)
+        assert model.classifier.training
+        model.predict_proba([(a, b) for a, b, _ in test[:4]])
+        assert model.classifier.training
+
+    def test_predict_proba_preserves_eval_mode(
+        self, word_model, small_benchmark, labeled_split
+    ):
+        """A matcher deliberately parked in eval mode (the serving
+        contract) must not be flipped back to train by inference."""
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train[:50], epochs=2)
+        model.classifier.eval()
+        model.predict_proba([(a, b) for a, b, _ in test[:4]])
+        assert not model.classifier.training
+
+    def test_predict_proba_preserves_composer_mode(
+        self, word_model, small_benchmark, labeled_split
+    ):
+        train, test = labeled_split
+        model = DeepER(
+            word_model, small_benchmark.compare_columns,
+            composition="lstm", max_tokens=8, rng=0,
+        )
+        model.fit(train[:60], epochs=1)
+        model.classifier.eval()
+        model.composer.eval()
+        model.predict_proba([(a, b) for a, b, _ in test[:4]])
+        assert not model.classifier.training
+        assert not model.composer.training
+
     def test_missing_attributes_handled(self, word_model, small_benchmark, labeled_split):
         train, _ = labeled_split
         model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
@@ -148,6 +186,27 @@ class TestPersistenceAndEarlyStopping:
         loaded = DeepER.load(str(path), word_model)
         pairs, _ = _test_arrays(test)
         assert np.allclose(model.predict_proba(pairs), loaded.predict_proba(pairs))
+
+    def test_save_load_predictions_bit_identical(
+        self, word_model, small_benchmark, labeled_split, tmp_path
+    ):
+        """Persistence must not perturb a single bit of the probabilities —
+        the serving layer's caches key on exact scores, so a reloaded
+        matcher has to be indistinguishable from the original."""
+        train, test = labeled_split
+        model = DeepER(word_model, small_benchmark.compare_columns, rng=0)
+        model.fit(train[:120], epochs=4)
+        pairs, _ = _test_arrays(test)
+        before = model.predict_proba(pairs)
+        path = tmp_path / "matcher.npz"
+        model.save(str(path))
+        loaded = DeepER.load(str(path), word_model)
+        assert np.array_equal(before, loaded.predict_proba(pairs))
+        # And the round-trip is stable: save the loaded model again.
+        path2 = tmp_path / "matcher2.npz"
+        loaded.save(str(path2))
+        again = DeepER.load(str(path2), word_model)
+        assert np.array_equal(before, again.predict_proba(pairs))
 
     def test_save_requires_fit(self, word_model, small_benchmark, tmp_path):
         model = DeepER(word_model, small_benchmark.compare_columns, rng=0)

@@ -1,0 +1,52 @@
+"""Serving-suite fixtures: one trained matcher + built index per module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er import DeepER
+from repro.serve import BlockingIndex, MatchService
+
+
+@pytest.fixture(scope="module")
+def trained_matcher(word_model, small_benchmark):
+    labeled = small_benchmark.labeled_pairs(negative_ratio=3, rng=1)[:120]
+    train = [
+        (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+        for a, b, y in labeled
+    ]
+    return DeepER(
+        word_model, small_benchmark.compare_columns, composition="sif", rng=0
+    ).fit(train, epochs=5)
+
+
+@pytest.fixture(scope="module")
+def reference_records(small_benchmark):
+    records = [
+        small_benchmark.table_a.row_dict(i)
+        for i in range(len(small_benchmark.table_a))
+    ]
+    ids = [str(v) for v in small_benchmark.table_a.column(small_benchmark.id_column)]
+    return records, ids
+
+
+@pytest.fixture(scope="module")
+def query_records(small_benchmark):
+    return [
+        small_benchmark.table_b.row_dict(i)
+        for i in range(len(small_benchmark.table_b))
+    ]
+
+
+@pytest.fixture(scope="module")
+def built_index(trained_matcher, reference_records):
+    records, ids = reference_records
+    return BlockingIndex(
+        trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+    ).build(records, ids, jobs=1)
+
+
+@pytest.fixture()
+def service(trained_matcher, built_index):
+    """A fresh (cold-cache) service per test."""
+    return MatchService(trained_matcher, built_index, jobs=1)

@@ -1,0 +1,134 @@
+"""Content-addressed LRU cache: accounting, eviction order, key stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CacheStats, CacheStatsView, LRUCache, MISSING, content_key
+
+
+class TestContentKey:
+    def test_key_ignores_dict_order(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_key_distinguishes_content(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        assert content_key({"a": 1}) != content_key({"b": 1})
+
+    def test_key_is_identity_free(self):
+        record = {"title": "deep er", "year": 2018}
+        assert content_key(dict(record)) == content_key(record)
+
+    def test_key_handles_non_json_values(self):
+        # numpy scalars / arbitrary objects stringify instead of crashing.
+        import numpy as np
+
+        assert content_key({"n": np.int64(3)}) == content_key({"n": np.int64(3)})
+
+    def test_pair_keys_usable(self):
+        # Score-cache keys are (query_key, candidate_id) tuples.
+        cache = LRUCache(4)
+        cache.put(("q", "c1"), 0.5)
+        assert cache.get(("q", "c1")) == 0.5
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(2)
+        assert cache.get("k") is MISSING
+        cache.put("k", 41)
+        assert cache.get("k") == 41
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = LRUCache(2)
+        cache.put("k", None)
+        assert cache.get("k") is None
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # freshen "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put freshens
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 10
+
+    def test_keys_in_recency_order(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+    def test_capacity_zero_stores_nothing(self):
+        cache = LRUCache(0)
+        cache.put("k", 1)
+        assert cache.get("k") is MISSING
+        assert len(cache) == 0
+        assert cache.stats.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(-1)
+
+    def test_peek_has_no_side_effects(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        before = (cache.stats.hits, cache.stats.misses, cache.keys())
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is MISSING
+        assert (cache.stats.hits, cache.stats.misses, cache.keys()) == before
+
+    def test_clear_keeps_stats(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.inserts == 1
+
+    def test_guarded_metrics_when_collecting(self):
+        from repro.obs import REGISTRY, collecting
+
+        with collecting(reset=True):
+            cache = LRUCache(1, name="probe")
+            cache.get("x")
+            cache.put("x", 1)
+            cache.get("x")
+            cache.put("y", 2)  # evicts x
+            assert REGISTRY.counter("serve.cache.probe.misses").value == 1
+            assert REGISTRY.counter("serve.cache.probe.hits").value == 1
+            assert REGISTRY.counter("serve.cache.probe.evictions").value == 1
+
+
+class TestStats:
+    def test_hit_rate_zero_before_lookups(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_view_sums_caches(self):
+        a = CacheStats(hits=3, misses=1, evictions=2)
+        b = CacheStats(hits=1, misses=3, evictions=0)
+        view = CacheStatsView(a, b)
+        assert view.hits == 4
+        assert view.misses == 4
+        assert view.evictions == 2
+        assert view.hit_rate == 0.5
+
+    def test_view_empty(self):
+        assert CacheStatsView().hit_rate == 0.0

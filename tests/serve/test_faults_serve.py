@@ -1,0 +1,108 @@
+"""Serving fault sites recover bit-identically under their wired budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import Fault, FaultPlan, RetryExhausted
+from repro.faults.sites import CORRUPT_SITES, LATENCY_ONLY_SITES, RETRY_SITES, all_sites
+from repro.serve import MatchService
+
+
+def answers_dicts(service, batch):
+    return [a.to_dict() for a in service.match_batch(batch).answers]
+
+
+class TestCatalog:
+    def test_serve_sites_catalogued(self):
+        assert "serve.score" in RETRY_SITES
+        assert "serve.score" in CORRUPT_SITES
+        assert "serve.cache.lookup" in LATENCY_ONLY_SITES
+        assert {"serve.score", "serve.cache.lookup"} <= set(all_sites())
+
+    def test_serve_sites_sort_after_existing(self):
+        """New sites append to every sorted chaos draw, so pre-existing
+        seeds keep scheduling exactly the faults they always did."""
+        ordered = sorted(RETRY_SITES)
+        assert ordered[-1] == "serve.score"
+        assert sorted(CORRUPT_SITES)[-1] == "serve.score"
+        latency_union = sorted({**RETRY_SITES, **LATENCY_ONLY_SITES})
+        assert latency_union[-2:] == ["serve.cache.lookup", "serve.score"]
+
+
+class TestScoreSite:
+    def test_injected_error_recovers_bit_identical(
+        self, trained_matcher, built_index, query_records
+    ):
+        batch = query_records[:6]
+        baseline = answers_dicts(
+            MatchService(trained_matcher, built_index, jobs=1), batch
+        )
+        with FaultPlan([Fault("serve.score", "error", hits=(0,))]) as plan:
+            faulted = answers_dicts(
+                MatchService(trained_matcher, built_index, jobs=1), batch
+            )
+        assert plan.ledger.count("error", "serve.score") == 1
+        assert faulted == baseline
+
+    def test_corrupted_return_detected_and_retried(
+        self, trained_matcher, built_index, query_records
+    ):
+        batch = query_records[:6]
+        baseline = answers_dicts(
+            MatchService(trained_matcher, built_index, jobs=1), batch
+        )
+        with FaultPlan([Fault("serve.score", "corrupt", hits=(0,))]) as plan:
+            faulted = answers_dicts(
+                MatchService(trained_matcher, built_index, jobs=1), batch
+            )
+        assert plan.ledger.count("corrupt", "serve.score") == 1
+        assert faulted == baseline
+
+    def test_over_budget_fault_exhausts_loudly(
+        self, trained_matcher, built_index, query_records
+    ):
+        service = MatchService(trained_matcher, built_index, jobs=1)
+        # HOT_POLICY gives two attempts; two scheduled hits exceed them.
+        with FaultPlan([Fault("serve.score", "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                service.match_batch(query_records[:4])
+        assert excinfo.value.site == "serve.score"
+
+
+class TestCacheLookupSite:
+    def test_latency_fault_is_simulated_and_harmless(
+        self, trained_matcher, built_index, query_records
+    ):
+        batch = query_records[:5]
+        baseline = answers_dicts(
+            MatchService(trained_matcher, built_index, jobs=1), batch
+        )
+        plan = FaultPlan([
+            Fault("serve.cache.lookup", "latency", hits=(0, 1), delay_seconds=0.02),
+        ])
+        with plan:
+            service = MatchService(trained_matcher, built_index, jobs=1)
+            first = answers_dicts(service, batch)
+            second = answers_dicts(service, batch)
+        assert plan.ledger.count("latency", "serve.cache.lookup") == 2
+        assert plan.ledger.simulated_latency_seconds == pytest.approx(0.04)
+        assert first == baseline
+        assert second == baseline
+
+
+class TestChaos:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_chaos_over_serve_sites_is_invisible(
+        self, seed, trained_matcher, built_index, query_records
+    ):
+        batch = query_records[:6]
+        baseline = answers_dicts(
+            MatchService(trained_matcher, built_index, jobs=1), batch
+        )
+        plan = FaultPlan.chaos(seed, sites={"serve.score", "serve.cache.lookup"})
+        with plan:
+            faulted = answers_dicts(
+                MatchService(trained_matcher, built_index, jobs=1), batch
+            )
+        assert faulted == baseline

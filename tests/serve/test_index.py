@@ -1,0 +1,92 @@
+"""BlockingIndex: build-once/probe-often semantics and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BlockingIndex
+
+
+class TestBuild:
+    def test_build_validates_lengths(self, trained_matcher):
+        index = BlockingIndex(trained_matcher.embedder, rng=0)
+        with pytest.raises(ValueError, match="length mismatch"):
+            index.build([{"a": 1}], ["x", "y"])
+
+    def test_build_rejects_empty(self, trained_matcher):
+        with pytest.raises(ValueError, match="zero records"):
+            BlockingIndex(trained_matcher.embedder, rng=0).build([], [])
+
+    def test_probe_before_build_raises(self, trained_matcher):
+        index = BlockingIndex(trained_matcher.embedder, rng=0)
+        assert not index.built
+        with pytest.raises(RuntimeError, match="not built"):
+            index.candidates(np.zeros(trained_matcher.embedder.dim))
+
+    def test_build_marks_built_and_len(self, built_index, reference_records):
+        records, _ = reference_records
+        assert built_index.built
+        assert len(built_index) == len(records)
+
+    def test_parallel_build_is_identical(self, trained_matcher, reference_records,
+                                         query_records):
+        records, ids = reference_records
+        serial = BlockingIndex(
+            trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+        ).build(records, ids, jobs=1)
+        parallel = BlockingIndex(
+            trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+        ).build(records, ids, jobs=2)
+        queries = serial.embed_queries(query_records[:10], jobs=1)
+        for embedding in queries:
+            assert serial.candidates(embedding) == parallel.candidates(embedding)
+
+
+class TestProbe:
+    def test_candidates_sorted_and_known(self, built_index, query_records):
+        embeddings = built_index.embed_queries(query_records[:20], jobs=1)
+        any_candidates = False
+        for embedding in embeddings:
+            candidates = built_index.candidates(embedding)
+            assert candidates == sorted(candidates)
+            for candidate_id in candidates:
+                assert built_index.record(candidate_id) is not None
+            any_candidates = any_candidates or bool(candidates)
+        assert any_candidates, "no query produced candidates; fixtures too sparse"
+
+    def test_candidates_batch_invariant(self, built_index, query_records):
+        """A query's candidate set must not depend on its batch-mates."""
+        alone = built_index.embed_queries(query_records[:1], jobs=1)
+        grouped = built_index.embed_queries(query_records[:7], jobs=1)
+        assert np.array_equal(alone[0], grouped[0])
+        assert built_index.candidates(alone[0]) == built_index.candidates(grouped[0])
+
+    def test_reference_row_usually_among_own_candidates(
+        self, built_index, reference_records
+    ):
+        """An indexed record queried verbatim should collide with itself."""
+        records, ids = reference_records
+        embeddings = built_index.embed_queries(records[:15], jobs=1)
+        found = sum(
+            str(ids[i]) in built_index.candidates(embeddings[i]) for i in range(15)
+        )
+        assert found >= 14  # identical signature ⇒ same bucket in every band
+
+    def test_embed_queries_empty(self, built_index, trained_matcher):
+        out = built_index.embed_queries([], jobs=1)
+        assert out.shape == (0, trained_matcher.embedder.dim)
+
+    def test_unknown_record_id_raises(self, built_index):
+        with pytest.raises(KeyError):
+            built_index.record("no-such-id")
+
+    def test_rebuild_replaces_index(self, trained_matcher, reference_records):
+        records, ids = reference_records
+        index = BlockingIndex(
+            trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+        ).build(records, ids, jobs=1)
+        index.build(records[:5], ids[:5], jobs=1)
+        assert len(index) == 5
+        with pytest.raises(KeyError):
+            index.record(str(ids[10]))

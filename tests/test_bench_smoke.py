@@ -75,6 +75,31 @@ def test_run_all_parallel_smoke_emits_valid_bench_json(tmp_path, capsys):
     assert check_file(str(emitted[0])) == []
 
 
+def test_run_all_e17_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys):
+    """The serving bench's acceptance bar: simulated rows are byte-equal
+    across a repeat run, a --jobs 2 run and a --chaos run."""
+    import json
+
+    from benchmarks.check_bench_json import check_file
+    from benchmarks.run_all import main
+
+    def rows(tag, *extra):
+        out_dir = tmp_path / tag
+        out_dir.mkdir()
+        exit_code = main(["e17", "--profile", "smoke",
+                          "--out-dir", str(out_dir), *extra])
+        capsys.readouterr()
+        assert exit_code == 0
+        path = out_dir / "BENCH_E17.json"
+        assert check_file(str(path)) == []
+        return json.loads(path.read_text())["rows"]
+
+    first = rows("first")
+    assert first == rows("again")
+    assert first == rows("jobs2", "--jobs", "2")
+    assert first == rows("chaos", "--chaos", "11")
+
+
 def test_run_all_chaos_smoke_emits_valid_bench_json(tmp_path, capsys):
     """End-to-end --chaos --jobs run: injected faults must not break the
     emitted BENCH json, and the chaos accounting must land in the span."""
