@@ -14,6 +14,18 @@ the caches on under a repeat-heavy workload cuts scored pairs and lifts
 throughput further; an overload scenario with a small admission queue
 sheds a deterministic fraction instead of queueing without bound.
 
+Two cost models price the same traffic.  The first four rows keep the
+PR-5 constants, which price the *per-pair loop* scorer (1.2 ms per
+scored pair, composition folded in) — the comparability baseline.  The
+``kernel cost`` rows price the :mod:`repro.kernels` scorer the service
+actually runs now, with constants calibrated from
+``bench_micro_substrate``'s loop-vs-kernel rows: batched scoring at
+50 µs per pair (the measured cold kernel is ~22 µs/pair, ≈25× under the
+loop) plus 0.2 ms per embedding-cache miss (composition priced
+separately, since the kernel composes each unique tuple once).  Same
+service, same answers, bit-identical rows — only the simulated seconds
+per unit of work change, and throughput moves an order of magnitude.
+
 Every number is *simulated* time, so rows are bit-identical across runs,
 ``--jobs`` values and ``--chaos`` seeds — the wall clock only shows up in
 the surrounding BENCH json envelope, never in the rows.
@@ -147,12 +159,21 @@ def run_experiment(profile: str = "full", jobs: int = 1) -> list[dict]:
         max_batch_size=cfg["max_batch_size"], max_wait=cfg["max_wait"],
         max_queue=cfg["overload_queue"],
     )
+    # Kernel-calibrated constants (see module docstring): 50 µs per scored
+    # pair, 0.2 ms per embedding miss, scheduler knobs unchanged.
+    kernel_batching = ServerConfig(
+        max_batch_size=cfg["max_batch_size"], max_wait=cfg["max_wait"],
+        max_queue=cfg["max_queue"],
+        cost_per_miss=0.00005, cost_per_embed=0.0002,
+    )
 
     return [
         _scenario_row("single (batch=1, no cache)", service(False), base, single),
         _scenario_row("microbatch (no cache)", service(False), base, batching),
         _scenario_row("microbatch + caches", service(True), base, batching),
         _scenario_row("overload (bounded queue)", service(True), overload, admission),
+        _scenario_row("kernel cost (no cache)", service(False), base, kernel_batching),
+        _scenario_row("kernel cost + caches", service(True), base, kernel_batching),
     ]
 
 
@@ -168,6 +189,7 @@ def test_e17_serving(benchmark):
     micro = by_name["microbatch (no cache)"]
     cached = by_name["microbatch + caches"]
     overload = by_name["overload (bounded queue)"]
+    kernel_cached = by_name["kernel cost + caches"]
     # Coalescing amortises the per-batch fixed cost.
     assert micro["throughput_qps"] > single["throughput_qps"]
     assert micro["mean_batch"] > 1.0
@@ -177,6 +199,13 @@ def test_e17_serving(benchmark):
     # Admission control sheds deterministically instead of queueing forever.
     assert overload["shed_rate"] > 0.0
     assert overload["completed"] + round(overload["shed_rate"] * overload["queries"]) == overload["queries"]
+    # The kernel cost model moves cached serving substantially; identical
+    # traffic, identical scored work.  The smoke workload is small enough
+    # that the kernel rows are arrival-rate-capped, so the bound here is
+    # conservative — the full-profile rows in BENCH_E17.json show ≥5×
+    # (34.1 → 311.0 qps).
+    assert kernel_cached["scored_pairs"] == cached["scored_pairs"]
+    assert kernel_cached["throughput_qps"] >= 2.0 * cached["throughput_qps"]
 
 
 if __name__ == "__main__":

@@ -4,6 +4,14 @@ Unlike the experiment benches (single pedantic rounds around whole
 experiments), these let pytest-benchmark do proper multi-round timing of
 the primitives everything else is built on: autograd forward+backward,
 LSTM steps, SGNS epochs, LSH signatures, and pair featurisation.
+
+The ``pair scoring`` rows are the before/after pair for the
+:mod:`repro.kernels` rewrite: the same DeepER featurisation over the
+same 200 pairs, once through the per-pair loop (``kernels=False``) and
+once through the batched matmul path — plus the int8 quantized-store
+gather feeding :func:`repro.kernels.pair_feature_matrix` directly.
+These measurements calibrate the kernel cost model in
+``bench_e17_serving``.
 """
 
 from __future__ import annotations
@@ -11,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.er import LSHBlocker, pair_features
+from repro.er import DeepER, LSHBlocker, pair_features
+from repro.kernels import pair_feature_matrix, quantize
 from repro.nn import Adam, LSTM, Tensor, bce_with_logits, mlp
 from repro.text import SkipGram
 
@@ -98,3 +107,79 @@ def test_micro_pair_featurisation(benchmark):
 
     features = benchmark(run)
     assert len(features) == 200
+
+
+@pytest.fixture(scope="module")
+def scoring_setup():
+    """A SIF DeepER embedder plus 200 deterministic record pairs.
+
+    40 distinct records appear across the 200 pairs — the repeat-heavy
+    shape the serving workload has, which is exactly what the kernel's
+    content-addressed dedup exploits and the per-pair loop cannot.
+    """
+    gen = np.random.default_rng(7)
+    vocab = [f"tok{i}" for i in range(120)]
+    documents = [
+        [vocab[int(gen.integers(120))] for _ in range(12)] for _ in range(160)
+    ]
+    model = SkipGram(dim=24, window=4, epochs=2, rng=0).fit(documents)
+
+    def record(i: int) -> dict:
+        return {
+            "title": " ".join(vocab[(i * 3 + j) % 120] for j in range(6)),
+            "authors": " ".join(vocab[(i * 5 + j) % 120] for j in range(3)),
+        }
+
+    distinct = [record(i) for i in range(40)]
+    pairs = [(distinct[i % 40], distinct[(i * 7) % 40]) for i in range(200)]
+    matchers = {
+        kernels: DeepER(
+            model, ["title", "authors"], composition="sif", rng=0,
+            kernels=kernels,
+        )
+        for kernels in (False, True)
+    }
+    return matchers, pairs
+
+
+def test_micro_pair_scoring_loop(benchmark, scoring_setup):
+    """DeepER featurisation of 200 pairs via the per-pair loop (before)."""
+    matchers, pairs = scoring_setup
+
+    features = benchmark(matchers[False]._pair_features_numpy, pairs)
+    assert features.shape[0] == 200
+
+
+def test_micro_pair_scoring_kernel(benchmark, scoring_setup):
+    """The same 200 pairs through the batched kernel (after) — and the
+    two paths must agree bit-for-bit, which is the whole contract."""
+    matchers, pairs = scoring_setup
+
+    features = benchmark(matchers[True]._pair_features_numpy, pairs)
+    assert features.shape[0] == 200
+    assert np.array_equal(features, matchers[False]._pair_features_numpy(pairs))
+
+
+def test_micro_quantized_gather_features(benchmark, scoring_setup):
+    """int8 store gather + batched featurisation for 200 pairs.
+
+    The serving shape with a quantized index: reference columns are
+    dequantized rows gathered from the int8 store, query columns come in
+    float; one `pair_feature_matrix` call scores the whole batch.
+    """
+    matchers, pairs = scoring_setup
+    embedder = matchers[True].embedder
+    uniques = {id(r): r for r, _ in pairs} | {id(r): r for _, r in pairs}
+    stack = np.array([embedder.embed_columns(r) for r in uniques.values()])
+    row_of = {key: row for row, key in enumerate(uniques)}
+    store = quantize(stack, "int8")
+    u_rows = np.array([row_of[id(a)] for a, _ in pairs], dtype=np.intp)
+    v_rows = np.array([row_of[id(b)] for _, b in pairs], dtype=np.intp)
+    u_cols = stack[u_rows]
+
+    def run():
+        return pair_feature_matrix(u_cols, store.rows(v_rows))
+
+    features = benchmark(run)
+    assert features.shape[0] == 200
+    assert store.nbytes < stack.nbytes

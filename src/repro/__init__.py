@@ -21,7 +21,9 @@ The package is organised by the paper's roadmap:
   training-data tricks of Section 6.2;
 * :mod:`repro.orchestration` — the Figure-1 pipeline, composed end to end;
 * :mod:`repro.serve` — deterministic online serving (micro-batching,
-  caching, admission control) for ER match queries on a simulated clock.
+  caching, admission control) for ER match queries on a simulated clock;
+* :mod:`repro.kernels` — batched matrix-op scoring kernels and quantized
+  embedding stores, differentially proven against the per-pair loops.
 
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
@@ -34,6 +36,7 @@ from repro import (
     embeddings,
     er,
     faults,
+    kernels,
     lint,
     nlq,
     nn,
@@ -68,6 +71,7 @@ __all__ = [
     "obs",
     "par",
     "faults",
+    "kernels",
     "lint",
     "utils",
 ]

@@ -1,0 +1,42 @@
+"""repro.kernels: batched matrix-op rewrites of the ER scoring hot path.
+
+The compute core of distributed-representation matching (paper
+Section 5.2) is pair scoring: compose each tuple's attribute embeddings,
+build similarity features per pair, run a classifier.  Executed one pair
+at a time in Python that path dominated serving latency (BENCH_E17);
+this package re-expresses it as one gather + one reduction + one matmul
+per micro-batch, **provably** equivalent to the loops it replaces:
+
+* :mod:`repro.kernels.features` — batched attribute-aligned pair
+  features, bit-identical to the per-pair loop in float mode, with
+  content-keyed deduplication so repeated tuples are composed once;
+* :mod:`repro.kernels.score` — one classifier forward + sigmoid per
+  batch, matching ``DeepER.predict_proba`` digit for digit;
+* :mod:`repro.kernels.quant` — int8/float16 quantized embedding stores
+  with power-of-two scales (exact dequantize arithmetic, stated error
+  bound, idempotent round-trip, PYTHONHASHSEED-proof content keys).
+
+The differential test tier under ``tests/kernels/`` enforces the
+equivalence claims; run it standalone with::
+
+    PYTHONPATH=src python -m pytest tests/kernels -q
+"""
+
+from repro.kernels.features import (
+    compose_pair_features,
+    pair_feature_matrix,
+    unique_column_stack,
+)
+from repro.kernels.quant import MODES, QuantizedStore, quantize
+from repro.kernels.score import score_pairs, sigmoid
+
+__all__ = [
+    "MODES",
+    "QuantizedStore",
+    "compose_pair_features",
+    "pair_feature_matrix",
+    "quantize",
+    "score_pairs",
+    "sigmoid",
+    "unique_column_stack",
+]

@@ -1,0 +1,197 @@
+"""Batched pair-feature kernels: one reduction per micro-batch.
+
+The DeepER hot path (fixed compositions) turns a record pair into
+attribute-aligned similarity features: per compare column, the
+elementwise ``|û − v̂|`` of the unit-normalised attribute vectors plus
+``cos(u, v)``.  The historical implementation computed this one pair at
+a time in Python (:func:`repro.er.deeper._pair_feature_row`); these
+kernels compute the identical features for a whole batch with numpy
+array ops — one multiply/reduce over a ``(pairs, columns, dim)`` stack
+instead of ``pairs × columns`` scalar loop iterations.
+
+Bit-exactness contract
+----------------------
+Float-mode kernel output is **bit-identical** to the per-pair loop, not
+merely close.  That only holds because both sides use the same IEEE
+operations in the same order:
+
+* norms and dot products reduce with ``(x * y).sum(axis=-1)`` — numpy's
+  pairwise summation over the contiguous innermost axis is the same
+  algorithm whether the array is one row or a batch.  ``np.linalg.norm``
+  and ``@`` (BLAS) are **banned** in this path: BLAS reductions use a
+  different accumulation order and drift in the last ulp;
+* unit-normalisation and cosine are elementwise divisions, identical
+  per-lane in scalar and array form;
+* guarded lanes (zero-norm columns) select precomputed safe values via
+  ``np.where`` with a sanitised denominator, so the selected lanes see
+  exactly the scalar arithmetic and the unselected lanes never divide
+  by zero.
+
+The differential tier (``tests/kernels/``) asserts this equivalence over
+batch sizes 1/2/7/32/1000, empty input and duplicate pairs; any numpy
+change that breaks the assumption fails loudly there.
+
+Deduplicated composition
+------------------------
+:func:`compose_pair_features` additionally fixes a latent inefficiency
+class of per-pair paths: a tuple appearing in many pairs (every serving
+query versus its candidate set) had its attribute embeddings recomputed
+per pair.  Here records are deduplicated by :func:`repro.utils.content.
+content_key` first, embedded **once each**, and gathered per pair —
+metrics-counted so tests can assert one composition per unique tuple per
+batch.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.embeddings.compose import TupleEmbedder
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.par import pmap
+from repro.utils.content import content_key
+
+__all__ = [
+    "compose_pair_features",
+    "pair_feature_matrix",
+    "unique_column_stack",
+]
+
+# Guard thresholds shared with the loop reference (repro.er.deeper):
+# columns with norm <= NORM_GUARD are compared un-normalised, and cosine
+# is defined as 0.0 when either side's norm is < COSINE_GUARD.
+NORM_GUARD = 1e-9
+COSINE_GUARD = 1e-12
+
+
+def pair_feature_matrix(u_cols: np.ndarray, v_cols: np.ndarray) -> np.ndarray:
+    """Batched attribute-aligned pair features.
+
+    Parameters
+    ----------
+    u_cols / v_cols:
+        ``(n, columns, dim)`` stacks of per-attribute embeddings for the
+        two sides of ``n`` pairs.
+
+    Returns
+    -------
+    ``(n, columns * (dim + 1))`` feature matrix laid out exactly like the
+    per-pair loop: for each column, ``dim`` values of ``|û − v̂|``
+    followed by one cosine.
+    """
+    u_cols = np.asarray(u_cols, dtype=np.float64)
+    v_cols = np.asarray(v_cols, dtype=np.float64)
+    if u_cols.shape != v_cols.shape:
+        raise ValueError(
+            f"pair sides must share a shape, got {u_cols.shape} != {v_cols.shape}"
+        )
+    if u_cols.ndim != 3:
+        raise ValueError(f"expected (pairs, columns, dim), got shape {u_cols.shape}")
+    pairs, columns, dim = u_cols.shape
+    if pairs == 0:
+        return np.zeros((0, columns * (dim + 1)))
+
+    # sum(axis=-1) == per-row sum(): same pairwise reduction as the loop.
+    norm_u = np.sqrt((u_cols * u_cols).sum(axis=-1))
+    norm_v = np.sqrt((v_cols * v_cols).sum(axis=-1))
+    dots = (u_cols * v_cols).sum(axis=-1)
+
+    unit_u = _unit_guarded(u_cols, norm_u)
+    unit_v = _unit_guarded(v_cols, norm_v)
+    absdiff = np.abs(unit_u - unit_v)
+
+    defined = (norm_u >= COSINE_GUARD) & (norm_v >= COSINE_GUARD)
+    denominator = np.where(defined, norm_u * norm_v, 1.0)
+    cosine = np.where(defined, dots / denominator, 0.0)
+
+    if _OBS.enabled:
+        _OBS.counter("kernels.features.pairs").inc(float(pairs))
+    # Per pair, per column: dim absdiff values then the cosine — the
+    # loop's np.concatenate(parts) layout, produced by one reshape.
+    return np.concatenate([absdiff, cosine[:, :, None]], axis=2).reshape(
+        pairs, columns * (dim + 1)
+    )
+
+
+def _unit_guarded(cols: np.ndarray, norms: np.ndarray) -> np.ndarray:
+    """Unit-normalise columns with norm > NORM_GUARD; pass others through."""
+    normalise = norms > NORM_GUARD
+    safe = np.where(normalise, norms, 1.0)[:, :, None]
+    return np.where(normalise[:, :, None], cols / safe, cols)
+
+
+def _embed_columns_record(
+    record: "dict[str, object]", embedder: TupleEmbedder
+) -> np.ndarray:
+    """One record's per-attribute embeddings; module-level so
+    :func:`repro.par.pmap` workers can pickle it by reference."""
+    return embedder.embed_columns(record)
+
+
+def unique_column_stack(
+    records: "list[dict[str, object]]",
+    embedder: TupleEmbedder,
+    *,
+    jobs: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-attribute embeddings of ``records``, composed once per unique
+    record.
+
+    Returns ``(stack, indices)`` where ``stack`` has shape
+    ``(unique, columns, dim)`` and ``indices`` maps each input position
+    to its row in ``stack`` — so ``stack[indices]`` is the full batch.
+    Uniqueness is by record *content* (:func:`content_key`), matching the
+    serving caches' identity notion.
+    """
+    if not records:
+        return (
+            np.zeros((0, len(embedder.columns), embedder.dim)),
+            np.zeros(0, dtype=np.intp),
+        )
+    row_of: dict[str, int] = {}
+    unique_records: list[dict[str, object]] = []
+    indices = np.empty(len(records), dtype=np.intp)
+    for position, record in enumerate(records):
+        key = content_key(record)
+        row = row_of.get(key)
+        if row is None:
+            row = len(unique_records)
+            row_of[key] = row
+            unique_records.append(record)
+        indices[position] = row
+    stack = np.array(
+        pmap(
+            partial(_embed_columns_record, embedder=embedder),
+            unique_records,
+            jobs=jobs,
+            label="kernels.compose",
+        )
+    )
+    if _OBS.enabled:
+        _OBS.counter("kernels.compose.requests").inc(float(len(records)))
+        _OBS.counter("kernels.compose.unique").inc(float(len(unique_records)))
+    return stack, indices
+
+
+def compose_pair_features(
+    pairs: "list[tuple[dict[str, object], dict[str, object]]]",
+    embedder: TupleEmbedder,
+    *,
+    jobs: int = 1,
+) -> np.ndarray:
+    """Feature matrix for ``pairs`` via one deduplicated composition pass
+    and one batched feature kernel.
+
+    Bit-identical to featurising each pair with the per-pair loop (see
+    module docstring); a tuple repeated across pairs is embedded once.
+    """
+    if not pairs:
+        return np.zeros((0, len(embedder.columns) * (embedder.dim + 1)))
+    flat: list[dict[str, object]] = []
+    for record_a, record_b in pairs:
+        flat.append(record_a)
+        flat.append(record_b)
+    stack, indices = unique_column_stack(flat, embedder, jobs=jobs)
+    return pair_feature_matrix(stack[indices[0::2]], stack[indices[1::2]])

@@ -1,0 +1,132 @@
+"""Quantized embedding stores: int8/float16 with an exact dequantize path.
+
+A built :class:`repro.serve.index.BlockingIndex` holds the reference
+table's embeddings twice over (whole-tuple vectors for LSH plus the
+per-attribute stack the scoring kernels gather from).  At float64 that
+is the dominant memory cost of a shard; quantizing it is the classic
+serving trade — 4–8× smaller, answers within a stated error bound.
+
+Modes
+-----
+``"none"``
+    Pass-through float64 (the bit-exact serving default).
+``"float16"``
+    IEEE half precision.  Dequantization is the exact value of the
+    stored half, so quantize→dequantize→quantize is trivially
+    idempotent; elementwise relative error ≤ 2⁻¹¹ for values inside the
+    half range.
+``"int8"``
+    Symmetric per-row int8 with **power-of-two scales**:
+    ``scale = 2^ceil(log2(max_abs / 127))`` per leading-axis row, values
+    stored as ``round(x / scale)`` in [-127, 127].  A power-of-two scale
+    makes every ``q * scale`` product exact in float64 (the 8-bit
+    integer fits the mantissa; the scale only shifts the exponent), which
+    buys two properties the tests pin down:
+
+    * **error contract** — elementwise ``|x − dequantize(x)| ≤ scale/2``
+      exactly, with ``scale ≤ 2·max_abs/127`` (so the bound is at worst
+      ``max_abs/127`` per row);
+    * **idempotence** — re-quantizing a dequantized store reproduces the
+      same codes and the same scales bit for bit (the row maximum always
+      re-quantizes to a code ≥ 64, pinning ``ceil(log2)`` to the same
+      exponent).
+
+:meth:`QuantizedStore.content_key` digests the stored bytes (mode,
+shape, codes, scales) with sha1 — stable across processes and
+``PYTHONHASHSEED`` values, so a quantized index can be content-addressed
+exactly like the serving caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY as _OBS
+
+__all__ = ["MODES", "QuantizedStore", "quantize"]
+
+MODES = ("none", "float16", "int8")
+
+
+class QuantizedStore:
+    """Immutable quantized ndarray with row-gather dequantization.
+
+    Build with :func:`quantize`; ``codes`` holds the stored representation
+    (float64/float16/int8 by mode) and ``scales`` the per-row int8 scale
+    factors (all-ones for the other modes, so ``dequantize`` is uniform).
+    """
+
+    def __init__(self, mode: str, codes: np.ndarray, scales: np.ndarray) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.codes = codes
+        self.scales = scales
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.codes.shape
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def nbytes(self) -> int:
+        """Stored payload size (codes + scales)."""
+        return int(self.codes.nbytes + self.scales.nbytes)
+
+    def dequantize(self) -> np.ndarray:
+        """The full float64 matrix this store represents."""
+        return self.rows(slice(None))
+
+    def rows(self, indices: "np.ndarray | list[int] | slice") -> np.ndarray:
+        """Dequantized float64 rows gathered by leading-axis ``indices``."""
+        codes = self.codes[indices]
+        if self.mode == "none":
+            out = np.array(codes, dtype=np.float64)
+        elif self.mode == "float16":
+            out = codes.astype(np.float64)
+        else:
+            scales = self.scales[indices]
+            out = codes.astype(np.float64) * scales.reshape(
+                scales.shape + (1,) * (codes.ndim - scales.ndim)
+            )
+        if _OBS.enabled:
+            _OBS.counter("kernels.quant.dequant_rows").inc(float(len(np.atleast_1d(out))))
+        return out
+
+    def content_key(self) -> str:
+        """sha1 over mode, shape and stored bytes — PYTHONHASHSEED-proof."""
+        digest = hashlib.sha1()
+        digest.update(self.mode.encode("ascii"))
+        digest.update(repr(self.codes.shape).encode("ascii"))
+        digest.update(np.ascontiguousarray(self.codes).tobytes())
+        digest.update(np.ascontiguousarray(self.scales).tobytes())
+        return digest.hexdigest()
+
+
+def quantize(matrix: np.ndarray, mode: str = "int8") -> QuantizedStore:
+    """Quantize ``matrix`` (any shape, leading axis = rows) into a store."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rows = len(matrix) if matrix.ndim else 1
+    if mode == "none":
+        return QuantizedStore(mode, matrix.copy(), np.ones(rows))
+    if mode == "float16":
+        # Values beyond half range overflow to ±inf by design (documented
+        # above); keep the cast quiet about it.
+        with np.errstate(over="ignore"):
+            half = matrix.astype(np.float16)
+        return QuantizedStore(mode, half, np.ones(rows))
+    flat = matrix.reshape(rows, -1) if matrix.ndim > 1 else matrix.reshape(rows, 1)
+    max_abs = np.abs(flat).max(axis=1)
+    # Power-of-two scale covering max_abs/127; exactly 1.0 for zero rows.
+    with np.errstate(divide="ignore"):
+        exponents = np.ceil(np.log2(np.where(max_abs > 0, max_abs / 127.0, 1.0)))
+    scales = np.where(max_abs > 0, np.exp2(exponents), 1.0)
+    codes = np.rint(matrix / scales.reshape((rows,) + (1,) * (matrix.ndim - 1)))
+    codes = np.clip(codes, -127, 127).astype(np.int8)
+    return QuantizedStore(mode, codes, scales)

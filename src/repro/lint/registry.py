@@ -13,6 +13,7 @@ once published.  Numbering groups the families:
 * ``RL7xx`` — parallel-substrate contract (explicit jobs/seed)
 * ``RL8xx`` — fault-injection hygiene (no swallowed injected faults)
 * ``RL9xx`` — serving read-only contract (no training in repro/serve)
+* ``RL10xx`` — batched-kernel contract (no per-pair loops on hot paths)
 """
 
 from __future__ import annotations

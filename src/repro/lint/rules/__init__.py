@@ -18,7 +18,10 @@ Families (stable id prefixes, see DESIGN.md § "Static analysis"):
 * :mod:`~repro.lint.rules.faults` — RL801 overbroad except handlers that
   would swallow injected faults in the fault-wired packages;
 * :mod:`~repro.lint.rules.serve` — RL901 read-only inference contract
-  (no training, no weight writes) under ``repro/serve/``.
+  (no training, no weight writes) under ``repro/serve/``;
+* :mod:`~repro.lint.rules.kernels` — RL1001 batched-kernel contract (no
+  per-pair scoring/composition loops under ``repro/serve/`` and
+  ``repro/er/``).
 """
 
 from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
@@ -30,6 +33,7 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exports import AllNamesExistRule, PackageDefinesAllRule
 from repro.lint.rules.faults import FaultSwallowingExceptRule
+from repro.lint.rules.kernels import PerPairLoopRule
 from repro.lint.rules.mutation import InPlaceDataMutationRule
 from repro.lint.rules.obs_guard import ObsHotPathGuardRule
 from repro.lint.rules.par import ParAmbientStateRule, ParExplicitJobsRule
@@ -48,6 +52,7 @@ __all__ = [
     "PackageDefinesAllRule",
     "ParAmbientStateRule",
     "ParExplicitJobsRule",
+    "PerPairLoopRule",
     "ServeReadOnlyRule",
     "StdlibRandomRule",
     "TimeSeededRule",

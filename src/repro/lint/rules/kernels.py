@@ -1,0 +1,135 @@
+"""Batched-kernel contract rule (RL1001).
+
+:mod:`repro.kernels` exists because per-pair Python loops over scoring
+and embedding composition dominated the serving hot path (BENCH_E17).
+Once rewritten, the regression vector is *re-introduction*: a
+convenience ``for pair in pairs: matcher.predict_proba([pair])`` in a
+review-sized diff quietly undoes an order-of-magnitude win and no
+correctness test notices (answers are identical — that is the whole
+kernel contract).  So the ban is static: inside ``repro/serve/`` and
+``repro/er/``, the per-element primitives
+
+* ``predict_proba`` (pair scoring),
+* ``embed`` / ``embed_columns`` / ``token_matrix`` (embedding
+  composition),
+* ``_pair_feature_row`` (the loop reference itself)
+
+must not be *called* from inside a ``for``/``while`` body or a
+comprehension — batch them through the kernels
+(:func:`repro.kernels.features.compose_pair_features`,
+:func:`repro.kernels.score.score_pairs`,
+:meth:`repro.serve.index.BlockingIndex.column_rows`) or fan the batch
+out with :func:`repro.par.pmap`.
+
+Kernel call sites stay legal by construction: passing a primitive *by
+reference* (``pmap(partial(_pair_feature_row, ...), pairs)``) is not a
+call, the kernels package itself is outside the rule's scope, and a
+nested function or lambda defined inside a loop is a definition, not a
+per-iteration call.  Only the first generator's iterable of a
+comprehension is evaluated once — everything else in it is per-element
+and therefore checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = ["PerPairLoopRule"]
+
+# Per-element primitives whose repeated invocation is the anti-pattern.
+_BANNED = {
+    "predict_proba": "pair scoring",
+    "embed": "tuple embedding",
+    "embed_columns": "attribute-embedding composition",
+    "token_matrix": "token-matrix composition",
+    "_pair_feature_row": "pair featurisation",
+}
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _called_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+@register
+class PerPairLoopRule(Rule):
+    """RL1001: no per-pair loops over scoring/composition primitives."""
+
+    id = "RL1001"
+    name = "kernels-no-per-pair-loops"
+    description = (
+        "code under repro/serve/ and repro/er/ must not call predict_proba "
+        "or embedding-composition primitives inside loops or comprehensions; "
+        "per-pair Python loops are the hot-path anti-pattern repro.kernels "
+        "replaced — batch through compose_pair_features/score_pairs/"
+        "column_rows or repro.par.pmap instead"
+    )
+    path_markers = ("/repro/serve/", "/repro/er/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree, loop_depth=0)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, loop_depth: int
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, loop_depth)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, loop_depth: int
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A definition inside a loop runs its body elsewhere (or never);
+            # per-iteration cost restarts from zero inside it.
+            yield from self._scan(ctx, node, loop_depth=0)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from self._visit(ctx, node.iter, loop_depth)
+            for stmt in (*node.body, *node.orelse):
+                yield from self._visit(ctx, stmt, loop_depth + 1)
+            yield from self._visit(ctx, node.target, loop_depth)
+        elif isinstance(node, ast.While):
+            yield from self._visit(ctx, node.test, loop_depth + 1)
+            for stmt in (*node.body, *node.orelse):
+                yield from self._visit(ctx, stmt, loop_depth + 1)
+        elif isinstance(node, _COMPREHENSIONS):
+            yield from self._visit_comprehension(ctx, node, loop_depth)
+        else:
+            if isinstance(node, ast.Call) and loop_depth > 0:
+                name = _called_name(node)
+                if name in _BANNED:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"per-pair {_BANNED[name]} call '{name}(...)' inside "
+                        "a loop on a kernel hot path; batch it through "
+                        "repro.kernels (compose_pair_features / score_pairs "
+                        "/ column_rows) or repro.par.pmap",
+                    )
+            yield from self._scan(ctx, node, loop_depth)
+
+    def _visit_comprehension(
+        self, ctx: FileContext, node: ast.AST, loop_depth: int
+    ) -> Iterator[Finding]:
+        generators = node.generators
+        # The first generator's iterable is evaluated once, outside the
+        # implicit loop; everything else runs per element.
+        yield from self._visit(ctx, generators[0].iter, loop_depth)
+        inner = loop_depth + 1
+        for position, generator in enumerate(generators):
+            if position > 0:
+                yield from self._visit(ctx, generator.iter, inner)
+            for condition in generator.ifs:
+                yield from self._visit(ctx, condition, inner)
+        if isinstance(node, ast.DictComp):
+            yield from self._visit(ctx, node.key, inner)
+            yield from self._visit(ctx, node.value, inner)
+        else:
+            yield from self._visit(ctx, node.elt, inner)

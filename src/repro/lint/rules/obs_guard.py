@@ -5,9 +5,8 @@ The metrics registry is default-off precisely so instrumented hot loops
 attribute check per event.  Instrument-accessor calls
 (``REGISTRY.counter(...)``, ``.gauge``, ``.histogram``, ``.series``,
 ``.record_op``) allocate/lock even when disabled, so in the hot packages
-(``nn``, ``er``, ``orchestration``, ``par``, ``serve``) each one must be
-behind the
-registry's ``enabled`` check.
+(``nn``, ``er``, ``orchestration``, ``par``, ``serve``, ``kernels``)
+each one must be behind the registry's ``enabled`` check.
 
 Recognised guard shapes::
 
@@ -62,7 +61,7 @@ class ObsHotPathGuardRule(Rule):
     )
     path_markers = (
         "/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/",
-        "/repro/faults/", "/repro/serve/",
+        "/repro/faults/", "/repro/serve/", "/repro/kernels/",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -15,12 +15,11 @@ into guarded ``serve.cache.<name>.*`` metrics.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.obs.metrics import REGISTRY as _OBS
+from repro.utils.content import content_key
 
 __all__ = ["CacheStats", "CacheStatsView", "LRUCache", "MISSING", "content_key"]
 
@@ -35,31 +34,6 @@ class _Missing:
 
 
 MISSING = _Missing()
-
-
-def _canonical(value: object) -> object:
-    """JSON-representable canonical form of a record value."""
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, float):
-        return value
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    # numpy scalars stringify deterministically via repr-stable str().
-    return str(value)
-
-
-def content_key(record: object) -> str:
-    """Stable content digest of a record (dict key order never matters).
-
-    Uses sha1 over a canonical JSON rendering rather than ``hash()`` so
-    keys are identical across processes and ``PYTHONHASHSEED`` values —
-    cache behaviour must replay bit-identically run to run.
-    """
-    payload = json.dumps(_canonical(record), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

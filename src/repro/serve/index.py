@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.embeddings.compose import TupleEmbedder
 from repro.er.blocking import LSHBlocker
+from repro.kernels.quant import MODES, QuantizedStore, quantize as quantize_store
+from repro.obs.trace import span
 from repro.par import pmap
 
 __all__ = ["BlockingIndex"]
@@ -33,6 +35,13 @@ def _embed_record(record: "dict[str, object]", embedder: TupleEmbedder) -> np.nd
     """One tuple embedding; module-level so :func:`repro.par.pmap` workers
     can pickle it by reference."""
     return embedder.embed(record)
+
+
+def _embed_record_columns(
+    record: "dict[str, object]", embedder: TupleEmbedder
+) -> np.ndarray:
+    """One record's per-attribute embedding stack (module-level for pmap)."""
+    return embedder.embed_columns(record)
 
 
 class BlockingIndex:
@@ -63,6 +72,8 @@ class BlockingIndex:
         self._ids: list[str] = []
         self._records: dict[str, dict[str, object]] = {}
         self._buckets: list[dict[bytes, list[int]]] | None = None
+        self._column_store: QuantizedStore | None = None
+        self._row_of: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # build
@@ -74,8 +85,18 @@ class BlockingIndex:
         ids: list[str],
         *,
         jobs: int = 1,
+        quantize: str = "none",
     ) -> "BlockingIndex":
         """Embed, transform and bucket the reference table.
+
+        Besides the LSH buckets, build precomputes the reference side of
+        the scoring kernels: a ``(records, columns, dim)`` stack of
+        per-attribute embeddings, stored as a :class:`~repro.kernels.quant.
+        QuantizedStore` in ``quantize`` mode (``"none"`` — bit-exact
+        float64, the default — or ``"float16"`` / ``"int8"`` for a smaller
+        shard with the bounded error documented in :mod:`repro.kernels.
+        quant`).  Serving gathers candidate rows from this store instead
+        of re-embedding the candidate per pair.
 
         ``jobs`` fans the reference embedding out over :func:`repro.par.pmap`
         (bit-identical to serial for every value).  Rebuilding replaces the
@@ -87,6 +108,8 @@ class BlockingIndex:
             )
         if not records:
             raise ValueError("cannot build an index over zero records")
+        if quantize not in MODES:
+            raise ValueError(f"quantize must be one of {MODES}, got {quantize!r}")
         embeddings = np.array(
             pmap(
                 partial(_embed_record, embedder=self.embedder),
@@ -102,9 +125,22 @@ class BlockingIndex:
             for i, signature in enumerate(signatures):
                 band_buckets[signature[lo:hi].tobytes()].append(i)
             buckets.append(dict(band_buckets))
+        with span("serve.index.columns", records=len(records), mode=quantize) as sp:
+            column_stack = np.array(
+                pmap(
+                    partial(_embed_record_columns, embedder=self.embedder),
+                    records,
+                    jobs=jobs,
+                    label="serve.index.columns",
+                )
+            )
+            store = quantize_store(column_stack, mode=quantize)
+            sp.meta["nbytes"] = store.nbytes
         self._ids = [str(i) for i in ids]
         self._records = {str(i): r for i, r in zip(ids, records)}
         self._buckets = buckets
+        self._column_store = store
+        self._row_of = {str(i): row for row, i in enumerate(ids)}
         return self
 
     @property
@@ -151,3 +187,33 @@ class BlockingIndex:
     def record(self, reference_id: str) -> dict[str, object]:
         """The indexed record for ``reference_id`` (KeyError when unknown)."""
         return self._records[reference_id]
+
+    # ------------------------------------------------------------------ #
+    # kernel gathers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def column_store(self) -> QuantizedStore:
+        """The precomputed reference ``(records, columns, dim)`` store."""
+        if self._column_store is None:
+            raise RuntimeError("index not built; call build() first")
+        return self._column_store
+
+    @property
+    def quantization(self) -> str:
+        """Quantization mode the reference column store was built with."""
+        return self.column_store.mode
+
+    def column_rows(self, reference_ids: list[str]) -> np.ndarray:
+        """Dequantized ``(len(ids), columns, dim)`` gather from the store.
+
+        In ``"none"`` mode the rows are bit-identical to
+        ``embedder.embed_columns(record)`` — the serving kernels stay
+        differentially equal to the offline loop; quantized modes trade
+        that exactness for the documented elementwise error bound.
+        """
+        store = self.column_store
+        if not reference_ids:
+            return np.zeros((0,) + store.shape[1:])
+        rows = np.array([self._row_of[str(i)] for i in reference_ids], dtype=np.intp)
+        return store.rows(rows)

@@ -37,6 +37,8 @@ import numpy as np
 from repro.er.deeper import DeepER
 from repro.faults.plan import inject
 from repro.faults.retry import HOT_POLICY, retry_call
+from repro.kernels.features import unique_column_stack
+from repro.kernels.score import score_pairs
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.serve.cache import LRUCache, MISSING, CacheStatsView, content_key
 from repro.serve.index import BlockingIndex
@@ -99,7 +101,19 @@ class MatchService:
         Explicit :mod:`repro.par` process count for query embedding and
         pair featurisation (bit-identical results for every value).
     embedding_cache_size / score_cache_size:
-        LRU capacities; 0 disables the respective cache.
+        LRU capacities; 0 disables the respective cache.  The kernel
+        scoring path adds a third cache (query *column* embeddings) sized
+        like the embedding cache.
+    scoring:
+        ``"kernel"`` (default) scores uncached pairs with the batched
+        :mod:`repro.kernels` path — query columns come from the column
+        cache (embedded once per unique tuple), candidate columns are
+        gathered from the index's precomputed store, one classifier
+        forward per batch.  ``"loop"`` keeps the historical
+        ``predict_proba`` call; with an unquantized index the two are
+        bit-identical (the serving differential tests assert it).
+        Trainable composers always take the loop path — their pair
+        representation is not column-decomposable.
     """
 
     def __init__(
@@ -111,16 +125,20 @@ class MatchService:
         jobs: int = 1,
         embedding_cache_size: int = 1024,
         score_cache_size: int = 4096,
+        scoring: str = "kernel",
     ) -> None:
         check_fitted(matcher, "trained_")
         if not index.built:
             raise RuntimeError("BlockingIndex must be built before serving")
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if scoring not in {"kernel", "loop"}:
+            raise ValueError(f"scoring must be 'kernel' or 'loop', got {scoring!r}")
         self.matcher = matcher
         self.index = index
         self.threshold = threshold
         self.jobs = jobs
+        self.scoring = "loop" if matcher.composer is not None else scoring
         # Serving owns the matcher: inference-only mode, explicit jobs.
         self.matcher.jobs = jobs
         self.matcher.classifier.eval()
@@ -128,6 +146,7 @@ class MatchService:
             self.matcher.composer.eval()
         self.embedding_cache = LRUCache(embedding_cache_size, name="embedding")
         self.score_cache = LRUCache(score_cache_size, name="score")
+        self.column_cache = LRUCache(embedding_cache_size, name="columns")
 
     # ------------------------------------------------------------------ #
     # read-only contract
@@ -228,18 +247,22 @@ class MatchService:
         predict_calls = 0
         if to_score:
             record_by_key = {k: r for k, r in zip(keys, records)}
-            pair_records = [
-                (record_by_key[key], self.index.record(candidate_id))
-                for key, candidate_id in to_score
-            ]
+            if self.scoring == "kernel":
+                scorer, scorer_args = self._score_pairs_kernel, (to_score, record_by_key)
+            else:
+                pair_records = [
+                    (record_by_key[key], self.index.record(candidate_id))
+                    for key, candidate_id in to_score
+                ]
+                scorer, scorer_args = self.matcher.predict_proba, (pair_records,)
             probabilities = retry_call(
-                self.matcher.predict_proba,
-                pair_records,
+                scorer,
+                *scorer_args,
                 site="serve.score",
                 policy=HOT_POLICY,
                 validate=lambda p: (
                     isinstance(p, np.ndarray)
-                    and p.shape == (len(pair_records),)
+                    and p.shape == (len(to_score),)
                     and bool(np.all(np.isfinite(p)))
                 ),
             )
@@ -268,6 +291,42 @@ class MatchService:
             embedding_misses=len(miss_records),
             predict_calls=predict_calls,
         )
+
+    def _score_pairs_kernel(
+        self,
+        to_score: "list[tuple[str, str]]",
+        record_by_key: "dict[str, dict[str, object]]",
+    ) -> np.ndarray:
+        """Batched scoring of the uncached pairs via :mod:`repro.kernels`.
+
+        Query columns are embedded **once per unique tuple** — first from
+        the column cache, misses through one deduplicated
+        :func:`unique_column_stack` pass — and candidate columns are
+        gathered from the index's precomputed store, so no reference tuple
+        is ever re-embedded at serving time.  One classifier forward per
+        batch; with an unquantized store the probabilities are
+        bit-identical to the loop path's ``predict_proba``.
+        """
+        columns: dict[str, np.ndarray] = {}
+        miss_keys: list[str] = []
+        miss_records: list[dict[str, object]] = []
+        for key in dict.fromkeys(k for k, _ in to_score):
+            cached = self.column_cache.get(key)
+            if cached is not MISSING:
+                columns[key] = cached
+            else:
+                miss_keys.append(key)
+                miss_records.append(record_by_key[key])
+        if miss_records:
+            stack, indices = unique_column_stack(
+                miss_records, self.matcher.embedder, jobs=self.jobs
+            )
+            for key, row in zip(miss_keys, indices):
+                columns[key] = stack[row]
+                self.column_cache.put(key, stack[row])
+        u_cols = np.array([columns[key] for key, _ in to_score])
+        v_cols = self.index.column_rows([c for _, c in to_score])
+        return score_pairs(self.matcher.classifier, u_cols, v_cols)
 
     def _assemble(
         self,

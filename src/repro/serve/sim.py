@@ -12,8 +12,8 @@ SimClock`, shaped like a real inference server's request path:
   simulated seconds, whichever is earlier (and never before the server is
   free) — the classic max-batch/max-wait scheduler of inference servers;
 * **cost model** — a fired batch occupies the server for
-  ``cost_base + cost_per_query·|batch| + cost_per_miss·scored_pairs``
-  simulated seconds.  The real model *is* invoked (answers are genuine
+  ``cost_base + cost_per_query·|batch| + cost_per_miss·scored_pairs
+  + cost_per_embed·embedding_misses`` simulated seconds.  The real model *is* invoked (answers are genuine
   ``predict_proba`` outputs), but latency comes from the model above, so
   cache hits make batches measurably faster and the reported
   p50/p95/p99 are bit-identical across runs, hosts and ``jobs`` values.
@@ -47,6 +47,11 @@ class ServerConfig:
     cost_base: float = 0.002
     cost_per_query: float = 0.0004
     cost_per_miss: float = 0.0012
+    # Charged per embedding-cache miss: separates composition cost from
+    # scoring cost, so kernel-calibrated configs can price "score a cached
+    # pair" and "embed a never-seen tuple" independently.  0.0 keeps the
+    # historical model (embedding folded into cost_per_miss).
+    cost_per_embed: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -55,7 +60,8 @@ class ServerConfig:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
-        if min(self.cost_base, self.cost_per_query, self.cost_per_miss) < 0:
+        if min(self.cost_base, self.cost_per_query, self.cost_per_miss,
+               self.cost_per_embed) < 0:
             raise ValueError("cost model terms must be >= 0")
 
 
@@ -204,6 +210,7 @@ def simulate(
                 config.cost_base
                 + config.cost_per_query * len(batch)
                 + config.cost_per_miss * report.scored_pairs
+                + config.cost_per_embed * report.embedding_misses
             )
             finish = fire + cost
             server_free_at = finish

@@ -1,5 +1,7 @@
-"""Shared utilities: deterministic RNG handling, timing, validation."""
+"""Shared utilities: deterministic RNG handling, content hashing, timing,
+validation."""
 
+from repro.utils.content import canonical, content_key
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -10,6 +12,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "canonical",
+    "content_key",
     "ensure_rng",
     "spawn_rng",
     "Timer",

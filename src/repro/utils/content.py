@@ -1,0 +1,44 @@
+"""Content-addressed hashing of record-like values.
+
+:func:`content_key` is the identity primitive shared by the serving
+caches (:mod:`repro.serve.cache`) and the kernel substrate
+(:mod:`repro.kernels`): two dicts with the same *content* get the same
+key regardless of insertion order, object identity, process or
+``PYTHONHASHSEED`` — sha1 over a canonical JSON rendering, never
+``hash()``.  It lives in :mod:`repro.utils` so lower layers (``er``,
+``kernels``) can deduplicate tuples without importing the serving
+package and creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical", "content_key"]
+
+
+def canonical(value: object) -> object:
+    """JSON-representable canonical form of a record value."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    # numpy scalars stringify deterministically via repr-stable str().
+    return str(value)
+
+
+def content_key(record: object) -> str:
+    """Stable content digest of a record (dict key order never matters).
+
+    Uses sha1 over a canonical JSON rendering rather than ``hash()`` so
+    keys are identical across processes and ``PYTHONHASHSEED`` values —
+    cache behaviour and kernel dedup must replay bit-identically run to
+    run.
+    """
+    payload = json.dumps(canonical(record), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()

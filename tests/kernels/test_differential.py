@@ -1,0 +1,141 @@
+"""Differential tier: batched kernels versus the per-pair loop reference.
+
+The kernel contract (:mod:`repro.kernels.features`) is *bit-exactness* in
+float mode — not closeness.  Every test here compares full byte patterns
+(``np.array_equal``), across batch sizes 1/2/7/32/1000, empty input and
+duplicate pairs, at three levels: feature matrices, classifier
+probabilities, and end-to-end serving answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er.deeper import _pair_feature_row
+from repro.kernels import compose_pair_features, pair_feature_matrix, score_pairs
+from repro.serve import MatchService
+
+BATCH_SIZES = [1, 2, 7, 32, 1000]
+
+
+def _loop_features(pairs, embedder) -> np.ndarray:
+    return np.array([_pair_feature_row(pair, embedder) for pair in pairs])
+
+
+def _column_stacks(pairs, embedder):
+    u = np.array([embedder.embed_columns(a) for a, _ in pairs])
+    v = np.array([embedder.embed_columns(b) for _, b in pairs])
+    return u, v
+
+
+class TestFeatureKernel:
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_bit_exact_across_batch_sizes(self, trained_matcher, pair_pool, size):
+        pairs = pair_pool[:size]
+        embedder = trained_matcher.embedder
+        batched = pair_feature_matrix(*_column_stacks(pairs, embedder))
+        assert np.array_equal(batched, _loop_features(pairs, embedder))
+
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_composed_bit_exact_across_batch_sizes(
+        self, trained_matcher, pair_pool, size
+    ):
+        pairs = pair_pool[:size]
+        embedder = trained_matcher.embedder
+        composed = compose_pair_features(pairs, embedder)
+        assert np.array_equal(composed, _loop_features(pairs, embedder))
+
+    def test_empty_batch(self, trained_matcher):
+        embedder = trained_matcher.embedder
+        out = compose_pair_features([], embedder)
+        assert out.shape == (0, len(embedder.columns) * (embedder.dim + 1))
+
+    def test_duplicate_pairs(self, trained_matcher, pair_pool):
+        # Duplicates exercise the dedup gather: repeated pairs must come
+        # back as identical rows, and the whole matrix must still match
+        # the (dedup-free) loop.
+        pairs = pair_pool[:6] + pair_pool[:3] + [pair_pool[0]]
+        embedder = trained_matcher.embedder
+        composed = compose_pair_features(pairs, embedder)
+        assert np.array_equal(composed, _loop_features(pairs, embedder))
+        assert np.array_equal(composed[0], composed[6])
+        assert np.array_equal(composed[0], composed[9])
+
+    def test_zero_norm_columns_guarded(self, trained_matcher, pair_pool):
+        # A record with no known tokens embeds to all-zero columns; the
+        # guarded lanes must agree with the loop's scalar branches.
+        embedder = trained_matcher.embedder
+        blank = {column: "" for column in embedder.columns}
+        pairs = [(blank, pair_pool[0][1]), (blank, blank), pair_pool[1]]
+        composed = compose_pair_features(pairs, embedder)
+        assert np.array_equal(composed, _loop_features(pairs, embedder))
+        assert np.all(np.isfinite(composed))
+
+    def test_kernel_and_loop_matcher_paths_identical(
+        self, trained_matcher, pair_pool
+    ):
+        pairs = pair_pool[:25]
+        assert trained_matcher.kernels
+        kernel_features = trained_matcher._pair_features_numpy(pairs)
+        trained_matcher.kernels = False
+        try:
+            loop_features = trained_matcher._pair_features_numpy(pairs)
+        finally:
+            trained_matcher.kernels = True
+        assert np.array_equal(kernel_features, loop_features)
+
+
+class TestScoreKernel:
+    @pytest.mark.parametrize("size", [1, 2, 7, 32])
+    def test_probabilities_match_predict_proba(
+        self, trained_matcher, pair_pool, size
+    ):
+        pairs = pair_pool[:size]
+        u, v = _column_stacks(pairs, trained_matcher.embedder)
+        kernel = score_pairs(trained_matcher.classifier, u, v)
+        offline = trained_matcher.predict_proba(pairs)
+        assert np.array_equal(kernel, offline)
+
+    def test_empty_batch(self, trained_matcher):
+        dim = trained_matcher.embedder.dim
+        columns = len(trained_matcher.embedder.columns)
+        out = score_pairs(
+            trained_matcher.classifier,
+            np.zeros((0, columns, dim)),
+            np.zeros((0, columns, dim)),
+        )
+        assert out.shape == (0,)
+
+
+class TestServingDifferential:
+    def test_kernel_service_equals_loop_service(
+        self, trained_matcher, built_index, query_records
+    ):
+        queries = query_records[:40]
+        kernel = MatchService(
+            trained_matcher, built_index, jobs=1, scoring="kernel"
+        ).match_batch(queries)
+        loop = MatchService(
+            trained_matcher, built_index, jobs=1, scoring="loop"
+        ).match_batch(queries)
+        assert kernel.scored_pairs == loop.scored_pairs
+        for a, b in zip(kernel.answers, loop.answers):
+            assert a.best_id == b.best_id
+            assert a.probability == b.probability  # bit-equal, not approx
+            assert a.matched == b.matched
+
+    def test_kernel_service_equals_offline_predict(
+        self, trained_matcher, built_index, query_records
+    ):
+        service = MatchService(trained_matcher, built_index, jobs=1)
+        assert service.scoring == "kernel"
+        for query in query_records[:12]:
+            answer = service.match_one(query)
+            if not answer.candidates:
+                continue
+            pairs = [(query, built_index.record(c)) for c in answer.candidates]
+            offline = trained_matcher.predict_proba(pairs)
+            assert answer.probability == float(offline.max())
+            best_position = answer.candidates.index(answer.best_id)
+            assert answer.probability == float(offline[best_position])

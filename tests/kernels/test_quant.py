@@ -1,0 +1,148 @@
+"""Quantized-store properties: error bound, idempotence, stable keys.
+
+int8 mode uses power-of-two scales precisely so these properties hold
+*exactly* (see :mod:`repro.kernels.quant`); the tests assert them as
+properties over seeded random matrices spanning many magnitudes, not on
+a single lucky example.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.kernels import MODES, quantize
+from repro.serve import BlockingIndex, MatchService
+
+
+def _random_matrices():
+    """Seeded matrices covering magnitudes, signs, zero rows and 3-D stacks."""
+    rng = np.random.default_rng(7)
+    flat = rng.normal(size=(40, 24)) * np.exp2(rng.integers(-20, 20, size=(40, 1)))
+    flat[5] = 0.0  # all-zero row must survive every mode
+    flat[6] = -flat[6]
+    stack = rng.normal(size=(15, 5, 8)) * np.exp2(rng.integers(-8, 8, size=(15, 1, 1)))
+    stack[3] = 0.0
+    return [flat, stack]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_quantize_dequantize_quantize_idempotent(self, mode):
+        for matrix in _random_matrices():
+            first = quantize(matrix, mode=mode)
+            second = quantize(first.dequantize(), mode=mode)
+            assert np.array_equal(first.codes, second.codes)
+            assert np.array_equal(first.scales, second.scales)
+            assert first.content_key() == second.content_key()
+            # And the dequantized values themselves are a fixed point.
+            assert np.array_equal(first.dequantize(), second.dequantize())
+
+    def test_none_mode_is_lossless(self):
+        for matrix in _random_matrices():
+            assert np.array_equal(quantize(matrix, mode="none").dequantize(), matrix)
+
+    def test_rows_gather_matches_full_dequantize(self):
+        for matrix in _random_matrices():
+            store = quantize(matrix, mode="int8")
+            indices = np.array([0, 3, 3, len(matrix) - 1], dtype=np.intp)
+            assert np.array_equal(store.rows(indices), store.dequantize()[indices])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            quantize(np.ones((2, 2)), mode="int4")
+
+
+class TestErrorContract:
+    def test_int8_elementwise_bound(self):
+        # |x − deq(x)| ≤ scale/2 per element, scale ≤ 2·max_abs/127 per row.
+        for matrix in _random_matrices():
+            store = quantize(matrix, mode="int8")
+            error = np.abs(matrix - store.dequantize())
+            per_row_scale = store.scales.reshape(
+                (len(store.scales),) + (1,) * (matrix.ndim - 1)
+            )
+            assert np.all(error <= per_row_scale / 2.0)
+            max_abs = np.abs(matrix.reshape(len(matrix), -1)).max(axis=1)
+            bounded = max_abs > 0
+            assert np.all(store.scales[bounded] <= 2.0 * max_abs[bounded] / 127.0)
+
+    def test_float16_relative_bound(self):
+        # Magnitudes kept inside half's *normalized* range, where the
+        # 2^-11 relative bound is the IEEE guarantee.
+        rng = np.random.default_rng(11)
+        matrix = (
+            rng.choice([-1.0, 1.0], size=(50, 16))
+            * np.exp2(rng.uniform(-10, 10, size=(50, 16)))
+        )
+        store = quantize(matrix, mode="float16")
+        relative = np.abs(matrix - store.dequantize()) / np.abs(matrix)
+        assert np.all(relative <= 2.0**-11)
+
+    def test_int8_store_is_smaller(self):
+        matrix = np.random.default_rng(3).normal(size=(100, 5, 24))
+        assert quantize(matrix, mode="int8").nbytes * 6 < matrix.nbytes
+        assert quantize(matrix, mode="float16").nbytes * 3 < matrix.nbytes
+
+
+class TestContentKey:
+    def test_key_distinguishes_payloads(self):
+        matrix = np.random.default_rng(5).normal(size=(8, 4))
+        base = quantize(matrix, mode="int8")
+        assert base.content_key() != quantize(matrix * 3.0, mode="int8").content_key()
+        assert base.content_key() != quantize(matrix, mode="float16").content_key()
+
+    def test_key_stable_across_hash_seeds(self):
+        """The sha1 content key must not depend on PYTHONHASHSEED."""
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.kernels import quantize
+            matrix = np.random.default_rng(9).normal(size=(6, 3, 4))
+            print(quantize(matrix, mode="int8").content_key())
+            """
+        )
+        digests = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestQuantizedServing:
+    """Quantized index modes: answers within the documented error, never exact."""
+
+    @pytest.mark.parametrize("mode", ["float16", "int8"])
+    def test_quantized_index_answers_within_tolerance(
+        self, trained_matcher, reference_records, query_records, mode
+    ):
+        records, ids = reference_records
+        exact_index = BlockingIndex(
+            trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+        ).build(records, ids, jobs=1)
+        quant_index = BlockingIndex(
+            trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+        ).build(records, ids, jobs=1, quantize=mode)
+        assert quant_index.quantization == mode
+        assert quant_index.column_store.nbytes < exact_index.column_store.nbytes
+        exact = MatchService(trained_matcher, exact_index, jobs=1)
+        quant = MatchService(trained_matcher, quant_index, jobs=1)
+        queries = query_records[:30]
+        exact_answers = exact.match_batch(queries).answers
+        quant_answers = quant.match_batch(queries).answers
+        for a, b in zip(exact_answers, quant_answers):
+            # Blocking runs on full-precision tuple embeddings either way.
+            assert a.candidates == b.candidates
+            assert abs(a.probability - b.probability) < 0.05

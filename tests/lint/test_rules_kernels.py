@@ -1,0 +1,156 @@
+"""RL1001: batched-kernel contract under repro/serve/ and repro/er/."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+SERVE_PATH = "src/repro/serve/service.py"
+ER_PATH = "src/repro/er/matching.py"
+
+
+class TestLoopCalls:
+    def test_predict_proba_in_for_loop_flagged(self, lint_file):
+        result = lint_file(SERVE_PATH, """
+            def score(matcher, pairs):
+                out = []
+                for pair in pairs:
+                    out.append(matcher.predict_proba([pair]))
+                return out
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_embed_in_while_loop_flagged(self, lint_file):
+        result = lint_file(ER_PATH, """
+            def drain(embedder, queue):
+                while queue:
+                    record = queue.pop()
+                    vector = embedder.embed(record)
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_embed_columns_in_listcomp_flagged(self, lint_file):
+        result = lint_file(SERVE_PATH, """
+            def columns(embedder, records):
+                return [embedder.embed_columns(r) for r in records]
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_token_matrix_in_genexp_flagged(self, lint_file):
+        result = lint_file(ER_PATH, """
+            import numpy as np
+
+            def batch(embedder, records, max_tokens):
+                return np.array(
+                    list(embedder.token_matrix(r, max_tokens) for r in records)
+                )
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_loop_reference_call_in_loop_flagged(self, lint_file):
+        result = lint_file(ER_PATH, """
+            def features(pairs, embedder):
+                return [_pair_feature_row(p, embedder) for p in pairs]
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_nested_loop_flagged(self, lint_file):
+        result = lint_file(ER_PATH, """
+            def cross(matcher, queries, candidates):
+                for q in queries:
+                    for c in candidates:
+                        matcher.predict_proba([(q, c)])
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+    def test_dictcomp_value_flagged(self, lint_file):
+        result = lint_file(SERVE_PATH, """
+            def lookup(embedder, records):
+                return {r["id"]: embedder.embed(r) for r in records}
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == {"RL1001"}
+
+
+class TestKernelCallSitesAllowed:
+    def test_single_batched_call_allowed(self, lint_file):
+        result = lint_file(SERVE_PATH, """
+            def score(matcher, pairs):
+                return matcher.predict_proba(pairs)
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+    def test_pmap_by_reference_allowed(self, lint_file):
+        # Passing the primitive by reference fans it out without a Python
+        # loop at this call site — that IS the sanctioned pattern.
+        result = lint_file(ER_PATH, """
+            from functools import partial
+
+            from repro.par import pmap
+
+            def features(pairs, embedder, jobs):
+                return pmap(
+                    partial(_pair_feature_row, embedder=embedder),
+                    pairs, jobs=jobs, label="x",
+                )
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+    def test_comprehension_source_iterable_allowed(self, lint_file):
+        # Only the first generator's iterable is evaluated once; a batched
+        # call there is not a per-element call.
+        result = lint_file(SERVE_PATH, """
+            def flags(matcher, pairs, threshold):
+                return [p >= threshold for p in matcher.predict_proba(pairs)]
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+    def test_function_defined_in_loop_allowed(self, lint_file):
+        result = lint_file(ER_PATH, """
+            def make_scorers(matchers):
+                scorers = []
+                for matcher in matchers:
+                    def scorer(pairs, matcher=matcher):
+                        return matcher.predict_proba(pairs)
+                    scorers.append(scorer)
+                return scorers
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+    def test_unrelated_calls_in_loop_allowed(self, lint_file):
+        result = lint_file(SERVE_PATH, """
+            def assemble(index, candidate_ids):
+                return [index.record(c) for c in candidate_ids]
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+
+class TestScoping:
+    def test_rule_silent_outside_hot_packages(self, lint_file):
+        result = lint_file("src/repro/cleaning/imputer.py", """
+            def impute(matcher, pairs):
+                return [matcher.predict_proba([p]) for p in pairs]
+        """, rule_ids=["RL1001"])
+        assert rule_ids(result) == set()
+
+    def test_real_serve_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint.engine import lint_paths
+        import repro.serve
+
+        package_dir = Path(repro.serve.__file__).parent
+        repo_src = package_dir.parent.parent.parent
+        result = lint_paths([package_dir], root=repo_src.parent,
+                            rule_ids=["RL1001"])
+        assert result.findings == []
+
+    def test_real_kernels_package_not_in_scope(self):
+        from pathlib import Path
+
+        from repro.lint.engine import lint_paths
+        import repro.kernels
+
+        package_dir = Path(repro.kernels.__file__).parent
+        repo_src = package_dir.parent.parent.parent
+        result = lint_paths([package_dir], root=repo_src.parent,
+                            rule_ids=["RL1001"])
+        assert result.findings == []

@@ -95,6 +95,11 @@ def test_run_all_e17_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys)
         return json.loads(path.read_text())["rows"]
 
     first = rows("first")
+    # The kernel-cost rows (batched repro.kernels scorer) must be in the
+    # emitted table and covered by the same byte-equality bar.
+    scenarios = [row["scenario"] for row in first]
+    assert "kernel cost (no cache)" in scenarios
+    assert "kernel cost + caches" in scenarios
     assert first == rows("again")
     assert first == rows("jobs2", "--jobs", "2")
     assert first == rows("chaos", "--chaos", "11")
