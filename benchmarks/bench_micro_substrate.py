@@ -183,3 +183,65 @@ def test_micro_quantized_gather_features(benchmark, scoring_setup):
     features = benchmark(run)
     assert features.shape[0] == 200
     assert store.nbytes < stack.nbytes
+
+
+# -- lint engine: cold parse vs warm cache ------------------------------------
+#
+# The `repro-lint` incremental cache is a perf feature with a correctness
+# contract: a warm run may skip every parse, but its findings must be
+# byte-identical to a cold run's, and independent of the `jobs=` fan-out.
+# These rows time both phases over the lint+faults packages (big enough
+# to exercise the project graph, small enough for multi-round timing)
+# and assert the contract on every run.
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_LINT_TARGETS = [_REPO_ROOT / "src" / "repro" / "lint",
+                 _REPO_ROOT / "src" / "repro" / "faults"]
+
+
+def _lint_findings(cache_path, jobs=1):
+    result = lint_paths(
+        _LINT_TARGETS, root=_REPO_ROOT, cache_path=cache_path, jobs=jobs,
+    )
+    return json.loads(render_json(result))["findings"], result
+
+
+def test_micro_lint_cold(benchmark, tmp_path):
+    """Cold lint of the lint+faults packages: parse + rules + graph."""
+    cache = tmp_path / "lint-cache.json"
+
+    def setup():
+        if cache.exists():
+            cache.unlink()
+        return (), {}
+
+    findings, result = benchmark.pedantic(
+        lambda: _lint_findings(cache), setup=setup, rounds=3,
+    )
+    assert result.files_reused == 0
+    assert result.files_checked > 10
+
+
+def test_micro_lint_warm(benchmark, tmp_path):
+    """Warm lint off the cache: hash check + project graph, no parsing.
+
+    Asserts the cache contract: warm findings are byte-identical to the
+    cold run's and independent of the per-file fan-out.
+    """
+    cache = tmp_path / "lint-cache.json"
+    cold_findings, cold = _lint_findings(cache)
+    assert cold.files_reused == 0
+
+    findings, result = benchmark(lambda: _lint_findings(cache))
+    assert result.files_reused == result.files_checked == cold.files_checked
+    assert findings == cold_findings
+
+    fanned_cache = tmp_path / "lint-cache-j2.json"
+    fanned_findings, _ = _lint_findings(fanned_cache, jobs=2)
+    assert fanned_findings == cold_findings

@@ -134,9 +134,15 @@ def run_one(
 
 
 def lint_preflight() -> bool:
-    """Run ``repro.lint`` over src+benchmarks; True when the tree is clean."""
+    """Run ``repro.lint`` over src+benchmarks; True when the tree is clean.
+
+    The run goes through the incremental cache (``.lint-cache.json`` at
+    the repo root), so back-to-back ``--lint`` invocations on an
+    unchanged tree skip parsing entirely; findings are byte-identical
+    either way.
+    """
     from repro.lint.baseline import DEFAULT_BASELINE_NAME, load_baseline
-    from repro.lint.engine import lint_paths
+    from repro.lint.engine import DEFAULT_CACHE_NAME, lint_paths
     from repro.lint.report import render_text
 
     repo_root = Path(__file__).resolve().parent.parent
@@ -146,13 +152,15 @@ def lint_preflight() -> bool:
         [repo_root / "src", repo_root / "benchmarks"],
         baseline=baseline,
         root=repo_root,
+        cache_path=repo_root / DEFAULT_CACHE_NAME,
     )
     if not result.ok:
         print(render_text(result))
         print("lint preflight failed: fix (or baseline, with justification) "
               "the findings above before running benches")
         return False
-    print(f"lint preflight OK: {result.files_checked} file(s) clean")
+    print(f"lint preflight OK: {result.files_checked} file(s) clean "
+          f"({result.files_reused} from cache)")
     return True
 
 

@@ -1,18 +1,27 @@
-"""``repro.lint`` — AST-based invariant checker for the repro stack.
+"""``repro.lint`` — whole-program invariant checker for the repro stack.
 
 Generic linters cannot see the contracts this reproduction's correctness
 rests on: every autograd op needs a proper ``backward`` closure, all
 randomness must flow through seeded generators, observability must stay
-off the hot path unless enabled, and every benchmark must honour the
-``BENCH_*.json`` contract.  This package checks those invariants
-statically (see DESIGN.md § "Static analysis") with:
+off the hot path unless enabled, every benchmark must honour the
+``BENCH_*.json`` contract — and the cross-file versions of those
+contracts (seeds laundered through helpers, serving code reaching
+training functions in other modules, fault-site strings drifting from
+their catalog) need a program graph, not a per-file AST walk.  This
+package checks both statically (see DESIGN.md § "Static analysis") with:
 
-* an AST-walking engine (:mod:`repro.lint.engine`),
-* a rule registry with stable ``RL###`` ids (:mod:`repro.lint.registry`),
+* a two-phase engine (:mod:`repro.lint.engine`): a cached, parallel
+  per-file pass plus a whole-program pass,
+* a :class:`~repro.lint.project.ProjectContext` import/call graph built
+  from per-file summaries (:mod:`repro.lint.project`),
+* a rule registry with stable ``RL###`` ids, severities, and file/project
+  scopes (:mod:`repro.lint.registry`),
 * per-line/per-file suppressions (:mod:`repro.lint.suppress`),
 * a committed baseline for deliberate exceptions (:mod:`repro.lint.baseline`),
-* text and JSON reporters (:mod:`repro.lint.report`), and
-* a CLI: ``python -m repro.lint [--json] [--baseline PATH] <paths>``.
+* text, JSON, and SARIF reporters (:mod:`repro.lint.report`), and
+* a CLI: ``python -m repro.lint [--format text|json|sarif] [--jobs N]
+  [--changed-only] [--baseline PATH] <paths>`` (bare ``--rules`` prints
+  the registry table); also installed as ``repro-lint``.
 """
 
 from repro.lint.baseline import (
@@ -24,8 +33,18 @@ from repro.lint.baseline import (
 )
 from repro.lint.engine import LintResult, collect_files, lint_paths
 from repro.lint.findings import Finding
-from repro.lint.registry import FileContext, Rule, all_rules, get_rule, register
-from repro.lint.report import render_json, render_text
+from repro.lint.project import ProjectContext, module_name_for, summarize_module
+from repro.lint.registry import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    registry_table,
+    rule_family,
+)
+from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.suppress import Suppressions, parse_suppressions
 
 __all__ = [
@@ -34,6 +53,8 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
     "all_rules",
@@ -42,9 +63,14 @@ __all__ = [
     "get_rule",
     "lint_paths",
     "load_baseline",
+    "module_name_for",
     "parse_suppressions",
     "register",
+    "registry_table",
     "render_json",
+    "render_sarif",
     "render_text",
+    "rule_family",
+    "summarize_module",
     "write_baseline",
 ]

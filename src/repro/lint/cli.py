@@ -1,8 +1,18 @@
-"""Command line interface: ``python -m repro.lint [options] <paths>``.
+"""Command line interface: ``python -m repro.lint [options] <paths>``
+(also installed as the ``repro-lint`` console script).
 
-Exit codes: 0 clean, 1 new findings (or stale baseline entries), 2 usage
-or I/O errors.  ``--write-baseline`` regenerates the baseline from the
-current findings, preserving existing justifications.
+Exit codes: 0 clean, 1 new error findings (or stale baseline entries),
+2 usage or I/O errors.  ``--write-baseline`` regenerates the baseline
+from the current findings, preserving existing justifications.  Bare
+``--rules`` (no value) prints the registry table — id, family, scope,
+severity, one-line doc — and exits; with a value it filters the run to
+those rule ids.  The incremental cache (``.lint-cache.json`` next to the
+``--root``) is on by default: warm runs on an unchanged tree skip
+parsing entirely and emit byte-identical findings; ``--no-cache`` forces
+a cold run, ``--jobs N`` fans the per-file phase out over
+:mod:`repro.par` (findings are independent of N), and ``--changed-only``
+reports per-file findings only for files whose content changed since the
+cache was written.
 """
 
 from __future__ import annotations
@@ -12,10 +22,14 @@ import sys
 from pathlib import Path
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, load_baseline, write_baseline
-from repro.lint.engine import lint_paths
-from repro.lint.report import render_json, render_text
+from repro.lint.engine import DEFAULT_CACHE_NAME, lint_paths
+from repro.lint.registry import registry_table
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = ["main"]
+
+_LIST_RULES = "<list>"
+_RENDERERS = {"json": render_json, "sarif": render_sarif}
 
 
 def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path | None]:
@@ -33,26 +47,73 @@ def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path |
     return None, default
 
 
+def _print_rules_table() -> None:
+    rows = registry_table()
+    widths = {
+        key: max(len(key), *(len(row[key]) for row in rows))
+        for key in ("id", "family", "scope", "severity")
+    }
+    header = (
+        f"{'id':<{widths['id']}}  {'family':<{widths['family']}}  "
+        f"{'scope':<{widths['scope']}}  {'severity':<{widths['severity']}}  doc"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['id']:<{widths['id']}}  {row['family']:<{widths['family']}}  "
+            f"{row['scope']:<{widths['scope']}}  "
+            f"{row['severity']:<{widths['severity']}}  {row['doc']}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based invariant checker for the repro stack.",
+        description="Whole-program invariant checker for the repro stack.",
     )
-    parser.add_argument("paths", nargs="+", help="files or directories to lint")
-    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--json", action="store_true",
+                        help="shorthand for --format json")
     parser.add_argument("--baseline", metavar="PATH",
                         help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore any baseline; report every finding as new")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline to cover current findings")
-    parser.add_argument("--rules", metavar="IDS",
-                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--rules", metavar="IDS", nargs="?", const=_LIST_RULES,
+                        help="comma-separated rule ids to run (default: all); "
+                             "bare --rules prints the registry table and exits")
     parser.add_argument("--root", default=".",
                         help="path display/baseline anchor (default: cwd)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the per-file phase out over repro.par "
+                             "(findings are bit-identical for every N)")
+    parser.add_argument("--cache", metavar="PATH", default=None,
+                        help="incremental cache file "
+                             f"(default: <root>/{DEFAULT_CACHE_NAME})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache (cold run)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report per-file findings only for files changed "
+                             "since the cache was written (project-scope "
+                             "rules still cover the whole program)")
     parser.add_argument("--show-baselined", action="store_true",
                         help="include baselined findings in the text report")
     args = parser.parse_args(argv)
+
+    if args.rules == _LIST_RULES:
+        _print_rules_table()
+        return 0
+    if not args.paths:
+        print("error: no paths given (or use bare --rules to list the registry)",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     try:
         baseline, baseline_path = _resolve_baseline(args)
@@ -64,7 +125,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
 
-    result = lint_paths(args.paths, baseline=baseline, root=args.root, rule_ids=rule_ids)
+    cache_path = None
+    if not args.no_cache:
+        cache_path = Path(args.cache) if args.cache else Path(args.root) / DEFAULT_CACHE_NAME
+
+    result = lint_paths(
+        args.paths,
+        baseline=baseline,
+        root=args.root,
+        rule_ids=rule_ids,
+        jobs=args.jobs,
+        cache_path=cache_path,
+        changed_only=args.changed_only,
+    )
     if result.files_checked == 0 and not result.findings:
         print(f"error: no python files found under {args.paths}", file=sys.stderr)
         return 2
@@ -75,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(result.findings)} entr(y/ies) to {target}")
         return 0
 
-    print(render_json(result) if args.json else
-          render_text(result, verbose_baselined=args.show_baselined))
+    report_format = "json" if args.json else args.format
+    if report_format in _RENDERERS:
+        print(_RENDERERS[report_format](result))
+    else:
+        print(render_text(result, verbose_baselined=args.show_baselined))
     return 0 if result.ok else 1

@@ -4,11 +4,24 @@
 ``run_all --lint`` preflight, and the tier-1 repo-clean test.  Syntax
 errors in linted files are reported as ``RL000`` findings rather than
 crashing the run, so one broken file cannot hide findings in the rest.
+
+The run has two phases.  The **per-file phase** parses each file, runs
+every file-scope rule, and extracts the whole-program summary
+(:func:`repro.lint.project.summarize_module`); its unit of work is pure
+per file, so it memoizes into ``.lint-cache.json`` keyed by content hash
+and fans out over :func:`repro.par.pmap` when ``jobs > 1`` — warm or
+parallel runs produce byte-identical findings because each file's result
+depends only on its own bytes.  The **project phase** assembles the
+summaries into a :class:`~repro.lint.project.ProjectContext` and runs the
+project-scope (RL11xx) rules over the resulting call graph; it is cheap
+(no parsing) and always runs over the full collected set.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -16,12 +29,24 @@ from typing import Iterable, Sequence
 from repro.lint import rules as _rules  # noqa: F401  (imports register the rules)
 from repro.lint.baseline import Baseline, BaselineEntry, apply_baseline
 from repro.lint.findings import Finding
+from repro.lint.project import (
+    SUMMARY_VERSION,
+    ProjectContext,
+    summarize_module,
+)
 from repro.lint.registry import FileContext, all_rules, iter_findings
 from repro.lint.suppress import parse_suppressions
 
-__all__ = ["LintResult", "collect_files", "lint_paths"]
+__all__ = [
+    "DEFAULT_CACHE_NAME",
+    "LintResult",
+    "collect_files",
+    "lint_paths",
+]
 
 PARSE_ERROR_RULE = "RL000"
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".lint-cache.json"
 
 # Directories never worth descending into.
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs"}
@@ -34,11 +59,21 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
+    files_reused: int = 0
 
     @property
     def new_findings(self) -> list[Finding]:
-        """Findings not grandfathered by the baseline (these fail the run)."""
+        """Findings not grandfathered by the baseline."""
         return [f for f in self.findings if not f.baselined]
+
+    @property
+    def new_errors(self) -> list[Finding]:
+        """Non-baselined error-severity findings (these fail the run)."""
+        return [f for f in self.new_findings if f.severity == "error"]
+
+    @property
+    def new_warnings(self) -> list[Finding]:
+        return [f for f in self.new_findings if f.severity == "warning"]
 
     @property
     def baselined_findings(self) -> list[Finding]:
@@ -46,22 +81,30 @@ class LintResult:
 
     @property
     def ok(self) -> bool:
-        """True when the tree is clean: no new findings, no stale baseline."""
-        return not self.new_findings and not self.stale_baseline
+        """Clean tree: no new error findings, no stale baseline entries.
+
+        Warnings are reported but never fail the gate.
+        """
+        return not self.new_errors and not self.stale_baseline
 
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    """Expand files/directories into a de-duplicated ``.py`` file list.
+
+    The result is sorted by posix path string regardless of input order or
+    filesystem enumeration order, so findings and baseline fingerprints
+    are stable across platforms and invocations.
+    """
     seen: set[Path] = set()
     ordered: list[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            candidates = sorted(
+            candidates = [
                 p
                 for p in path.rglob("*.py")
                 if not (_SKIP_DIRS & set(part for part in p.parts))
-            )
+            ]
         elif path.suffix == ".py":
             candidates = [path]
         else:
@@ -71,7 +114,7 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
             if resolved not in seen:
                 seen.add(resolved)
                 ordered.append(candidate)
-    return ordered
+    return sorted(ordered, key=lambda p: p.as_posix())
 
 
 def _display_path(path: Path, root: Path | None) -> str:
@@ -85,55 +128,201 @@ def _display_path(path: Path, root: Path | None) -> str:
     return path.as_posix()
 
 
-def lint_paths(
-    paths: Sequence[str | Path],
-    baseline: Baseline | None = None,
-    root: str | Path | None = None,
-    rule_ids: Iterable[str] | None = None,
-) -> LintResult:
-    """Lint every python file under ``paths`` and apply ``baseline``.
+def _rules_key() -> str:
+    """Cache-invalidation key covering the registered rule set and schema."""
+    ids = ",".join(rule.id for rule in all_rules())
+    basis = f"{CACHE_VERSION}|{SUMMARY_VERSION}|{ids}"
+    return hashlib.sha256(basis.encode()).hexdigest()[:16]
 
-    ``root`` anchors the display paths (defaults to the current directory);
-    ``rule_ids`` optionally restricts the run to a subset of rules.
+
+def _load_cache(cache_path: Path | None) -> dict:
+    empty = {"version": CACHE_VERSION, "rules_key": _rules_key(), "files": {}}
+    if cache_path is None or not cache_path.is_file():
+        return empty
+    try:
+        document = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return empty
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != CACHE_VERSION
+        or document.get("rules_key") != _rules_key()
+        or not isinstance(document.get("files"), dict)
+    ):
+        return empty
+    return document
+
+
+def _write_cache(cache_path: Path, cache: dict) -> None:
+    try:
+        cache_path.write_text(json.dumps(cache, sort_keys=True) + "\n")
+    except OSError:
+        pass  # a read-only checkout degrades to cold runs, never to failure
+
+
+def _process_file(unit: tuple[str, str, str]) -> dict:
+    """Per-file unit of work: parse, run file rules, summarize.
+
+    Pure in the file's bytes (module-level so :func:`repro.par.pmap` can
+    ship it to workers), returning a JSON-serializable record the cache
+    can persist verbatim.
     """
-    root_path = Path(root) if root is not None else Path.cwd()
-    wanted = set(rule_ids) if rule_ids is not None else None
-    rules = [r for r in all_rules() if wanted is None or r.id in wanted]
-
-    result = LintResult()
-    for path in collect_files(paths):
-        display = _display_path(path, root_path)
-        try:
-            source = path.read_text()
-        except OSError as error:
-            result.findings.append(
-                Finding(PARSE_ERROR_RULE, display, 1, 1, f"unreadable file: {error}")
-            )
-            continue
-        result.files_checked += 1
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as error:
-            result.findings.append(
+    path_str, display, root_str = unit
+    path = Path(path_str)
+    try:
+        source = path.read_text()
+    except OSError as error:
+        return {
+            "hash": None,
+            "readable": False,
+            "findings": [
+                Finding(
+                    PARSE_ERROR_RULE, display, 1, 1, f"unreadable file: {error}"
+                ).to_dict()
+            ],
+            "summary": None,
+        }
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return {
+            "hash": digest,
+            "readable": True,
+            "findings": [
                 Finding(
                     PARSE_ERROR_RULE,
                     display,
                     error.lineno or 1,
                     (error.offset or 0) + 1,
                     f"syntax error: {error.msg}",
-                )
-            )
+                ).to_dict()
+            ],
+            "summary": None,
+        }
+    suppressions = parse_suppressions(source)
+    ctx = FileContext(
+        path=path,
+        display=display,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        root=Path(root_str) if root_str else None,
+    )
+    file_rules = [r for r in all_rules() if r.scope == "file"]
+    findings = [f.to_dict() for f in iter_findings(file_rules, ctx)]
+    summary = summarize_module(tree, display)
+    # Persist the suppression table so project-rule findings can be
+    # filtered without re-reading the file on warm runs.
+    summary["suppress"] = {
+        "file": sorted(suppressions.file_rules),
+        "lines": {
+            str(line): sorted(rules)
+            for line, rules in suppressions.line_rules.items()
+        },
+    }
+    return {"hash": digest, "readable": True, "findings": findings, "summary": summary}
+
+
+def _file_hash(path: Path) -> str | None:
+    try:
+        return hashlib.sha256(path.read_text().encode()).hexdigest()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    rule_ids: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    cache_path: str | Path | None = None,
+    changed_only: bool = False,
+) -> LintResult:
+    """Lint every python file under ``paths`` and apply ``baseline``.
+
+    ``root`` anchors the display paths (defaults to the current directory);
+    ``rule_ids`` optionally restricts the *report* to a subset of rules
+    (the cache always stores the full rule set, so a filtered run stays
+    cache-coherent).  ``jobs`` fans the per-file phase out over
+    :func:`repro.par.pmap`; findings are bit-identical for every value.
+    ``cache_path`` enables the incremental cache.  With ``changed_only``
+    the report keeps per-file findings only for files whose content
+    changed since the cache was written (project-scope findings still
+    cover the whole program, and stale-baseline detection is skipped
+    because the finding set is deliberately partial).
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    wanted = set(rule_ids) if rule_ids is not None else None
+    cache_file = Path(cache_path) if cache_path is not None else None
+    cache = _load_cache(cache_file)
+
+    files = collect_files(paths)
+    displays = [_display_path(path, root_path) for path in files]
+
+    records: list[dict] = [{}] * len(files)
+    changed: set[str] = set()
+    to_compute: list[int] = []
+    for i, (path, display) in enumerate(zip(files, displays)):
+        entry = cache["files"].get(display)
+        digest = _file_hash(path) if entry is not None else None
+        if entry is not None and digest is not None and entry.get("hash") == digest:
+            records[i] = entry
+        else:
+            to_compute.append(i)
+            changed.add(display)
+
+    if to_compute:
+        units = [(str(files[i]), displays[i], str(root_path)) for i in to_compute]
+        if jobs > 1 and len(units) > 1:
+            from repro.par import pmap
+
+            computed = pmap(_process_file, units, jobs=jobs)
+        else:
+            computed = [_process_file(unit) for unit in units]
+        for i, record in zip(to_compute, computed):
+            records[i] = record
+            if record["hash"] is not None:
+                cache["files"][displays[i]] = record
+
+    result = LintResult()
+    result.files_reused = len(files) - len(to_compute)
+    summaries: dict[str, dict] = {}
+    for display, record in zip(displays, records):
+        if record["readable"]:
+            result.files_checked += 1
+        if record["summary"] is not None:
+            summaries[display] = record["summary"]
+        if changed_only and display not in changed:
             continue
-        ctx = FileContext(
-            path=path,
-            display=display,
-            source=source,
-            tree=tree,
-            suppressions=parse_suppressions(source),
-            root=root_path,
+        result.findings.extend(
+            Finding.from_dict(raw) for raw in record["findings"]
         )
-        result.findings.extend(iter_findings(rules, ctx))
+
+    project_rules = [
+        r
+        for r in all_rules()
+        if r.scope == "project" and (wanted is None or r.id in wanted)
+    ]
+    if project_rules and summaries:
+        project = ProjectContext(summaries)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if project.is_suppressed(finding.path, finding.rule_id, finding.line):
+                    continue
+                result.findings.append(finding)
+
+    if wanted is not None:
+        result.findings = [f for f in result.findings if f.rule_id in wanted]
+
+    if cache_file is not None and to_compute:
+        _write_cache(cache_file, cache)
 
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    result.findings, result.stale_baseline = apply_baseline(result.findings, baseline)
+    result.findings, stale = apply_baseline(result.findings, baseline)
+    # A changed-only run sees a deliberately partial finding set, so any
+    # baseline entry for an unchanged file would look stale; skip the check.
+    result.stale_baseline = [] if changed_only else stale
     return result

@@ -5,13 +5,19 @@ A finding pins a rule violation to a file and line.  Its
 baselined findings survive unrelated edits above them in the file; the
 trade-off (two identical messages in one file collapse to one fingerprint)
 is handled by counting fingerprint multiplicity in the baseline matcher.
+
+``severity`` is ``"error"`` (fails the gate) or ``"warning"`` (reported,
+never fails the gate); it is excluded from the fingerprint so a severity
+re-classification does not invalidate baseline entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["Finding"]
+__all__ = ["SEVERITIES", "Finding"]
+
+SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True)
@@ -23,6 +29,7 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = field(default="error", compare=False)
     baselined: bool = field(default=False, compare=False)
 
     def fingerprint(self) -> str:
@@ -33,6 +40,12 @@ class Finding:
         """Copy of this finding marked as grandfathered by the baseline."""
         return replace(self, baselined=True)
 
+    def with_severity(self, severity: str) -> "Finding":
+        """Copy of this finding carrying ``severity``."""
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        return replace(self, severity=severity)
+
     def to_dict(self) -> dict:
         """JSON-ready representation (the JSON reporter's row shape)."""
         return {
@@ -41,10 +54,25 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
             "baselined": self.baselined,
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            rule_id=str(raw["rule"]),
+            path=str(raw["path"]),
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            message=str(raw["message"]),
+            severity=str(raw.get("severity", "error")),
+            baselined=bool(raw.get("baselined", False)),
+        )
 
     def render(self) -> str:
         """Compiler-style one-liner: ``path:line:col: RLxxx message``."""
         tag = " [baselined]" if self.baselined else ""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{tag}"
+        level = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}{level} {self.message}{tag}"

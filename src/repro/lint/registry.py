@@ -1,4 +1,4 @@
-"""Rule base class, per-file context, and the global rule registry.
+"""Rule base classes, per-file context, and the global rule registry.
 
 Every rule has a stable id (``RL###``) that appears in reports, in
 suppression comments, and in the committed baseline; ids are never reused
@@ -14,6 +14,14 @@ once published.  Numbering groups the families:
 * ``RL8xx`` — fault-injection hygiene (no swallowed injected faults)
 * ``RL9xx`` — serving read-only contract (no training in repro/serve)
 * ``RL10xx`` — batched-kernel contract (no per-pair loops on hot paths)
+* ``RL11xx`` — whole-program interprocedural contracts (call-graph
+  taint/reachability over a :class:`~repro.lint.project.ProjectContext`)
+
+Rules come in two scopes: ``file`` rules (:class:`Rule`) see one parsed
+file at a time via :class:`FileContext`; ``project`` rules
+(:class:`ProjectRule`) run once per lint invocation over the whole-program
+:class:`~repro.lint.project.ProjectContext` the engine builds from every
+collected file.
 """
 
 from __future__ import annotations
@@ -23,15 +31,50 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.lint.findings import Finding
+from repro.lint.findings import SEVERITIES, Finding
 from repro.lint.suppress import Suppressions
 
-__all__ = ["FileContext", "Rule", "all_rules", "get_rule", "register"]
+__all__ = [
+    "FAMILIES",
+    "FileContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "registry_table",
+    "rule_family",
+]
+
+# Family names keyed by the RL number's hundreds digit(s): RL302 -> 3,
+# RL1104 -> 11.  RL000 is the engine's own parse-error pseudo-rule.
+FAMILIES = {
+    0: "engine",
+    1: "autograd",
+    2: "mutation",
+    3: "determinism",
+    4: "obs-guard",
+    5: "bench-contract",
+    6: "exports",
+    7: "par",
+    8: "faults",
+    9: "serve",
+    10: "kernels",
+    11: "interproc",
+}
+
+
+def rule_family(rule_id: str) -> str:
+    """Family name for a stable rule id (``"RL1104"`` -> ``"interproc"``)."""
+    try:
+        return FAMILIES[int(rule_id[2:]) // 100]
+    except (KeyError, ValueError):
+        return "unknown"
 
 
 @dataclass
 class FileContext:
-    """Everything a rule may inspect about one source file.
+    """Everything a file-scope rule may inspect about one source file.
 
     ``display`` is the posix-style path used in reports and baseline
     fingerprints (relative to the lint invocation root when possible, so
@@ -68,18 +111,22 @@ class FileContext:
 
 
 class Rule:
-    """Base class for all lint rules.
+    """Base class for file-scope lint rules.
 
-    Subclasses set ``id``/``name``/``description``/``invariant`` and
-    implement :meth:`check`.  ``path_markers`` scopes the rule: the rule
-    runs only on files whose posix path contains at least one marker
-    (empty means every file).
+    Subclasses set ``id``/``name``/``description`` and implement
+    :meth:`check`.  ``path_markers`` scopes the rule: the rule runs only
+    on files whose posix path contains at least one marker (empty means
+    every file).  ``severity`` is the default severity stamped onto the
+    rule's findings (a rule may override per finding via
+    :meth:`Finding.with_severity`).
     """
 
     id: str = ""
     name: str = ""
     description: str = ""
     path_markers: tuple[str, ...] = ()
+    scope: str = "file"
+    severity: str = "error"
 
     def applies(self, display: str) -> bool:
         """Whether this rule runs on the file at ``display`` path."""
@@ -94,6 +141,27 @@ class Rule:
         yield  # pragma: no cover
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules never see individual :class:`FileContext` objects; the
+    engine calls :meth:`check_project` exactly once per run with the
+    :class:`~repro.lint.project.ProjectContext` built from every collected
+    file.  ``path_markers`` is unused (the rule decides relevance from the
+    program graph itself).
+    """
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over the whole-program context."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
 _RULES: dict[str, Rule] = {}
 
 
@@ -104,13 +172,24 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
         raise ValueError(f"rule {rule_cls.__name__} has no stable RL id")
     if rule.id in _RULES:
         raise ValueError(f"duplicate rule id {rule.id}")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id} has unknown severity {rule.severity!r}")
+    if rule.scope not in ("file", "project"):
+        raise ValueError(f"rule {rule.id} has unknown scope {rule.scope!r}")
     _RULES[rule.id] = rule
     return rule_cls
 
 
+def _id_key(rule_id: str) -> tuple[int, str]:
+    try:
+        return (int(rule_id[2:]), rule_id)
+    except ValueError:
+        return (10**9, rule_id)
+
+
 def all_rules() -> list[Rule]:
-    """Registered rules, ordered by id."""
-    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+    """Registered rules, ordered numerically by id (RL999 before RL1001)."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES, key=_id_key)]
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -118,11 +197,35 @@ def get_rule(rule_id: str) -> Rule:
     return _RULES[rule_id]
 
 
+def registry_table() -> list[dict]:
+    """One row per registered rule: id, family, scope, severity, doc.
+
+    This is the single source of truth the ``--rules`` CLI listing prints,
+    so README's rule inventory can be regenerated instead of hand-kept.
+    """
+    return [
+        {
+            "id": rule.id,
+            "family": rule_family(rule.id),
+            "scope": rule.scope,
+            "severity": rule.severity,
+            "name": rule.name,
+            "doc": " ".join(rule.description.split()),
+        }
+        for rule in all_rules()
+    ]
+
+
 def iter_findings(rules: Iterable[Rule], ctx: FileContext) -> Iterator[Finding]:
-    """Run every applicable rule over ``ctx``, filtering suppressions."""
+    """Run every applicable file rule over ``ctx``, filtering suppressions."""
     for rule in rules:
-        if not rule.applies(ctx.display):
+        if rule.scope != "file" or not rule.applies(ctx.display):
             continue
         for finding in rule.check(ctx):
-            if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
-                yield finding
+            if ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                continue
+            # Stamp the rule's default severity onto findings that did not
+            # set one explicitly (ctx.finding() always yields "error").
+            if rule.severity != "error" and finding.severity == "error":
+                finding = finding.with_severity(rule.severity)
+            yield finding

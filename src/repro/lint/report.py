@@ -1,15 +1,26 @@
-"""Text and JSON reporters over a :class:`~repro.lint.engine.LintResult`."""
+"""Text, JSON, and SARIF reporters over a :class:`~repro.lint.engine.LintResult`."""
 
 from __future__ import annotations
 
 import json
 
 from repro.lint.engine import LintResult
-from repro.lint.registry import all_rules
+from repro.lint.registry import all_rules, rule_family
 
-__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text"]
+__all__ = [
+    "JSON_REPORT_VERSION",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
 
-JSON_REPORT_VERSION = 1
+JSON_REPORT_VERSION = 2
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, verbose_baselined: bool = False) -> str:
@@ -28,7 +39,9 @@ def render_text(result: LintResult, verbose_baselined: bool = False) -> str:
     baselined = len(result.baselined_findings)
     summary = (
         f"{result.files_checked} file(s) checked: "
-        f"{new} new finding(s), {baselined} baselined, "
+        f"{new} new finding(s) "
+        f"({len(result.new_errors)} error(s), {len(result.new_warnings)} warning(s)), "
+        f"{baselined} baselined, "
         f"{len(result.stale_baseline)} stale baseline entr(y/ies)"
     )
     lines.append(summary if lines else f"{summary} — clean")
@@ -41,11 +54,12 @@ def render_json(result: LintResult) -> str:
     ::
 
         {
-          "version": 1,
+          "version": 2,
           "rules": {"RL101": "<rule name>", ...},
-          "findings": [{rule, path, line, col, message, baselined}, ...],
+          "findings": [{rule, path, line, col, message, severity, baselined}, ...],
           "stale_baseline": [{rule, path, message, justification}, ...],
-          "summary": {files_checked, total, new, baselined, stale, ok}
+          "summary": {files_checked, files_reused, total, new,
+                      new_errors, new_warnings, baselined, stale, ok}
         }
     """
     document = {
@@ -63,11 +77,84 @@ def render_json(result: LintResult) -> str:
         ],
         "summary": {
             "files_checked": result.files_checked,
+            "files_reused": result.files_reused,
             "total": len(result.findings),
             "new": len(result.new_findings),
+            "new_errors": len(result.new_errors),
+            "new_warnings": len(result.new_warnings),
             "baselined": len(result.baselined_findings),
             "stale": len(result.stale_baseline),
             "ok": result.ok,
         },
+    }
+    return json.dumps(document, indent=2)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report, the interchange shape CI annotators ingest.
+
+    One ``run`` with the rule inventory in ``tool.driver.rules`` (only
+    rules that actually fired, so the document stays small) and one
+    ``result`` per finding; baselined findings carry SARIF's own
+    ``baselineState: "unchanged"`` so viewers fold them the same way the
+    text reporter does.
+    """
+    rule_ids = sorted({f.rule_id for f in result.findings})
+    known = {rule.id: rule for rule in all_rules()}
+    rules = []
+    for rule_id in rule_ids:
+        rule = known.get(rule_id)
+        rules.append(
+            {
+                "id": rule_id,
+                "name": rule.name if rule else "parse-error",
+                "properties": {
+                    "family": rule_family(rule_id),
+                    "scope": rule.scope if rule else "file",
+                },
+                "fullDescription": {
+                    "text": " ".join(rule.description.split())
+                    if rule
+                    else "file could not be parsed"
+                },
+            }
+        )
+    index = {row["id"]: i for i, row in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": index[finding.rule_id],
+                "level": "error" if finding.severity == "error" else "warning",
+                "baselineState": "unchanged" if finding.baselined else "new",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2)

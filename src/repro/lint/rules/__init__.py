@@ -21,7 +21,11 @@ Families (stable id prefixes, see DESIGN.md § "Static analysis"):
   (no training, no weight writes) under ``repro/serve/``;
 * :mod:`~repro.lint.rules.kernels` — RL1001 batched-kernel contract (no
   per-pair scoring/composition loops under ``repro/serve/`` and
-  ``repro/er/``).
+  ``repro/er/``);
+* :mod:`~repro.lint.rules.interproc` — whole-program RL1101 determinism
+  taint, RL1102 interprocedural seed flow, RL1103 fault-site registry
+  coherence, RL1104 serve purity closure (run over the
+  :class:`~repro.lint.project.ProjectContext` call graph).
 """
 
 from repro.lint.rules.autograd import BackwardContractRule, LoopCaptureRule
@@ -33,6 +37,12 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exports import AllNamesExistRule, PackageDefinesAllRule
 from repro.lint.rules.faults import FaultSwallowingExceptRule
+from repro.lint.rules.interproc import (
+    DeterminismTaintRule,
+    FaultSiteCoherenceRule,
+    SeedFlowRule,
+    ServePurityClosureRule,
+)
 from repro.lint.rules.kernels import PerPairLoopRule
 from repro.lint.rules.mutation import InPlaceDataMutationRule
 from repro.lint.rules.obs_guard import ObsHotPathGuardRule
@@ -44,6 +54,8 @@ __all__ = [
     "BackwardContractRule",
     "BenchProfileContractRule",
     "BenchRegisteredRule",
+    "DeterminismTaintRule",
+    "FaultSiteCoherenceRule",
     "FaultSwallowingExceptRule",
     "InPlaceDataMutationRule",
     "LegacyNumpyRandomRule",
@@ -53,6 +65,8 @@ __all__ = [
     "ParAmbientStateRule",
     "ParExplicitJobsRule",
     "PerPairLoopRule",
+    "SeedFlowRule",
+    "ServePurityClosureRule",
     "ServeReadOnlyRule",
     "StdlibRandomRule",
     "TimeSeededRule",

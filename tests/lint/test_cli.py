@@ -1,4 +1,4 @@
-"""CLI exit codes, --json output, and --write-baseline."""
+"""CLI exit codes, report formats, rule listing, cache flags, --write-baseline."""
 
 from __future__ import annotations
 
@@ -48,6 +48,17 @@ class TestExitCodes:
         assert code == 2
         assert "no python files" in capsys.readouterr().err
 
+    def test_no_paths_exit_two(self, capsys):
+        assert main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_bad_jobs_exit_two(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        code = main([str(root / "src"), "--root", str(root), "--jobs", "0"])
+        assert code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
     def test_missing_baseline_file_exit_two(self, project, capsys):
         root, write = project
         write("src/repro/weak/sampler.py", CLEAN)
@@ -68,6 +79,97 @@ class TestJsonFlag:
         document = json.loads(capsys.readouterr().out)
         assert document["summary"]["new"] == 1
         assert document["findings"][0]["rule"] == "RL302"
+
+
+class TestFormatFlag:
+    def test_sarif_report_parses(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        code = main([
+            str(root / "src"), "--root", str(root), "--format", "sarif",
+        ])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["results"][0]["ruleId"] == "RL302"
+
+    def test_format_json_matches_json_alias(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        args = [str(root / "src"), "--root", str(root), "--no-cache"]
+        main(args + ["--format", "json"])
+        via_format = capsys.readouterr().out
+        main(args + ["--json"])
+        assert capsys.readouterr().out == via_format
+
+
+class TestRulesListing:
+    def test_bare_rules_prints_registry_table(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        for column in ("id", "family", "scope", "severity", "doc"):
+            assert column in header
+        for rule_id in ("RL101", "RL302", "RL1101", "RL1104"):
+            assert rule_id in out
+        assert "interproc" in out
+        assert "project" in out
+
+
+class TestCacheFlags:
+    def test_warm_run_reuses_cache(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        args = [str(root / "src"), "--root", str(root)]
+        assert main(args) == 0
+        assert (root / ".lint-cache.json").is_file()
+        cold = capsys.readouterr().out
+        assert main(args + ["--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["files_reused"] == 1
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_no_cache_writes_nothing(self, project):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        assert main([str(root / "src"), "--root", str(root), "--no-cache"]) == 0
+        assert not (root / ".lint-cache.json").exists()
+
+    def test_explicit_cache_path(self, project):
+        root, write = project
+        write("src/repro/weak/sampler.py", CLEAN)
+        cache = root / "elsewhere" / "lint.json"
+        cache.parent.mkdir()
+        args = [str(root / "src"), "--root", str(root), "--cache", str(cache)]
+        assert main(args) == 0
+        assert cache.is_file()
+        assert not (root / ".lint-cache.json").exists()
+
+    def test_changed_only_skips_unchanged_files(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        args = [str(root / "src"), "--root", str(root), "--no-baseline"]
+        assert main(args) == 1
+        capsys.readouterr()
+        write("src/repro/weak/other.py", DIRTY)
+        assert main(args + ["--changed-only"]) == 1
+        out = capsys.readouterr().out
+        assert "other.py" in out
+        assert "sampler.py" not in out
+
+
+class TestJobsFlag:
+    def test_jobs_output_identical(self, project, capsys):
+        root, write = project
+        write("src/repro/weak/sampler.py", DIRTY)
+        write("src/repro/weak/other.py", DIRTY)
+        args = [str(root / "src"), "--root", str(root), "--no-cache", "--json"]
+        main(args)
+        serial = capsys.readouterr().out
+        main(args + ["--jobs", "2"])
+        assert capsys.readouterr().out == serial
 
 
 class TestBaselineFlow:

@@ -1,0 +1,206 @@
+"""Project graph, incremental cache, and parallel-phase contracts.
+
+The engine's whole-program promises are behavioural, not structural:
+warm runs must reproduce cold findings byte for byte, ``--jobs`` must be
+invisible in the output, and the module/call graph must resolve the
+repo's idioms (package ``__init__``, relative imports, ``self.``
+methods, constructor-typed locals) without inventing edges.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.engine import DEFAULT_CACHE_NAME, collect_files, lint_paths
+from repro.lint.project import ProjectContext, module_name_for, summarize_module
+from repro.lint.report import render_json
+
+import ast
+
+
+def _summaries(files):
+    out = {}
+    for display, source in files.items():
+        tree = ast.parse(textwrap.dedent(source))
+        out[display] = summarize_module(tree, display)
+    return out
+
+
+class TestModuleNaming:
+    def test_src_layout_stripped(self):
+        assert module_name_for("src/repro/er/train.py") == "repro.er.train"
+
+    def test_package_init_is_the_package(self):
+        assert module_name_for("src/repro/faults/__init__.py") == "repro.faults"
+
+    def test_benchmarks_keep_their_root(self):
+        assert module_name_for("benchmarks/bench_foo.py") == "benchmarks.bench_foo"
+
+
+class TestCallResolution:
+    def test_cross_module_import_edge(self):
+        project = ProjectContext(_summaries({
+            "src/repro/a.py": """
+                def helper():
+                    return 1
+            """,
+            "src/repro/b.py": """
+                from repro.a import helper
+
+                def caller():
+                    return helper()
+            """,
+        }))
+        edges = project.edges["repro.b::caller"]
+        assert [e.callee for e in edges] == ["repro.a::helper"]
+
+    def test_self_method_edge(self):
+        project = ProjectContext(_summaries({
+            "src/repro/a.py": """
+                class C:
+                    def low(self):
+                        return 1
+
+                    def high(self):
+                        return self.low()
+            """,
+        }))
+        edges = project.edges["repro.a::C.high"]
+        assert [e.callee for e in edges] == ["repro.a::C.low"]
+
+    def test_constructor_typed_local_method_edge(self):
+        project = ProjectContext(_summaries({
+            "src/repro/a.py": """
+                class C:
+                    def low(self):
+                        return 1
+
+                def use():
+                    c = C()
+                    return c.low()
+            """,
+        }))
+        callees = {e.callee for e in project.edges["repro.a::use"]}
+        assert "repro.a::C.low" in callees
+
+    def test_unresolved_calls_make_no_edges(self):
+        project = ProjectContext(_summaries({
+            "src/repro/a.py": """
+                def use(thing):
+                    return thing.whatever()
+            """,
+        }))
+        assert project.edges.get("repro.a::use", []) == []
+
+
+class TestCollectFilesOrdering:
+    def test_posix_sorted_regardless_of_input_order(self, tmp_path):
+        for rel in ("pkg/zeta.py", "pkg/alpha.py", "pkg/sub/mid.py", "top.py"):
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("x = 1\n")
+        forward = collect_files([tmp_path])
+        scrambled = collect_files(
+            [tmp_path / "top.py", tmp_path / "pkg", tmp_path])
+        as_posix = [p.as_posix() for p in forward]
+        assert as_posix == sorted(as_posix)
+        assert [p.resolve() for p in scrambled] == [p.resolve() for p in forward]
+
+    def test_deduplicates_overlapping_inputs(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        assert len(collect_files([tmp_path, path, path])) == 1
+
+
+@pytest.fixture
+def tree(tmp_path):
+    files = {
+        "src/repro/utils/helper.py": """
+            import numpy as np
+
+            def make_rng(seed=None):
+                return np.random.default_rng(seed)
+        """,
+        "src/repro/er/uses.py": """
+            import time
+
+            from repro.utils.helper import make_rng
+
+            def launder():
+                return make_rng(time.time())
+        """,
+        "src/repro/er/clean.py": """
+            def double(x):
+                return 2 * x
+        """,
+    }
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def _findings_json(result):
+    return json.loads(render_json(result))["findings"]
+
+
+class TestIncrementalCache:
+    def test_warm_run_reuses_everything_and_matches_cold(self, tree):
+        cache = tree / DEFAULT_CACHE_NAME
+        cold = lint_paths([tree], root=tree, cache_path=cache)
+        assert cold.files_reused == 0
+        assert cache.is_file()
+        warm = lint_paths([tree], root=tree, cache_path=cache)
+        assert warm.files_reused == warm.files_checked == cold.files_checked
+        assert _findings_json(warm) == _findings_json(cold)
+
+    def test_jobs_do_not_change_findings(self, tree):
+        serial = lint_paths([tree], root=tree)
+        fanned = lint_paths([tree], root=tree, jobs=4)
+        assert _findings_json(serial) == _findings_json(fanned)
+
+    def test_edited_file_invalidates_only_itself(self, tree):
+        cache = tree / DEFAULT_CACHE_NAME
+        lint_paths([tree], root=tree, cache_path=cache)
+        target = tree / "src/repro/er/clean.py"
+        target.write_text(target.read_text() + "\n\ny = double(3)\n")
+        warm = lint_paths([tree], root=tree, cache_path=cache)
+        assert warm.files_checked == 3
+        assert warm.files_reused == 2
+
+    def test_cross_file_violation_survives_warm_runs(self, tree):
+        # The RL1102 finding needs the cross-module call graph; a fully
+        # cache-served run must still rebuild it from the summaries.
+        cache = tree / DEFAULT_CACHE_NAME
+        cold = lint_paths([tree], root=tree, rule_ids=["RL1102"], cache_path=cache)
+        warm = lint_paths([tree], root=tree, rule_ids=["RL1102"], cache_path=cache)
+        assert warm.files_reused == warm.files_checked
+        assert [f.rule_id for f in cold.findings] == ["RL1102"]
+        assert _findings_json(warm) == _findings_json(cold)
+
+    def test_corrupt_cache_degrades_to_cold(self, tree):
+        cache = tree / DEFAULT_CACHE_NAME
+        cold = lint_paths([tree], root=tree, cache_path=cache)
+        cache.write_text("{ not json")
+        rebuilt = lint_paths([tree], root=tree, cache_path=cache)
+        assert rebuilt.files_reused == 0
+        assert _findings_json(rebuilt) == _findings_json(cold)
+
+    def test_changed_only_reports_only_edited_files(self, tree):
+        cache = tree / DEFAULT_CACHE_NAME
+        lint_paths([tree], root=tree, cache_path=cache)
+        target = tree / "src/repro/er/clean.py"
+        target.write_text("import random\n")
+        changed = lint_paths(
+            [tree], root=tree, cache_path=cache, changed_only=True,
+            rule_ids=["RL302"],
+        )
+        assert {f.path for f in changed.findings} == {"src/repro/er/clean.py"}
+
+    def test_no_cache_path_never_writes(self, tree):
+        lint_paths([tree], root=tree)
+        assert not (tree / DEFAULT_CACHE_NAME).exists()

@@ -52,3 +52,17 @@ def test_lint_covers_repo_files(repo_result):
     # Sanity check that the walk actually visited the codebase; a collection
     # bug that silently checked 0 files would make the gate vacuous.
     assert repo_result.files_checked > 100
+
+
+def test_gate_exercises_interprocedural_rules(repo_result):
+    # The RL11xx rules only bite when the project graph actually resolves
+    # the repo's call edges: the baselined RL1101/RL1102 findings (run_all's
+    # wall-clock stamp, ensure_rng's escape hatch) are the canaries.  If a
+    # resolver regression silently dropped the graph, those findings would
+    # vanish and their baseline entries would go stale — so an empty stale
+    # list plus the canaries present proves the whole-program pass ran.
+    baselined_rules = {f.rule_id for f in repo_result.baselined_findings}
+    assert {"RL1101", "RL1102"} <= baselined_rules, (
+        "interprocedural canary findings missing: the project-phase pass "
+        "did not run or the call-graph resolver regressed"
+    )

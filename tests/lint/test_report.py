@@ -1,11 +1,17 @@
-"""Text and JSON reporter output contracts."""
+"""Text, JSON, and SARIF reporter output contracts."""
 
 from __future__ import annotations
 
 import json
 
 from repro.lint.baseline import Baseline, BaselineEntry
-from repro.lint.report import JSON_REPORT_VERSION, render_json, render_text
+from repro.lint.report import (
+    JSON_REPORT_VERSION,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 SRC_PATH = "src/repro/weak/sampler.py"
 DIRTY = "import random\n"
@@ -23,6 +29,11 @@ class TestTextReport:
         text = render_text(result)
         assert f"{SRC_PATH}:1:1: RL302" in text
         assert "1 new finding(s)" in text
+
+    def test_summary_splits_errors_and_warnings(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        text = render_text(result)
+        assert "(1 error(s), 0 warning(s))" in text
 
     def test_baselined_hidden_by_default(self, lint_file):
         result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
@@ -48,15 +59,21 @@ class TestJsonReport:
         assert set(document) == {"version", "rules", "findings", "stale_baseline", "summary"}
         assert document["rules"]["RL302"]  # rule id -> human name
         (finding,) = document["findings"]
-        assert set(finding) == {"rule", "path", "line", "col", "message", "baselined"}
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "severity", "baselined",
+        }
         assert finding["rule"] == "RL302"
         assert finding["path"] == SRC_PATH
+        assert finding["severity"] == "error"
         assert finding["baselined"] is False
         summary = document["summary"]
         assert summary == {
             "files_checked": 1,
+            "files_reused": 0,
             "total": 1,
             "new": 1,
+            "new_errors": 1,
+            "new_warnings": 0,
             "baselined": 0,
             "stale": 0,
             "ok": False,
@@ -79,3 +96,52 @@ class TestJsonReport:
             "message": "not there", "justification": "old",
         }]
         assert document["summary"]["ok"] is False
+
+
+class TestSarifReport:
+    def test_schema_shape(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        document = json.loads(render_sarif(result))
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        (rule,) = driver["rules"]
+        assert rule["id"] == "RL302"
+        assert rule["properties"] == {"family": "determinism", "scope": "file"}
+        assert rule["fullDescription"]["text"]
+        (sarif_result,) = run["results"]
+        assert sarif_result["ruleId"] == "RL302"
+        assert sarif_result["ruleIndex"] == 0
+        assert sarif_result["level"] == "error"
+        assert sarif_result["baselineState"] == "new"
+        assert sarif_result["message"]["text"]
+        (location,) = sarif_result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == SRC_PATH
+        assert physical["region"] == {"startLine": 1, "startColumn": 1}
+
+    def test_baselined_maps_to_unchanged(self, lint_file):
+        result = lint_file(SRC_PATH, DIRTY, rule_ids=["RL302"])
+        result.findings = [f.as_baselined() for f in result.findings]
+        (sarif_result,) = json.loads(render_sarif(result))["runs"][0]["results"]
+        assert sarif_result["baselineState"] == "unchanged"
+
+    def test_empty_findings_run_is_valid(self, lint_file):
+        result = lint_file(SRC_PATH, "import numpy as np\n", rule_ids=["RL302"])
+        document = json.loads(render_sarif(result))
+        (run,) = document["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"] == []
+
+    def test_rule_inventory_deduplicates_and_indexes(self, lint_file):
+        source = "import random\nrandom.random()\n"
+        result = lint_file(SRC_PATH, source, rule_ids=["RL302"])
+        document = json.loads(render_sarif(result))
+        (run,) = document["runs"]
+        assert len(run["results"]) >= 1
+        assert len(run["tool"]["driver"]["rules"]) == 1
+        for sarif_result in run["results"]:
+            rule_row = run["tool"]["driver"]["rules"][sarif_result["ruleIndex"]]
+            assert rule_row["id"] == sarif_result["ruleId"]
