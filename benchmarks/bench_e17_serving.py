@@ -33,6 +33,8 @@ the surrounding BENCH json envelope, never in the rows.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from functools import lru_cache
 
 from benchmarks.common import (
@@ -47,10 +49,14 @@ from repro.serve import (
     BlockingIndex,
     MatchService,
     ServerConfig,
+    ShardedMatchService,
     WorkloadConfig,
     generate_workload,
     simulate,
 )
+
+# Shard counts the scatter-gather sweep proves invariance over.
+SHARD_SWEEP = (1, 2, 4, 8)
 
 _P = {
     "full": dict(
@@ -127,6 +133,67 @@ def _scenario_row(name: str, service: MatchService, queries, server: ServerConfi
     }
 
 
+def _answers_digest(service, records) -> str:
+    """sha1 over the service's full answer set for ``records``.
+
+    Every :class:`ShardedMatchService` in the sweep must produce the same
+    digest as the unsharded service — the row-level proof that answers
+    are a pure function of the query stream, never of the topology.
+    Computed on a cache-disabled service, so the digest is also
+    independent of whatever traffic the simulator already replayed.
+    """
+    answers = [a.to_dict() for a in service.match_batch(records).answers]
+    payload = json.dumps(answers, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def _shard_sweep_rows(matcher, index, records_b, cfg, jobs: int) -> list[dict]:
+    """Overload scenario replayed at every shard count in SHARD_SWEEP.
+
+    Caches stay disabled so the scored work per batch is maximal and
+    identical at every N; the cost model keeps the PR-5 per-pair price
+    but shrinks the router's scatter cost, so batches are shard-work
+    dominated and the per-shard queues (not the router) are the
+    bottleneck — the throughput column then shows the horizontal
+    scaling, while ``answers_sha1`` shows the answers not moving at all.
+    """
+    overload = generate_workload(records_b, WorkloadConfig(
+        n_queries=cfg["n_queries"], rate=cfg["overload_rate"],
+        repeat_fraction=cfg["repeat_fraction"], seed=cfg["workload_seed"],
+    ))
+    shard_cost = ServerConfig(
+        max_batch_size=cfg["max_batch_size"], max_wait=cfg["max_wait"],
+        max_queue=cfg["overload_queue"],
+        cost_base=0.0005, cost_per_query=0.0001, cost_per_miss=0.0012,
+    )
+    rows = []
+    for n_shards in SHARD_SWEEP:
+        service = ShardedMatchService(
+            matcher, index, n_shards=n_shards, replicas=2, jobs=jobs,
+            embedding_cache_size=0, score_cache_size=0,
+        )
+        report = simulate(service, overload, shard_cost)
+        p = report.latency_percentiles((50, 95, 99))
+        rows.append({
+            "scenario": f"shard sweep N={n_shards} (overload)",
+            "queries": len(report.results),
+            "completed": len(report.completed),
+            "shed_rate": round(report.shed_rate, 6),
+            "p50_ms": round(p[50] * 1e3, 6),
+            "p95_ms": round(p[95] * 1e3, 6),
+            "p99_ms": round(p[99] * 1e3, 6),
+            "throughput_qps": round(report.throughput, 6),
+            "cache_hit_rate": 0.0,  # caches disabled by construction
+            "batches": len(report.batches),
+            "mean_batch": round(report.mean_batch_size, 6),
+            "scored_pairs": report.scored_pairs,
+            "shards": n_shards,
+            "straggler_ms": round(report.straggler_overhead * 1e3, 6),
+            "answers_sha1": _answers_digest(service, records_b),
+        })
+    return rows
+
+
 def run_experiment(profile: str = "full", jobs: int = 1) -> list[dict]:
     cfg = profile_config(_P, profile)
     matcher, index, records_b = _setup(profile)
@@ -174,7 +241,7 @@ def run_experiment(profile: str = "full", jobs: int = 1) -> list[dict]:
         _scenario_row("overload (bounded queue)", service(True), overload, admission),
         _scenario_row("kernel cost (no cache)", service(False), base, kernel_batching),
         _scenario_row("kernel cost + caches", service(True), base, kernel_batching),
-    ]
+    ] + _shard_sweep_rows(matcher, index, records_b, cfg, jobs)
 
 
 def test_e17_serving(benchmark):
@@ -206,6 +273,17 @@ def test_e17_serving(benchmark):
     # (34.1 → 311.0 qps).
     assert kernel_cached["scored_pairs"] == cached["scored_pairs"]
     assert kernel_cached["throughput_qps"] >= 2.0 * cached["throughput_qps"]
+    # Shard sweep: answers are byte-identical at every shard count (one
+    # digest), the scored work does not depend on the topology, and the
+    # per-shard queues deliver real horizontal scaling under overload.
+    sweep = [r for r in rows if r["scenario"].startswith("shard sweep")]
+    assert [r["shards"] for r in sweep] == list(SHARD_SWEEP)
+    assert len({r["answers_sha1"] for r in sweep}) == 1
+    assert len({r["scored_pairs"] for r in sweep}) == 1
+    throughputs = [r["throughput_qps"] for r in sweep]
+    assert throughputs == sorted(throughputs)
+    assert throughputs[-1] >= 2.0 * throughputs[0]
+    assert all(r["straggler_ms"] >= 0.0 for r in sweep)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ fires the same faults at the same points, every run.  With no active plan
 from __future__ import annotations
 
 import fnmatch
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -183,22 +184,41 @@ class FaultPlan:
         so a chaos run must converge to the fault-free result.  Latency
         faults (simulated) may land anywhere.  ``sites`` optionally
         restricts the schedule to a subset of catalog patterns.
+
+        **Append stability**: each (kind, site) decision draws from its
+        own generator, seeded from the chaos seed plus a content hash of
+        the site name — never from one shared stream walked in catalog
+        order.  Growing the catalog therefore *adds* scheduled faults
+        without perturbing any pre-existing site's schedule: a seed that
+        used to kill ``par.pool`` still kills exactly ``par.pool`` after
+        new sites are declared (the regression tests pin seeds 7 and 11).
         """
         from repro.faults.sites import CORRUPT_SITES, LATENCY_ONLY_SITES, RETRY_SITES
 
-        rng = np.random.default_rng(np.random.SeedSequence([0xFA0175, int(seed)]))
+        def stream(kind_index: int, site: str) -> np.random.Generator:
+            token = int.from_bytes(
+                hashlib.sha1(site.encode("utf-8")).digest()[:8], "big"
+            )
+            return np.random.default_rng(
+                np.random.SeedSequence([0xFA0175, int(seed), kind_index, token])
+            )
+
         chosen = (lambda s: sites is None or s in sites)
         faults: list[Fault] = []
         consuming: set[str] = set()
         for site in sorted(RETRY_SITES):
-            if chosen(site) and rng.random() < error_rate:
+            if chosen(site) and stream(0, site).random() < error_rate:
                 faults.append(Fault(site, "error", hits=(0,)))
                 consuming.add(site)
         for site in sorted(CORRUPT_SITES):
-            if chosen(site) and rng.random() < corrupt_rate and site not in consuming:
+            if chosen(site) and site not in consuming \
+                    and stream(1, site).random() < corrupt_rate:
                 faults.append(Fault(site, "corrupt", hits=(0,)))
         for site in sorted({**RETRY_SITES, **LATENCY_ONLY_SITES}):
-            if chosen(site) and rng.random() < latency_rate:
+            if not chosen(site):
+                continue
+            rng = stream(2, site)
+            if rng.random() < latency_rate:
                 delay = round(float(rng.uniform(0.001, max_delay)), 6)
                 faults.append(Fault(site, "latency", hits=(0,), delay_seconds=delay))
         return cls(faults, name=f"chaos[{seed}]")

@@ -48,6 +48,17 @@ RETRY_SITES: dict[str, str] = {
         "MatchService batch scoring via DeepER.predict_proba; validated "
         "shape/finiteness, retried under HOT_POLICY (attempts=2)"
     ),
+    "serve.shard.query": (
+        "ShardedMatchService per-shard call (embed/candidates/score on "
+        "one shard group); budget = the group's replica count — an error "
+        "fails the batch over to the next replica, which shares the "
+        "shard's cache tier, so a recovered batch is bit-identical"
+    ),
+    "serve.shard.route": (
+        "ShardedMatchService home-shard routing of a batch's distinct "
+        "query keys; pure recompute, validated and retried under "
+        "HOT_POLICY (attempts=2)"
+    ),
 }
 
 LATENCY_ONLY_SITES: dict[str, str] = {
@@ -63,12 +74,21 @@ LATENCY_ONLY_SITES: dict[str, str] = {
 
 # Retryable sites whose wrapped call validates its return value, so a
 # corrupted-return fault is detected and retried rather than persisted.
+#
+# "serve.shard.query" is deliberately absent: a corrupted *return* is
+# only detected after the primary has already consulted (and warmed) the
+# shard's shared cache tier, so the replica's retry would report fewer
+# cache misses than a fault-free run — the answers would still be
+# correct, but the simulated cost rows would drift under chaos.  Error
+# faults at that site fire *before* the call touches anything, which is
+# exactly the dead-shard model failover is built for.
 CORRUPT_SITES: tuple[str, ...] = (
     "pipeline.step.*",
     "er.blocking.lsh",
     "er.blocking.token",
     "er.deeper.pair_features",
     "serve.score",
+    "serve.shard.route",
 )
 
 

@@ -16,13 +16,24 @@ across runs, hosts and ``jobs`` settings:
   ``predict_proba`` call per batch;
 * :mod:`repro.serve.workload` — seeded open-loop query generator;
 * :mod:`repro.serve.sim` — the micro-batching/admission-control
-  event loop and its latency/throughput report.
+  event loop and its latency/throughput report;
+* :mod:`repro.serve.shard` — :class:`ShardedMatchService`,
+  scatter-gather over hash-partitioned shard replica groups with
+  byte-identical answers for any shard count.
 """
 
 from repro.serve.cache import CacheStats, CacheStatsView, LRUCache, MISSING, content_key
 from repro.serve.clock import SimClock
 from repro.serve.index import BlockingIndex
 from repro.serve.service import BatchReport, MatchAnswer, MatchService
+from repro.serve.shard import (
+    ShardBatchReport,
+    ShardGroup,
+    ShardWork,
+    ShardedMatchService,
+    shard_of_id,
+    shard_of_key,
+)
 from repro.serve.sim import QueryResult, ServerConfig, SimReport, percentile, simulate
 from repro.serve.workload import Query, WorkloadConfig, generate_workload
 
@@ -38,11 +49,17 @@ __all__ = [
     "Query",
     "QueryResult",
     "ServerConfig",
+    "ShardBatchReport",
+    "ShardGroup",
+    "ShardWork",
+    "ShardedMatchService",
     "SimClock",
     "SimReport",
     "WorkloadConfig",
     "content_key",
     "generate_workload",
     "percentile",
+    "shard_of_id",
+    "shard_of_key",
     "simulate",
 ]

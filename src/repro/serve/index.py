@@ -150,6 +150,53 @@ class BlockingIndex:
     def __len__(self) -> int:
         return len(self._ids)
 
+    @property
+    def ids(self) -> "list[str]":
+        """Reference ids in build order (copy; safe to partition)."""
+        return list(self._ids)
+
+    def shard_view(self, member_ids: "list[str]") -> "BlockingIndex":
+        """A shard of this index restricted to ``member_ids``.
+
+        The view **shares the frozen blocker** — centering/whitening and
+        hyperplanes fitted over the *full* reference table — so a query
+        hashes to the same buckets on every shard and the shard candidate
+        sets exactly partition the global candidate set:
+        ``view.candidates(e) == [c for c in self.candidates(e) if c in
+        member_ids]``.  Had each shard fitted its own transform, the hash
+        functions would diverge and scatter-gather answers would depend on
+        the shard count.  Buckets, records and the quantized column store
+        are sliced (rows gathered, empty buckets dropped), so a view costs
+        memory proportional to its members only.
+        """
+        if self._buckets is None or self._column_store is None:
+            raise RuntimeError("index not built; call build() first")
+        members = [str(i) for i in member_ids]
+        unknown = [i for i in members if i not in self._row_of]
+        if unknown:
+            raise KeyError(f"ids not in index: {unknown[:3]}")
+        view = BlockingIndex.__new__(BlockingIndex)
+        view.embedder = self.embedder
+        view.blocker = self.blocker  # shared frozen transform + hyperplanes
+        view._ids = members
+        view._records = {i: self._records[i] for i in members}
+        local_of = {self._row_of[i]: local for local, i in enumerate(members)}
+        view._buckets = [
+            {
+                key: kept
+                for key, rows in band_buckets.items()
+                if (kept := [local_of[r] for r in rows if r in local_of])
+            }
+            for band_buckets in self._buckets
+        ]
+        store = self._column_store
+        rows = np.array([self._row_of[i] for i in members], dtype=np.intp)
+        view._column_store = QuantizedStore(
+            mode=store.mode, codes=store.codes[rows], scales=store.scales[rows]
+        )
+        view._row_of = {i: local for local, i in enumerate(members)}
+        return view
+
     # ------------------------------------------------------------------ #
     # probe
     # ------------------------------------------------------------------ #

@@ -114,6 +114,13 @@ class MatchService:
         bit-identical (the serving differential tests assert it).
         Trainable composers always take the loop path — their pair
         representation is not column-decomposable.
+    cache_scope:
+        Prefix for the cache names (and therefore the guarded
+        ``serve.cache.<scope><name>.*`` metric counters).  The sharded
+        service scopes each shard's cache tier (``"shard3."``) so
+        per-shard hit/miss counters stay distinguishable — and provably
+        sum to the unsharded totals — instead of all shards conflating
+        into one ``serve.cache.embedding.*`` stream.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class MatchService:
         embedding_cache_size: int = 1024,
         score_cache_size: int = 4096,
         scoring: str = "kernel",
+        cache_scope: str = "",
     ) -> None:
         check_fitted(matcher, "trained_")
         if not index.built:
@@ -144,9 +152,11 @@ class MatchService:
         self.matcher.classifier.eval()
         if self.matcher.composer is not None:
             self.matcher.composer.eval()
-        self.embedding_cache = LRUCache(embedding_cache_size, name="embedding")
-        self.score_cache = LRUCache(score_cache_size, name="score")
-        self.column_cache = LRUCache(embedding_cache_size, name="columns")
+        self.embedding_cache = LRUCache(embedding_cache_size,
+                                        name=f"{cache_scope}embedding")
+        self.score_cache = LRUCache(score_cache_size, name=f"{cache_scope}score")
+        self.column_cache = LRUCache(embedding_cache_size,
+                                     name=f"{cache_scope}columns")
 
     # ------------------------------------------------------------------ #
     # read-only contract
@@ -196,84 +206,29 @@ class MatchService:
             _OBS.counter("serve.requests").inc(float(len(records)))
 
         keys = [content_key(record) for record in records]
+        record_by_key = {k: r for k, r in zip(keys, records)}
+        distinct = list(dict.fromkeys(keys))
 
         # Embedding stage: consult the cache once per *distinct* key, then
         # embed the misses in one (possibly parallel) pass.
-        embeddings: dict[str, np.ndarray] = {}
-        embedding_hits: set[str] = set()
-        seen: set[str] = set()
-        miss_keys: list[str] = []
-        miss_records: list[dict[str, object]] = []
-        for key, record in zip(keys, records):
-            if key in seen:
-                continue
-            seen.add(key)
-            cached = self.embedding_cache.get(key)
-            if cached is not MISSING:
-                embeddings[key] = cached
-                embedding_hits.add(key)
-            else:
-                miss_keys.append(key)
-                miss_records.append(record)
-        if miss_records:
-            fresh = self.index.embed_queries(miss_records, jobs=self.jobs)
-            for key, vector in zip(miss_keys, fresh):
-                embeddings[key] = vector
-                self.embedding_cache.put(key, vector)
+        embeddings, embedding_hits = self.resolve_embeddings(
+            [(key, record_by_key[key]) for key in distinct]
+        )
 
         # Candidate stage: deterministic (sorted) candidate ids per query.
-        candidates_by_key: dict[str, list[str]] = {
-            key: self.index.candidates(embeddings[key])
-            for key in dict.fromkeys(keys)
-        }
+        candidates_by_key = self.candidate_map(embeddings, distinct)
 
         # Scoring stage: consult the score cache per unique pair, then send
         # every uncached pair to the matcher in a single predict_proba call.
         # ``scores_now`` carries this batch's scores locally so answers do
         # not depend on cache capacity (a 0-capacity cache stores nothing).
-        scores_now: dict[tuple[str, str], float] = {}
-        hits_by_key: dict[str, int] = {}
-        to_score: list[tuple[str, str]] = []
-        for key in dict.fromkeys(keys):
-            hits_by_key[key] = 0
-            for candidate_id in candidates_by_key[key]:
-                pair_key = (key, candidate_id)
-                cached = self.score_cache.get(pair_key)
-                if cached is MISSING:
-                    to_score.append(pair_key)
-                else:
-                    scores_now[pair_key] = cached
-                    hits_by_key[key] += 1
+        scores_now, hits_by_key, to_score = self.consult_scores(candidates_by_key)
         predict_calls = 0
         if to_score:
-            record_by_key = {k: r for k, r in zip(keys, records)}
-            if self.scoring == "kernel":
-                scorer, scorer_args = self._score_pairs_kernel, (to_score, record_by_key)
-            else:
-                pair_records = [
-                    (record_by_key[key], self.index.record(candidate_id))
-                    for key, candidate_id in to_score
-                ]
-                scorer, scorer_args = self.matcher.predict_proba, (pair_records,)
-            probabilities = retry_call(
-                scorer,
-                *scorer_args,
-                site="serve.score",
-                policy=HOT_POLICY,
-                validate=lambda p: (
-                    isinstance(p, np.ndarray)
-                    and p.shape == (len(to_score),)
-                    and bool(np.all(np.isfinite(p)))
-                ),
-            )
+            probabilities = self.score_uncached(to_score, record_by_key)
             predict_calls = 1
             for pair_key, probability in zip(to_score, probabilities):
                 scores_now[pair_key] = float(probability)
-                self.score_cache.put(pair_key, float(probability))
-            if _OBS.enabled:
-                _OBS.counter("serve.predict_calls").inc()
-                _OBS.counter("serve.scored_pairs").inc(float(len(to_score)))
-                _OBS.histogram("serve.score_batch_pairs").observe(len(to_score))
 
         answers = [
             self._assemble(
@@ -288,14 +243,150 @@ class MatchService:
         return BatchReport(
             answers=answers,
             scored_pairs=len(to_score),
-            embedding_misses=len(miss_records),
+            embedding_misses=len(distinct) - len(embedding_hits),
             predict_calls=predict_calls,
         )
+
+    # ------------------------------------------------------------------ #
+    # pipeline stages (shared with the scatter-gather router)
+    # ------------------------------------------------------------------ #
+    # Each stage is a pure function of its inputs plus this service's
+    # cache state, so :class:`repro.serve.shard.ShardedMatchService` can
+    # run the same stages shard-by-shard — embeddings/columns on a query
+    # key's home shard, candidate lookup and scoring on every shard — and
+    # still merge to byte-identical answers.
+
+    def resolve_embeddings(
+        self, keyed_records: "list[tuple[str, dict[str, object]]]"
+    ) -> "tuple[dict[str, np.ndarray], set[str]]":
+        """Cache-aware tuple embeddings for distinct ``(key, record)`` pairs.
+
+        Returns the embedding per key plus the subset of keys served from
+        the cache; misses are embedded in one (possibly parallel) pass and
+        inserted.  Callers must pass each key at most once.
+        """
+        embeddings: dict[str, np.ndarray] = {}
+        hit_keys: set[str] = set()
+        miss_keys: list[str] = []
+        miss_records: list[dict[str, object]] = []
+        for key, record in keyed_records:
+            cached = self.embedding_cache.get(key)
+            if cached is not MISSING:
+                embeddings[key] = cached
+                hit_keys.add(key)
+            else:
+                miss_keys.append(key)
+                miss_records.append(record)
+        if miss_records:
+            fresh = self.index.embed_queries(miss_records, jobs=self.jobs)
+            for key, vector in zip(miss_keys, fresh):
+                embeddings[key] = vector
+                self.embedding_cache.put(key, vector)
+        return embeddings, hit_keys
+
+    def candidate_map(
+        self, embeddings: "dict[str, np.ndarray]", keys: "list[str]"
+    ) -> "dict[str, list[str]]":
+        """Deterministic (sorted) candidate ids per query key."""
+        return {key: self.index.candidates(embeddings[key]) for key in keys}
+
+    def consult_scores(
+        self, candidates_by_key: "dict[str, list[str]]"
+    ) -> "tuple[dict[tuple[str, str], float], dict[str, int], list[tuple[str, str]]]":
+        """Score-cache consult over every (query key, candidate id) pair.
+
+        Returns the cached scores, the per-key hit counts, and the ordered
+        list of uncached pairs still needing the matcher.
+        """
+        scores_now: dict[tuple[str, str], float] = {}
+        hits_by_key: dict[str, int] = {}
+        to_score: list[tuple[str, str]] = []
+        for key, candidate_ids in candidates_by_key.items():
+            hits_by_key[key] = 0
+            for candidate_id in candidate_ids:
+                pair_key = (key, candidate_id)
+                cached = self.score_cache.get(pair_key)
+                if cached is MISSING:
+                    to_score.append(pair_key)
+                else:
+                    scores_now[pair_key] = cached
+                    hits_by_key[key] += 1
+        return scores_now, hits_by_key, to_score
+
+    def score_uncached(
+        self,
+        to_score: "list[tuple[str, str]]",
+        record_by_key: "dict[str, dict[str, object]]",
+        columns_by_key: "dict[str, np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """One validated, retried scoring call over the uncached pairs.
+
+        Scores land in the score cache and are returned in ``to_score``
+        order.  ``columns_by_key`` lets the scatter-gather router supply
+        query columns it already resolved on each key's home shard; left
+        ``None``, the kernel path resolves them through this service's own
+        column cache.
+        """
+        if self.scoring == "kernel":
+            scorer = self._score_pairs_kernel
+            scorer_args = (to_score, record_by_key, columns_by_key)
+        else:
+            pair_records = [
+                (record_by_key[key], self.index.record(candidate_id))
+                for key, candidate_id in to_score
+            ]
+            scorer, scorer_args = self.matcher.predict_proba, (pair_records,)
+        probabilities = retry_call(
+            scorer,
+            *scorer_args,
+            site="serve.score",
+            policy=HOT_POLICY,
+            validate=lambda p: (
+                isinstance(p, np.ndarray)
+                and p.shape == (len(to_score),)
+                and bool(np.all(np.isfinite(p)))
+            ),
+        )
+        for pair_key, probability in zip(to_score, probabilities):
+            self.score_cache.put(pair_key, float(probability))
+        if _OBS.enabled:
+            _OBS.counter("serve.predict_calls").inc()
+            _OBS.counter("serve.scored_pairs").inc(float(len(to_score)))
+            _OBS.histogram("serve.score_batch_pairs").observe(len(to_score))
+        return probabilities
+
+    def resolve_columns(
+        self, keyed_records: "list[tuple[str, dict[str, object]]]"
+    ) -> "dict[str, np.ndarray]":
+        """Cache-aware per-attribute embedding stacks for query keys.
+
+        Misses go through one deduplicated :func:`unique_column_stack`
+        pass and are inserted; callers pass each key at most once.
+        """
+        columns: dict[str, np.ndarray] = {}
+        miss_keys: list[str] = []
+        miss_records: list[dict[str, object]] = []
+        for key, record in keyed_records:
+            cached = self.column_cache.get(key)
+            if cached is not MISSING:
+                columns[key] = cached
+            else:
+                miss_keys.append(key)
+                miss_records.append(record)
+        if miss_records:
+            stack, indices = unique_column_stack(
+                miss_records, self.matcher.embedder, jobs=self.jobs
+            )
+            for key, row in zip(miss_keys, indices):
+                columns[key] = stack[row]
+                self.column_cache.put(key, stack[row])
+        return columns
 
     def _score_pairs_kernel(
         self,
         to_score: "list[tuple[str, str]]",
         record_by_key: "dict[str, dict[str, object]]",
+        columns_by_key: "dict[str, np.ndarray] | None" = None,
     ) -> np.ndarray:
         """Batched scoring of the uncached pairs via :mod:`repro.kernels`.
 
@@ -307,24 +398,12 @@ class MatchService:
         batch; with an unquantized store the probabilities are
         bit-identical to the loop path's ``predict_proba``.
         """
-        columns: dict[str, np.ndarray] = {}
-        miss_keys: list[str] = []
-        miss_records: list[dict[str, object]] = []
-        for key in dict.fromkeys(k for k, _ in to_score):
-            cached = self.column_cache.get(key)
-            if cached is not MISSING:
-                columns[key] = cached
-            else:
-                miss_keys.append(key)
-                miss_records.append(record_by_key[key])
-        if miss_records:
-            stack, indices = unique_column_stack(
-                miss_records, self.matcher.embedder, jobs=self.jobs
-            )
-            for key, row in zip(miss_keys, indices):
-                columns[key] = stack[row]
-                self.column_cache.put(key, stack[row])
-        u_cols = np.array([columns[key] for key, _ in to_score])
+        if columns_by_key is None:
+            columns_by_key = self.resolve_columns([
+                (key, record_by_key[key])
+                for key in dict.fromkeys(k for k, _ in to_score)
+            ])
+        u_cols = np.array([columns_by_key[key] for key, _ in to_score])
         v_cols = self.index.column_rows([c for _, c in to_score])
         return score_pairs(self.matcher.classifier, u_cols, v_cols)
 

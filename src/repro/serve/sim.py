@@ -16,7 +16,17 @@ SimClock`, shaped like a real inference server's request path:
   + cost_per_embed·embedding_misses`` simulated seconds.  The real model *is* invoked (answers are genuine
   ``predict_proba`` outputs), but latency comes from the model above, so
   cache hits make batches measurably faster and the reported
-  p50/p95/p99 are bit-identical across runs, hosts and ``jobs`` values.
+  p50/p95/p99 are bit-identical across runs, hosts and ``jobs`` values;
+* **scatter-gather straggler model** — when the service's report carries
+  a per-shard work breakdown (:class:`repro.serve.shard.
+  ShardBatchReport`), the router pays the scatter cost
+  (``cost_base + cost_per_query·|batch|``) serially, each shard then
+  works its own queue (``cost_per_miss``/``cost_per_embed`` over *its*
+  share), and the batch completes at the **max of the shard finish
+  times** — the classic fan-out straggler.  The router frees as soon as
+  the scatter is done, so consecutive batches pipeline across shard
+  queues; the per-batch ``straggler`` entry records how long the gather
+  waited past the mean shard cost.
 
 The loop never reads wall clocks or ambient randomness; given the same
 workload, config and service state it replays the exact same schedule —
@@ -130,6 +140,15 @@ class SimReport:
     def scored_pairs(self) -> int:
         return sum(b["scored_pairs"] for b in self.batches)
 
+    @property
+    def straggler_overhead(self) -> float:
+        """Total simulated seconds the gather waited on the slowest shard.
+
+        Summed per-batch ``max(shard finish) − dispatch − mean(shard
+        cost)``; 0.0 for unsharded runs (no per-shard breakdown).
+        """
+        return sum(b.get("straggler", 0.0) for b in self.batches)
+
 
 def percentile(ordered: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending list (0.0 when empty).
@@ -165,6 +184,8 @@ def simulate(
     results: dict[int, QueryResult] = {}
     batches: list[dict] = []
     server_free_at = 0.0
+    last_finish = 0.0
+    shard_free: dict[int, float] = {}
     index = 0
     total = len(arrivals)
 
@@ -206,14 +227,44 @@ def simulate(
             batch = pending[: config.max_batch_size]
             del pending[: config.max_batch_size]
             report = service.match_batch([q.record for q in batch])
-            cost = (
-                config.cost_base
-                + config.cost_per_query * len(batch)
-                + config.cost_per_miss * report.scored_pairs
-                + config.cost_per_embed * report.embedding_misses
-            )
-            finish = fire + cost
-            server_free_at = finish
+            shard_works = tuple(getattr(report, "shards", ()) or ())
+            batch_extra: dict = {}
+            if shard_works:
+                # Scatter-gather: the router serializes the scatter, each
+                # shard works its own queue, the gather completes at the
+                # max of the shard finish times (straggler-bound).  The
+                # router is free again once the scatter is dispatched, so
+                # later batches pipeline into idle shard queues.
+                scatter = config.cost_base + config.cost_per_query * len(batch)
+                dispatch = fire + scatter
+                shard_costs = []
+                finish = dispatch
+                for work in shard_works:
+                    shard_cost = (
+                        config.cost_per_miss * work.scored_pairs
+                        + config.cost_per_embed * work.embedding_misses
+                    )
+                    shard_costs.append(shard_cost)
+                    done = max(dispatch, shard_free.get(work.shard, 0.0)) + shard_cost
+                    shard_free[work.shard] = done
+                    finish = max(finish, done)
+                server_free_at = dispatch
+                mean_cost = sum(shard_costs) / len(shard_costs)
+                cost = finish - fire
+                batch_extra = {
+                    "shards": len(shard_works),
+                    "straggler": finish - dispatch - mean_cost,
+                }
+            else:
+                cost = (
+                    config.cost_base
+                    + config.cost_per_query * len(batch)
+                    + config.cost_per_miss * report.scored_pairs
+                    + config.cost_per_embed * report.embedding_misses
+                )
+                finish = fire + cost
+                server_free_at = finish
+            last_finish = max(last_finish, finish)
             batch_id = len(batches)
             batches.append({
                 "batch_id": batch_id,
@@ -224,6 +275,7 @@ def simulate(
                 "embedding_misses": report.embedding_misses,
                 "predict_calls": report.predict_calls,
                 "cost": cost,
+                **batch_extra,
             })
             for query, answer in zip(batch, report.answers):
                 results[query.query_id] = QueryResult(
@@ -235,7 +287,9 @@ def simulate(
                     batch_id=batch_id,
                     answer=answer,
                 )
-        clock.advance_to(server_free_at)
+        # Unsharded, the server frees exactly when the last batch finishes;
+        # sharded, the router may free before the slowest shard drains.
+        clock.advance_to(max(server_free_at, last_finish))
         sim_report = SimReport(
             config=config,
             results=[results[q.query_id] for q in sorted(queries, key=lambda q: q.query_id)],

@@ -54,6 +54,28 @@ def test_lint_covers_repo_files(repo_result):
     assert repo_result.files_checked > 100
 
 
+def test_shard_layer_is_clean_under_serve_contracts(repo_result):
+    # The scatter-gather router must satisfy the serving contracts with no
+    # baseline help: RL901 (read-only serving — no .fit/.backward/.data
+    # mutation) and RL1104 (serve purity closure) over the shard layer,
+    # plus RL401 guards on its hot metrics calls.  Zero findings in the
+    # repo-wide result could also mean the walk never saw the file, so a
+    # targeted single-file run proves it is both visited and clean.
+    shard_findings = [
+        f for f in repo_result.findings
+        if f.path.endswith("repro/serve/shard.py")
+    ]
+    assert shard_findings == [], (
+        "shard layer must lint clean without baseline entries:\n"
+        + "\n".join(f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in shard_findings)
+    )
+    solo = lint_paths(
+        [REPO_ROOT / "src" / "repro" / "serve" / "shard.py"], root=REPO_ROOT
+    )
+    assert solo.files_checked == 1
+    assert solo.findings == []
+
+
 def test_gate_exercises_interprocedural_rules(repo_result):
     # The RL11xx rules only bite when the project graph actually resolves
     # the repo's call edges: the baselined RL1101/RL1102 findings (run_all's

@@ -20,14 +20,17 @@ class TestCatalog:
         assert "serve.cache.lookup" in LATENCY_ONLY_SITES
         assert {"serve.score", "serve.cache.lookup"} <= set(all_sites())
 
-    def test_serve_sites_sort_after_existing(self):
-        """New sites append to every sorted chaos draw, so pre-existing
-        seeds keep scheduling exactly the faults they always did."""
-        ordered = sorted(RETRY_SITES)
-        assert ordered[-1] == "serve.score"
-        assert sorted(CORRUPT_SITES)[-1] == "serve.score"
-        latency_union = sorted({**RETRY_SITES, **LATENCY_ONLY_SITES})
-        assert latency_union[-2:] == ["serve.cache.lookup", "serve.score"]
+    def test_shard_sites_catalogued(self):
+        """The scatter-gather layer's sites, with the documented split:
+        routing is validated pure recompute (corrupt-safe); the per-shard
+        call is failover-only — a corrupted return would be detected only
+        after the primary warmed the shared cache tier, so corrupt chaos
+        there would make cost rows drift (see repro.faults.sites)."""
+        assert "serve.shard.route" in RETRY_SITES
+        assert "serve.shard.query" in RETRY_SITES
+        assert "serve.shard.route" in CORRUPT_SITES
+        assert "serve.shard.query" not in CORRUPT_SITES
+
 
 
 class TestScoreSite:

@@ -94,12 +94,20 @@ def test_run_all_e17_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys)
         assert check_file(str(path)) == []
         return json.loads(path.read_text())["rows"]
 
+    from benchmarks.bench_e17_serving import SHARD_SWEEP
+
     first = rows("first")
     # The kernel-cost rows (batched repro.kernels scorer) must be in the
     # emitted table and covered by the same byte-equality bar.
     scenarios = [row["scenario"] for row in first]
     assert "kernel cost (no cache)" in scenarios
     assert "kernel cost + caches" in scenarios
+    # So must the shard sweep — and within one run, its answers digest
+    # must not move with the shard count (scatter-gather invariance at
+    # the emitted-artifact level, not just in the unit tier).
+    sweep = [row for row in first if row["scenario"].startswith("shard sweep")]
+    assert [row["shards"] for row in sweep] == list(SHARD_SWEEP)
+    assert len({row["answers_sha1"] for row in sweep}) == 1
     assert first == rows("again")
     assert first == rows("jobs2", "--jobs", "2")
     assert first == rows("chaos", "--chaos", "11")
