@@ -60,6 +60,7 @@ EXPERIMENTS = {
     "e15": ("bench_e15_transfer", "E15: transfer learning"),
     "e16": ("bench_e16_pipeline", "E16: self-driving pipeline"),
     "e17": ("bench_e17_serving", "E17: online serving layer"),
+    "e18": ("bench_e18_loop", "E18: continuous curation loop"),
     "a1": ("bench_a1_ablations", "A1: design-choice ablations"),
     "a2": ("bench_a2_active_learning", "A2: active labelling"),
     "a3": ("bench_a3_holistic_repair", "A3: holistic vs minimal repair"),

@@ -23,7 +23,10 @@ The package is organised by the paper's roadmap:
 * :mod:`repro.serve` — deterministic online serving (micro-batching,
   caching, admission control) for ER match queries on a simulated clock;
 * :mod:`repro.kernels` — batched matrix-op scoring kernels and quantized
-  embedding stores, differentially proven against the per-pair loops.
+  embedding stores, differentially proven against the per-pair loops;
+* :mod:`repro.loop` — the continuous-curation loop: serving feedback →
+  weak-supervision labels → background retrain → versioned registry →
+  shadow scoring → deterministic promotion → hot swap.
 
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
@@ -38,6 +41,7 @@ from repro import (
     faults,
     kernels,
     lint,
+    loop,
     nlq,
     nn,
     obs,
@@ -73,5 +77,6 @@ __all__ = [
     "faults",
     "kernels",
     "lint",
+    "loop",
     "utils",
 ]

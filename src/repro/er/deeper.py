@@ -15,6 +15,7 @@ weighting and negative undersampling.
 
 from __future__ import annotations
 
+import hashlib
 from functools import partial
 
 import numpy as np
@@ -403,6 +404,22 @@ class DeepER:
     def predict(self, pairs: list[Pair], threshold: float = 0.5) -> np.ndarray:
         """Binary match decisions."""
         return (self.predict_proba(pairs) >= threshold).astype(int)
+
+    def parameter_fingerprint(self) -> str:
+        """sha1 over every parameter's bytes, in parameter order.
+
+        Two matchers share a fingerprint iff their weights are
+        byte-identical, which is what the serving layer's read-only
+        contract asserts around traffic and what the model registry
+        (:mod:`repro.loop`) keys candidate versions by.
+        """
+        digest = hashlib.sha1()
+        for param in self.classifier.parameters():
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        if self.composer is not None:
+            for param in self.composer.parameters():
+                digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -59,6 +59,19 @@ RETRY_SITES: dict[str, str] = {
         "query keys; pure recompute, validated and retried under "
         "HOT_POLICY (attempts=2)"
     ),
+    "loop.retrain": (
+        "continuous-curation candidate retrain (active selection + "
+        "crowd labeling + fit); a pure function of the queue snapshot, "
+        "banked labels and day seed — crowd votes are content-keyed per "
+        "pair, so relabeling is idempotent — validated (trained matcher, "
+        "exact label count) and retried under HOT_POLICY (attempts=2)"
+    ),
+    "serve.swap": (
+        "MatchService/ShardedMatchService hot-swap commit of a promoted "
+        "matcher; idempotent rebind + score-tier invalidation with a "
+        "validated fingerprint return, retried under HOT_POLICY "
+        "(attempts=2)"
+    ),
 }
 
 LATENCY_ONLY_SITES: dict[str, str] = {
@@ -87,8 +100,10 @@ CORRUPT_SITES: tuple[str, ...] = (
     "er.blocking.lsh",
     "er.blocking.token",
     "er.deeper.pair_features",
+    "loop.retrain",
     "serve.score",
     "serve.shard.route",
+    "serve.swap",
 )
 
 

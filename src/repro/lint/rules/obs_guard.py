@@ -61,7 +61,7 @@ class ObsHotPathGuardRule(Rule):
     )
     path_markers = (
         "/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/",
-        "/repro/faults/", "/repro/serve/", "/repro/kernels/",
+        "/repro/faults/", "/repro/serve/", "/repro/kernels/", "/repro/loop/",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -1,0 +1,47 @@
+"""Continuous curation: the serve → label → retrain → hot-swap loop.
+
+The paper's vision is curation that *keeps learning* — active learning
+and weak supervision feeding the matcher rather than a frozen model
+behind an index.  This package closes that loop on the simulated clock:
+
+* :mod:`repro.loop.queue` — a deterministic labeling queue fed by
+  low-confidence serving answers (uncertainty band, content dedup);
+* :mod:`repro.loop.labeling` — content-keyed simulated-crowd labels
+  (idempotent per pair, aggregated through a weak-supervision label
+  model);
+* :mod:`repro.loop.registry` — a versioned model registry keyed by
+  parameter fingerprint, with an append-only promotion history;
+* :mod:`repro.loop.loop` — the day-by-day orchestrator: serve traffic,
+  queue uncertain pairs, retrain a candidate under fault site
+  ``loop.retrain``, shadow-score it, promote by a deterministic eval-F1
+  rule, and hot-swap the service at fault site ``serve.swap``.
+
+The loop lives *outside* :mod:`repro.serve` by design: serving is
+read-only (lint rule RL1104 bans anything reachable from serve from
+training), so the dependency arrow points loop → serve, never back.
+"""
+
+from repro.loop.labeling import CrowdOracle
+from repro.loop.loop import (
+    ContinuousCurationLoop,
+    DayReport,
+    LoopConfig,
+    ShadowReport,
+    answers_digest,
+)
+from repro.loop.queue import LabelQueue, QueueEntry, pair_content_key
+from repro.loop.registry import ModelRegistry, ModelVersion
+
+__all__ = [
+    "ContinuousCurationLoop",
+    "CrowdOracle",
+    "DayReport",
+    "LabelQueue",
+    "LoopConfig",
+    "ModelRegistry",
+    "ModelVersion",
+    "QueueEntry",
+    "ShadowReport",
+    "answers_digest",
+    "pair_content_key",
+]

@@ -1,0 +1,114 @@
+"""Content-keyed crowd labeling: idempotent votes from simulated workers.
+
+:class:`repro.weak.crowd.SimulatedCrowd` draws every vote from one
+shared sequential stream — fine for offline vote matrices, fatal inside
+a retried loop step: a replayed call would consume different stream
+positions and return different labels.  :class:`CrowdOracle` keeps the
+crowd's worker model (per-worker sensitivity/specificity/response rate,
+profiles drawn once from a seeded generator) but keys each pair's vote
+randomness by a **content hash of the pair itself**, the same trick
+:meth:`repro.faults.FaultPlan.chaos` uses for append-stable schedules:
+
+    rng(pair) = default_rng(SeedSequence([SALT, seed, sha1(pair)[:8]]))
+
+Same pair → same votes → same aggregated label, regardless of call
+order, batching, or how many times fault injection forces the retrain
+step to replay.  Votes aggregate through a :mod:`repro.weak.label_model`
+(majority vote by default), which is the paper's "inferring true labels
+from noisy labels" machinery applied one pair at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+from repro.loop.queue import QueueEntry
+from repro.weak.crowd import SimulatedCrowd
+from repro.weak.label_model import MajorityVote
+
+__all__ = ["CrowdOracle"]
+
+# Keeps crowd-vote rng streams disjoint from workload/model/chaos seeds.
+_CROWD_SALT = 0xC401D
+
+
+def _pair_token(query_key: str, candidate_id: str) -> int:
+    """64-bit content token of a pair (the per-pair rng stream key)."""
+    payload = f"{query_key}:{candidate_id}".encode("utf-8")
+    return int.from_bytes(hashlib.sha1(payload).digest()[:8], "big")
+
+
+class CrowdOracle:
+    """Deterministic crowd labeler over queue entries.
+
+    Parameters
+    ----------
+    truth:
+        ``truth(entry) -> 0/1`` — the latent true label the simulated
+        workers vote around (the benchmark's gold matches, in benches).
+    n_workers / skill_range / response_rate:
+        Forwarded to :class:`SimulatedCrowd`; worker profiles are drawn
+        once, from a generator derived from ``seed``.
+    seed:
+        Salts both the worker profiles and every per-pair vote stream.
+    label_model:
+        Vote aggregator with ``fit(matrix)``/``predict(matrix)`` (one
+        row per pair); defaults to :class:`MajorityVote`.
+    """
+
+    def __init__(
+        self,
+        truth: "Callable[[QueueEntry], int]",
+        *,
+        n_workers: int = 7,
+        skill_range: "tuple[float, float]" = (0.65, 0.95),
+        response_rate: float = 0.9,
+        seed: int = 0,
+        label_model=None,
+    ) -> None:
+        self.truth = truth
+        self.seed = int(seed)
+        self.crowd = SimulatedCrowd(
+            n_workers=n_workers,
+            skill_range=skill_range,
+            response_rate=response_rate,
+            rng=np.random.default_rng(
+                np.random.SeedSequence([_CROWD_SALT, self.seed, 0])
+            ),
+        )
+        self.label_model = label_model if label_model is not None else MajorityVote()
+
+    def votes(self, entry: QueueEntry) -> np.ndarray:
+        """One ``(1, n_workers)`` vote row for ``entry`` (pure function).
+
+        The rng is rebuilt from the pair's content token on every call,
+        so repeated calls — including replays after an injected fault —
+        return byte-identical votes.
+        """
+        true_label = int(self.truth(entry))
+        rng = np.random.default_rng(
+            np.random.SeedSequence([
+                _CROWD_SALT,
+                self.seed,
+                _pair_token(entry.query_key, entry.candidate_id),
+            ])
+        )
+        row = [worker.vote(true_label, rng) for worker in self.crowd.workers]
+        return np.array([row], dtype=np.int64)
+
+    def label(self, entry: QueueEntry) -> int:
+        """The aggregated 0/1 label for ``entry`` (idempotent)."""
+        matrix = self.votes(entry)
+        return int(self.label_model.fit(matrix).predict(matrix)[0])
+
+    def accuracy_against_truth(self, entries: "list[QueueEntry]") -> float:
+        """Fraction of entries the aggregated label gets right (0.0 empty)."""
+        if not entries:
+            return 0.0
+        agreements = [
+            int(self.label(entry) == int(self.truth(entry))) for entry in entries
+        ]
+        return float(np.mean(agreements))

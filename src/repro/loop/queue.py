@@ -1,0 +1,137 @@
+"""Deterministic labeling queue fed by low-confidence serving answers.
+
+The feedback half of the continuous-curation loop: after each simulated
+day of traffic, every completed answer whose best-candidate probability
+falls inside the configured *uncertainty band* is offered here as a
+``(query record, candidate id)`` pair.  The queue is a pure function of
+the answer stream:
+
+* **content-keyed dedup** — a pair is admitted at most once, ever, keyed
+  by ``(query content key, candidate id)`` (the score cache's key); a
+  repeat-heavy workload re-surfacing the same uncertain pair does not
+  inflate the queue, and a pair consumed by a retrain never re-enters;
+* **deterministic priority** — :meth:`LabelQueue.select` orders by
+  distance from the decision boundary (most uncertain first), breaking
+  ties by admission sequence, so the day's labeling batch is replayable;
+* **explicit consumption** — selection does not mutate; the loop calls
+  :meth:`consume` only after the (retried) retrain step committed, so a
+  killed retrain leaves the queue exactly as it found it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.serve.cache import content_key
+from repro.serve.service import MatchAnswer
+
+__all__ = ["LabelQueue", "QueueEntry", "pair_content_key"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One uncertain pair awaiting a label."""
+
+    query_key: str
+    candidate_id: str
+    probability: float
+    day: int
+    seq: int
+    record: "dict[str, object]" = field(compare=False, hash=False)
+
+    @property
+    def pair_key(self) -> "tuple[str, str]":
+        """The score-cache key of this pair (dedup identity)."""
+        return (self.query_key, self.candidate_id)
+
+    @property
+    def uncertainty(self) -> float:
+        """Distance-to-boundary priority (larger = more uncertain)."""
+        return -abs(self.probability - 0.5)
+
+
+class LabelQueue:
+    """Bounded-band, content-deduplicated queue of unlabeled pairs."""
+
+    def __init__(self, band: "tuple[float, float]" = (0.25, 0.75)) -> None:
+        low, high = band
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"band must satisfy 0 <= low <= high <= 1, got {band}")
+        self.band = (float(low), float(high))
+        self._pending: "dict[tuple[str, str], QueueEntry]" = {}
+        self._seen: "set[tuple[str, str]]" = set()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def emitted_total(self) -> int:
+        """Pairs ever admitted (pending + consumed)."""
+        return len(self._seen)
+
+    def offer(self, record: "dict[str, object]", answer: MatchAnswer, *, day: int) -> bool:
+        """Admit ``answer``'s best pair if it is uncertain and unseen.
+
+        Returns True when the pair entered the queue.  Answers with no
+        candidates, probabilities outside the band, and pairs already
+        seen (pending *or* consumed) are rejected.
+        """
+        if answer.best_id is None:
+            return False
+        low, high = self.band
+        if not low <= answer.probability <= high:
+            return False
+        pair_key = (answer.query_key, answer.best_id)
+        if pair_key in self._seen:
+            return False
+        self._seen.add(pair_key)
+        self._pending[pair_key] = QueueEntry(
+            query_key=answer.query_key,
+            candidate_id=answer.best_id,
+            probability=float(answer.probability),
+            day=int(day),
+            seq=self._seq,
+            record=record,
+        )
+        self._seq += 1
+        if _OBS.enabled:
+            _OBS.counter("loop.queue.admitted").inc()
+        return True
+
+    def ingest(
+        self,
+        answered: "list[tuple[dict[str, object], MatchAnswer]]",
+        *,
+        day: int,
+    ) -> int:
+        """Offer every ``(record, answer)`` pair; returns the admit count."""
+        return sum(self.offer(record, answer, day=day) for record, answer in answered)
+
+    def select(self, k: int) -> "list[QueueEntry]":
+        """The ``k`` most uncertain pending entries (no mutation).
+
+        Order: closeness to the 0.5 boundary first, admission sequence
+        as the tie-break — deterministic whatever dict insertion order
+        the day's traffic produced.
+        """
+        ordered = sorted(
+            self._pending.values(),
+            key=lambda entry: (abs(entry.probability - 0.5), entry.seq),
+        )
+        return ordered[: max(0, int(k))]
+
+    def consume(self, entries: "list[QueueEntry]") -> None:
+        """Remove labeled entries from the pending set (stay in ``seen``)."""
+        for entry in entries:
+            self._pending.pop(entry.pair_key, None)
+
+    def pending(self) -> "list[QueueEntry]":
+        """Every pending entry in admission order (for tests/inspection)."""
+        return sorted(self._pending.values(), key=lambda entry: entry.seq)
+
+
+def pair_content_key(query_record: "dict[str, object]", candidate_id: str) -> "tuple[str, str]":
+    """The queue/score-cache pair key for a raw record + candidate id."""
+    return (content_key(query_record), str(candidate_id))

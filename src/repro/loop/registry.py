@@ -1,0 +1,174 @@
+"""Versioned model registry keyed by parameter fingerprint.
+
+The continuous-curation loop produces a stream of candidate matchers;
+the registry is their system of record.  Three properties make it safe
+to drive hot swaps from:
+
+* **content-keyed identity** — versions are keyed by
+  :meth:`repro.er.deeper.DeepER.parameter_fingerprint` (sha1 over every
+  parameter's bytes), so registering a matcher whose weights are already
+  known returns the existing version instead of minting a duplicate;
+* **append-only history** — version ids are ``v1, v2, ...`` in
+  registration order and never reused; promotions append ``(day,
+  version)`` events, so the promotion *schedule* (which simulated day
+  each version won) is first-class, replayable state;
+* **digestible state** — :meth:`ModelRegistry.state_digest` is a sha1
+  over a canonical JSON rendering of versions + promotions + the active
+  pointer, which is what the chaos tier compares to prove that killed
+  retrains and swaps leave the registry bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.er.deeper import DeepER
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.utils.validation import check_fitted
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One registered matcher: identity, provenance, label accounting."""
+
+    version_id: str
+    fingerprint: str
+    day: int
+    labels: int
+
+    def to_dict(self) -> dict:
+        return {
+            "version_id": self.version_id,
+            "fingerprint": self.fingerprint,
+            "day": self.day,
+            "labels": self.labels,
+        }
+
+
+class ModelRegistry:
+    """Append-only store of matcher versions plus the active pointer."""
+
+    def __init__(self) -> None:
+        self._versions: "dict[str, ModelVersion]" = {}
+        self._matchers: "dict[str, DeepER]" = {}
+        self._by_fingerprint: "dict[str, str]" = {}
+        self._promotions: "list[dict]" = []
+        self._active: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, matcher: DeepER, *, day: int = 0, labels: int = 0) -> ModelVersion:
+        """Record a trained matcher; idempotent by parameter fingerprint.
+
+        A matcher whose weights are already registered returns the
+        existing :class:`ModelVersion` unchanged (same id, original
+        provenance) — re-registering is a no-op on registry state.
+        """
+        check_fitted(matcher, "trained_")
+        fingerprint = matcher.parameter_fingerprint()
+        if fingerprint in self._by_fingerprint:
+            return self._versions[self._by_fingerprint[fingerprint]]
+        version = ModelVersion(
+            version_id=f"v{len(self._versions) + 1}",
+            fingerprint=fingerprint,
+            day=int(day),
+            labels=int(labels),
+        )
+        self._versions[version.version_id] = version
+        self._matchers[version.version_id] = matcher
+        self._by_fingerprint[fingerprint] = version.version_id
+        if _OBS.enabled:
+            _OBS.counter("loop.registry.registered").inc()
+        return version
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def version(self, version_id: str) -> ModelVersion:
+        """The :class:`ModelVersion` for ``version_id`` (KeyError if unknown)."""
+        if version_id not in self._versions:
+            raise KeyError(f"unknown model version {version_id!r}")
+        return self._versions[version_id]
+
+    def get(self, version_id: str) -> DeepER:
+        """The matcher object registered under ``version_id``."""
+        if version_id not in self._matchers:
+            raise KeyError(f"unknown model version {version_id!r}")
+        return self._matchers[version_id]
+
+    def version_for(self, fingerprint: str) -> ModelVersion | None:
+        """The version holding ``fingerprint``, or None."""
+        version_id = self._by_fingerprint.get(fingerprint)
+        return self._versions[version_id] if version_id is not None else None
+
+    @property
+    def versions(self) -> "list[ModelVersion]":
+        """Every registered version, in registration order."""
+        return list(self._versions.values())
+
+    # ------------------------------------------------------------------ #
+    # promotion
+    # ------------------------------------------------------------------ #
+
+    def promote(self, version_id: str, *, day: int = 0) -> bool:
+        """Make ``version_id`` the active version; records the event.
+
+        Returns True when the pointer moved; promoting the already-active
+        version is a recorded-nowhere no-op returning False, so callers
+        can promote idempotently.
+        """
+        version = self.version(version_id)
+        if self._active == version_id:
+            return False
+        self._active = version_id
+        self._promotions.append({"day": int(day), "version_id": version.version_id})
+        if _OBS.enabled:
+            _OBS.counter("loop.registry.promotions").inc()
+        return True
+
+    @property
+    def active(self) -> ModelVersion | None:
+        """The currently promoted version (None before any promotion)."""
+        return self._versions[self._active] if self._active is not None else None
+
+    def active_matcher(self) -> DeepER:
+        """The matcher behind the active version (RuntimeError if none)."""
+        if self._active is None:
+            raise RuntimeError("no model version has been promoted yet")
+        return self._matchers[self._active]
+
+    @property
+    def promotions(self) -> "list[dict]":
+        """Promotion events ``{'day': d, 'version_id': v}``, oldest first."""
+        return [dict(event) for event in self._promotions]
+
+    def promotion_schedule(self) -> "list[tuple[int, str]]":
+        """``(day, version_id)`` per promotion — the pinnable loop outcome."""
+        return [(event["day"], event["version_id"]) for event in self._promotions]
+
+    # ------------------------------------------------------------------ #
+    # state identity
+    # ------------------------------------------------------------------ #
+
+    def state_digest(self) -> str:
+        """sha1 over a canonical JSON rendering of the registry state.
+
+        Covers versions (with fingerprints), the promotion history and
+        the active pointer — everything the loop's control decisions
+        depend on — so two registries with equal digests drove (and will
+        drive) identical behavior.
+        """
+        state = {
+            "versions": [v.to_dict() for v in self._versions.values()],
+            "promotions": self._promotions,
+            "active": self._active,
+        }
+        payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()

@@ -25,11 +25,25 @@ The scoring call runs under :data:`repro.faults.retry.HOT_POLICY` at site
 corrupted return is retried and a recovered run stays bit-identical; the
 per-batch cache consult passes through latency-only site
 ``serve.cache.lookup``.  Metrics are guarded ``serve.*`` instruments.
+
+Hot swap
+--------
+:meth:`MatchService.swap_matcher` is the one sanctioned mutation of a
+live service: the continuous-curation loop (:mod:`repro.loop`) promotes
+a retrained candidate and swaps it in without rebuilding the service.
+The cache-invalidation contract is exact: the **score cache is cleared**
+(its entries are model outputs) while the **embedding and column caches
+are kept** — their contents are functions of the embedder configuration
+(word model, columns, composition method), which swap validation pins
+equal, never of the classifier weights being replaced.  Swapping to a
+matcher with the *same* parameter fingerprint is a no-op: no rebind, no
+cache clear, provably unchanged answers and cache counters.  The commit
+runs under validated, retried fault site ``serve.swap`` (idempotent: a
+retried commit observes the already-swapped fingerprint and no-ops).
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +59,15 @@ from repro.serve.index import BlockingIndex
 from repro.utils.validation import check_fitted
 
 __all__ = ["BatchReport", "MatchAnswer", "MatchService"]
+
+
+def looks_like_fingerprint(value: object) -> bool:
+    """True for a 40-char lowercase hex sha1 digest (swap validator)."""
+    return (
+        isinstance(value, str)
+        and len(value) == 40
+        and all(c in "0123456789abcdef" for c in value)
+    )
 
 
 @dataclass(frozen=True)
@@ -165,16 +188,66 @@ class MatchService:
     def parameter_fingerprint(self) -> str:
         """sha1 over every model parameter's bytes (order-stable).
 
-        Serving must never move a weight: tests take the fingerprint
-        before and after traffic and assert equality.
+        Serving must never move a weight on its own: tests take the
+        fingerprint before and after traffic and assert equality.  The
+        only sanctioned change is an explicit :meth:`swap_matcher`.
         """
-        digest = hashlib.sha1()
-        for param in self.matcher.classifier.parameters():
-            digest.update(np.ascontiguousarray(param.data).tobytes())
-        if self.matcher.composer is not None:
-            for param in self.matcher.composer.parameters():
-                digest.update(np.ascontiguousarray(param.data).tobytes())
-        return digest.hexdigest()
+        return self.matcher.parameter_fingerprint()
+
+    def swap_matcher(self, matcher: DeepER) -> str:
+        """Hot-swap a promoted matcher in; returns its fingerprint.
+
+        Validates compatibility first (same compare columns and
+        composition — the embedder configuration the kept caches depend
+        on), then commits under validated fault site ``serve.swap``.
+        The commit clears exactly the score cache (model outputs) and
+        keeps the embedding/column caches (model-independent contents);
+        swapping to the currently served fingerprint is a no-op that
+        touches neither caches nor counters.
+        """
+        check_fitted(matcher, "trained_")
+        if matcher.columns != self.matcher.columns:
+            raise ValueError(
+                f"cannot swap matcher: compare columns differ "
+                f"({matcher.columns!r} != {self.matcher.columns!r})"
+            )
+        if matcher.composition != self.matcher.composition:
+            raise ValueError(
+                f"cannot swap matcher: composition differs "
+                f"({matcher.composition!r} != {self.matcher.composition!r})"
+            )
+        before = self.parameter_fingerprint()
+        fingerprint = retry_call(
+            self._swap,
+            matcher,
+            site="serve.swap",
+            policy=HOT_POLICY,
+            validate=looks_like_fingerprint,
+        )
+        if _OBS.enabled and fingerprint != before:
+            _OBS.counter("serve.swaps").inc()
+        return fingerprint
+
+    def _swap(self, matcher: DeepER) -> str:
+        """Idempotent swap commit (runs under the ``serve.swap`` site).
+
+        A retried commit that already ran sees the new fingerprint as
+        current and returns without clearing again, so the net effect of
+        any number of attempts equals exactly one.
+        """
+        fingerprint = matcher.parameter_fingerprint()
+        if fingerprint == self.parameter_fingerprint():
+            return fingerprint
+        matcher.jobs = self.jobs
+        matcher.classifier.eval()
+        if matcher.composer is not None:
+            matcher.composer.eval()
+        self.matcher = matcher
+        # Invalidate exactly the model-dependent tier.  Embedding and
+        # column cache entries are functions of the embedder config
+        # (validated identical above), so they stay warm across the swap.
+        self.score_cache.clear()
+        return fingerprint
 
     @property
     def cache_stats(self) -> CacheStatsView:

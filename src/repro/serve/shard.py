@@ -50,7 +50,8 @@ from repro.kernels.score import score_pairs
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.serve.cache import CacheStatsView, content_key
 from repro.serve.index import BlockingIndex
-from repro.serve.service import BatchReport, MatchService
+from repro.serve.service import BatchReport, MatchService, looks_like_fingerprint
+from repro.utils.validation import check_fitted
 
 __all__ = [
     "ShardBatchReport",
@@ -193,9 +194,59 @@ class ShardedMatchService:
         """Reference tuples per shard (sums to the full table)."""
         return [len(group.primary.index) for group in self._groups]
 
+    @property
+    def matcher(self) -> DeepER:
+        """The served matcher (one object, shared by every replica)."""
+        return self._groups[0].primary.matcher
+
     def parameter_fingerprint(self) -> str:
         """The shared matcher's fingerprint (identical on every shard)."""
         return self._groups[0].primary.parameter_fingerprint()
+
+    def swap_matcher(self, matcher: DeepER) -> str:
+        """Hot-swap every replica of every shard; returns the fingerprint.
+
+        Same contract as :meth:`MatchService.swap_matcher` — score tiers
+        cleared, embedding/column tiers kept, same-fingerprint swap is a
+        no-op — committed for the whole topology under **one** validated
+        ``serve.swap`` call.  The per-replica commits are idempotent, so
+        a retried commit (error or corrupted return under chaos) leaves
+        the registry of shards in exactly the single-commit state.
+        """
+        reference = self._groups[0].primary.matcher
+        check_fitted(matcher, "trained_")
+        if matcher.columns != reference.columns:
+            raise ValueError(
+                f"cannot swap matcher: compare columns differ "
+                f"({matcher.columns!r} != {reference.columns!r})"
+            )
+        if matcher.composition != reference.composition:
+            raise ValueError(
+                f"cannot swap matcher: composition differs "
+                f"({matcher.composition!r} != {reference.composition!r})"
+            )
+        before = self.parameter_fingerprint()
+        fingerprint = retry_call(
+            self._swap_all,
+            matcher,
+            site="serve.swap",
+            policy=HOT_POLICY,
+            validate=looks_like_fingerprint,
+        )
+        if _OBS.enabled and fingerprint != before:
+            _OBS.counter("serve.swaps").inc()
+        return fingerprint
+
+    def _swap_all(self, matcher: DeepER) -> str:
+        """Idempotent whole-topology swap commit (site ``serve.swap``)."""
+        fingerprints = {
+            replica._swap(matcher)
+            for group in self._groups
+            for replica in group.replicas
+        }
+        # Every replica swapped to the same weights by construction.
+        fingerprint, = fingerprints
+        return fingerprint
 
     @property
     def cache_stats(self) -> CacheStatsView:

@@ -76,6 +76,33 @@ def test_shard_layer_is_clean_under_serve_contracts(repo_result):
     assert solo.findings == []
 
 
+def test_loop_package_is_clean_under_the_hot_and_fault_contracts(repo_result):
+    # The continuous-curation loop package must satisfy the hot-path and
+    # fault-wiring contracts with no baseline help: RL401 (guarded metrics
+    # accessors) and RL801 (no fault-swallowing excepts) both name
+    # /repro/loop/ in their path markers, and the whole-program pass
+    # (RL1101 purity of retried sites, RL1104 serve closure — the loop
+    # depends on serve, never the reverse) runs over its files.  Zero
+    # findings repo-wide could also mean the walk never saw the package,
+    # so a targeted run proves the files are both visited and clean.
+    from repro.lint.registry import get_rule
+
+    for rule_id in ("RL401", "RL801"):
+        assert any(
+            "/repro/loop/" in marker for marker in get_rule(rule_id).path_markers
+        ), f"{rule_id} does not cover the loop package"
+    loop_findings = [
+        f for f in repo_result.findings if "repro/loop/" in f.path
+    ]
+    assert loop_findings == [], (
+        "loop package must lint clean without baseline entries:\n"
+        + "\n".join(f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in loop_findings)
+    )
+    solo = lint_paths([REPO_ROOT / "src" / "repro" / "loop"], root=REPO_ROOT)
+    assert solo.files_checked == 5
+    assert solo.findings == []
+
+
 def test_gate_exercises_interprocedural_rules(repo_result):
     # The RL11xx rules only bite when the project graph actually resolves
     # the repo's call edges: the baselined RL1101/RL1102 findings (run_all's

@@ -1,0 +1,157 @@
+"""Loop-suite fixtures: a live service plus everything needed to retrain it.
+
+Mirrors the serving suite's module-scoped trained matcher + built index,
+and adds the loop's inputs: a matcher factory (fresh untrained
+candidates), a distinctly-trained candidate (different fingerprint, same
+columns/composition), the seeded eval split the promotion rule scores,
+and a content-keyed crowd oracle wired to the benchmark's gold matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.er import DeepER
+from repro.loop import ContinuousCurationLoop, CrowdOracle, LoopConfig
+from repro.serve import BlockingIndex, MatchService, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def train_triples(small_benchmark):
+    labeled = small_benchmark.labeled_pairs(negative_ratio=3, rng=1)
+    return [
+        (small_benchmark.record_a(a), small_benchmark.record_b(b), y)
+        for a, b, y in labeled
+    ]
+
+
+@pytest.fixture(scope="module")
+def matcher_factory(word_model, small_benchmark):
+    def factory(seed: int) -> DeepER:
+        return DeepER(
+            word_model, small_benchmark.compare_columns, composition="sif",
+            rng=seed,
+        )
+    return factory
+
+
+@pytest.fixture(scope="module")
+def seed_labels(train_triples):
+    """A deliberately small seed set: leaves the matcher room to learn."""
+    return train_triples[:20]
+
+
+@pytest.fixture(scope="module")
+def trained_matcher(matcher_factory, seed_labels):
+    return matcher_factory(0).fit(seed_labels, epochs=3)
+
+
+@pytest.fixture(scope="module")
+def candidate_matcher(matcher_factory, train_triples):
+    """A second trained matcher: same columns/composition, different weights."""
+    return matcher_factory(1).fit(train_triples[:60], epochs=4)
+
+
+@pytest.fixture(scope="module")
+def reference_records(small_benchmark):
+    records = [
+        small_benchmark.table_a.row_dict(i)
+        for i in range(len(small_benchmark.table_a))
+    ]
+    ids = [str(v) for v in small_benchmark.table_a.column(small_benchmark.id_column)]
+    return records, ids
+
+
+@pytest.fixture(scope="module")
+def query_records(small_benchmark):
+    return [
+        small_benchmark.table_b.row_dict(i)
+        for i in range(len(small_benchmark.table_b))
+    ]
+
+
+@pytest.fixture(scope="module")
+def built_index(trained_matcher, reference_records):
+    records, ids = reference_records
+    return BlockingIndex(
+        trained_matcher.embedder, n_bits=16, n_bands=4, rng=0
+    ).build(records, ids, jobs=1)
+
+
+@pytest.fixture()
+def service(trained_matcher, built_index):
+    """A fresh (cold-cache) unsharded service per test."""
+    return MatchService(trained_matcher, built_index, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def eval_split(train_triples):
+    held_out = train_triples[200:]
+    eval_pairs = [(a, b) for a, b, _ in held_out]
+    eval_labels = np.array([y for _, _, y in held_out])
+    return eval_pairs, eval_labels
+
+
+@pytest.fixture(scope="module")
+def truth(small_benchmark):
+    id_column = small_benchmark.id_column
+
+    def _truth(entry) -> int:
+        return int(
+            small_benchmark.is_match(entry.candidate_id, str(entry.record[id_column]))
+        )
+
+    return _truth
+
+
+@pytest.fixture(scope="module")
+def oracle(truth):
+    return CrowdOracle(truth, seed=3)
+
+
+@pytest.fixture(scope="module")
+def loop_config():
+    """Small-but-real knobs: 2 days, enough labels for candidates to move."""
+    return LoopConfig(
+        days=2, queries_per_day=40, rate=300.0, repeat_fraction=0.4,
+        workload_seed=5, band=(0.2, 0.8), labels_per_day=10, al_batch_size=5,
+        epochs=6, min_f1_delta=0.01,
+    )
+
+
+@pytest.fixture(scope="module")
+def make_loop(
+    built_index, matcher_factory, seed_labels, eval_split, truth,
+    query_records, loop_config, trained_matcher,
+):
+    """Build a fresh loop around a fresh service (optionally overriding knobs)."""
+    eval_pairs, eval_labels = eval_split
+
+    def _make(service=None, *, config=None, oracle_seed=3, workload_seed=None):
+        if service is None:
+            service = MatchService(trained_matcher, built_index, jobs=1)
+        cfg = config if config is not None else loop_config
+        if workload_seed is not None:
+            cfg = LoopConfig(
+                days=cfg.days, queries_per_day=cfg.queries_per_day,
+                rate=cfg.rate, repeat_fraction=cfg.repeat_fraction,
+                workload_seed=workload_seed, band=cfg.band,
+                labels_per_day=cfg.labels_per_day,
+                al_batch_size=cfg.al_batch_size, epochs=cfg.epochs,
+                min_f1_delta=cfg.min_f1_delta,
+            )
+        return ContinuousCurationLoop(
+            service,
+            index=built_index,
+            matcher_factory=matcher_factory,
+            seed_labels=seed_labels,
+            eval_pairs=eval_pairs,
+            eval_labels=eval_labels,
+            oracle=CrowdOracle(truth, seed=oracle_seed),
+            query_records=query_records,
+            config=cfg,
+            server=ServerConfig(max_batch_size=8, max_wait=0.004, max_queue=256),
+        )
+
+    return _make

@@ -1,0 +1,200 @@
+"""Chaos tier for the loop's two fault sites: ``loop.retrain`` / ``serve.swap``.
+
+Under budget (HOT_POLICY: two attempts), a killed or corrupted retrain
+or swap must be *invisible*: day reports, registry digests, served
+answers and non-``faults.*`` metrics all bit-identical to a fault-free
+run — the retrain is a pure function of (queue batch, banked labels,
+day) and the swap commit is idempotent.  Over budget the loop must fail
+*loudly* with :class:`RetryExhausted` naming the exhausted site.  An
+append-stability regression pins that declaring the two new sites left
+the chaos schedules of the wired CI seeds (7, 11) untouched at every
+pre-existing site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import Fault, FaultPlan, RetryExhausted
+from repro.faults.sites import CORRUPT_SITES, RETRY_SITES, all_sites
+from repro.obs.metrics import REGISTRY, collecting
+from repro.serve import MatchService
+
+NEW_SITES = ("loop.retrain", "serve.swap")
+
+
+def run_reports(make_loop, plan=None):
+    """One full loop run (optionally under a plan) → (rows, digest, loop)."""
+    with plan if plan is not None else FaultPlan():
+        loop = make_loop()
+        rows = [report.to_dict() for report in loop.run()]
+    return rows, loop.registry.state_digest(), loop
+
+
+@pytest.fixture(scope="module")
+def baseline(make_loop):
+    rows, digest, loop = run_reports(make_loop)
+    assert any(row["emitted"] > 0 for row in rows), "loop queued nothing"
+    return rows, digest
+
+
+class TestCatalog:
+    def test_new_sites_are_declared_retry_sites(self):
+        for site in NEW_SITES:
+            assert site in all_sites()
+            assert RETRY_SITES[site]  # has a non-empty contract description
+
+    def test_new_sites_are_corruptible(self):
+        # Both sites return validated values (tuple shape / fingerprint),
+        # so the catalog marks them safe for corrupted-return injection.
+        for site in NEW_SITES:
+            assert site in CORRUPT_SITES
+
+
+class TestRetrainUnderBudget:
+    @pytest.mark.parametrize("kind", ["error", "corrupt"])
+    def test_single_fault_every_day_is_invisible(self, kind, make_loop, baseline):
+        rows, digest = baseline
+        # One fault per day: with two attempts per call, hits 0 and 2 are
+        # the first attempts of day 1 and day 2 respectively.
+        plan = FaultPlan([Fault("loop.retrain", kind, hits=(0, 2))])
+        with plan:
+            loop = make_loop()
+            faulted = [report.to_dict() for report in loop.run()]
+        assert plan.ledger.count(kind, "loop.retrain") >= 1
+        assert faulted == rows
+        assert loop.registry.state_digest() == digest
+
+    def test_recovered_retrain_keeps_metrics_bit_identical(self, make_loop):
+        def counters(plan):
+            with collecting(reset=True):
+                with plan if plan is not None else FaultPlan():
+                    make_loop().run()
+                snapshot = REGISTRY.snapshot()["counters"]
+            return {
+                k: v for k, v in snapshot.items()
+                if not k.startswith("faults.")
+            }
+
+        clean = counters(None)
+        faulted = counters(FaultPlan([Fault("loop.retrain", "error", hits=(0,))]))
+        assert any(k.startswith("loop.") for k in clean)
+        assert faulted == clean
+
+    def test_killed_attempt_leaves_queue_and_labels_uncommitted(self, make_loop):
+        # Exhaust the budget on day 1: both attempts die.  The loop must
+        # propagate the failure with the queue snapshot intact — nothing
+        # consumed, no labels banked, registry still at v1.
+        with FaultPlan([Fault("loop.retrain", "error", hits=(0, 1))]):
+            loop = make_loop()
+            with pytest.raises(RetryExhausted):
+                loop.run_day(1)
+        assert loop.labels_spent == 0
+        assert len(loop.queue) == loop.queue.emitted_total > 0
+        assert [v.version_id for v in loop.registry.versions] == ["v1"]
+
+
+class TestRetrainOverBudget:
+    def test_exhaustion_is_loud_and_names_the_site(self, make_loop):
+        with FaultPlan([Fault("loop.retrain", "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                make_loop().run()
+        assert excinfo.value.site == "loop.retrain"
+        assert excinfo.value.attempts == 2
+
+    def test_corrupt_exhaustion_is_equally_loud(self, make_loop):
+        with FaultPlan([Fault("loop.retrain", "corrupt", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                make_loop().run()
+        assert excinfo.value.site == "loop.retrain"
+
+
+class TestSwapUnderBudget:
+    def swap_outcome(self, service, candidate, query_records):
+        fingerprint = service.swap_matcher(candidate)
+        answers = [a.to_dict() for a in service.match_batch(query_records[:10]).answers]
+        return fingerprint, answers, len(service.score_cache)
+
+    @pytest.mark.parametrize("kind", ["error", "corrupt"])
+    def test_single_fault_at_swap_commit_is_invisible(
+        self, kind, service, candidate_matcher, query_records,
+        trained_matcher, built_index,
+    ):
+        clean = self.swap_outcome(
+            MatchService(trained_matcher, built_index, jobs=1),
+            candidate_matcher, query_records,
+        )
+        plan = FaultPlan([Fault("serve.swap", kind, hits=(0,))])
+        with plan:
+            faulted = self.swap_outcome(service, candidate_matcher, query_records)
+        assert plan.ledger.count(kind, "serve.swap") == 1
+        assert faulted == clean
+
+    def test_corrupted_commit_still_ends_with_the_candidate_live(
+        self, service, candidate_matcher
+    ):
+        # Corrupt fires *after* the commit ran: the first attempt rebinds
+        # and clears, the retry sees the new fingerprint as current and
+        # no-ops — the end state must equal a single clean swap.
+        with FaultPlan([Fault("serve.swap", "corrupt", hits=(0,))]):
+            returned = service.swap_matcher(candidate_matcher)
+        assert returned == candidate_matcher.parameter_fingerprint()
+        assert service.matcher is candidate_matcher
+        assert len(service.score_cache) == 0
+
+
+class TestSwapOverBudget:
+    def test_exhaustion_is_loud_and_names_the_site(
+        self, service, candidate_matcher
+    ):
+        with FaultPlan([Fault("serve.swap", "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                service.swap_matcher(candidate_matcher)
+        assert excinfo.value.site == "serve.swap"
+        assert excinfo.value.attempts == 2
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("seed", [0, 7, 11])
+    def test_seeded_chaos_over_the_loop_sites_is_invisible(
+        self, seed, make_loop, baseline
+    ):
+        rows, digest = baseline
+        plan = FaultPlan.chaos(seed, sites=set(NEW_SITES))
+        with plan:
+            loop = make_loop()
+            faulted = [report.to_dict() for report in loop.run()]
+        assert faulted == rows
+        assert loop.registry.state_digest() == digest
+
+
+class TestChaosAppendStability:
+    """Declaring the loop sites must not have moved pre-existing seeds.
+
+    CI pins ``--chaos 7`` and ``--chaos 11``; their bit-identical bench
+    rows stay meaningful only because each (kind, site) chaos decision
+    draws from its own content-hashed stream — growing the catalog with
+    ``loop.retrain``/``serve.swap`` cannot perturb the schedule at any
+    older site.
+    """
+
+    LEGACY = sorted(set(all_sites()) - set(NEW_SITES))
+
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_wired_ci_seeds_are_unperturbed_by_the_loop_sites(self, seed):
+        full = FaultPlan.chaos(seed)
+        legacy_only = FaultPlan.chaos(seed, sites=set(self.LEGACY))
+        filtered = [
+            entry for entry in full.describe() if entry["site"] in self.LEGACY
+        ]
+        assert filtered == legacy_only.describe()
+
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_loop_site_schedules_are_reproducible(self, seed):
+        def loop_entries():
+            return [
+                entry for entry in FaultPlan.chaos(seed).describe()
+                if entry["site"] in NEW_SITES
+            ]
+
+        assert loop_entries() == loop_entries()

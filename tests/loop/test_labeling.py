@@ -1,0 +1,83 @@
+"""Determinism tests for the content-keyed :class:`repro.loop.CrowdOracle`.
+
+The retried ``loop.retrain`` step is only replayable if relabeling a
+pair is idempotent: votes must be a pure function of (pair content,
+oracle seed), independent of call order, batching, or how many times a
+fault forces the step to run again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loop import CrowdOracle, LabelQueue
+from repro.serve.cache import content_key
+from repro.serve.service import MatchAnswer
+
+
+@pytest.fixture(scope="module")
+def entries(trained_matcher):
+    queue = LabelQueue(band=(0.0, 1.0))
+    for i in range(8):
+        record = {"title": f"paper {i}", "year": str(1990 + i)}
+        answer = MatchAnswer(
+            query_key=content_key(record), candidates=(f"a-{i}",),
+            best_id=f"a-{i}", probability=0.4 + 0.02 * i, matched=False,
+            embedding_cached=False, scores_cached=0,
+        )
+        assert queue.offer(record, answer, day=1)
+    return queue.pending()
+
+
+def parity_truth(entry) -> int:
+    return int(entry.candidate_id[-1]) % 2
+
+
+class TestIdempotence:
+    def test_votes_are_identical_across_repeated_calls(self, entries):
+        oracle = CrowdOracle(parity_truth, seed=3)
+        for entry in entries:
+            first = oracle.votes(entry)
+            assert np.array_equal(first, oracle.votes(entry))
+            assert first.shape == (1, 7)
+
+    def test_labels_are_independent_of_call_order(self, entries):
+        forward = [CrowdOracle(parity_truth, seed=3).label(e) for e in entries]
+        backward = [
+            CrowdOracle(parity_truth, seed=3).label(e) for e in reversed(entries)
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_same_seed_same_votes_different_seed_different_stream(self, entries):
+        a = CrowdOracle(parity_truth, seed=3)
+        b = CrowdOracle(parity_truth, seed=3)
+        c = CrowdOracle(parity_truth, seed=4)
+        votes_a = np.concatenate([a.votes(e) for e in entries])
+        votes_b = np.concatenate([b.votes(e) for e in entries])
+        votes_c = np.concatenate([c.votes(e) for e in entries])
+        assert np.array_equal(votes_a, votes_b)
+        assert not np.array_equal(votes_a, votes_c)
+
+
+class TestAggregation:
+    def test_label_is_the_majority_of_responding_votes(self, entries):
+        oracle = CrowdOracle(parity_truth, seed=3)
+        for entry in entries:
+            votes = oracle.votes(entry)[0]
+            responded = votes[votes >= 0]
+            if len(responded):
+                majority = int(np.sum(responded == 1) > np.sum(responded == 0))
+                assert oracle.label(entry) == majority
+
+    def test_expert_crowd_recovers_the_truth(self, entries):
+        oracle = CrowdOracle(
+            parity_truth, n_workers=9, skill_range=(0.99, 0.999),
+            response_rate=1.0, seed=0,
+        )
+        assert oracle.accuracy_against_truth(entries) == 1.0
+        for entry in entries:
+            assert oracle.label(entry) == parity_truth(entry)
+
+    def test_accuracy_of_no_entries_is_zero(self):
+        assert CrowdOracle(parity_truth).accuracy_against_truth([]) == 0.0

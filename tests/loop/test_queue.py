@@ -1,0 +1,158 @@
+"""Property tests for the deterministic :class:`repro.loop.LabelQueue`.
+
+The queue's contract: band-filtered admission, ever-seen content dedup
+(a consumed pair can never re-enter), non-mutating selection ordered by
+distance to the decision boundary, and explicit consumption — exactly
+what lets a killed retrain leave the queue untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loop import LabelQueue, pair_content_key
+from repro.serve.cache import content_key
+from repro.serve.service import MatchAnswer
+
+
+def answer(record, candidate_id="a-1", probability=0.5):
+    return MatchAnswer(
+        query_key=content_key(record),
+        candidates=(candidate_id,),
+        best_id=candidate_id,
+        probability=probability,
+        matched=probability >= 0.5,
+        embedding_cached=False,
+        scores_cached=0,
+    )
+
+
+def no_candidates(record):
+    return MatchAnswer(
+        query_key=content_key(record), candidates=(), best_id=None,
+        probability=0.0, matched=False, embedding_cached=False, scores_cached=0,
+    )
+
+
+@pytest.fixture()
+def queue():
+    return LabelQueue(band=(0.25, 0.75))
+
+
+@pytest.fixture()
+def record():
+    return {"title": "deep learning for data curation", "year": "2020"}
+
+
+class TestAdmission:
+    def test_band_must_be_an_ordered_unit_subinterval(self):
+        for bad in [(-0.1, 0.5), (0.5, 1.1), (0.8, 0.2)]:
+            with pytest.raises(ValueError, match="band"):
+                LabelQueue(band=bad)
+
+    def test_uncertain_pair_is_admitted(self, queue, record):
+        assert queue.offer(record, answer(record, probability=0.5), day=1)
+        assert len(queue) == 1
+        assert queue.emitted_total == 1
+
+    def test_band_bounds_are_inclusive(self, queue, record):
+        low = {"title": "low", "year": "1"}
+        high = {"title": "high", "year": "2"}
+        assert queue.offer(low, answer(low, probability=0.25), day=1)
+        assert queue.offer(high, answer(high, probability=0.75), day=1)
+
+    def test_confident_answers_are_rejected(self, queue, record):
+        confident = {"title": "confident", "year": "3"}
+        assert not queue.offer(record, answer(record, probability=0.9), day=1)
+        assert not queue.offer(confident, answer(confident, probability=0.1), day=1)
+        assert len(queue) == 0
+        assert queue.emitted_total == 0
+
+    def test_answers_with_no_candidates_are_rejected(self, queue, record):
+        assert not queue.offer(record, no_candidates(record), day=1)
+        assert len(queue) == 0
+
+    def test_same_pair_is_admitted_at_most_once(self, queue, record):
+        assert queue.offer(record, answer(record), day=1)
+        assert not queue.offer(record, answer(record, probability=0.6), day=2)
+        assert len(queue) == 1
+        assert queue.emitted_total == 1
+
+    def test_same_record_different_candidate_is_a_different_pair(
+        self, queue, record
+    ):
+        assert queue.offer(record, answer(record, candidate_id="a-1"), day=1)
+        assert queue.offer(record, answer(record, candidate_id="a-2"), day=1)
+        assert len(queue) == 2
+
+    def test_consumed_pairs_never_reenter(self, queue, record):
+        queue.offer(record, answer(record), day=1)
+        queue.consume(queue.select(1))
+        assert len(queue) == 0
+        assert not queue.offer(record, answer(record), day=2)
+        assert queue.emitted_total == 1
+
+    def test_ingest_returns_the_admit_count(self, queue):
+        records = [{"title": f"r{i}", "year": str(i)} for i in range(4)]
+        answered = [
+            (records[0], answer(records[0], probability=0.5)),   # admitted
+            (records[1], answer(records[1], probability=0.9)),   # confident
+            (records[2], no_candidates(records[2])),             # no best
+            (records[3], answer(records[3], probability=0.3)),   # admitted
+        ]
+        assert queue.ingest(answered, day=1) == 2
+        assert len(queue) == 2
+
+
+class TestSelection:
+    def build(self, queue, probabilities):
+        records = []
+        for i, p in enumerate(probabilities):
+            record = {"title": f"r{i}", "year": str(i)}
+            assert queue.offer(record, answer(record, probability=p), day=1)
+            records.append(record)
+        return records
+
+    def test_select_orders_by_distance_to_boundary_then_sequence(self, queue):
+        self.build(queue, [0.7, 0.5, 0.3, 0.52])
+        selected = queue.select(4)
+        # 0.5 (dist 0) < 0.52 (0.02) < 0.7 == 0.3 (0.2, seq breaks the tie)
+        assert [e.probability for e in selected] == [0.5, 0.52, 0.7, 0.3]
+
+    def test_select_does_not_mutate_and_clamps_k(self, queue):
+        self.build(queue, [0.5, 0.6])
+        assert len(queue.select(10)) == 2
+        assert queue.select(0) == []
+        assert queue.select(-3) == []
+        assert len(queue) == 2
+        assert queue.select(2) == queue.select(2)
+
+    def test_consume_removes_exactly_the_selected_entries(self, queue):
+        self.build(queue, [0.5, 0.6, 0.7])
+        batch = queue.select(2)
+        queue.consume(batch)
+        remaining = queue.pending()
+        assert len(remaining) == 1
+        assert remaining[0].probability == 0.7
+        queue.consume(batch)  # re-consuming is a no-op
+        assert len(queue) == 1
+
+    def test_pending_is_in_admission_order(self, queue):
+        self.build(queue, [0.7, 0.5, 0.6])
+        assert [e.probability for e in queue.pending()] == [0.7, 0.5, 0.6]
+        assert [e.seq for e in queue.pending()] == [0, 1, 2]
+
+
+class TestEntryIdentity:
+    def test_pair_key_is_the_score_cache_key(self, queue, record):
+        queue.offer(record, answer(record, candidate_id="a-7"), day=2)
+        entry = queue.pending()[0]
+        assert entry.pair_key == pair_content_key(record, "a-7")
+        assert entry.pair_key == (content_key(record), "a-7")
+        assert entry.day == 2
+        assert entry.record is record
+
+    def test_uncertainty_is_negative_distance_to_boundary(self, queue, record):
+        queue.offer(record, answer(record, probability=0.6), day=1)
+        entry = queue.pending()[0]
+        assert entry.uncertainty == pytest.approx(-0.1)

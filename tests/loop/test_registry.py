@@ -1,0 +1,169 @@
+"""Property tests for the versioned :class:`repro.loop.ModelRegistry`.
+
+The registry is the loop's system of record, so its invariants are
+pinned directly: content-keyed idempotent registration, append-only
+sequential version ids, promotion as the only way the active pointer
+moves, and a state digest that is a pure function of the (versions,
+promotions, active) triple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loop import ModelRegistry, ModelVersion
+
+
+@pytest.fixture()
+def registry():
+    return ModelRegistry()
+
+
+class TestRegistration:
+    def test_versions_get_sequential_ids_in_registration_order(
+        self, registry, trained_matcher, candidate_matcher
+    ):
+        first = registry.register(trained_matcher, day=0, labels=80)
+        second = registry.register(candidate_matcher, day=1, labels=120)
+        assert first.version_id == "v1"
+        assert second.version_id == "v2"
+        assert [v.version_id for v in registry.versions] == ["v1", "v2"]
+
+    def test_register_is_idempotent_by_fingerprint(
+        self, registry, trained_matcher
+    ):
+        first = registry.register(trained_matcher, day=0, labels=80)
+        digest = registry.state_digest()
+        again = registry.register(trained_matcher, day=7, labels=999)
+        assert again is first  # original provenance, not a re-stamp
+        assert registry.state_digest() == digest
+        assert len(registry.versions) == 1
+
+    def test_equal_weights_are_one_version_even_as_distinct_objects(
+        self, registry, matcher_factory, train_triples
+    ):
+        # Deterministic training: same seed + data ⇒ same bytes ⇒ same
+        # fingerprint, so a retrained clone maps to the existing version.
+        a = matcher_factory(0).fit(train_triples[:40], epochs=2)
+        b = matcher_factory(0).fit(train_triples[:40], epochs=2)
+        assert a is not b
+        assert a.parameter_fingerprint() == b.parameter_fingerprint()
+        assert registry.register(a) is registry.register(b)
+
+    def test_register_rejects_unfitted_matchers(self, registry, matcher_factory):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            registry.register(matcher_factory(0))
+
+    def test_version_records_provenance(self, registry, trained_matcher):
+        version = registry.register(trained_matcher, day=3, labels=42)
+        assert version == ModelVersion(
+            version_id="v1",
+            fingerprint=trained_matcher.parameter_fingerprint(),
+            day=3,
+            labels=42,
+        )
+
+
+class TestLookup:
+    def test_get_returns_the_registered_matcher_object(
+        self, registry, trained_matcher
+    ):
+        version = registry.register(trained_matcher)
+        assert registry.get(version.version_id) is trained_matcher
+        assert registry.version(version.version_id) is version
+
+    def test_unknown_version_raises_keyerror(self, registry, trained_matcher):
+        registry.register(trained_matcher)
+        with pytest.raises(KeyError, match="unknown model version"):
+            registry.version("v99")
+        with pytest.raises(KeyError, match="unknown model version"):
+            registry.get("v99")
+
+    def test_version_for_maps_fingerprint_or_none(
+        self, registry, trained_matcher
+    ):
+        version = registry.register(trained_matcher)
+        assert registry.version_for(version.fingerprint) is version
+        assert registry.version_for("0" * 40) is None
+
+
+class TestPromotion:
+    def test_promote_moves_the_active_pointer(
+        self, registry, trained_matcher, candidate_matcher
+    ):
+        v1 = registry.register(trained_matcher)
+        v2 = registry.register(candidate_matcher)
+        assert registry.active is None
+        assert registry.promote(v1.version_id, day=0) is True
+        assert registry.active is v1
+        assert registry.active_matcher() is trained_matcher
+        assert registry.promote(v2.version_id, day=2) is True
+        assert registry.active is v2
+        assert registry.active_matcher() is candidate_matcher
+
+    def test_promoting_the_active_version_is_a_recorded_nowhere_noop(
+        self, registry, trained_matcher
+    ):
+        v1 = registry.register(trained_matcher)
+        registry.promote(v1.version_id, day=0)
+        digest = registry.state_digest()
+        assert registry.promote(v1.version_id, day=5) is False
+        assert registry.state_digest() == digest
+        assert registry.promotion_schedule() == [(0, "v1")]
+
+    def test_promote_unknown_version_raises(self, registry):
+        with pytest.raises(KeyError, match="unknown model version"):
+            registry.promote("v1")
+
+    def test_active_matcher_before_any_promotion_raises(
+        self, registry, trained_matcher
+    ):
+        registry.register(trained_matcher)
+        with pytest.raises(RuntimeError, match="promoted"):
+            registry.active_matcher()
+
+    def test_promotion_schedule_is_the_full_ordered_history(
+        self, registry, trained_matcher, candidate_matcher
+    ):
+        v1 = registry.register(trained_matcher)
+        v2 = registry.register(candidate_matcher)
+        registry.promote(v1.version_id, day=0)
+        registry.promote(v2.version_id, day=2)
+        registry.promote(v1.version_id, day=4)  # rollback is just a promote
+        assert registry.promotion_schedule() == [(0, "v1"), (2, "v2"), (4, "v1")]
+
+    def test_promotions_property_returns_copies(self, registry, trained_matcher):
+        v1 = registry.register(trained_matcher)
+        registry.promote(v1.version_id, day=0)
+        events = registry.promotions
+        events[0]["day"] = 99
+        assert registry.promotions == [{"day": 0, "version_id": "v1"}]
+
+
+class TestStateDigest:
+    def test_same_operation_sequence_gives_same_digest(
+        self, trained_matcher, candidate_matcher
+    ):
+        def build():
+            registry = ModelRegistry()
+            v1 = registry.register(trained_matcher, day=0, labels=80)
+            registry.promote(v1.version_id, day=0)
+            v2 = registry.register(candidate_matcher, day=1, labels=120)
+            registry.promote(v2.version_id, day=1)
+            return registry
+
+        assert build().state_digest() == build().state_digest()
+
+    def test_digest_moves_with_every_state_transition(
+        self, registry, trained_matcher, candidate_matcher
+    ):
+        seen = {registry.state_digest()}
+        v1 = registry.register(trained_matcher)
+        seen.add(registry.state_digest())
+        registry.promote(v1.version_id, day=0)
+        seen.add(registry.state_digest())
+        v2 = registry.register(candidate_matcher, day=1)
+        seen.add(registry.state_digest())
+        registry.promote(v2.version_id, day=1)
+        seen.add(registry.state_digest())
+        assert len(seen) == 5  # every transition produced a distinct digest

@@ -113,6 +113,42 @@ def test_run_all_e17_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys)
     assert first == rows("chaos", "--chaos", "11")
 
 
+def test_run_all_e18_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys):
+    """The loop bench's acceptance bar: day rows — including promotion
+    decisions, registry fingerprints and per-day answer digests — are
+    byte-equal across a repeat run, a --jobs 2 run and a --chaos run
+    (chaos seed 11 kills the first ``serve.swap`` commit — the hot-swap
+    retries and the rows must not move)."""
+    import json
+
+    from benchmarks.check_bench_json import check_file
+    from benchmarks.run_all import main
+
+    def rows(tag, *extra):
+        out_dir = tmp_path / tag
+        out_dir.mkdir()
+        exit_code = main(["e18", "--profile", "smoke",
+                          "--out-dir", str(out_dir), *extra])
+        capsys.readouterr()
+        assert exit_code == 0
+        path = out_dir / "BENCH_E18.json"
+        assert check_file(str(path)) == []
+        return json.loads(path.read_text())["rows"]
+
+    first = rows("first")
+    scenarios = {row["scenario"] for row in first}
+    assert len(scenarios) == 2  # unsharded + sharded topologies
+    # Threshold-gated stepwise learning, identical across topologies.
+    for scenario in scenarios:
+        days = [row for row in first if row["scenario"] == scenario]
+        f1s = [row["active_f1"] for row in days]
+        assert f1s == sorted(f1s) and f1s[-1] > f1s[0]
+        assert any(row["promoted"] for row in days)
+    assert first == rows("again")
+    assert first == rows("jobs2", "--jobs", "2")
+    assert first == rows("chaos", "--chaos", "11")
+
+
 def test_run_all_chaos_smoke_emits_valid_bench_json(tmp_path, capsys):
     """End-to-end --chaos --jobs run: injected faults must not break the
     emitted BENCH json, and the chaos accounting must land in the span."""
