@@ -61,6 +61,7 @@ EXPERIMENTS = {
     "e16": ("bench_e16_pipeline", "E16: self-driving pipeline"),
     "e17": ("bench_e17_serving", "E17: online serving layer"),
     "e18": ("bench_e18_loop", "E18: continuous curation loop"),
+    "e19": ("bench_e19_gateway", "E19: multi-tenant gateway"),
     "a1": ("bench_a1_ablations", "A1: design-choice ablations"),
     "a2": ("bench_a2_active_learning", "A2: active labelling"),
     "a3": ("bench_a3_holistic_repair", "A3: holistic vs minimal repair"),
@@ -188,7 +189,28 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--lint", action="store_true",
                         help="refuse to run benches while repro.lint reports "
                              "non-baselined findings in src/ or benchmarks/")
+    parser.add_argument("--list", action="store_true",
+                        help="print the registered experiment table "
+                             "(id, bench module, profiles) and exit 0 "
+                             "without running anything")
     args = parser.parse_args(argv)
+
+    if args.list:
+        # A pure registry dump: nothing is imported or executed, so the
+        # listing works even while an individual bench module is broken.
+        print(format_table(
+            [
+                {
+                    "id": exp_id,
+                    "module": module_name,
+                    "title": title,
+                    "profiles": "/".join(PROFILES),
+                }
+                for exp_id, (module_name, title) in EXPERIMENTS.items()
+            ],
+            f"registered experiments ({len(EXPERIMENTS)})",
+        ))
+        return 0
 
     if args.lint and not lint_preflight():
         return 1

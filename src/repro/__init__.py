@@ -26,7 +26,10 @@ The package is organised by the paper's roadmap:
   embedding stores, differentially proven against the per-pair loops;
 * :mod:`repro.loop` — the continuous-curation loop: serving feedback →
   weak-supervision labels → background retrain → versioned registry →
-  shadow scoring → deterministic promotion → hot swap.
+  shadow scoring → deterministic promotion → hot swap;
+* :mod:`repro.gateway` — the multi-tenant service front door: per-route
+  admission, two-class priority scheduling, deficit-round-robin
+  fairness and retrain backpressure, all on the simulated clock.
 
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
@@ -39,6 +42,7 @@ from repro import (
     embeddings,
     er,
     faults,
+    gateway,
     kernels,
     lint,
     loop,
@@ -75,6 +79,7 @@ __all__ = [
     "obs",
     "par",
     "faults",
+    "gateway",
     "kernels",
     "lint",
     "loop",

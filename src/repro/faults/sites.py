@@ -12,7 +12,10 @@ package that owns the code point —
 * ``er.deeper.pair_features`` — DeepER's pair featurisation hot path;
 * ``er.deeper.fit.epoch`` — the top of every DeepER training epoch;
 * ``serve.score`` / ``serve.cache.lookup`` — the serving layer's batch
-  scoring call and per-batch cache consult.
+  scoring call and per-batch cache consult;
+* ``gateway.admit`` / ``gateway.route`` / ``gateway.dispatch`` — the
+  gateway's admission decision, route-table resolution and router group
+  execution.
 
 Sites split by what owns recovery:
 
@@ -72,6 +75,23 @@ RETRY_SITES: dict[str, str] = {
         "validated fingerprint return, retried under HOT_POLICY "
         "(attempts=2)"
     ),
+    "gateway.admit": (
+        "Gateway per-route token-bucket admission decision; a pure "
+        "preview of the bucket state committed only after the retry "
+        "layer accepts it, validated and retried under HOT_POLICY "
+        "(attempts=2)"
+    ),
+    "gateway.route": (
+        "Gateway route-table resolution of a dispatch group's router; "
+        "pure dict lookup with a validated (name-checked) return, "
+        "retried under HOT_POLICY (attempts=2)"
+    ),
+    "gateway.dispatch": (
+        "Gateway router group execution (one coalesced router call per "
+        "dispatch group); an error at entry models a dead router "
+        "instance and the retry replays the same pure group call, "
+        "validated answer count, HOT_POLICY (attempts=2)"
+    ),
 }
 
 LATENCY_ONLY_SITES: dict[str, str] = {
@@ -95,11 +115,23 @@ LATENCY_ONLY_SITES: dict[str, str] = {
 # correct, but the simulated cost rows would drift under chaos.  Error
 # faults at that site fire *before* the call touches anything, which is
 # exactly the dead-shard model failover is built for.
+#
+# "gateway.dispatch" is absent for the same reason: the wrapped call is
+# the router's group execution, and the match router's match_batch warms
+# the service's cache tiers as it runs — a corrupted *return* would be
+# detected only after the caches moved, so the retry would report fewer
+# misses than a fault-free run and the simulated cost rows would drift.
+# Error faults there fire before the router touches its component (the
+# dead-router model the chaos tier kills mid-burst).  "gateway.admit"
+# and "gateway.route" wrap genuinely pure previews/lookups committed
+# after validation, so corrupt faults are safe at both.
 CORRUPT_SITES: tuple[str, ...] = (
     "pipeline.step.*",
     "er.blocking.lsh",
     "er.blocking.token",
     "er.deeper.pair_features",
+    "gateway.admit",
+    "gateway.route",
     "loop.retrain",
     "serve.score",
     "serve.shard.route",

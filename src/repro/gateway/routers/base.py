@@ -1,0 +1,40 @@
+"""Router protocol shared by every route handler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Router", "RouterOutcome"]
+
+
+@dataclass(frozen=True)
+class RouterOutcome:
+    """What one dispatched group produced: answers + work accounting.
+
+    ``answers`` has exactly one entry per request in the group (the
+    gateway's dispatch validator enforces this); ``work`` is in
+    route-specific units (scored pairs, cells examined, column pairs)
+    that the gateway's cost model prices into simulated seconds;
+    ``embed_misses`` separates embedding-composition cost for the match
+    route, mirroring :class:`repro.serve.sim.ServerConfig`.
+    """
+
+    answers: tuple
+    work: float = 0.0
+    embed_misses: int = 0
+    meta: dict = field(default_factory=dict, compare=False)
+
+
+class Router:
+    """Duck-typed base: a ``name`` and a group handler.
+
+    ``handle_group`` must be a pure function of (component state, request
+    payloads) — it runs under the retried fault site ``gateway.dispatch``,
+    where an injected error models a dead router instance and the retry
+    must reproduce the original outcome bit-for-bit.
+    """
+
+    name = "?"
+
+    def handle_group(self, requests: tuple) -> RouterOutcome:
+        raise NotImplementedError

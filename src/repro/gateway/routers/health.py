@@ -1,0 +1,32 @@
+"""The health route: liveness + registry/valve/fingerprint snapshot.
+
+Every request on this route answers with the gateway's
+:meth:`~repro.gateway.api.Gateway.health_snapshot`: installed routes,
+scheduling policy, queue depths, valve state, the live match service's
+parameter fingerprint (when a match router is installed) and — when the
+gateway was built with a model ``registry`` — the registry's version
+list and active version.  Everything in the snapshot is a deterministic
+function of gateway state, so health answers replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from repro.gateway.routers.base import Router, RouterOutcome
+
+__all__ = ["HealthRouter"]
+
+
+class HealthRouter(Router):
+    """Installed automatically by the gateway (it needs the back-pointer)."""
+
+    name = "health"
+
+    def __init__(self, gateway) -> None:
+        self.gateway = gateway
+
+    def handle_group(self, requests: tuple) -> RouterOutcome:
+        snapshot = self.gateway.health_snapshot()
+        return RouterOutcome(
+            answers=tuple(dict(snapshot) for _ in requests),
+            work=float(len(requests)),
+        )

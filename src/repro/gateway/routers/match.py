@@ -1,0 +1,32 @@
+"""The interactive match route: one coalesced ``match_batch`` per group.
+
+Payload contract: ``payload["record"]`` is the query record dict.  The
+whole group becomes *one* :meth:`MatchService.match_batch` call, so the
+gateway inherits the serving layer's micro-batch coalescing, caches and
+differential guarantees unchanged — gateway scheduling decides *when*
+the batch runs, never *what* it answers.
+"""
+
+from __future__ import annotations
+
+from repro.gateway.routers.base import Router, RouterOutcome
+
+__all__ = ["MatchRouter"]
+
+
+class MatchRouter(Router):
+    """Adapter over a (possibly sharded) :class:`MatchService`."""
+
+    name = "match"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def handle_group(self, requests: tuple) -> RouterOutcome:
+        report = self.service.match_batch([r.payload["record"] for r in requests])
+        return RouterOutcome(
+            answers=tuple(report.answers),
+            work=float(report.scored_pairs),
+            embed_misses=int(report.embedding_misses),
+            meta={"predict_calls": int(report.predict_calls)},
+        )

@@ -1,0 +1,32 @@
+"""The metrics route: live per-route / per-tenant latency percentiles.
+
+Every request answers with the gateway's
+:meth:`~repro.gateway.api.Gateway.metrics_snapshot` *as of the request's
+dispatch*: completed/shed counts and nearest-rank p50/p95/p99 per route
+and per tenant, computed with the shared
+:func:`repro.utils.percentile` over latencies completed so far.  The
+snapshot reflects simulated time only, so a replayed run answers the
+same metrics at the same points in the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.gateway.routers.base import Router, RouterOutcome
+
+__all__ = ["MetricsRouter"]
+
+
+class MetricsRouter(Router):
+    """Installed automatically by the gateway (it needs the back-pointer)."""
+
+    name = "metrics"
+
+    def __init__(self, gateway) -> None:
+        self.gateway = gateway
+
+    def handle_group(self, requests: tuple) -> RouterOutcome:
+        snapshot = self.gateway.metrics_snapshot()
+        return RouterOutcome(
+            answers=tuple(dict(snapshot) for _ in requests),
+            work=float(len(requests)),
+        )

@@ -66,7 +66,7 @@ class FaultSwallowingExceptRule(Rule):
         "typed error, or narrow the handler"
     )
     path_markers = ("/repro/orchestration/", "/repro/par/", "/repro/er/",
-                    "/repro/serve/", "/repro/loop/")
+                    "/repro/serve/", "/repro/loop/", "/repro/gateway/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -43,8 +43,14 @@ _SITE_CONSTANT_NAMES = ("RETRY_SITES", "LATENCY_ONLY_SITES")
 _SITE_SUBSET_NAMES = ("CORRUPT_SITES",)
 
 
+# The gateway is part of the online serving surface: it inherits both the
+# determinism-sink status (RL1101) and the purity-closure roots (RL1104).
+_SERVING_MARKERS = ("/repro/serve/", "/repro/gateway/")
+
+
 def _in_serve(display: str) -> bool:
-    return "/repro/serve/" in "/" + display.lstrip("/")
+    padded = "/" + display.lstrip("/")
+    return any(marker in padded for marker in _SERVING_MARKERS)
 
 
 def _finding(

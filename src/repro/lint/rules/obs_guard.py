@@ -62,6 +62,7 @@ class ObsHotPathGuardRule(Rule):
     path_markers = (
         "/repro/nn/", "/repro/er/", "/repro/orchestration/", "/repro/par/",
         "/repro/faults/", "/repro/serve/", "/repro/kernels/", "/repro/loop/",
+        "/repro/gateway/",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -67,12 +67,13 @@ class ServeReadOnlyRule(Rule):
     id = "RL901"
     name = "serve-read-only"
     description = (
-        "code under repro/serve/ serves a frozen model: .fit() calls, "
-        "optimizer imports/steps, .backward() and any write to a .data "
-        "attribute break the read-only inference contract that makes "
-        "serving answers reproducible and parameter fingerprints stable"
+        "code under repro/serve/ or repro/gateway/ serves a frozen model: "
+        ".fit() calls, optimizer imports/steps, .backward() and any write "
+        "to a .data attribute break the read-only inference contract that "
+        "makes serving answers reproducible and parameter fingerprints "
+        "stable"
     )
-    path_markers = ("/repro/serve/",)
+    path_markers = ("/repro/serve/", "/repro/gateway/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         optim_imported = _imports_optim(ctx.tree)

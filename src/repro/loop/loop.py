@@ -35,8 +35,6 @@ exactly what the chaos tier proves survives injected faults.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -56,6 +54,7 @@ from repro.serve.index import BlockingIndex
 from repro.serve.service import MatchAnswer
 from repro.serve.sim import ServerConfig, simulate
 from repro.serve.workload import WorkloadConfig, generate_workload
+from repro.utils.content import digest_rows
 
 __all__ = [
     "ContinuousCurationLoop",
@@ -72,25 +71,12 @@ _CANDIDATE_SALT = 0x10AD
 def answers_digest(answers: "list[MatchAnswer]") -> str:
     """sha1 over a canonical JSON rendering of an answer sequence.
 
-    Probabilities are quantized to 9 decimals first.  Micro-batch
-    boundaries legitimately differ across serving topologies (per-shard
-    caches shift simulated costs, costs shift batch cuts) and matmul
-    reductions are shape-dependent in the last bit, so raw scores agree
-    across topologies only to ~1 ulp.  Nine decimals is far below every
-    decision threshold (match, band, promotion) and far above that
-    noise, so one digest means "same answers", not "same batch plan".
+    Delegates to :func:`repro.utils.digest_rows` (floats quantized to 9
+    decimals — see its docstring for why), so the loop's day digests and
+    the gateway's scenario digests share one arithmetic: the same answer
+    sequence yields the same sha1 whichever layer computed it.
     """
-    def canonical(answer: MatchAnswer) -> dict:
-        payload = answer.to_dict()
-        payload["probability"] = round(payload["probability"], 9)
-        return payload
-
-    payload = json.dumps(
-        [canonical(answer) for answer in answers],
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+    return digest_rows([answer.to_dict() for answer in answers])
 
 
 @dataclass(frozen=True)
@@ -233,6 +219,13 @@ class ContinuousCurationLoop:
         Loop knobs and the simulator's scheduler/cost model.
     registry:
         Optional pre-built :class:`ModelRegistry` (a fresh one otherwise).
+    retrain_gate:
+        Optional zero-argument callable consulted before each day's
+        background retrain; returning ``False`` defers the retrain (the
+        queue and banked labels are left untouched, so the work happens
+        on the next open day).  The gateway's backpressure valve plugs in
+        here (:meth:`repro.gateway.BackpressureValve.retrain_allowed`) to
+        pause retrains while the online queue is above high water.
     """
 
     def __init__(
@@ -249,6 +242,7 @@ class ContinuousCurationLoop:
         config: LoopConfig | None = None,
         server: ServerConfig | None = None,
         registry: ModelRegistry | None = None,
+        retrain_gate: "Callable[[], bool] | None" = None,
     ) -> None:
         self.service = service
         self.index = index
@@ -257,6 +251,7 @@ class ContinuousCurationLoop:
         self.query_records = query_records
         self.config = config if config is not None else LoopConfig()
         self.server = server if server is not None else ServerConfig()
+        self.retrain_gate = retrain_gate
         self.registry = registry if registry is not None else ModelRegistry()
         self.queue = LabelQueue(band=self.config.band)
         self._labels = list(seed_labels)
@@ -321,7 +316,13 @@ class ContinuousCurationLoop:
                 day=day, pair_keys=(), pairs=[],
                 scores=np.zeros(0), served=np.zeros(0),
             )
-            batch = self.queue.select(self.config.labels_per_day)
+            # A closed retrain gate (gateway backpressure: online queue
+            # above high water) defers the day's retrain entirely; the
+            # queue snapshot survives untouched for the next open day.
+            gate_open = self.retrain_gate is None or bool(self.retrain_gate())
+            if not gate_open and _OBS.enabled:
+                _OBS.counter("loop.retrain.deferred").inc()
+            batch = self.queue.select(self.config.labels_per_day) if gate_open else []
             if batch:
                 candidate, labeled = retry_call(
                     self._retrain,

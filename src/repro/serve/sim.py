@@ -43,6 +43,7 @@ from repro.obs.trace import span
 from repro.serve.clock import SimClock
 from repro.serve.service import MatchAnswer, MatchService
 from repro.serve.workload import Query
+from repro.utils.stats import percentile
 
 __all__ = ["QueryResult", "ServerConfig", "SimReport", "percentile", "simulate"]
 
@@ -148,21 +149,6 @@ class SimReport:
         cost)``; 0.0 for unsharded runs (no per-shard breakdown).
         """
         return sum(b.get("straggler", 0.0) for b in self.batches)
-
-
-def percentile(ordered: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty).
-
-    Nearest-rank (ceil) rather than interpolation: the result is always an
-    observed value, which keeps reported tail latencies honest and the
-    arithmetic trivially bit-stable.
-    """
-    if not ordered:
-        return 0.0
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile must be in (0, 100], got {q}")
-    rank = math.ceil(q / 100.0 * len(ordered))
-    return ordered[rank - 1]
 
 
 def simulate(

@@ -1,8 +1,9 @@
 """Shared utilities: deterministic RNG handling, content hashing, timing,
 validation."""
 
-from repro.utils.content import canonical, content_key
+from repro.utils.content import canonical, content_key, digest_rows
 from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.stats import percentile
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_fitted,
@@ -14,7 +15,9 @@ from repro.utils.validation import (
 __all__ = [
     "canonical",
     "content_key",
+    "digest_rows",
     "ensure_rng",
+    "percentile",
     "spawn_rng",
     "Timer",
     "check_fitted",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 
-__all__ = ["canonical", "content_key"]
+__all__ = ["canonical", "content_key", "digest_rows"]
 
 
 def canonical(value: object) -> object:
@@ -41,4 +41,34 @@ def content_key(record: object) -> str:
     run.
     """
     payload = json.dumps(canonical(record), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def _quantize(value: object, decimals: int) -> object:
+    if isinstance(value, float):
+        return round(value, decimals)
+    if isinstance(value, dict):
+        return {k: _quantize(v, decimals) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_quantize(v, decimals) for v in value]
+    return value
+
+
+def digest_rows(rows: "list[dict]", *, float_decimals: int = 9) -> str:
+    """sha1 over a canonical JSON rendering of a row sequence.
+
+    Floats are quantized to ``float_decimals`` first: legitimate
+    topology/batching differences perturb float computations in the last
+    bit (shape-dependent matmul reductions, per-shard cache state shifting
+    batch cuts), so raw values agree across equivalent runs only to
+    ~1 ulp.  Nine decimals is far below every decision threshold in the
+    stack and far above that noise, so one digest means "same answers",
+    not "same batch plan".  Shared by :func:`repro.loop.answers_digest`
+    and the gateway's per-scenario answer digests.
+    """
+    payload = json.dumps(
+        [_quantize(canonical(row), float_decimals) for row in rows],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()

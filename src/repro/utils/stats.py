@@ -1,0 +1,29 @@
+"""Deterministic order statistics shared by the serving and gateway layers.
+
+:func:`percentile` is the single nearest-rank implementation behind
+``SimReport.latency_percentiles`` (:mod:`repro.serve.sim`) and the
+gateway's per-route/per-tenant SLO rows (:mod:`repro.gateway`).  It lives
+in :mod:`repro.utils` so the gateway does not need to import the serving
+simulator (or copy the arithmetic) to report latency percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["percentile"]
+
+
+def percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty).
+
+    Nearest-rank (ceil) rather than interpolation: the result is always an
+    observed value, which keeps reported tail latencies honest and the
+    arithmetic trivially bit-stable.
+    """
+    if not ordered:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]

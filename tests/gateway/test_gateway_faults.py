@@ -1,0 +1,95 @@
+"""Gateway fault sites recover bit-identically under their wired budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import Fault, FaultPlan, RetryExhausted
+from repro.faults.sites import CORRUPT_SITES, RETRY_SITES, all_sites
+from repro.gateway import Gateway, GatewayConfig, MatchRouter
+from repro.serve import MatchService
+
+GATEWAY_SITES = ("gateway.admit", "gateway.route", "gateway.dispatch")
+
+
+def play(trained_matcher, built_index, requests):
+    """One fresh-service gateway run, summarized for byte-comparison."""
+    service = MatchService(trained_matcher, built_index, jobs=1)
+    gateway = Gateway(
+        [MatchRouter(service)],
+        config=GatewayConfig(admission={"match": (400.0, 2)}),
+    )
+    report = gateway.run(requests)
+    return (
+        report.answers_digest("match"),
+        report.duration,
+        [r.request_id for r in report.shed],
+        len(report.groups),
+    )
+
+
+class TestCatalog:
+    def test_gateway_sites_catalogued(self):
+        for site in GATEWAY_SITES:
+            assert site in RETRY_SITES
+            assert site in all_sites()
+
+    def test_corruptable_split_matches_purity(self):
+        """Admission previews and route lookups are pure (commit happens
+        after validation), so corrupt faults are safe there; dispatch
+        warms the service's cache tiers as it runs, so a corrupted
+        return would leave cost rows drifted — corrupt chaos is banned
+        at that site (see repro.faults.sites)."""
+        assert "gateway.admit" in CORRUPT_SITES
+        assert "gateway.route" in CORRUPT_SITES
+        assert "gateway.dispatch" not in CORRUPT_SITES
+
+
+class TestUnderBudgetRecovery:
+    @pytest.mark.parametrize("site", GATEWAY_SITES)
+    def test_single_error_recovers_bit_identical(
+        self, site, trained_matcher, built_index, match_requests
+    ):
+        baseline = play(trained_matcher, built_index, match_requests)
+        with FaultPlan([Fault(site, "error", hits=(0,))]) as plan:
+            faulted = play(trained_matcher, built_index, match_requests)
+        assert plan.ledger.count("error", site) == 1
+        assert faulted == baseline
+
+    @pytest.mark.parametrize("site", ["gateway.admit", "gateway.route"])
+    def test_corrupted_return_detected_and_retried(
+        self, site, trained_matcher, built_index, match_requests
+    ):
+        baseline = play(trained_matcher, built_index, match_requests)
+        with FaultPlan([Fault(site, "corrupt", hits=(0,))]) as plan:
+            faulted = play(trained_matcher, built_index, match_requests)
+        assert plan.ledger.count("corrupt", site) == 1
+        assert faulted == baseline
+
+
+class TestOverBudget:
+    @pytest.mark.parametrize("site", GATEWAY_SITES)
+    def test_exhausted_retries_fail_loudly_with_site(
+        self, site, trained_matcher, built_index, match_requests
+    ):
+        # HOT_POLICY gives two attempts; two scheduled hits exceed them.
+        with FaultPlan([Fault(site, "error", hits=(0, 1))]):
+            with pytest.raises(RetryExhausted) as excinfo:
+                play(trained_matcher, built_index, match_requests)
+        assert excinfo.value.site == site
+
+
+class TestChaos:
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_seeded_chaos_converges_to_fault_free_rows(
+        self, seed, trained_matcher, built_index, match_requests
+    ):
+        baseline = play(trained_matcher, built_index, match_requests)
+        with FaultPlan.chaos(seed, sites=set(GATEWAY_SITES)) as plan:
+            chaotic = play(trained_matcher, built_index, match_requests)
+        assert chaotic == baseline
+        # The schedule is seed-deterministic even if this seed drew no
+        # gateway fault; replaying it must describe identically.
+        assert plan.describe() == FaultPlan.chaos(
+            seed, sites=set(GATEWAY_SITES)
+        ).describe()

@@ -115,3 +115,31 @@ def test_gate_exercises_interprocedural_rules(repo_result):
         "interprocedural canary findings missing: the project-phase pass "
         "did not run or the call-graph resolver regressed"
     )
+
+
+def test_gateway_package_is_clean_under_the_hot_and_fault_contracts(repo_result):
+    # The gateway package fronts the serving stack, so the same contracts
+    # bite: RL401 (guarded metrics accessors), RL801 (no fault-swallowing
+    # excepts) and RL901 (read-only serving) name /repro/gateway/ in their
+    # path markers, and RL1103 keeps its three fault-site strings
+    # (gateway.admit / gateway.route / gateway.dispatch) coherent with the
+    # declared catalog.  Zero findings repo-wide could also mean the walk
+    # never saw the package, so a targeted run proves every file — the six
+    # top-level modules plus the seven router modules and __init__ — is
+    # both visited and clean.
+    from repro.lint.registry import get_rule
+
+    for rule_id in ("RL401", "RL801", "RL901"):
+        assert any(
+            "/repro/gateway/" in marker for marker in get_rule(rule_id).path_markers
+        ), f"{rule_id} does not cover the gateway package"
+    gateway_findings = [
+        f for f in repo_result.findings if "repro/gateway/" in f.path
+    ]
+    assert gateway_findings == [], (
+        "gateway package must lint clean without baseline entries:\n"
+        + "\n".join(f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in gateway_findings)
+    )
+    solo = lint_paths([REPO_ROOT / "src" / "repro" / "gateway"], root=REPO_ROOT)
+    assert solo.files_checked == 14
+    assert solo.findings == []

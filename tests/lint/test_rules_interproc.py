@@ -286,6 +286,41 @@ class TestFaultSiteCoherence:
         found = messages(result)
         assert not any("weak.vote" in m for m in found)
 
+    def test_gateway_style_retry_kwargs_satisfy_the_catalog(self, lint_tree):
+        # The gateway declares three sites and references every one of
+        # them via ``retry_call(..., site=...)`` — the kwarg form must
+        # count as a reference (no dead-site warning) and the corrupt
+        # subset must accept the two pure sites.
+        result = lint_tree({
+            "src/repro/faults/sites.py": """
+                RETRY_SITES = {
+                    "gateway.admit": "token-bucket preview",
+                    "gateway.route": "route-table lookup",
+                    "gateway.dispatch": "router group execution",
+                }
+
+                LATENCY_ONLY_SITES = {}
+
+                CORRUPT_SITES = ("gateway.admit", "gateway.route")
+            """,
+            "src/repro/gateway/api.py": """
+                from repro.faults.retry import retry_call
+
+                def admit(bucket, now):
+                    return retry_call(bucket.preview, now, site="gateway.admit")
+
+                def dispatch(gateway, group):
+                    router = retry_call(
+                        gateway.resolve, group.route, site="gateway.route"
+                    )
+                    return retry_call(
+                        router.handle_group, group.requests,
+                        site="gateway.dispatch",
+                    )
+            """,
+        }, rule_ids=["RL1103"])
+        assert messages(result) == []
+
     def test_tree_without_catalog_is_silent(self, lint_tree):
         result = lint_tree({
             "src/repro/er/blocking.py": """

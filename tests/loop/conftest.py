@@ -128,7 +128,8 @@ def make_loop(
     """Build a fresh loop around a fresh service (optionally overriding knobs)."""
     eval_pairs, eval_labels = eval_split
 
-    def _make(service=None, *, config=None, oracle_seed=3, workload_seed=None):
+    def _make(service=None, *, config=None, oracle_seed=3, workload_seed=None,
+              retrain_gate=None):
         if service is None:
             service = MatchService(trained_matcher, built_index, jobs=1)
         cfg = config if config is not None else loop_config
@@ -152,6 +153,7 @@ def make_loop(
             query_records=query_records,
             config=cfg,
             server=ServerConfig(max_batch_size=8, max_wait=0.004, max_queue=256),
+            retrain_gate=retrain_gate,
         )
 
     return _make

@@ -14,7 +14,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.gateway import BackpressureValve
 from repro.loop import answers_digest
+from repro.obs.metrics import REGISTRY, collecting
 
 # Pinned loop outcomes (module conftest knobs; update only deliberately).
 PINNED_SCHEDULES = {
@@ -156,3 +158,33 @@ class TestPostLoopService:
         assert answers_digest(answers) == answers_digest(answers)
         if answers[0].to_dict() != answers[1].to_dict():
             assert answers_digest(answers) != answers_digest(answers[::-1])
+
+
+class TestRetrainGate:
+    """The gateway's backpressure valve plugs in as ``retrain_gate``."""
+
+    def test_closed_gate_defers_every_retrain(self, make_loop):
+        valve = BackpressureValve(high_water=1, low_water=0)
+        valve.observe(0.0, 1)  # paused: online queue at high water
+        assert not valve.retrain_allowed()
+        loop = make_loop(retrain_gate=valve.retrain_allowed)
+        with collecting(reset=True):
+            reports = loop.run()
+            counters = REGISTRY.snapshot()["counters"]
+        assert counters["loop.retrain.deferred"] == float(len(reports))
+        for report in reports:
+            assert report.candidate_version is None
+            assert not report.promoted
+        # Deferral leaves the bank untouched: nothing spent, queue intact.
+        assert loop.labels_spent == 0
+        assert len(loop.queue) == loop.queue.emitted_total
+        assert loop.registry.promotion_schedule() == [(0, "v1")]
+
+    def test_open_gate_matches_ungated_run(self, make_loop, completed_run):
+        _, ungated_reports = completed_run
+        valve = BackpressureValve(high_water=4, low_water=1)
+        gated = make_loop(retrain_gate=valve.retrain_allowed)
+        gated_reports = gated.run()
+        assert [r.to_dict() for r in gated_reports] == [
+            r.to_dict() for r in ungated_reports
+        ]

@@ -57,15 +57,19 @@ class TestClock:
 
 
 class TestServerConfig:
-    def test_validation(self):
-        with pytest.raises(ValueError, match="max_batch_size"):
+    def test_validation_messages_are_pinned(self):
+        # Full messages, got-value included: downstream tooling greps
+        # these strings and a silent rewording would orphan it.
+        with pytest.raises(ValueError, match=r"max_batch_size must be >= 1, got 0"):
             ServerConfig(max_batch_size=0)
-        with pytest.raises(ValueError, match="max_queue"):
+        with pytest.raises(ValueError, match=r"max_queue must be >= 1, got 0"):
             ServerConfig(max_queue=0)
-        with pytest.raises(ValueError, match="max_wait"):
+        with pytest.raises(ValueError, match=r"max_wait must be >= 0, got -0.001"):
             ServerConfig(max_wait=-0.001)
-        with pytest.raises(ValueError, match="cost model"):
+        with pytest.raises(ValueError, match=r"cost model terms must be >= 0"):
             ServerConfig(cost_base=-1.0)
+        with pytest.raises(ValueError, match=r"cost model terms must be >= 0"):
+            ServerConfig(cost_per_embed=-1e-6)
 
 
 class TestBatching:
@@ -218,3 +222,17 @@ class TestExternalClock:
     def test_query_result_defaults(self):
         rejected = QueryResult(query_id=1, status="rejected", arrival=0.5)
         assert rejected.latency is None
+
+
+class TestPercentilePromotion:
+    def test_serve_re_exports_the_utils_implementation(self):
+        # percentile was promoted into repro.utils; serve keeps its old
+        # import surface as a pure re-export — same object, not a copy.
+        import repro.serve
+        import repro.serve.sim
+        import repro.utils
+        from repro.utils.stats import percentile as utils_percentile
+
+        assert repro.serve.percentile is utils_percentile
+        assert repro.serve.sim.percentile is utils_percentile
+        assert repro.utils.percentile is utils_percentile

@@ -12,16 +12,22 @@ RECORDS = [{"name": f"r{k}", "k": k} for k in range(12)]
 
 
 class TestConfig:
-    def test_validation(self):
-        with pytest.raises(ValueError, match="n_queries"):
+    def test_validation_messages_are_pinned(self):
+        with pytest.raises(ValueError, match=r"n_queries must be >= 1, got 0"):
             WorkloadConfig(n_queries=0, rate=10.0)
-        with pytest.raises(ValueError, match="rate"):
+        with pytest.raises(ValueError, match=r"rate must be > 0, got 0.0"):
             WorkloadConfig(n_queries=5, rate=0.0)
-        with pytest.raises(ValueError, match="repeat_fraction"):
+        with pytest.raises(ValueError, match=r"rate must be > 0, got -3.0"):
+            WorkloadConfig(n_queries=5, rate=-3.0)
+        with pytest.raises(
+            ValueError, match=r"repeat_fraction must be in \[0, 1\], got 1.5"
+        ):
             WorkloadConfig(n_queries=5, rate=10.0, repeat_fraction=1.5)
 
     def test_empty_records_rejected(self):
-        with pytest.raises(ValueError, match="at least one record"):
+        with pytest.raises(
+            ValueError, match=r"need at least one record to draw queries from"
+        ):
             generate_workload([], WorkloadConfig(n_queries=5, rate=10.0))
 
 

@@ -149,6 +149,42 @@ def test_run_all_e18_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys)
     assert first == rows("chaos", "--chaos", "11")
 
 
+def test_run_all_e19_rows_bit_identical_across_runs_jobs_chaos(tmp_path, capsys):
+    """The gateway bench's acceptance bar: scenario rows — including shed
+    counts, valve pause/resume counters and per-scenario answer digests —
+    are byte-equal across a repeat run, a --jobs 2 run and a --chaos run,
+    and every scenario's arms agree on one answers_sha1 (routing decides
+    WHEN work runs, never WHAT it answers)."""
+    import json
+
+    from benchmarks.check_bench_json import check_file
+    from benchmarks.run_all import main
+
+    def rows(tag, *extra):
+        out_dir = tmp_path / tag
+        out_dir.mkdir()
+        exit_code = main(["e19", "--profile", "smoke",
+                          "--out-dir", str(out_dir), *extra])
+        capsys.readouterr()
+        assert exit_code == 0
+        path = out_dir / "BENCH_E19.json"
+        assert check_file(str(path)) == []
+        return json.loads(path.read_text())["rows"]
+
+    first = rows("first")
+    scenarios = {row["scenario"].split(" (")[0] for row in first}
+    assert scenarios == {"mixed tenants", "fairness", "retrain day"}
+    for scenario in scenarios:
+        digests = {
+            row["answers_sha1"] for row in first
+            if row["scenario"].split(" (")[0] == scenario
+        }
+        assert len(digests) == 1, f"{scenario}: answers moved across arms"
+    assert first == rows("again")
+    assert first == rows("jobs2", "--jobs", "2")
+    assert first == rows("chaos", "--chaos", "11")
+
+
 def test_run_all_chaos_smoke_emits_valid_bench_json(tmp_path, capsys):
     """End-to-end --chaos --jobs run: injected faults must not break the
     emitted BENCH json, and the chaos accounting must land in the span."""

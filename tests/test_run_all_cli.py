@@ -48,3 +48,23 @@ def test_nonpositive_jobs_rejected(tmp_path, capsys):
     assert exit_code == 2
     assert "--jobs" in captured.err
     assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_list_prints_registry_and_runs_nothing(tmp_path, capsys):
+    exit_code = main(["--list", "--out-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    for exp_id, (module_name, _title) in EXPERIMENTS.items():
+        assert exp_id in captured.out
+        assert module_name in captured.out
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_list_wins_over_experiment_ids(tmp_path, capsys):
+    # --list is a pure registry dump: even alongside (unknown) ids it
+    # must exit 0 without validating or running anything.
+    exit_code = main(["--list", "e99", "--out-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "e99" not in captured.err
+    assert list(tmp_path.glob("BENCH_*.json")) == []
